@@ -1,0 +1,129 @@
+//! A catalog of named message adversaries from the literature.
+//!
+//! Each constructor documents its source and known solvability status; the
+//! integration tests cross-check the checker's verdicts against this
+//! catalog (DESIGN.md §7).
+
+use dyngraph::{generators, Digraph};
+
+use crate::{GeneralMA, UnionMA};
+
+/// Santoro–Widmayer [21]: the `n = 2` lossy link `{←, ↔, →}` — up to
+/// `n − 1 = 1` message lost per round. Consensus **impossible**.
+pub fn santoro_widmayer_lossy_link() -> GeneralMA {
+    GeneralMA::oblivious(generators::lossy_link_full())
+}
+
+/// Coulouma–Godard–Peters [8]: the reduced lossy link `{←, →}`.
+/// Consensus **solvable** (one-round direction rule).
+pub fn cgp_reduced_lossy_link() -> GeneralMA {
+    GeneralMA::oblivious(generators::lossy_link_reduced())
+}
+
+/// Santoro–Widmayer general form: all graphs obtained from the complete
+/// graph on `n` processes by at most `k` lost messages per round.
+/// Impossible for `k ≥ n − 1` (losses can isolate a process's influence);
+/// solvable for `k = 0` (complete graph each round).
+///
+/// # Panics
+/// Panics if the complete graph on `n` has more than 20 edges (`n > 5`).
+pub fn message_loss(n: usize, k: usize) -> GeneralMA {
+    GeneralMA::oblivious(generators::complete_minus_losses(n, k))
+}
+
+/// The oblivious out-star adversary on `n` processes: each round an
+/// arbitrary broadcast star. **Solvable** — the round-1 center is common
+/// knowledge.
+pub fn rotating_star(n: usize) -> GeneralMA {
+    GeneralMA::oblivious(generators::all_out_stars(n))
+}
+
+/// The oblivious adversary over **all rooted graphs** on `n` processes
+/// (nonempty kernel each round). For `n ≥ 2` consensus is **impossible**
+/// (contains the lossy-link obstruction); the classic example of "rooted
+/// every round is not enough" [6, 23].
+///
+/// # Panics
+/// Panics for `n > 4` (enumeration size).
+pub fn all_rooted(n: usize) -> GeneralMA {
+    assert!(n <= 4, "all_rooted is capped at n = 4");
+    GeneralMA::oblivious(generators::rooted_graphs(n).collect())
+}
+
+/// The eventually-stabilizing (VSSC-style) adversary of Winkler–Schwarz–
+/// Schmid [23] over all rooted graphs: some window of `window` rounds has a
+/// vertex-stable root component. Non-compact for `deadline = None`.
+/// Solvable iff the window length exceeds the dynamic diameter (for
+/// `n = 2`: window ≥ 2).
+pub fn vssc(n: usize, window: usize, deadline: Option<usize>) -> GeneralMA {
+    assert!(n <= 4, "vssc is capped at n = 4");
+    GeneralMA::stabilizing(generators::rooted_graphs(n).collect(), window, deadline)
+}
+
+/// The `n = 2` "eventually bidirectional" adversary: over `{←, ↔, →}`, a
+/// `↔` round eventually occurs. Non-compact; the excluded limits are the
+/// `↔`-free sequences (the coordinated-attack obstruction of Fevat–Godard
+/// [9] lives among them).
+pub fn eventually_bidirectional() -> GeneralMA {
+    GeneralMA::eventually_graph(
+        generators::lossy_link_full(),
+        Digraph::parse2("<->").expect("static"),
+        None,
+    )
+}
+
+/// "Eventually forever →" ∪ "eventually forever ←" on `n = 2`, realized as
+/// the union of the two constant-pool adversaries (the sequences constant
+/// from round 1; the general eventually-forever closure is obtained by
+/// prefixing with [`GeneralMA::with_deadline`] approximations). Compact and
+/// **solvable** — round 1 reveals the branch.
+pub fn forever_directional() -> UnionMA {
+    let right = GeneralMA::oblivious(vec![Digraph::parse2("->").expect("static")]);
+    let left = GeneralMA::oblivious(vec![Digraph::parse2("<-").expect("static")]);
+    UnionMA::new(vec![Box::new(right), Box::new(left)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MessageAdversary;
+
+    #[test]
+    fn catalog_constructs() {
+        assert_eq!(santoro_widmayer_lossy_link().pool().len(), 3);
+        assert_eq!(cgp_reduced_lossy_link().pool().len(), 2);
+        assert_eq!(rotating_star(3).pool().len(), 3);
+        assert_eq!(message_loss(2, 1).pool().len(), 3);
+        assert!(all_rooted(2).pool().len() == 3);
+        assert!(!eventually_bidirectional().is_compact());
+        assert!(forever_directional().is_compact());
+    }
+
+    #[test]
+    fn all_rooted_n3_pool_size() {
+        // Rooted graphs on 3 nodes: counted by the generator.
+        let expected = dyngraph::generators::rooted_graphs(3).count();
+        assert_eq!(all_rooted(3).pool().len(), expected);
+        assert!(expected > 10);
+    }
+
+    #[test]
+    fn vssc_is_stabilizing() {
+        let ma = vssc(2, 2, None);
+        assert!(!ma.is_compact());
+        let ma = vssc(2, 2, Some(4));
+        assert!(ma.is_compact());
+    }
+
+    #[test]
+    fn message_loss_monotone_pools() {
+        let k0 = message_loss(2, 0);
+        let k1 = message_loss(2, 1);
+        let k2 = message_loss(2, 2);
+        assert!(k0.pool().len() < k1.pool().len());
+        assert!(k1.pool().len() < k2.pool().len());
+        for g in k1.pool() {
+            assert!(k2.pool().contains(g));
+        }
+    }
+}

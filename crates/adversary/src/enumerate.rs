@@ -1,0 +1,274 @@
+//! Exhaustive expansion of the depth-`t` prefix space.
+//!
+//! The paper's ε-approximation machinery (Definition 6.2, Theorem 6.6) is
+//! computed on the finite set of *admissible runs at depth `t`*: every input
+//! assignment crossed with every admissible graph-sequence prefix of length
+//! `t`, with all process views interned in one shared [`ViewTable`]. This
+//! module produces that set.
+
+use std::fmt;
+
+use dyngraph::GraphSeq;
+use ptgraph::{all_inputs, Inputs, PrefixRun, Value, ViewTable};
+
+use crate::MessageAdversary;
+
+/// The expanded prefix space at a fixed depth.
+#[derive(Debug)]
+pub struct Expansion {
+    /// All admissible runs: `inputs × admissible sequences`, in
+    /// deterministic order (inputs lexicographic, sequences in expansion
+    /// order).
+    pub runs: Vec<PrefixRun>,
+    /// The shared view interner; run views reference it.
+    pub table: ViewTable,
+    /// The expansion depth `t` (every run has exactly `t` rounds).
+    pub depth: usize,
+    /// The input domain used.
+    pub values: Vec<Value>,
+}
+
+impl Expansion {
+    /// Number of admissible graph sequences (runs per input assignment).
+    pub fn sequence_count(&self) -> usize {
+        let inputs = self.values.len().pow(self.n() as u32);
+        self.runs.len().checked_div(inputs).unwrap_or(0)
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.table.n()
+    }
+
+    /// Indices of the `v`-valent runs (all processes start with `v`).
+    pub fn valent_runs(&self, v: Value) -> Vec<usize> {
+        self.runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_valent(v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Error: the expansion would exceed the run budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The budget that was exceeded.
+    pub max_runs: usize,
+    /// A lower bound on the number of runs the expansion would produce.
+    pub needed: usize,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "prefix-space expansion needs ≥ {} runs, budget is {}",
+            self.needed, self.max_runs
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// All admissible graph-sequence prefixes of length `depth`.
+pub fn admissible_sequences(ma: &dyn MessageAdversary, depth: usize) -> Vec<GraphSeq> {
+    let mut frontier = vec![GraphSeq::new()];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for seq in &frontier {
+            for g in ma.extensions(seq) {
+                next.push(seq.extended(g));
+            }
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+/// Expand the full prefix space: every input assignment over `values`
+/// crossed with every admissible depth-`depth` sequence.
+///
+/// # Errors
+/// Returns [`BudgetExceeded`] if more than `max_runs` runs would be
+/// produced (the sequence tree is counted before any views are interned, so
+/// failing is cheap).
+pub fn expand(
+    ma: &dyn MessageAdversary,
+    values: &[Value],
+    depth: usize,
+    max_runs: usize,
+) -> Result<Expansion, BudgetExceeded> {
+    let n = ma.n();
+    let seqs = {
+        // Count first via a cheaper traversal with early abort.
+        let inputs_count = values.len().pow(n as u32);
+        let mut frontier = vec![GraphSeq::new()];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for seq in &frontier {
+                for g in ma.extensions(seq) {
+                    next.push(seq.extended(g));
+                    if next.len() * inputs_count > max_runs {
+                        return Err(BudgetExceeded {
+                            max_runs,
+                            needed: next.len() * inputs_count,
+                        });
+                    }
+                }
+            }
+            frontier = next;
+        }
+        frontier
+    };
+    let inputs: Vec<Inputs> = all_inputs(n, values);
+    let mut table = ViewTable::new(n);
+    let mut runs = Vec::with_capacity(inputs.len() * seqs.len());
+    for x in &inputs {
+        for seq in &seqs {
+            runs.push(PrefixRun::compute(x.clone(), seq, &mut table));
+        }
+    }
+    Ok(Expansion { runs, table, depth, values: values.to_vec() })
+}
+
+/// Convenience: binary inputs `{0, 1}`.
+///
+/// # Errors
+/// See [`expand`].
+pub fn expand_binary(
+    ma: &dyn MessageAdversary,
+    depth: usize,
+    max_runs: usize,
+) -> Result<Expansion, BudgetExceeded> {
+    expand(ma, &[0, 1], depth, max_runs)
+}
+
+impl Expansion {
+    /// Extend the expansion by one round in place: every run is replaced by
+    /// its admissible one-round extensions, reusing the interned views of
+    /// the shorter runs (the incremental path of the checker's depth
+    /// sweep — each view is interned exactly once across the whole sweep).
+    ///
+    /// # Errors
+    /// Returns [`BudgetExceeded`] if the extended space would exceed
+    /// `max_runs`; the expansion is left unchanged in that case.
+    pub fn extend(
+        &mut self,
+        ma: &dyn MessageAdversary,
+        max_runs: usize,
+    ) -> Result<(), BudgetExceeded> {
+        // Pre-count: extensions per distinct sequence × inputs.
+        let mut needed = 0usize;
+        let mut ext_cache: std::collections::HashMap<GraphSeq, Vec<dyngraph::Digraph>> =
+            std::collections::HashMap::new();
+        for run in &self.runs {
+            let exts = ext_cache
+                .entry(run.seq().clone())
+                .or_insert_with(|| ma.extensions(run.seq()));
+            needed += exts.len();
+            if needed > max_runs {
+                return Err(BudgetExceeded { max_runs, needed });
+            }
+        }
+        let mut new_runs = Vec::with_capacity(needed);
+        for run in &self.runs {
+            for g in &ext_cache[run.seq()] {
+                new_runs.push(run.extended(g.clone(), &mut self.table));
+            }
+        }
+        self.runs = new_runs;
+        self.depth += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneralMA;
+    use dyngraph::{generators, Digraph};
+
+    #[test]
+    fn oblivious_counts() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        for depth in 0..4 {
+            let seqs = admissible_sequences(&ma, depth);
+            assert_eq!(seqs.len(), 3usize.pow(depth as u32));
+        }
+        let e = expand_binary(&ma, 2, 10_000).unwrap();
+        assert_eq!(e.runs.len(), 4 * 9);
+        assert_eq!(e.sequence_count(), 9);
+        assert_eq!(e.depth, 2);
+    }
+
+    #[test]
+    fn expansion_runs_have_uniform_depth() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        let e = expand_binary(&ma, 3, 10_000).unwrap();
+        assert!(e.runs.iter().all(|r| r.rounds() == 3));
+    }
+
+    #[test]
+    fn valent_runs_found() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        let e = expand_binary(&ma, 2, 10_000).unwrap();
+        let z0 = e.valent_runs(0);
+        let z1 = e.valent_runs(1);
+        assert_eq!(z0.len(), 4); // 2^2 sequences with inputs (0,0)
+        assert_eq!(z1.len(), 4);
+        assert!(e.runs[z0[0]].is_valent(0));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let err = expand_binary(&ma, 8, 100).unwrap_err();
+        assert!(err.needed > 100);
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn liveness_prunes_sequences() {
+        // ↔ within 2 rounds: sequences of length 2 = those containing ↔.
+        let ma = GeneralMA::eventually_graph(
+            generators::lossy_link_full(),
+            Digraph::parse2("<->").unwrap(),
+            Some(2),
+        );
+        let seqs = admissible_sequences(&ma, 2);
+        // 9 total over the pool; admissible: ↔ in round 1 (3) + ↔ in round 2
+        // with round 1 ≠ ↔ (2) = 5.
+        assert_eq!(seqs.len(), 5);
+        for s in &seqs {
+            assert!(s.iter().any(|g| g.arrow2() == Some("<->")));
+        }
+    }
+
+    #[test]
+    fn deadline_zero_depth() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let seqs = admissible_sequences(&ma, 0);
+        assert_eq!(seqs.len(), 1);
+        assert!(seqs[0].is_empty());
+    }
+
+    #[test]
+    fn expansion_views_shared() {
+        // Runs with identical prefixes share interned views.
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        let e = expand_binary(&ma, 1, 1000).unwrap();
+        // Find two runs with the same inputs and the same 1-round sequence:
+        // they are the same run computed once each — views must coincide.
+        let a = &e.runs[0];
+        let same: Vec<&ptgraph::PrefixRun> = e
+            .runs
+            .iter()
+            .filter(|r| r.inputs() == a.inputs() && r.seq() == a.seq())
+            .collect();
+        for r in same {
+            assert_eq!(r.views_at(1), a.views_at(1));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Excluded-limit analysis for non-compact adversaries.
+//!
+//! A non-compact adversary is not limit-closed: there are convergent
+//! sequences of admissible graph sequences whose limit is **not** admissible
+//! (paper §6.2/§6.3, Fig. 5). Those excluded limits are where the paper's
+//! *fair and unfair sequences* (Definition 5.16) live: the forever-bivalent
+//! runs of bivalence proofs are exactly such limits.
+//!
+//! This module enumerates *candidate excluded limits* in the ultimately
+//! periodic fragment: lassos over the pool that violate the liveness, each
+//! paired with the witnessing family of admissible sequences converging to
+//! it.
+
+use dyngraph::{GraphSeq, Lasso};
+
+use crate::{GeneralMA, MessageAdversary};
+
+/// An excluded limit together with its convergence witness.
+#[derive(Debug, Clone)]
+pub struct ExcludedLimit {
+    /// The inadmissible limit sequence (over the pool, violating liveness).
+    pub limit: Lasso,
+    /// Admissible lassos `a_k` with `a_k → limit`: `a_k` agrees with the
+    /// limit for the first `k` rounds and then satisfies the liveness. The
+    /// common-prefix distance `d_max(a_k, limit) ≤ 2^{−k}` → 0.
+    pub witnesses: Vec<Lasso>,
+}
+
+/// Enumerate all pool-valid lassos with the given shape.
+pub fn pool_lassos(ma: &GeneralMA, prefix_len: usize, cycle_len: usize) -> Vec<Lasso> {
+    assert!(cycle_len >= 1);
+    let pool = ma.pool();
+    let mut out = Vec::new();
+    // Enumerate pool^(prefix_len + cycle_len) by counting.
+    let total_len = prefix_len + cycle_len;
+    let count = pool.len().pow(total_len as u32);
+    for mut idx in 0..count {
+        let mut graphs = Vec::with_capacity(total_len);
+        for _ in 0..total_len {
+            graphs.push(pool[idx % pool.len()].clone());
+            idx /= pool.len();
+        }
+        let prefix: GraphSeq = graphs[..prefix_len].iter().cloned().collect();
+        let cycle: GraphSeq = graphs[prefix_len..].iter().cloned().collect();
+        out.push(Lasso::new(prefix, cycle));
+    }
+    out
+}
+
+/// Find excluded limits among lassos of the given shape, each with a family
+/// of `witness_count` admissible sequences converging to it.
+///
+/// For each pool-valid but inadmissible lasso `r`, the witness `a_k` copies
+/// `r` for `k` rounds and then switches to a liveness-satisfying
+/// continuation (found by greedy search over extensions). If no admissible
+/// continuation exists, the candidate is dropped (it is not a limit of
+/// admissible sequences).
+pub fn excluded_limits(
+    ma: &GeneralMA,
+    prefix_len: usize,
+    cycle_len: usize,
+    witness_count: usize,
+) -> Vec<ExcludedLimit> {
+    let mut out = Vec::new();
+    if ma.is_compact() {
+        return out;
+    }
+    for lasso in pool_lassos(ma, prefix_len, cycle_len) {
+        if ma.admits_lasso(&lasso) != Some(false) {
+            continue;
+        }
+        let mut witnesses = Vec::with_capacity(witness_count);
+        for k in 1..=witness_count {
+            if let Some(w) = admissible_rejoin(ma, &lasso, k) {
+                witnesses.push(w);
+            }
+        }
+        if witnesses.len() == witness_count {
+            out.push(ExcludedLimit { limit: lasso, witnesses });
+        }
+    }
+    out
+}
+
+/// An admissible lasso agreeing with `limit` on the first `k` rounds, if one
+/// exists: take `limit`'s `k`-prefix, then append admissible extensions
+/// (greedy, preferring ones that satisfy the liveness) and close the loop
+/// with a liveness-satisfying cycle.
+pub fn admissible_rejoin(ma: &GeneralMA, limit: &Lasso, k: usize) -> Option<Lasso> {
+    let prefix = limit.unroll(k);
+    if !ma.admits_prefix(&prefix) {
+        return None;
+    }
+    // Greedily extend until the liveness is satisfied (bounded effort).
+    let mut seq = prefix;
+    for _ in 0..(4 * (ma.n() + k + 4)) {
+        if ma.liveness().satisfied(&seq) {
+            // Close with a self-loop on the last graph (pool-valid; liveness
+            // already satisfied, so any pool cycle is fine).
+            let g = if seq.is_empty() {
+                ma.pool()[0].clone()
+            } else {
+                seq.graph(seq.rounds()).clone()
+            };
+            let lasso = Lasso::new(seq, GraphSeq::from_graphs(vec![g]));
+            if ma.admits_lasso(&lasso) == Some(true) {
+                return Some(lasso);
+            } else {
+                return None;
+            }
+        }
+        // Choose the extension that makes the most liveness progress: try
+        // each and prefer one that satisfies the liveness immediately.
+        let exts = ma.extensions(&seq);
+        if exts.is_empty() {
+            return None;
+        }
+        let best = exts
+            .iter()
+            .find(|g| ma.liveness().satisfied(&seq.extended((*g).clone())))
+            .unwrap_or(&exts[0]);
+        seq.push(best.clone());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyngraph::{generators, Digraph};
+
+    #[test]
+    fn pool_lassos_count() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        assert_eq!(pool_lassos(&ma, 0, 1).len(), 2);
+        assert_eq!(pool_lassos(&ma, 1, 2).len(), 8);
+    }
+
+    #[test]
+    fn compact_has_no_excluded_limits() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        assert!(excluded_limits(&ma, 0, 1, 3).is_empty());
+    }
+
+    #[test]
+    fn eventually_swap_excludes_swap_free_lassos() {
+        let ma = GeneralMA::eventually_graph(
+            generators::lossy_link_full(),
+            Digraph::parse2("<->").unwrap(),
+            None,
+        );
+        let ex = excluded_limits(&ma, 0, 1, 3);
+        // Swap-free constant lassos: →^ω and ←^ω.
+        assert_eq!(ex.len(), 2);
+        for e in &ex {
+            assert_eq!(ma.admits_lasso(&e.limit), Some(false));
+            assert_eq!(e.witnesses.len(), 3);
+            for (i, w) in e.witnesses.iter().enumerate() {
+                assert_eq!(ma.admits_lasso(w), Some(true));
+                // Witness k agrees with the limit for k rounds.
+                let k = i + 1;
+                for t in 1..=k {
+                    assert_eq!(w.graph_at(t), e.limit.graph_at(t), "round {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stabilizing_excludes_alternating() {
+        let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 2, None);
+        let ex = excluded_limits(&ma, 0, 2, 2);
+        // The alternating lassos (→←)^ω and (←→)^ω are excluded; also
+        // (→↔)^ω-style mixtures whose root masks never repeat… count > 0 and
+        // every reported limit is indeed inadmissible with valid witnesses.
+        assert!(!ex.is_empty());
+        assert!(ex
+            .iter()
+            .any(|e| format!("{}", e.limit).contains("-> <-")));
+        for e in &ex {
+            assert_eq!(ma.admits_lasso(&e.limit), Some(false));
+            for w in &e.witnesses {
+                assert_eq!(ma.admits_lasso(w), Some(true));
+            }
+        }
+    }
+
+    #[test]
+    fn rejoin_prefix_agreement() {
+        let ma = GeneralMA::eventually_graph(
+            generators::lossy_link_full(),
+            Digraph::parse2("<->").unwrap(),
+            None,
+        );
+        let limit = Lasso::parse2("->").unwrap();
+        let w = admissible_rejoin(&ma, &limit, 5).unwrap();
+        for t in 1..=5 {
+            assert_eq!(w.graph_at(t).arrow2(), Some("->"));
+        }
+        assert_eq!(ma.admits_lasso(&w), Some(true));
+    }
+}

@@ -1,0 +1,367 @@
+//! User-defined message adversaries from prefix predicates.
+//!
+//! [`PredicateMA`] generalizes [`crate::GeneralMA`]: the admissible prefixes
+//! are those a user-supplied *status function* keeps alive over a fixed
+//! graph pool. This is the extension point for adversaries beyond the
+//! built-in liveness conditions — e.g. "no three consecutive rounds in the
+//! same direction", "round `t` must be rooted whenever `t` is even", or any
+//! other safety-style constraint.
+//!
+//! Status semantics are three-valued per prefix:
+//!
+//! * [`PrefixStatus::Dead`] — no admissible extension;
+//! * [`PrefixStatus::Alive`] — admissible, liveness obligations pending;
+//! * [`PrefixStatus::Satisfied`] — admissible, all obligations met (the
+//!   lasso closure of such a prefix is admissible).
+//!
+//! For lasso membership the predicate is probed on finite unrollings: the
+//! lasso is accepted iff some unrolling within `prefix + 2·cycle + slack`
+//! rounds is `Satisfied` — correct for predicates whose satisfaction is a
+//! prefix-closed event (like the built-in liveness conditions). Predicates
+//! with genuinely infinitary obligations should override via
+//! [`PredicateMA::with_lasso_oracle`].
+
+use std::sync::Arc;
+
+use dyngraph::{Digraph, GraphSeq, Lasso};
+
+use crate::MessageAdversary;
+
+/// Three-valued admissibility status of a prefix; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixStatus {
+    /// The prefix admits no admissible extension.
+    Dead,
+    /// The prefix is admissible; obligations pending.
+    Alive,
+    /// The prefix is admissible and all obligations are met.
+    Satisfied,
+}
+
+type StatusFn = dyn Fn(&GraphSeq) -> PrefixStatus + Send + Sync;
+type LassoFn = dyn Fn(&Lasso) -> Option<bool> + Send + Sync;
+
+/// A message adversary defined by a pool and a prefix status function.
+///
+/// ```
+/// use adversary::{predicate::{PredicateMA, PrefixStatus}, MessageAdversary};
+/// use dyngraph::{generators, GraphSeq};
+///
+/// // "Never two consecutive ← rounds" over the full lossy link.
+/// let ma = PredicateMA::new(
+///     generators::lossy_link_full(),
+///     "no-double-left",
+///     |prefix: &GraphSeq| {
+///         let double_left = (2..=prefix.rounds()).any(|t| {
+///             prefix.graph(t).arrow2() == Some("<-")
+///                 && prefix.graph(t - 1).arrow2() == Some("<-")
+///         });
+///         if double_left { PrefixStatus::Dead } else { PrefixStatus::Satisfied }
+///     },
+/// );
+/// assert!(ma.admits_prefix(&GraphSeq::parse2("<- -> <-").unwrap()));
+/// assert!(!ma.admits_prefix(&GraphSeq::parse2("-> <- <-").unwrap()));
+/// ```
+#[derive(Clone)]
+pub struct PredicateMA {
+    pool: Vec<Digraph>,
+    status: Arc<StatusFn>,
+    lasso_oracle: Option<Arc<LassoFn>>,
+    compact: bool,
+    label: String,
+}
+
+impl std::fmt::Debug for PredicateMA {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PredicateMA({}, |pool|={})", self.label, self.pool.len())
+    }
+}
+
+impl PredicateMA {
+    /// Build from a pool, a label, and a status function.
+    ///
+    /// The adversary is reported *compact* by default (safety-style
+    /// predicates are limit-closed); use [`PredicateMA::non_compact`] for
+    /// predicates with liveness obligations.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty or mixes `n`.
+    pub fn new<F>(pool: Vec<Digraph>, label: &str, status: F) -> Self
+    where
+        F: Fn(&GraphSeq) -> PrefixStatus + Send + Sync + 'static,
+    {
+        assert!(!pool.is_empty(), "pool must be nonempty");
+        let n = pool[0].n();
+        assert!(pool.iter().all(|g| g.n() == n), "pool graphs must agree on n");
+        let mut pool: Vec<Digraph> = pool.into_iter().map(|g| g.normalized()).collect();
+        pool.sort();
+        pool.dedup();
+        PredicateMA {
+            pool,
+            status: Arc::new(status),
+            lasso_oracle: None,
+            compact: true,
+            label: label.to_string(),
+        }
+    }
+
+    /// Mark the adversary as non-compact (limits that never reach
+    /// `Satisfied` are excluded).
+    pub fn non_compact(mut self) -> Self {
+        self.compact = false;
+        self
+    }
+
+    /// Install an exact lasso-membership oracle, overriding the default
+    /// finite-probe approximation.
+    pub fn with_lasso_oracle<F>(mut self, oracle: F) -> Self
+    where
+        F: Fn(&Lasso) -> Option<bool> + Send + Sync + 'static,
+    {
+        self.lasso_oracle = Some(Arc::new(oracle));
+        self
+    }
+
+    /// The graph pool.
+    pub fn pool(&self) -> &[Digraph] {
+        &self.pool
+    }
+
+    /// Evaluate the raw status of a prefix (pool validity included).
+    pub fn status(&self, prefix: &GraphSeq) -> PrefixStatus {
+        if !prefix.iter().all(|g| self.pool.contains(&g.normalized())) {
+            return PrefixStatus::Dead;
+        }
+        (self.status)(prefix)
+    }
+}
+
+impl MessageAdversary for PredicateMA {
+    fn n(&self) -> usize {
+        self.pool[0].n()
+    }
+
+    fn extensions(&self, prefix: &GraphSeq) -> Vec<Digraph> {
+        if self.status(prefix) == PrefixStatus::Dead {
+            return Vec::new();
+        }
+        self.pool
+            .iter()
+            .filter(|g| self.status(&prefix.extended((*g).clone())) != PrefixStatus::Dead)
+            .cloned()
+            .collect()
+    }
+
+    fn admits_prefix(&self, prefix: &GraphSeq) -> bool {
+        self.status(prefix) != PrefixStatus::Dead
+    }
+
+    fn admits_lasso(&self, lasso: &Lasso) -> Option<bool> {
+        if lasso.n() != self.n() {
+            return Some(false);
+        }
+        if let Some(oracle) = &self.lasso_oracle {
+            return oracle(lasso);
+        }
+        // Finite probe: prefix + two cycles + slack; for compact
+        // (safety-style) predicates Alive suffices, otherwise require
+        // Satisfied somewhere along the probe.
+        let horizon = lasso.prefix_len() + 2 * lasso.cycle_len() + 4;
+        let mut satisfied = false;
+        for t in 0..=horizon {
+            match self.status(&lasso.unroll(t)) {
+                PrefixStatus::Dead => return Some(false),
+                PrefixStatus::Satisfied => satisfied = true,
+                PrefixStatus::Alive => {}
+            }
+        }
+        if self.compact || satisfied {
+            Some(true)
+        } else {
+            // Liveness never observed within the probe; for ultimately
+            // periodic sequences and prefix-monotone predicates this is
+            // conclusive, but we cannot know the predicate is monotone.
+            None
+        }
+    }
+
+    fn is_compact(&self) -> bool {
+        self.compact
+    }
+
+    fn describe(&self) -> String {
+        format!("predicate({}, |pool|={})", self.label, self.pool.len())
+    }
+
+    fn pool_hint(&self) -> Option<Vec<Digraph>> {
+        Some(self.pool.clone())
+    }
+}
+
+/// The intersection of finitely many adversaries: a sequence is admissible
+/// iff admissible under **every** member.
+///
+/// Intersections model conjunctions of constraints; an intersection of
+/// compact adversaries is compact.
+pub struct IntersectMA {
+    members: Vec<Box<dyn MessageAdversary>>,
+}
+
+impl IntersectMA {
+    /// Build the intersection.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or disagrees on `n`.
+    pub fn new(members: Vec<Box<dyn MessageAdversary>>) -> Self {
+        assert!(!members.is_empty(), "intersection needs at least one member");
+        let n = members[0].n();
+        assert!(members.iter().all(|m| m.n() == n), "members must agree on n");
+        IntersectMA { members }
+    }
+}
+
+impl MessageAdversary for IntersectMA {
+    fn n(&self) -> usize {
+        self.members[0].n()
+    }
+
+    fn extensions(&self, prefix: &GraphSeq) -> Vec<Digraph> {
+        // Note: intersecting per-member extension sets is a sound
+        // overapproximation (a graph allowed by all members keeps the prefix
+        // alive in all members).
+        let mut out: Option<Vec<Digraph>> = None;
+        for m in &self.members {
+            let exts = m.extensions(prefix);
+            out = Some(match out {
+                None => exts,
+                Some(cur) => cur.into_iter().filter(|g| exts.contains(g)).collect(),
+            });
+        }
+        out.unwrap_or_default()
+    }
+
+    fn admits_prefix(&self, prefix: &GraphSeq) -> bool {
+        self.members.iter().all(|m| m.admits_prefix(prefix))
+    }
+
+    fn admits_lasso(&self, lasso: &Lasso) -> Option<bool> {
+        let mut unknown = false;
+        for m in &self.members {
+            match m.admits_lasso(lasso) {
+                Some(false) => return Some(false),
+                Some(true) => {}
+                None => unknown = true,
+            }
+        }
+        if unknown {
+            None
+        } else {
+            Some(true)
+        }
+    }
+
+    fn is_compact(&self) -> bool {
+        self.members.iter().all(|m| m.is_compact())
+    }
+
+    fn describe(&self) -> String {
+        let parts: Vec<String> = self.members.iter().map(|m| m.describe()).collect();
+        format!("intersect({})", parts.join(" ∩ "))
+    }
+
+    fn pool_hint(&self) -> Option<Vec<Digraph>> {
+        // The intersection's rounds draw from the (intersection of) pools;
+        // use the first member's pool as a safe superset.
+        self.members[0].pool_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneralMA;
+    use dyngraph::generators;
+
+    fn no_double_left() -> PredicateMA {
+        PredicateMA::new(generators::lossy_link_full(), "no-double-left", |prefix| {
+            let bad = (2..=prefix.rounds()).any(|t| {
+                prefix.graph(t).arrow2() == Some("<-")
+                    && prefix.graph(t - 1).arrow2() == Some("<-")
+            });
+            if bad {
+                PrefixStatus::Dead
+            } else {
+                PrefixStatus::Satisfied
+            }
+        })
+    }
+
+    #[test]
+    fn predicate_prunes_extensions() {
+        let ma = no_double_left();
+        let p = GraphSeq::parse2("-> <-").unwrap();
+        let exts = ma.extensions(&p);
+        assert_eq!(exts.len(), 2, "← must be pruned after ←: {exts:?}");
+        assert!(exts.iter().all(|g| g.arrow2() != Some("<-")));
+    }
+
+    #[test]
+    fn predicate_lasso_membership() {
+        let ma = no_double_left();
+        assert_eq!(ma.admits_lasso(&Lasso::parse2("-> <-").unwrap()), Some(true));
+        assert_eq!(ma.admits_lasso(&Lasso::parse2("<-").unwrap()), Some(false));
+        // ← at the cycle seam: -> <- | <- … has ←← across the seam.
+        assert_eq!(ma.admits_lasso(&Lasso::parse2("-> <- | <- ->").unwrap()), Some(false));
+    }
+
+    #[test]
+    fn predicate_with_oracle() {
+        let ma = no_double_left().with_lasso_oracle(|_| Some(false));
+        assert_eq!(ma.admits_lasso(&Lasso::parse2("->").unwrap()), Some(false));
+    }
+
+    #[test]
+    fn non_compact_flag() {
+        let ma = no_double_left().non_compact();
+        assert!(!ma.is_compact());
+        assert!(ma.describe().contains("no-double-left"));
+    }
+
+    #[test]
+    fn intersect_combines_constraints() {
+        // no-double-left ∩ "eventually ↔ within 3".
+        let a = Box::new(no_double_left());
+        let b = Box::new(GeneralMA::eventually_graph(
+            generators::lossy_link_full(),
+            dyngraph::Digraph::parse2("<->").unwrap(),
+            Some(3),
+        ));
+        let ma = IntersectMA::new(vec![a, b]);
+        assert!(ma.is_compact());
+        assert!(ma.admits_prefix(&GraphSeq::parse2("-> <- <->").unwrap()));
+        assert!(!ma.admits_prefix(&GraphSeq::parse2("<- <- <->").unwrap()));
+        assert!(!ma.admits_prefix(&GraphSeq::parse2("-> -> ->").unwrap()));
+        // Extensions honor both members.
+        let exts = ma.extensions(&GraphSeq::parse2("<- ->").unwrap());
+        assert!(!exts.is_empty());
+    }
+
+    #[test]
+    fn intersect_lasso() {
+        let a = Box::new(no_double_left());
+        let b = Box::new(GeneralMA::oblivious(generators::lossy_link_reduced()));
+        let ma = IntersectMA::new(vec![a, b]);
+        assert_eq!(ma.admits_lasso(&Lasso::parse2("-> <-").unwrap()), Some(true));
+        assert_eq!(ma.admits_lasso(&Lasso::parse2("<->").unwrap()), Some(false));
+    }
+
+    #[test]
+    fn predicate_ma_is_checkable() {
+        // The solvability machinery consumes PredicateMA through the trait.
+        let ma = no_double_left();
+        let seqs = crate::enumerate::admissible_sequences(&ma, 3);
+        // 3^3 = 27 minus those with ←←: count manually = sequences avoiding
+        // consecutive ←: per-step states… just sanity-check bounds.
+        assert!(seqs.len() < 27 && seqs.len() > 10);
+    }
+}

@@ -1,0 +1,117 @@
+//! Randomized sampling of admissible prefixes and lassos.
+
+use dyngraph::{GraphSeq, Lasso};
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use crate::MessageAdversary;
+
+/// A uniformly-branching random admissible prefix of length `depth`
+/// (each round chosen uniformly among the admissible extensions).
+///
+/// Returns `None` if the adversary dead-ends (no admissible extension) —
+/// impossible for well-formed adversaries whose prefixes always extend.
+pub fn random_prefix<R: Rng + ?Sized>(
+    ma: &dyn MessageAdversary,
+    rng: &mut R,
+    depth: usize,
+) -> Option<GraphSeq> {
+    let mut seq = GraphSeq::new();
+    for _ in 0..depth {
+        let ext = ma.extensions(&seq);
+        let g = ext.choose(rng)?;
+        seq.push(g.clone());
+    }
+    Some(seq)
+}
+
+/// A random admissible lasso with the given prefix and cycle lengths,
+/// obtained by rejection sampling over pool extensions.
+///
+/// Returns `None` after `attempts` failed rejections or if the adversary
+/// cannot decide lasso membership.
+pub fn random_lasso<R: Rng + ?Sized>(
+    ma: &dyn MessageAdversary,
+    rng: &mut R,
+    prefix_len: usize,
+    cycle_len: usize,
+    attempts: usize,
+) -> Option<Lasso> {
+    assert!(cycle_len >= 1, "cycle must be nonempty");
+    for _ in 0..attempts {
+        let whole = random_prefix(ma, rng, prefix_len + cycle_len)?;
+        let prefix = whole.prefix(prefix_len);
+        let cycle: GraphSeq = (prefix_len + 1..=prefix_len + cycle_len)
+            .map(|t| whole.graph(t).clone())
+            .collect();
+        let lasso = Lasso::new(prefix, cycle);
+        if ma.admits_lasso(&lasso) == Some(true) {
+            return Some(lasso);
+        }
+    }
+    None
+}
+
+/// Random input assignment over `values`.
+pub fn random_inputs<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    values: &[ptgraph::Value],
+) -> Vec<ptgraph::Value> {
+    (0..n).map(|_| *values.choose(rng).expect("nonempty domain")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeneralMA, MessageAdversary};
+    use dyngraph::{generators, Digraph};
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_prefix_is_admissible() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let p = random_prefix(&ma, &mut rng, 6).unwrap();
+            assert_eq!(p.rounds(), 6);
+            assert!(ma.admits_prefix(&p));
+        }
+    }
+
+    #[test]
+    fn random_prefix_respects_liveness_deadline() {
+        let ma = GeneralMA::eventually_graph(
+            generators::lossy_link_full(),
+            Digraph::parse2("<->").unwrap(),
+            Some(4),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let p = random_prefix(&ma, &mut rng, 6).unwrap();
+            assert!(p.iter().take(4).any(|g| g.arrow2() == Some("<->")));
+        }
+    }
+
+    #[test]
+    fn random_lasso_admissible() {
+        let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 2, None);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut found = 0;
+        for _ in 0..10 {
+            if let Some(l) = random_lasso(&ma, &mut rng, 2, 2, 50) {
+                assert_eq!(ma.admits_lasso(&l), Some(true));
+                found += 1;
+            }
+        }
+        assert!(found > 0, "should find admissible lassos");
+    }
+
+    #[test]
+    fn random_inputs_in_domain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let xs = random_inputs(&mut rng, 5, &[3, 9]);
+        assert_eq!(xs.len(), 5);
+        assert!(xs.iter().all(|v| [3, 9].contains(v)));
+    }
+}

@@ -1,0 +1,163 @@
+//! Finite unions of message adversaries.
+
+use dyngraph::{Digraph, GraphSeq, Lasso};
+
+use crate::MessageAdversary;
+
+/// The union of finitely many adversaries: a sequence is admissible iff it
+/// is admissible under **some** member.
+///
+/// Unions model adversaries like "eventually forever `→` **or** eventually
+/// forever `←`" from two stabilizing members. A union of compact adversaries
+/// is compact (a finite union of closed sets is closed); a union with a
+/// non-compact member is conservatively reported non-compact.
+///
+/// ```
+/// use adversary::{GeneralMA, UnionMA, MessageAdversary};
+/// use dyngraph::{Digraph, GraphSeq};
+/// let right = GeneralMA::oblivious(vec![Digraph::parse2("->").unwrap()]);
+/// let left = GeneralMA::oblivious(vec![Digraph::parse2("<-").unwrap()]);
+/// let ma = UnionMA::new(vec![Box::new(right), Box::new(left)]);
+/// // → → is admissible (first member), ← ← too, but not → ←.
+/// assert!(ma.admits_prefix(&GraphSeq::parse2("-> ->").unwrap()));
+/// assert!(ma.admits_prefix(&GraphSeq::parse2("<- <-").unwrap()));
+/// assert!(!ma.admits_prefix(&GraphSeq::parse2("-> <-").unwrap()));
+/// ```
+pub struct UnionMA {
+    members: Vec<Box<dyn MessageAdversary>>,
+}
+
+impl UnionMA {
+    /// Build the union.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or its members disagree on `n`.
+    pub fn new(members: Vec<Box<dyn MessageAdversary>>) -> Self {
+        assert!(!members.is_empty(), "union needs at least one member");
+        let n = members[0].n();
+        assert!(members.iter().all(|m| m.n() == n), "members must agree on n");
+        UnionMA { members }
+    }
+
+    /// The member adversaries.
+    pub fn members(&self) -> &[Box<dyn MessageAdversary>] {
+        &self.members
+    }
+}
+
+impl MessageAdversary for UnionMA {
+    fn n(&self) -> usize {
+        self.members[0].n()
+    }
+
+    fn extensions(&self, prefix: &GraphSeq) -> Vec<Digraph> {
+        let mut out: Vec<Digraph> = self
+            .members
+            .iter()
+            .flat_map(|m| m.extensions(prefix))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn admits_prefix(&self, prefix: &GraphSeq) -> bool {
+        self.members.iter().any(|m| m.admits_prefix(prefix))
+    }
+
+    fn admits_lasso(&self, lasso: &Lasso) -> Option<bool> {
+        let mut unknown = false;
+        for m in &self.members {
+            match m.admits_lasso(lasso) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => unknown = true,
+            }
+        }
+        if unknown {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    fn is_compact(&self) -> bool {
+        self.members.iter().all(|m| m.is_compact())
+    }
+
+    fn describe(&self) -> String {
+        let parts: Vec<String> = self.members.iter().map(|m| m.describe()).collect();
+        format!("union({})", parts.join(" ∪ "))
+    }
+
+    fn pool_hint(&self) -> Option<Vec<Digraph>> {
+        let mut pool = Vec::new();
+        for m in &self.members {
+            pool.extend(m.pool_hint()?);
+        }
+        pool.sort();
+        pool.dedup();
+        Some(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneralMA;
+    use dyngraph::Digraph;
+
+    fn eventually_forever_directional() -> UnionMA {
+        // "eventually forever →" ∪ "eventually forever ←", approximated by
+        // stabilizing members with window achieved over singleton pools is
+        // not expressible; instead use two oblivious members with singleton
+        // pools prefixed by the shared pool — here simply two constant-pool
+        // members, the canonical prefix-disjoint union.
+        let right = GeneralMA::oblivious(vec![Digraph::parse2("->").unwrap()]);
+        let left = GeneralMA::oblivious(vec![Digraph::parse2("<-").unwrap()]);
+        UnionMA::new(vec![Box::new(right), Box::new(left)])
+    }
+
+    #[test]
+    fn union_extensions_merge() {
+        let ma = eventually_forever_directional();
+        let e = ma.extensions(&GraphSeq::new());
+        assert_eq!(e.len(), 2);
+        // After → only → continues.
+        let e = ma.extensions(&GraphSeq::parse2("->").unwrap());
+        assert_eq!(e, vec![Digraph::parse2("->").unwrap()]);
+    }
+
+    #[test]
+    fn union_lasso() {
+        let ma = eventually_forever_directional();
+        assert_eq!(ma.admits_lasso(&Lasso::parse2("->").unwrap()), Some(true));
+        assert_eq!(ma.admits_lasso(&Lasso::parse2("-> | <-").unwrap()), Some(false));
+    }
+
+    #[test]
+    fn union_compactness() {
+        assert!(eventually_forever_directional().is_compact());
+        let nc = GeneralMA::eventually_graph(
+            dyngraph::generators::lossy_link_full(),
+            Digraph::parse2("<->").unwrap(),
+            None,
+        );
+        let u = UnionMA::new(vec![
+            Box::new(nc),
+            Box::new(GeneralMA::oblivious(vec![Digraph::parse2("->").unwrap()])),
+        ]);
+        assert!(!u.is_compact());
+    }
+
+    #[test]
+    fn union_describe() {
+        assert!(eventually_forever_directional().describe().contains("∪"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_union_rejected() {
+        let _ = UnionMA::new(vec![]);
+    }
+}

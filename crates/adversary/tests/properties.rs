@@ -1,0 +1,129 @@
+//! Property-based tests for the adversary machinery.
+
+use adversary::{enumerate, GeneralMA, Liveness, MessageAdversary};
+use dyngraph::{Digraph, GraphSeq, Lasso};
+use proptest::prelude::*;
+
+fn arb_pool(n: usize, max_graphs: usize) -> impl Strategy<Value = Vec<Digraph>> {
+    let max_code: u64 = 1 << (n * n);
+    proptest::collection::btree_set(0..max_code, 1..=max_graphs).prop_map(move |codes| {
+        codes.into_iter().map(|c| Digraph::from_code(n, c).normalized()).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Oblivious adversaries: the sequence tree is the full |pool|^t product.
+    #[test]
+    fn oblivious_tree_is_product(pool in arb_pool(2, 3), depth in 0usize..4) {
+        let distinct = {
+            let mut p = pool.clone();
+            p.sort();
+            p.dedup();
+            p.len()
+        };
+        let ma = GeneralMA::oblivious(pool);
+        let seqs = enumerate::admissible_sequences(&ma, depth);
+        prop_assert_eq!(seqs.len(), distinct.pow(depth as u32));
+    }
+
+    /// Extension contract: `extensions` returns exactly the pool graphs `g`
+    /// with `admits_prefix(prefix · g)`.
+    #[test]
+    fn extensions_match_admissibility(
+        pool in arb_pool(2, 4),
+        word in proptest::collection::vec(0usize..4, 0..4),
+        deadline in 1usize..4,
+    ) {
+        let target = pool[0].clone();
+        let ma = GeneralMA::eventually_graph(pool.clone(), target, Some(deadline));
+        // Build a prefix from pool indices (may be inadmissible).
+        let prefix: GraphSeq =
+            word.iter().map(|&i| pool[i % pool.len()].clone()).collect();
+        let exts = ma.extensions(&prefix);
+        for g in &pool {
+            let admitted = ma.admits_prefix(&prefix.extended(g.clone()));
+            prop_assert_eq!(
+                exts.contains(&g.normalized()),
+                admitted,
+                "graph {} after {}", g, prefix
+            );
+        }
+    }
+
+    /// Deadline monotonicity: admissibility under deadline R implies
+    /// admissibility under R + 1 (the compact approximations grow).
+    #[test]
+    fn deadline_monotone(
+        pool in arb_pool(2, 3),
+        word in proptest::collection::vec(0usize..3, 0..5),
+        r in 1usize..4,
+    ) {
+        let target = pool[0].clone();
+        let ma_r = GeneralMA::eventually_graph(pool.clone(), target.clone(), Some(r));
+        let ma_r1 = GeneralMA::eventually_graph(pool.clone(), target, Some(r + 1));
+        let prefix: GraphSeq =
+            word.iter().map(|&i| pool[i % pool.len()].clone()).collect();
+        if ma_r.admits_prefix(&prefix) {
+            prop_assert!(ma_r1.admits_prefix(&prefix));
+        }
+    }
+
+    /// Lasso admissibility for the non-compact variant is implied by any
+    /// deadline variant (union of approximations).
+    #[test]
+    fn lasso_deadline_implies_eventual(
+        pool in arb_pool(2, 3),
+        pre in proptest::collection::vec(0usize..3, 0..3),
+        cyc in proptest::collection::vec(0usize..3, 1..3),
+        r in 1usize..5,
+    ) {
+        let target = pool[0].clone();
+        let with_deadline =
+            GeneralMA::eventually_graph(pool.clone(), target.clone(), Some(r));
+        let eventual = GeneralMA::eventually_graph(pool.clone(), target, None);
+        let pick = |idx: &Vec<usize>| -> GraphSeq {
+            idx.iter().map(|&i| pool[i % pool.len()].clone()).collect()
+        };
+        let lasso = Lasso::new(pick(&pre), pick(&cyc));
+        if with_deadline.admits_lasso(&lasso) == Some(true) {
+            prop_assert_eq!(eventual.admits_lasso(&lasso), Some(true));
+        }
+    }
+
+    /// Stable windows: whenever the liveness says satisfied, a literal scan
+    /// finds a window of identical rooted-source masks.
+    #[test]
+    fn stable_window_scan_agrees(
+        word in proptest::collection::vec(0u64..16, 0..6),
+        window in 1usize..3,
+    ) {
+        let seq: GraphSeq =
+            word.iter().map(|&c| Digraph::from_code(2, c).normalized()).collect();
+        let satisfied =
+            Liveness::StableWindow { window }.satisfied(&seq);
+        // Literal re-scan.
+        let masks: Vec<Option<dyngraph::PidMask>> =
+            seq.iter().map(dyngraph::scc::rooted_source).collect();
+        let mut found = false;
+        if masks.len() >= window {
+            for s in 0..=(masks.len() - window) {
+                if masks[s].is_some() && masks[s..s + window].iter().all(|m| *m == masks[s]) {
+                    found = true;
+                }
+            }
+        }
+        prop_assert_eq!(satisfied, found);
+    }
+
+    /// Enumerated prefix spaces have runs only over admissible sequences.
+    #[test]
+    fn expansion_runs_admissible(pool in arb_pool(2, 3), depth in 0usize..3) {
+        let ma = GeneralMA::oblivious(pool);
+        let e = enumerate::expand_binary(&ma, depth, 100_000).unwrap();
+        for run in &e.runs {
+            prop_assert!(ma.admits_prefix(run.seq()));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! F4 / T4 — Figure 4 and Theorem 6.6: compact adversaries' component
+//! structure across ε-resolutions.
+//!
+//! Regenerates the Fig. 4 datum — for a solvable compact adversary the
+//! decision classes are separated with positive distance; prints the first
+//! separating ε (Theorem 6.6) — and measures the prefix-space expansion +
+//! component computation as depth grows.
+
+use benches::{full_lossy_link, reduced_lossy_link, stars3};
+use consensus_core::{analysis, space::PrefixSpace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    // Regenerate the figure's qualitative content once.
+    println!("\n[F4] reduced lossy link {{←, →}} (solvable):");
+    for rep in analysis::depth_sweep(&reduced_lossy_link(), &[0, 1], 4, 2_000_000) {
+        println!(
+            "[F4]   depth {}: {} components, separated: {}, class distance: {}",
+            rep.depth,
+            rep.components.len(),
+            rep.separated,
+            rep.min_class_distance.map(|d| d.as_f64()).unwrap_or(f64::NAN)
+        );
+    }
+    println!("[F4] full lossy link {{←, ↔, →}} (unsolvable — classes never split):");
+    for rep in analysis::depth_sweep(&full_lossy_link(), &[0, 1], 4, 2_000_000) {
+        println!(
+            "[F4]   depth {}: {} components, {} mixed",
+            rep.depth,
+            rep.components.len(),
+            rep.mixed_count()
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("fig4/expand_and_components");
+    group.sample_size(10);
+    for depth in [2usize, 4, 6] {
+        for (name, ma) in
+            [("reduced", reduced_lossy_link()), ("full", full_lossy_link())]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(name, depth),
+                &(ma, depth),
+                |b, (ma, depth)| {
+                    b.iter(|| {
+                        let space =
+                            PrefixSpace::build(ma, &[0, 1], *depth, 10_000_000).unwrap();
+                        black_box(space.components().count())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig4/broadcast_report");
+    group.sample_size(10);
+    for depth in [2usize, 4] {
+        let space = PrefixSpace::build(&stars3(), &[0, 1], depth, 10_000_000).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("stars3", depth),
+            &space,
+            |b, space| b.iter(|| black_box(consensus_core::broadcast::broadcast_report(space))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! F5 / T5 — Figure 5 and Theorem 6.7: non-compact adversaries — touching
+//! decision classes and excluded limits.
+//!
+//! Regenerates the Fig. 5 datum (the non-compact ◇stable(2) classes touch
+//! at every resolution; its excluded limit sequences carry convergent
+//! witness families) and measures excluded-limit enumeration and the
+//! compact-approximation checker sweep that realizes the [23] window
+//! threshold (stable(1) mixed vs stable(2) solvable).
+
+use adversary::{limit, GeneralMA};
+use consensus_core::solvability::SolvabilityChecker;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyngraph::generators;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let nc = GeneralMA::stabilizing(generators::lossy_link_full(), 2, None);
+    let excluded = limit::excluded_limits(&nc, 0, 2, 3);
+    println!("\n[F5] ◇stable(2): {} excluded cycle-2 limits, e.g.:", excluded.len());
+    for ex in excluded.iter().take(3) {
+        println!("[F5]   {}  (witnesses: {})", ex.limit, ex.witnesses.len());
+    }
+    for k in [1usize, 2] {
+        let ma = GeneralMA::stabilizing(generators::lossy_link_full(), k, Some(3));
+        let verdict = SolvabilityChecker::new(ma).max_depth(5).max_runs(4_000_000).check();
+        println!(
+            "[F5] stable({k}) by round 3: {}",
+            if verdict.is_solvable() { "SOLVABLE" } else { "mixed/undecided" }
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("fig5/excluded_limits");
+    for cycle in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(cycle), &cycle, |b, &cycle| {
+            b.iter(|| black_box(limit::excluded_limits(&nc, 0, cycle, 3).len()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig5/deadline_checker_sweep");
+    group.sample_size(10);
+    for r in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 2, Some(r));
+                let verdict = SolvabilityChecker::new(ma)
+                    .max_depth(r + 2)
+                    .max_runs(4_000_000)
+                    .check();
+                black_box(verdict.is_solvable())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

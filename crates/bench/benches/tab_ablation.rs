@@ -1,0 +1,84 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! 1. union-find component computation vs the paper-literal ε-ball BFS of
+//!    Definition 6.2;
+//! 2. early-decision tables vs full-depth-only decisions (decision latency
+//!    in rounds is printed; wall-clock cost of synthesis measured);
+//! 3. the checker's exact-chain pre-phase vs plain depth sweeping.
+
+use adversary::GeneralMA;
+use benches::{full_lossy_link, reduced_lossy_link};
+use consensus_core::{ablation, solvability::SolvabilityChecker, space::PrefixSpace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyngraph::{Digraph, GraphSeq};
+use simulator::engine;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    // Ablation 2 datum: decision rounds, early vs full-depth.
+    let ma = reduced_lossy_link();
+    let space = PrefixSpace::build(&ma, &[0, 1], 3, 4_000_000).unwrap();
+    let early = consensus_core::UniversalAlgorithm::synthesize(&space).unwrap();
+    let late = ablation::FullDepthAlgorithm::synthesize(&space).unwrap();
+    let seq = GraphSeq::parse2("-> <- ->").unwrap();
+    let re = engine::run(&early, &[1, 1], &seq).decision_of(0).unwrap().0;
+    let rl = engine::run(&late, &[1, 1], &seq).decision_of(0).unwrap().0;
+    println!("\n[ablation] decision round on (1,1) under '-> <- ->': early-table {re}, full-depth {rl}\n");
+
+    // Ablation 1: components.
+    let mut group = c.benchmark_group("ablation/components");
+    group.sample_size(10);
+    for depth in [2usize, 4] {
+        let space_full =
+            PrefixSpace::build(&full_lossy_link(), &[0, 1], depth, 10_000_000).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("ball_bfs", depth),
+            &space_full,
+            |b, space| b.iter(|| black_box(ablation::components_by_ball_bfs(space))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("union_find", depth),
+            &full_lossy_link(),
+            |b, ma| {
+                b.iter(|| {
+                    let s = PrefixSpace::build(ma, &[0, 1], depth, 10_000_000).unwrap();
+                    black_box(s.components().count())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Ablation 2: synthesis cost.
+    let mut group = c.benchmark_group("ablation/synthesis");
+    group.sample_size(10);
+    group.bench_function("early_tables", |b| {
+        b.iter(|| black_box(consensus_core::UniversalAlgorithm::synthesize(&space).unwrap().table_size()))
+    });
+    group.bench_function("full_depth_tables", |b| {
+        b.iter(|| black_box(ablation::FullDepthAlgorithm::synthesize(&space).is_some()))
+    });
+    group.finish();
+
+    // Ablation 3: exact-chain phase on the empty-pool adversary (where it
+    // pays off) vs the plain sweep that can never conclude.
+    let mut group = c.benchmark_group("ablation/checker_phases");
+    group.sample_size(10);
+    let empty_pool = GeneralMA::oblivious(vec![Digraph::empty(2)]);
+    group.bench_function("with_exact_phase", |b| {
+        b.iter(|| {
+            black_box(
+                SolvabilityChecker::new(empty_pool.clone()).max_depth(3).check().is_unsolvable(),
+            )
+        })
+    });
+    group.bench_function("sweep_only", |b| {
+        b.iter(|| {
+            black_box(ablation::check_without_exact_phase(&empty_pool, &[0, 1], 3, 1_000_000))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

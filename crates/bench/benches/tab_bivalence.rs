@@ -1,0 +1,61 @@
+//! T9 — bivalence constructions and the fair-sequence machinery.
+//!
+//! Regenerates the §6.1 datum (an obstruction run for a would-be algorithm
+//! under the lossy link; no obstruction for the universal algorithm on the
+//! solvable pool) and measures the obstruction-run construction, the
+//! per-depth ε-chain extraction, and the exact distance-0 chain search.
+
+use adversary::GeneralMA;
+use consensus_core::{bivalence, fair, space::PrefixSpace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyngraph::{generators, Digraph};
+use simulator::algorithms::FloodMin;
+use std::hint::black_box;
+
+fn bench_bivalence(c: &mut Criterion) {
+    let full = GeneralMA::oblivious(generators::lossy_link_full());
+    let run = bivalence::bivalent_run(&FloodMin::new(4), &full, &[0, 1], 3, 2)
+        .expect("obstruction exists");
+    println!(
+        "\n[T9] obstruction run for FloodMin(4) under {{←, ↔, →}}: inputs {:?}, rounds {}\n",
+        run.inputs,
+        run.seq().rounds()
+    );
+
+    let mut group = c.benchmark_group("tab_bivalence/obstruction_run");
+    group.sample_size(10);
+    for rounds in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                black_box(
+                    bivalence::bivalent_run(&FloodMin::new(4), &full, &[0, 1], rounds, 2)
+                        .is_some(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("tab_bivalence/epsilon_chain");
+    group.sample_size(10);
+    for depth in [2usize, 3, 4] {
+        let space = PrefixSpace::build(&full, &[0, 1], depth, 4_000_000).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &space, |b, space| {
+            b.iter(|| black_box(fair::valence_chain(space, 0, 1).unwrap().links.len()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("tab_bivalence/exact_chain_search");
+    group.bench_function("empty_pool_found", |b| {
+        let ma = GeneralMA::oblivious(vec![Digraph::empty(2)]);
+        b.iter(|| black_box(fair::exact_zero_chain(&ma, 0, 1, 2).is_some()))
+    });
+    group.bench_function("rooted_pool_absent", |b| {
+        b.iter(|| black_box(fair::exact_zero_chain(&full, 0, 1, 3).is_none()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bivalence);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! T1 / T8 — the solvability table: the checker's verdicts across all
+//! `n = 2` oblivious pools and structured `n = 3` families.
+//!
+//! Regenerates the ground-truth table (matching [8, 21]) and measures the
+//! full checker (exact-chain phase + depth sweep + synthesis +
+//! verification) per family.
+
+use adversary::GeneralMA;
+use consensus_core::{baselines, solvability::SolvabilityChecker};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyngraph::{generators, Digraph};
+use std::hint::black_box;
+
+fn verdict_tag(v: &consensus_core::solvability::Verdict) -> &'static str {
+    use consensus_core::solvability::Verdict::*;
+    match v {
+        Solvable(_) => "SOLVABLE",
+        Unsolvable(_) => "UNSOLVABLE (exact)",
+        Undecided(_) => "mixed (limit-only impossibility)",
+    }
+}
+
+fn bench_solvability(c: &mut Criterion) {
+    // Regenerate the n = 2 table once.
+    println!("\n[T8] all 15 oblivious pools on n = 2 (checker vs kernel criterion [8]):");
+    let all: Vec<Digraph> = generators::all_graphs(2).collect();
+    for bits in 1u32..16 {
+        let pool: Vec<Digraph> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, g)| g.clone())
+            .collect();
+        let names: Vec<String> = pool.iter().map(|g| g.to_string()).collect();
+        let kernel = baselines::kernel_beta_solvable_n2(&pool);
+        let verdict = SolvabilityChecker::new(GeneralMA::oblivious(pool))
+            .max_depth(4)
+            .check();
+        println!(
+            "[T8]   {{{}}}: checker = {}, kernel criterion = {}",
+            names.join(", "),
+            verdict_tag(&verdict),
+            if kernel { "solvable" } else { "unsolvable" }
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("tab_solvability/checker");
+    group.sample_size(10);
+    let families: Vec<(&str, GeneralMA)> = vec![
+        ("reduced_lossy_link", GeneralMA::oblivious(generators::lossy_link_reduced())),
+        ("full_lossy_link", GeneralMA::oblivious(generators::lossy_link_full())),
+        ("empty_pool", GeneralMA::oblivious(vec![Digraph::empty(2)])),
+        ("stars3", GeneralMA::oblivious(generators::all_out_stars(3))),
+        (
+            "eventually_swap_by2",
+            GeneralMA::eventually_graph(
+                generators::lossy_link_full(),
+                Digraph::parse2("<->").unwrap(),
+                Some(2),
+            ),
+        ),
+    ];
+    for (name, ma) in &families {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), ma, |b, ma| {
+            b.iter(|| {
+                let verdict = SolvabilityChecker::new(ma.clone())
+                    .max_depth(4)
+                    .max_runs(4_000_000)
+                    .check();
+                black_box(verdict.is_solvable())
+            })
+        });
+    }
+    group.finish();
+
+    // The kernel criterion alone (the [8] baseline) for comparison.
+    let mut group = c.benchmark_group("tab_solvability/kernel_baseline");
+    group.bench_function("all_15_pools", |b| {
+        b.iter(|| {
+            let mut count = 0;
+            for bits in 1u32..16 {
+                let pool: Vec<Digraph> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| bits & (1 << i) != 0)
+                    .map(|(_, g)| g.clone())
+                    .collect();
+                if baselines::kernel_beta_solvable_n2(&pool) {
+                    count += 1;
+                }
+            }
+            black_box(count)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvability);
+criterion_main!(benches);

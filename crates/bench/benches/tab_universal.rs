@@ -1,0 +1,62 @@
+//! T2 — the universal algorithm versus hand-written baselines.
+//!
+//! Regenerates the §6.1 datum — the synthesized universal algorithm for
+//! `{←, →}` decides in one round, like the literature's direction rule —
+//! and measures synthesis cost and per-run decision latency against the
+//! `DirectionRule` and `FloodMin` baselines.
+
+use adversary::GeneralMA;
+use consensus_core::{space::PrefixSpace, universal::UniversalAlgorithm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyngraph::{generators, GraphSeq};
+use simulator::{algorithms, engine};
+use std::hint::black_box;
+
+fn bench_universal(c: &mut Criterion) {
+    let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+    let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+    let universal = UniversalAlgorithm::synthesize(&space).unwrap();
+    let seq = GraphSeq::parse2("-> <- -> <- -> <-").unwrap();
+
+    let exec = engine::run(&universal, &[0, 1], &seq);
+    println!(
+        "\n[T2] universal algorithm on {{←, →}}: decides in round {} (direction rule: round 1)\n",
+        exec.decision_of(0).unwrap().0.max(exec.decision_of(1).unwrap().0)
+    );
+
+    let mut group = c.benchmark_group("tab_universal/synthesis");
+    group.sample_size(10);
+    for depth in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let space = PrefixSpace::build(&ma, &[0, 1], depth, 4_000_000).unwrap();
+                black_box(UniversalAlgorithm::synthesize(&space).unwrap().table_size())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("tab_universal/decision_latency");
+    group.bench_function("universal", |b| {
+        b.iter(|| black_box(engine::run(&universal, &[0, 1], &seq).consensus_value()))
+    });
+    group.bench_function("direction_rule", |b| {
+        b.iter(|| {
+            black_box(
+                engine::run(&algorithms::DirectionRule, &[0, 1], &seq).consensus_value(),
+            )
+        })
+    });
+    group.bench_function("floodmin", |b| {
+        b.iter(|| {
+            black_box(
+                engine::run(&algorithms::FloodMin::new(2), &[0, 1], &seq)
+                    .consensus_value(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_universal);
+criterion_main!(benches);

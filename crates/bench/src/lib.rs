@@ -1,0 +1,24 @@
+//! Shared benchmark helpers.
+//!
+//! Each bench target regenerates one paper figure/table (DESIGN.md §5):
+//! the harness prints the qualitative datum the paper reports (who
+//! separates, who stays mixed, at which depth) and measures how expensive
+//! the regeneration is.
+
+use adversary::GeneralMA;
+use dyngraph::generators;
+
+/// The Santoro–Widmayer lossy link (unsolvable, Fig. 4/5 contrast).
+pub fn full_lossy_link() -> GeneralMA {
+    GeneralMA::oblivious(generators::lossy_link_full())
+}
+
+/// The reduced lossy link (solvable at depth 1).
+pub fn reduced_lossy_link() -> GeneralMA {
+    GeneralMA::oblivious(generators::lossy_link_reduced())
+}
+
+/// The n = 3 out-star adversary (solvable).
+pub fn stars3() -> GeneralMA {
+    GeneralMA::oblivious(generators::all_out_stars(3))
+}

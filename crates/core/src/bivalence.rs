@@ -1,0 +1,257 @@
+//! Bivalence analysis (paper §6.1).
+//!
+//! The paper explains the classic bivalence technique [10, 21] topologically:
+//! the forever bivalent run constructed in impossibility proofs is the
+//! common limit of two sequences of executions from different decision sets
+//! (Definition 5.16). This module reconstructs the combinatorial side: for a
+//! *given* algorithm and adversary, it computes the valence of prefixes (the
+//! set of consensus outcomes reachable by admissible extensions within a
+//! horizon) and builds bivalent runs round by round.
+//!
+//! For an adversary where consensus is unsolvable, **every** algorithm that
+//! always decides has either a disagreeing execution outright or a bivalent
+//! prefix extensible forever; for a solvable adversary, the synthesized
+//! universal algorithm's prefixes all become univalent by the decision
+//! depth.
+
+use std::collections::BTreeSet;
+
+use adversary::MessageAdversary;
+use dyngraph::GraphSeq;
+use ptgraph::{all_inputs, Inputs, Value};
+use simulator::{engine, Algorithm};
+
+/// The set of consensus outcomes reachable from a prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Valence {
+    /// Decision values of complete (all-decided, agreeing) extensions.
+    pub outcomes: BTreeSet<Value>,
+    /// Whether some extension ended with disagreement or no decision — the
+    /// algorithm is then not a consensus algorithm for this adversary (or
+    /// the horizon was too short to decide).
+    pub improper_extension: bool,
+}
+
+impl Valence {
+    /// Bivalent: at least two reachable outcomes.
+    pub fn is_bivalent(&self) -> bool {
+        self.outcomes.len() >= 2
+    }
+
+    /// Obstructed: bivalent **or** some extension is improper (disagreeing
+    /// or undecided). A correct, terminating consensus algorithm has no
+    /// obstructed prefix beyond its decision depth; the bivalence proofs of
+    /// §6.1 show that under an unsolvable adversary *every* algorithm keeps
+    /// an obstructed prefix forever — either it delays decisions (classic
+    /// forever-bivalence) or it decides and some extension disagrees.
+    pub fn is_obstructed(&self) -> bool {
+        self.is_bivalent() || self.improper_extension
+    }
+
+    /// Univalent with the given value.
+    pub fn is_univalent(&self) -> Option<Value> {
+        if self.outcomes.len() == 1 && !self.improper_extension {
+            self.outcomes.iter().next().copied()
+        } else {
+            None
+        }
+    }
+}
+
+/// Compute the valence of `(inputs, prefix)` for `alg` under `ma`, exploring
+/// all admissible extensions up to `horizon` total rounds.
+pub fn valence<A: Algorithm>(
+    alg: &A,
+    ma: &dyn MessageAdversary,
+    inputs: &Inputs,
+    prefix: &GraphSeq,
+    horizon: usize,
+) -> Valence {
+    let mut outcomes = BTreeSet::new();
+    let mut improper = false;
+    let mut stack = vec![prefix.clone()];
+    while let Some(seq) = stack.pop() {
+        // Early cut: if the execution has already decided (all processes),
+        // extensions cannot change the outcome (irrevocability).
+        let exec = engine::run(alg, inputs, &seq);
+        if exec.all_decided() || seq.rounds() >= horizon {
+            match exec.consensus_value() {
+                Some(v) => {
+                    outcomes.insert(v);
+                }
+                None => improper = true,
+            }
+            continue;
+        }
+        for g in ma.extensions(&seq) {
+            stack.push(seq.extended(g));
+        }
+    }
+    Valence { outcomes, improper_extension: improper }
+}
+
+/// A step of an obstructed-run construction.
+#[derive(Debug, Clone)]
+pub struct BivalentStep {
+    /// The graph appended in this round.
+    pub graph: dyngraph::Digraph,
+    /// The reachable outcomes after the step.
+    pub outcomes: BTreeSet<Value>,
+}
+
+/// A (finite prefix of a) forever bivalent run: an initial input assignment
+/// and a round-by-round extension along which the prefix stays bivalent.
+#[derive(Debug, Clone)]
+pub struct BivalentRun {
+    /// The bivalent initial input assignment.
+    pub inputs: Inputs,
+    /// The bivalence-preserving rounds.
+    pub steps: Vec<BivalentStep>,
+}
+
+impl BivalentRun {
+    /// The constructed graph-sequence prefix.
+    pub fn seq(&self) -> GraphSeq {
+        self.steps.iter().map(|s| s.graph.clone()).collect()
+    }
+}
+
+/// Construct an obstructed run of length `rounds` for `alg` under `ma`, if
+/// one exists: find an obstructed initial assignment over `values` and
+/// extend it round by round, keeping the obstruction (checked with
+/// `lookahead` rounds beyond the current prefix, in the style of the
+/// Santoro–Widmayer induction). An obstruction is bivalence or an improper
+/// (disagreeing/undecided) extension; see [`Valence::is_obstructed`].
+///
+/// Returns `None` if no obstructed initial assignment exists or the
+/// obstruction cannot be maintained — which is exactly what happens for a
+/// correct algorithm on a solvable adversary once the lookahead covers its
+/// decision depth.
+pub fn bivalent_run<A: Algorithm>(
+    alg: &A,
+    ma: &dyn MessageAdversary,
+    values: &[Value],
+    rounds: usize,
+    lookahead: usize,
+) -> Option<BivalentRun> {
+    // Find an initial configuration whose obstruction survives the whole
+    // construction horizon (a short check would pick assignments that are
+    // merely undecided early).
+    let inputs = all_inputs(ma.n(), values)
+        .into_iter()
+        .find(|x| valence(alg, ma, x, &GraphSeq::new(), rounds + lookahead).is_obstructed())?;
+    let mut run = BivalentRun { inputs: inputs.clone(), steps: Vec::new() };
+    let mut seq = GraphSeq::new();
+    for t in 0..rounds {
+        let mut extended = None;
+        for g in ma.extensions(&seq) {
+            let cand = seq.extended(g.clone());
+            let val = valence(alg, ma, &inputs, &cand, t + 1 + lookahead);
+            if val.is_obstructed() {
+                extended = Some((g, val.outcomes));
+                break;
+            }
+        }
+        let (g, outcomes) = extended?;
+        seq.push(g.clone());
+        run.steps.push(BivalentStep { graph: g, outcomes });
+    }
+    Some(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adversary::GeneralMA;
+    use dyngraph::generators;
+    use simulator::algorithms::FloodMin;
+
+    #[test]
+    fn initial_obstruction_floodmin_lossy_link() {
+        // FloodMin(2) under {←, ↔, →} on x = (0, 1): some extensions decide
+        // 0, others leave the processes disagreeing — an obstruction.
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let alg = FloodMin::new(2);
+        let val = valence(&alg, &ma, &vec![0, 1], &GraphSeq::new(), 3);
+        assert!(val.is_obstructed(), "{val:?}");
+        assert!(val.improper_extension);
+    }
+
+    #[test]
+    fn true_bivalence_direction_rule_on_full_pool() {
+        // DirectionRule (correct for {←, →}) dropped into the full pool:
+        // from x = (0, 1), the → extensions decide 0 and the ← extensions
+        // decide 1 — genuine bivalence at the initial configuration.
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let alg = simulator::algorithms::DirectionRule;
+        let val = valence(&alg, &ma, &vec![0, 1], &GraphSeq::new(), 2);
+        assert!(val.is_bivalent(), "{val:?}");
+        assert!(val.outcomes.contains(&0) && val.outcomes.contains(&1));
+    }
+
+    #[test]
+    fn valent_inputs_univalent() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let alg = FloodMin::new(2);
+        let val = valence(&alg, &ma, &vec![1, 1], &GraphSeq::new(), 3);
+        assert_eq!(val.is_univalent(), Some(1));
+    }
+
+    #[test]
+    fn obstructed_run_exists_for_floodmin_on_lossy_link() {
+        // Santoro–Widmayer: any would-be algorithm admits the obstruction
+        // under {←, ↔, →}; construct 3 obstruction-preserving rounds for
+        // FloodMin(4) within and past its pre-decision window.
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let alg = FloodMin::new(4);
+        let run = bivalent_run(&alg, &ma, &[0, 1], 3, 2).expect("obstructed run exists");
+        assert_eq!(run.steps.len(), 3);
+        assert_eq!(run.seq().rounds(), 3);
+    }
+
+    #[test]
+    fn obstructed_run_extends_past_decision_round() {
+        // Even past FloodMin's decision round the obstruction persists (as a
+        // disagreeing extension), mirroring the "no escape" of §6.1.
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let alg = FloodMin::new(2);
+        let run = bivalent_run(&alg, &ma, &[0, 1], 4, 2).expect("obstruction persists");
+        assert_eq!(run.steps.len(), 4);
+    }
+
+    #[test]
+    fn universal_algorithm_has_no_long_bivalent_run() {
+        // On the solvable {←, →} the universal algorithm becomes univalent
+        // quickly: no bivalent extension survives past its decision depth.
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        let space =
+            crate::space::PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let alg = crate::universal::UniversalAlgorithm::synthesize(&space).unwrap();
+        let run = bivalent_run(&alg, &ma, &[0, 1], 3, 2);
+        assert!(run.is_none(), "universal algorithm must not stay bivalent: {run:?}");
+    }
+
+    #[test]
+    fn direction_rule_univalent_after_round_one() {
+        // §6.1: for {←, →} all configurations after round 1 are univalent.
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        let alg = simulator::algorithms::DirectionRule;
+        for word in ["->", "<-"] {
+            let seq = GraphSeq::parse2(word).unwrap();
+            for x in [[0u32, 1], [1, 0], [0, 0], [1, 1]] {
+                let val = valence(&alg, &ma, &x.to_vec(), &seq, 3);
+                assert!(val.is_univalent().is_some(), "{word} {x:?}: {val:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn improper_extension_detected() {
+        // FloodMin(1) under the empty-graph pool: processes decide their own
+        // inputs — disagreement on mixed inputs → improper.
+        let ma = GeneralMA::oblivious(vec![dyngraph::Digraph::empty(2)]);
+        let alg = FloodMin::new(1);
+        let val = valence(&alg, &ma, &vec![0, 1], &GraphSeq::new(), 2);
+        assert!(val.improper_extension);
+    }
+}

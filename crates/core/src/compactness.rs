@@ -1,0 +1,169 @@
+//! Quantifying (non-)compactness at finite depth — the boundary structure
+//! behind the paper's Figure 5 and Lemma 6.8.
+//!
+//! A compact adversary is limit-closed: at every depth, every pool-valid
+//! prefix that can be continued admissibly *is* admissible. A non-compact
+//! adversary (or a deadline approximation of one) has a *boundary*: prefixes
+//! over the pool that are dead (no admissible extension) even though
+//! arbitrarily close admissible prefixes exist. Lemma 6.8 shows the set of
+//! to-be-excluded limit points of a decision set is compact; at finite depth
+//! its shadow is exactly these dead prefixes, which this module counts and
+//! exhibits.
+
+use adversary::MessageAdversary;
+use dyngraph::GraphSeq;
+
+/// Prefix census at one depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryReport {
+    /// The depth `t`.
+    pub depth: usize,
+    /// Pool-valid prefixes of length `t` (the closure's shadow).
+    pub pool_valid: usize,
+    /// Admissible prefixes (the adversary's shadow).
+    pub admissible: usize,
+    /// Dead prefixes: pool-valid but inadmissible (the boundary shadow —
+    /// the × marks of Fig. 5).
+    pub dead: usize,
+    /// Example dead prefixes (up to 5).
+    pub dead_examples: Vec<GraphSeq>,
+}
+
+impl BoundaryReport {
+    /// Whether the adversary looks limit-closed at this depth.
+    pub fn closed_at_depth(&self) -> bool {
+        self.dead == 0
+    }
+}
+
+/// Count pool-valid vs admissible prefixes of length `depth`.
+///
+/// Requires a pool hint; returns `None` otherwise. The pool tree is pruned
+/// by pool-validity only, so the census costs `O(|pool|^depth)` — keep the
+/// depth modest.
+pub fn boundary_report(ma: &dyn MessageAdversary, depth: usize) -> Option<BoundaryReport> {
+    let pool = ma.pool_hint()?;
+    let mut frontier = vec![GraphSeq::new()];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * pool.len());
+        for seq in &frontier {
+            for g in &pool {
+                next.push(seq.extended(g.clone()));
+            }
+        }
+        frontier = next;
+    }
+    let pool_valid = frontier.len();
+    let mut admissible = 0;
+    let mut dead_examples = Vec::new();
+    for seq in &frontier {
+        if ma.admits_prefix(seq) {
+            admissible += 1;
+        } else if dead_examples.len() < 5 {
+            dead_examples.push(seq.clone());
+        }
+    }
+    Some(BoundaryReport {
+        depth,
+        pool_valid,
+        admissible,
+        dead: pool_valid - admissible,
+        dead_examples,
+    })
+}
+
+/// Boundary census across a depth sweep.
+pub fn boundary_sweep(
+    ma: &dyn MessageAdversary,
+    max_depth: usize,
+) -> Vec<BoundaryReport> {
+    (0..=max_depth).map_while(|d| boundary_report(ma, d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adversary::{GeneralMA, MessageAdversary};
+    use dyngraph::{generators, Digraph};
+
+    #[test]
+    fn oblivious_is_closed_everywhere() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        for rep in boundary_sweep(&ma, 4) {
+            assert!(rep.closed_at_depth());
+            assert_eq!(rep.pool_valid, 3usize.pow(rep.depth as u32));
+            assert_eq!(rep.admissible, rep.pool_valid);
+        }
+    }
+
+    #[test]
+    fn noncompact_eventually_has_no_dead_prefixes() {
+        // Without a deadline every pool prefix stays alive — the boundary
+        // sits at infinity (the excluded limits), not at finite depth.
+        let ma = GeneralMA::eventually_graph(
+            generators::lossy_link_full(),
+            Digraph::parse2("<->").unwrap(),
+            None,
+        );
+        for rep in boundary_sweep(&ma, 4) {
+            assert!(rep.closed_at_depth());
+        }
+    }
+
+    #[test]
+    fn deadline_approximation_has_boundary() {
+        // "↔ within 2": at depth ≥ 2 the swap-free prefixes die — the
+        // finite shadow of the excluded limits (Lemma 6.8's compact set).
+        let ma = GeneralMA::eventually_graph(
+            generators::lossy_link_full(),
+            Digraph::parse2("<->").unwrap(),
+            Some(2),
+        );
+        let rep = boundary_report(&ma, 2).unwrap();
+        assert_eq!(rep.pool_valid, 9);
+        assert_eq!(rep.admissible, 5);
+        assert_eq!(rep.dead, 4); // {←,→}² prefixes
+        assert!(!rep.closed_at_depth());
+        assert!(!rep.dead_examples.is_empty());
+        for ex in &rep.dead_examples {
+            assert!(!ma.admits_prefix(ex));
+            assert!(ex.iter().all(|g| g.arrow2() != Some("<->")));
+        }
+    }
+
+    #[test]
+    fn boundary_grows_with_depth() {
+        let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 2, Some(3));
+        let sweep = boundary_sweep(&ma, 4);
+        // Dead counts are non-decreasing once the deadline passes.
+        let dead: Vec<usize> = sweep.iter().map(|r| r.dead).collect();
+        assert!(dead[3] > 0, "deadline 3 must kill unstable prefixes: {dead:?}");
+        assert!(dead[4] >= dead[3]);
+    }
+
+    #[test]
+    fn no_pool_hint_returns_none() {
+        struct NoPool;
+        impl MessageAdversary for NoPool {
+            fn n(&self) -> usize {
+                2
+            }
+            fn extensions(&self, _: &GraphSeq) -> Vec<Digraph> {
+                vec![]
+            }
+            fn admits_prefix(&self, _: &GraphSeq) -> bool {
+                true
+            }
+            fn admits_lasso(&self, _: &dyngraph::Lasso) -> Option<bool> {
+                None
+            }
+            fn is_compact(&self) -> bool {
+                true
+            }
+            fn describe(&self) -> String {
+                "no-pool".into()
+            }
+        }
+        assert!(boundary_report(&NoPool, 2).is_none());
+    }
+}

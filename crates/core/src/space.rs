@@ -1,0 +1,415 @@
+//! The depth-`t` prefix space of an adversary and its ε-approximation
+//! components.
+//!
+//! Two runs `a, b` satisfy `d_min(a, b) < ε = 2^{−t}` iff some process has
+//! the same interned view at time `t` in both (views are cumulative). The
+//! connected components of this "shares a view" relation over the admissible
+//! depth-`t` runs are exactly the paper's ε-approximations `PS^ε_z`
+//! (Definition 6.2) of the connected components of `PS` — the object on
+//! which solvability is decided (Theorem 6.6).
+
+use std::collections::HashMap;
+
+use adversary::{enumerate, MessageAdversary};
+use dyngraph::Pid;
+use ptgraph::{PrefixRun, Value, ViewId};
+use topology::{components_by_buckets, separation, Components};
+
+/// The expanded and component-decomposed prefix space at one depth.
+#[derive(Debug)]
+pub struct PrefixSpace {
+    expansion: enumerate::Expansion,
+    components: Components,
+}
+
+impl PrefixSpace {
+    /// Expand the adversary at `depth` over the input domain `values` and
+    /// compute the ε-approximation components (`ε = 2^{−depth}`).
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the space exceeds
+    /// `max_runs`.
+    pub fn build(
+        ma: &dyn MessageAdversary,
+        values: &[Value],
+        depth: usize,
+        max_runs: usize,
+    ) -> Result<Self, enumerate::BudgetExceeded> {
+        let expansion = enumerate::expand(ma, values, depth, max_runs)?;
+        Ok(Self::from_expansion(expansion))
+    }
+
+    /// Extend the space by one round incrementally: runs are extended in
+    /// place (views interned once across the sweep) and components are
+    /// recomputed at the new depth. On budget exhaustion the original space
+    /// is returned unchanged as the error payload.
+    ///
+    /// # Errors
+    /// Returns `(self, BudgetExceeded)` if the extension would exceed
+    /// `max_runs` (the space rides along in the error so callers keep it).
+    #[allow(clippy::result_large_err)]
+    pub fn extended(
+        self,
+        ma: &dyn MessageAdversary,
+        max_runs: usize,
+    ) -> Result<Self, (Self, enumerate::BudgetExceeded)> {
+        let mut expansion = self.expansion;
+        match expansion.extend(ma, max_runs) {
+            Ok(()) => Ok(Self::from_expansion(expansion)),
+            Err(e) => Err((Self::from_expansion_keep_depth(expansion), e)),
+        }
+    }
+
+    fn from_expansion_keep_depth(expansion: enumerate::Expansion) -> Self {
+        Self::from_expansion(expansion)
+    }
+
+    /// Component-decompose an existing expansion.
+    pub fn from_expansion(expansion: enumerate::Expansion) -> Self {
+        let depth = expansion.depth;
+        let buckets = expansion.runs.iter().enumerate().flat_map(|(i, run)| {
+            (0..run.n()).map(move |p| ((p, run.view(p, depth)), i))
+        });
+        let components = components_by_buckets(expansion.runs.len(), buckets);
+        PrefixSpace { expansion, components }
+    }
+
+    /// The admissible runs.
+    pub fn runs(&self) -> &[PrefixRun] {
+        &self.expansion.runs
+    }
+
+    /// The shared view table.
+    pub fn table(&self) -> &ptgraph::ViewTable {
+        &self.expansion.table
+    }
+
+    /// The expansion depth `t`.
+    pub fn depth(&self) -> usize {
+        self.expansion.depth
+    }
+
+    /// The input domain.
+    pub fn values(&self) -> &[Value] {
+        &self.expansion.values
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.expansion.n()
+    }
+
+    /// The ε-approximation components.
+    pub fn components(&self) -> &Components {
+        &self.components
+    }
+
+    /// Labels for the valent runs: run index → `v` for every `v`-valent run
+    /// (all processes share input `v`).
+    pub fn valence_labels(&self) -> HashMap<usize, Value> {
+        let mut labels = HashMap::new();
+        for (i, run) in self.expansion.runs.iter().enumerate() {
+            let x0 = run.inputs()[0];
+            if run.inputs().iter().all(|&x| x == x0) {
+                labels.insert(i, x0);
+            }
+        }
+        labels
+    }
+
+    /// The separation report of the valence labeling — Corollary 5.6 at this
+    /// resolution: separated ⟺ no component contains two valences.
+    pub fn separation(&self) -> separation::SeparationReport<Value> {
+        separation::check_separation(&self.components, &self.valence_labels())
+    }
+
+    /// The total component → value assignment of the meta-procedure
+    /// (§5.1 steps 2–3), if the labeling is separated: pure components keep
+    /// their valence, unlabeled components decide the smallest domain value.
+    pub fn component_assignment(&self) -> Option<Vec<Value>> {
+        let rep = self.separation();
+        if !rep.is_separated() {
+            return None;
+        }
+        let default = *self.values().iter().min().expect("nonempty domain");
+        Some(separation::total_assignment(
+            &self.components,
+            &self.valence_labels(),
+            default,
+        ))
+    }
+
+    /// The component assignment under **strong validity** (`y_p = x_q` for
+    /// some `q`, the variant the paper notes after Definition 5.1): every
+    /// component's value must be an input of *every* run in the component.
+    ///
+    /// Pure components keep their valence (then checked against the
+    /// intersection); unlabeled components pick the smallest value in the
+    /// intersection of their runs' input sets. Returns `None` if the
+    /// labeling is not separated **or** some component has no legal value —
+    /// strong-validity consensus is then unsolvable at this resolution even
+    /// if weak-validity consensus is solvable.
+    pub fn strong_component_assignment(&self) -> Option<Vec<Value>> {
+        let rep = self.separation();
+        if !rep.is_separated() {
+            return None;
+        }
+        let labels = self.valence_labels();
+        let mut assignment = Vec::with_capacity(self.components.count());
+        for c in 0..self.components.count() {
+            let members = self.components.members(c);
+            // Intersection of input sets across the component's runs.
+            let mut common: Option<std::collections::BTreeSet<Value>> = None;
+            for &i in members {
+                let set: std::collections::BTreeSet<Value> =
+                    self.expansion.runs[i].inputs().iter().copied().collect();
+                common = Some(match common {
+                    None => set,
+                    Some(cur) => cur.intersection(&set).copied().collect(),
+                });
+            }
+            let common = common.expect("components are nonempty");
+            // A pure component must keep its valence.
+            let forced = members.iter().find_map(|i| labels.get(i)).copied();
+            let value = match forced {
+                Some(v) => {
+                    if !common.contains(&v) {
+                        return None;
+                    }
+                    v
+                }
+                None => *common.iter().next()?,
+            };
+            assignment.push(value);
+        }
+        Some(assignment)
+    }
+
+    /// The processes that have *broadcast within the horizon* in every run
+    /// of component `c`: candidates per Definition 5.8 / Theorem 5.11.
+    pub fn component_broadcasters(&self, c: usize) -> Vec<Pid> {
+        let table = &self.expansion.table;
+        (0..self.n())
+            .filter(|&p| {
+                self.components
+                    .members(c)
+                    .iter()
+                    .all(|&i| self.expansion.runs[i].broadcast_complete(p, table).is_some())
+            })
+            .collect()
+    }
+
+    /// Whether every component is broadcastable within the horizon —
+    /// the finite check behind Theorem 6.6.
+    pub fn all_components_broadcastable(&self) -> bool {
+        (0..self.components.count()).all(|c| !self.component_broadcasters(c).is_empty())
+    }
+
+    /// The decision map underlying the universal algorithm: for every
+    /// `(process, view at depth)` bucket, the value of the (unique)
+    /// component its runs belong to. `None` if the valence labeling is not
+    /// separated.
+    pub fn decision_views(&self) -> Option<HashMap<(Pid, ViewId), Value>> {
+        let assignment = self.component_assignment()?;
+        let depth = self.depth();
+        let mut map = HashMap::new();
+        for (i, run) in self.expansion.runs.iter().enumerate() {
+            let value = assignment[self.components.component_of(i)];
+            for p in 0..run.n() {
+                map.insert((p, run.view(p, depth)), value);
+            }
+        }
+        Some(map)
+    }
+
+    /// The component of the `v`-valent runs, if they all share one (they do
+    /// whenever the `v`-valent runs are mutually connected; with a common
+    /// graph pool every pair of equal-input runs may still fall into
+    /// different components — then `None`).
+    pub fn valent_component(&self, v: Value) -> Option<usize> {
+        let mut comp = None;
+        for (i, run) in self.expansion.runs.iter().enumerate() {
+            if run.is_valent(v) {
+                match comp {
+                    None => comp = Some(self.components.component_of(i)),
+                    Some(c) if c == self.components.component_of(i) => {}
+                    Some(_) => return None,
+                }
+            }
+        }
+        comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adversary::GeneralMA;
+    use dyngraph::generators;
+
+    fn reduced(depth: usize) -> PrefixSpace {
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap()
+    }
+
+    fn full(depth: usize) -> PrefixSpace {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn depth_zero_single_component() {
+        // At depth 0 every run shares the trivial structure only if inputs
+        // agree per process; (0,0) and (0,1) share p0's initial view.
+        let s = reduced(0);
+        assert_eq!(s.runs().len(), 4);
+        // Chain (0,0)–(0,1)–(1,1): one component.
+        assert_eq!(s.components().count(), 1);
+        let rep = s.separation();
+        assert!(!rep.is_separated(), "depth 0 cannot separate valences");
+    }
+
+    #[test]
+    fn reduced_lossy_link_separates_at_depth_one() {
+        let s = reduced(1);
+        let rep = s.separation();
+        assert!(rep.is_separated(), "{:?}", rep.mixed_components);
+        // Components: by round-1 direction and the surviving input info.
+        assert!(s.components().count() >= 2);
+        let assignment = s.component_assignment().unwrap();
+        assert_eq!(assignment.len(), s.components().count());
+    }
+
+    #[test]
+    fn full_lossy_link_never_separates() {
+        for depth in 0..4 {
+            let s = full(depth);
+            assert!(
+                !s.separation().is_separated(),
+                "Santoro–Widmayer adversary separated at depth {depth}?!"
+            );
+        }
+    }
+
+    #[test]
+    fn components_refine_with_depth() {
+        // Lemma 6.3(ii): deeper components refine shallower ones. Compare on
+        // a common run indexing: runs are ordered (inputs, sequences) and
+        // sequences at depth d+1 extend those at depth d — indices do not
+        // align directly, so check the valence-label side instead: the
+        // number of components is non-decreasing with depth.
+        let mut prev = reduced(0).components().count();
+        for depth in 1..4 {
+            let cur = reduced(depth).components().count();
+            assert!(cur >= prev, "components must refine");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn broadcasters_reduced_lossy_link() {
+        let s = reduced(1);
+        // Every run: the round-1 sender has broadcast.
+        for c in 0..s.components().count() {
+            let b = s.component_broadcasters(c);
+            // Components of depth 1 are per-direction: a single broadcaster.
+            assert!(!b.is_empty(), "component {c} has no broadcaster");
+        }
+        assert!(s.all_components_broadcastable());
+    }
+
+    #[test]
+    fn full_lossy_link_mixed_component_not_broadcastable() {
+        let s = full(2);
+        let rep = s.separation();
+        for &c in &rep.mixed_components {
+            assert!(
+                s.component_broadcasters(c).is_empty(),
+                "mixed component {c} must not be broadcastable (Thm 5.9)"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_views_cover_all_buckets() {
+        let s = reduced(2);
+        let map = s.decision_views().unwrap();
+        for run in s.runs() {
+            for p in 0..2 {
+                assert!(map.contains_key(&(p, run.view(p, 2))));
+            }
+        }
+    }
+
+    #[test]
+    fn decision_views_none_when_mixed() {
+        assert!(full(2).decision_views().is_none());
+        assert!(full(2).component_assignment().is_none());
+    }
+
+    #[test]
+    fn valent_component_lookup() {
+        let s = full(1);
+        // All runs are interconnected across valences for the full pool at
+        // low depth: z0 and z1 share their component.
+        if let (Some(c0), Some(c1)) = (s.valent_component(0), s.valent_component(1)) {
+            assert_eq!(c0, c1);
+        }
+    }
+
+    #[test]
+    fn incremental_extension_matches_rebuild() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let mut inc = PrefixSpace::build(&ma, &[0, 1], 0, 1_000_000).unwrap();
+        for depth in 1..=3 {
+            inc = inc.extended(&ma, 1_000_000).unwrap();
+            let direct = PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap();
+            assert_eq!(inc.depth(), direct.depth());
+            assert_eq!(inc.runs().len(), direct.runs().len());
+            assert_eq!(inc.components().count(), direct.components().count());
+            assert_eq!(
+                inc.separation().is_separated(),
+                direct.separation().is_separated()
+            );
+            // Component size multiset must agree (orderings may differ).
+            let sizes = |s: &PrefixSpace| {
+                let mut v: Vec<usize> =
+                    s.components().iter().map(|m| m.len()).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(sizes(&inc), sizes(&direct));
+        }
+    }
+
+    #[test]
+    fn incremental_extension_budget_error_preserves_space() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let runs_before = space.runs().len();
+        let (space, err) = space.extended(&ma, 10).unwrap_err();
+        assert_eq!(space.runs().len(), runs_before);
+        assert_eq!(space.depth(), 2);
+        assert!(err.needed > 10);
+    }
+
+    #[test]
+    fn theorem_5_9_broadcastable_components_have_small_diameter() {
+        // Thm 5.9: a connected broadcastable set has d_min ≤ 1/2, i.e. the
+        // broadcaster's input is constant on the component.
+        let s = reduced(2);
+        for c in 0..s.components().count() {
+            for &p in &s.component_broadcasters(c) {
+                let members = s.components().members(c);
+                let x0 = s.runs()[members[0]].inputs()[p];
+                for &i in members {
+                    assert_eq!(
+                        s.runs()[i].inputs()[p],
+                        x0,
+                        "broadcaster {p}'s input must be constant on component {c}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The universal consensus algorithm of Theorem 5.5, synthesized from a
+//! separated prefix space.
+//!
+//! The paper's construction: each process records its view of the
+//! process-time graph; process `p` decides `v` in round `t` as soon as the
+//! ball `{b ∈ PS : π_{p}(b^t) = V}` of sequences compatible with its
+//! recorded view `V` is contained in the decision set `PS(v)`.
+//!
+//! Synthesis precomputes exactly that test on the finite prefix space: for
+//! every time `s ≤ depth` and every `(process, view at s)` bucket, if all
+//! runs compatible with the bucket lie in components assigned the same value
+//! `v`, the bucket decides `v`. At `s = depth` every bucket decides (buckets
+//! refine components), so the algorithm terminates by round `depth` on every
+//! admissible run.
+
+use std::collections::HashMap;
+
+use dyngraph::Pid;
+use parking_lot::Mutex;
+use ptgraph::{Value, ViewId, ViewTable};
+use simulator::Algorithm;
+
+use crate::space::PrefixSpace;
+
+/// A synthesized universal consensus algorithm (Theorem 5.5).
+///
+/// Implements [`simulator::Algorithm`]: states are interned views plus the
+/// decision; the runtime interner is seeded with the synthesis-time
+/// [`ViewTable`] so that view identity at run time coincides with synthesis
+/// time.
+#[derive(Debug)]
+pub struct UniversalAlgorithm {
+    /// Runtime view interner (shared across the processes of an execution).
+    table: Mutex<ViewTable>,
+    /// `(p, view)` → decision value, for every bucket whose ball is
+    /// decided.
+    decisions: HashMap<(Pid, ViewId), Value>,
+    /// The synthesis depth: every admissible run decides by this round.
+    depth: usize,
+}
+
+/// State of [`UniversalAlgorithm`]: the interned view and the decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniversalState {
+    /// The process's current interned view.
+    pub view: ViewId,
+    /// The decision, once taken (irrevocable).
+    pub decided: Option<Value>,
+}
+
+impl UniversalAlgorithm {
+    /// Synthesize from a prefix space whose valence labeling is separated.
+    ///
+    /// Returns `None` if the space is not separated (consensus not solvable
+    /// at this resolution — Corollary 5.6).
+    pub fn synthesize(space: &PrefixSpace) -> Option<Self> {
+        Self::synthesize_from_assignment(space, space.component_assignment()?)
+    }
+
+    /// Synthesize under **strong validity**: decisions are always some
+    /// process's input. Returns `None` if the space is not separated or no
+    /// strong-validity assignment exists (see
+    /// [`PrefixSpace::strong_component_assignment`]).
+    pub fn synthesize_strong(space: &PrefixSpace) -> Option<Self> {
+        Self::synthesize_from_assignment(space, space.strong_component_assignment()?)
+    }
+
+    fn synthesize_from_assignment(
+        space: &PrefixSpace,
+        assignment: Vec<Value>,
+    ) -> Option<Self> {
+        let depth = space.depth();
+        // Earliest-decision tables: bucket (p, view at s) decides v iff all
+        // runs sharing the bucket sit in components assigned v.
+        let mut bucket_values: HashMap<(Pid, ViewId), Option<Value>> = HashMap::new();
+        for (i, run) in space.runs().iter().enumerate() {
+            let value = assignment[space.components().component_of(i)];
+            for s in 0..=depth {
+                for p in 0..run.n() {
+                    let key = (p, run.view(p, s));
+                    match bucket_values.entry(key) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(Some(value));
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            if *e.get() != Some(value) {
+                                *e.get_mut() = None; // ambiguous ball: no decision yet
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let decisions = bucket_values
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect();
+        Some(UniversalAlgorithm {
+            table: Mutex::new(space.table().clone()),
+            decisions,
+            depth,
+        })
+    }
+
+    /// The synthesis depth: the round by which every admissible run decides.
+    pub fn decision_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of `(process, view)` buckets with a decision entry.
+    pub fn table_size(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// The decision for a bucket, if the ball around the view is decided.
+    pub fn bucket_decision(&self, p: Pid, view: ViewId) -> Option<Value> {
+        self.decisions.get(&(p, view)).copied()
+    }
+}
+
+impl Algorithm for UniversalAlgorithm {
+    type State = UniversalState;
+
+    fn init(&self, p: Pid, x: Value) -> UniversalState {
+        let view = self.table.lock().intern_initial(p, x);
+        UniversalState { view, decided: self.bucket_decision(p, view) }
+    }
+
+    fn step(
+        &self,
+        p: Pid,
+        state: &UniversalState,
+        received: &[(Pid, UniversalState)],
+    ) -> UniversalState {
+        let rec: Vec<(Pid, ViewId)> = received.iter().map(|&(q, ref s)| (q, s.view)).collect();
+        let view = self.table.lock().intern_round(p, state.view, &rec);
+        let decided = state.decided.or_else(|| self.bucket_decision(p, view));
+        UniversalState { view, decided }
+    }
+
+    fn decision(&self, _p: Pid, state: &UniversalState) -> Option<Value> {
+        state.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adversary::GeneralMA;
+    use dyngraph::{generators, GraphSeq};
+    use simulator::{checker, engine};
+
+    fn reduced_space(depth: usize) -> PrefixSpace {
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn synthesis_fails_on_mixed_space() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        assert!(UniversalAlgorithm::synthesize(&space).is_none());
+    }
+
+    #[test]
+    fn synthesized_algorithm_solves_reduced_lossy_link() {
+        let space = reduced_space(2);
+        let alg = UniversalAlgorithm::synthesize(&space).unwrap();
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        let report =
+            checker::check_consensus(&alg, &ma, &[0, 1], 2, 100_000, true).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.undecided_runs, 0);
+    }
+
+    #[test]
+    fn valent_runs_decide_at_round_one() {
+        // On valent inputs decisions fire early — by round 2: the round-1
+        // ball of the round-1 *sender* still straddles the valent component
+        // and an unlabeled component (whose meta-procedure default may
+        // differ), so round 1 is not always possible; the receiver's ball is
+        // already pure at round 1.
+        let space = reduced_space(3);
+        let alg = UniversalAlgorithm::synthesize(&space).unwrap();
+        for word in ["-> <- ->", "<- -> <-"] {
+            for x in [[0, 0], [1, 1]] {
+                let exec = engine::run(&alg, &x, &GraphSeq::parse2(word).unwrap());
+                for p in 0..2 {
+                    let (round, v) = exec.decision_of(p).unwrap();
+                    assert!(round <= 2, "decision late: round {round} for {word} {x:?}");
+                    assert_eq!(v, x[0], "validity");
+                }
+                // The round-1 receiver decides at round ≤ 1.
+                let receiver = if word.starts_with("->") { 1 } else { 0 };
+                assert!(exec.decision_of(receiver).unwrap().0 <= 1);
+            }
+            for x in [[0, 1], [1, 0]] {
+                let exec = engine::run(&alg, &x, &GraphSeq::parse2(word).unwrap());
+                for p in 0..2 {
+                    let (round, _) = exec.decision_of(p).unwrap();
+                    assert!(round <= 3, "must decide within depth");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_direction_rule_where_forced() {
+        // Both algorithms solve {←, →}; their values must coincide wherever
+        // the topology forces the decision — i.e. whenever the run is
+        // connected to a valent run. The run (v, v̄) with round 1 delivering
+        // p's input to the other process is view-connected to (v, v):
+        // the round-1 *receiver* cannot distinguish them later when the
+        // sender keeps sending, so compare on constant-direction sequences.
+        let space = reduced_space(2);
+        let alg = UniversalAlgorithm::synthesize(&space).unwrap();
+        for (word, sender) in [("-> ->", 0usize), ("<- <-", 1usize)] {
+            let seq = GraphSeq::parse2(word).unwrap();
+            for x in [[0u32, 1], [1, 0]] {
+                let ours = engine::run(&alg, &x, &seq).consensus_value().unwrap();
+                let baseline = engine::run(&simulator::algorithms::DirectionRule, &x, &seq)
+                    .consensus_value()
+                    .unwrap();
+                assert_eq!(baseline, x[sender]);
+                assert_eq!(ours, baseline, "{word} {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn beyond_horizon_keeps_decision() {
+        let space = reduced_space(1);
+        let alg = UniversalAlgorithm::synthesize(&space).unwrap();
+        // Run for 4 rounds, far past the synthesis depth.
+        let exec = engine::run(&alg, &[0, 1], &GraphSeq::parse2("-> <- -> <-").unwrap());
+        assert!(exec.all_decided());
+        assert!(!exec.any_revoked());
+        assert!(exec.agreement_holds());
+    }
+
+    #[test]
+    fn validity_on_valent_inputs() {
+        let space = reduced_space(1);
+        let alg = UniversalAlgorithm::synthesize(&space).unwrap();
+        for v in [0u32, 1] {
+            for word in ["->", "<-"] {
+                let exec = engine::run(&alg, &[v, v], &GraphSeq::parse2(word).unwrap());
+                assert_eq!(exec.consensus_value(), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn table_size_positive() {
+        let space = reduced_space(1);
+        let alg = UniversalAlgorithm::synthesize(&space).unwrap();
+        assert!(alg.table_size() > 0);
+        assert_eq!(alg.decision_depth(), 1);
+    }
+
+    #[test]
+    fn strong_validity_synthesis_ternary() {
+        // With ternary inputs the weak default (0) may be nobody's input on
+        // an unlabeled component; the strong synthesis picks from the
+        // intersection instead, and passes the strong-validity checker.
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        let space = PrefixSpace::build(&ma, &[0, 1, 2], 2, 4_000_000).unwrap();
+        let strong = UniversalAlgorithm::synthesize_strong(&space).unwrap();
+        let report = checker::check_consensus_with(
+            &strong,
+            &ma,
+            &[0, 1, 2],
+            2,
+            4_000_000,
+            true,
+            true,
+        )
+        .unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+
+        // The weak synthesis, by contrast, violates strong validity on some
+        // mixed-input run (it defaults unlabeled components to value 0).
+        let weak = UniversalAlgorithm::synthesize(&space).unwrap();
+        let report = checker::check_consensus_with(
+            &weak,
+            &ma,
+            &[0, 1, 2],
+            2,
+            4_000_000,
+            true,
+            true,
+        )
+        .unwrap();
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                simulator::checker::Violation::StrongValidity { .. }
+            )),
+            "expected a strong-validity violation from the weak default: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn strong_and_weak_agree_on_binary() {
+        // On a binary domain every run's input set contains the weak
+        // default or the component is pure — the two syntheses coincide.
+        let space = reduced_space(2);
+        let weak = UniversalAlgorithm::synthesize(&space).unwrap();
+        let strong = UniversalAlgorithm::synthesize_strong(&space).unwrap();
+        for word in ["-> <-", "<- ->"] {
+            let seq = GraphSeq::parse2(word).unwrap();
+            for x in [[0u32, 1], [1, 0], [1, 1], [0, 0]] {
+                assert_eq!(
+                    engine::run(&weak, &x, &seq).consensus_value(),
+                    engine::run(&strong, &x, &seq).consensus_value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_adversary_n3() {
+        // Oblivious out-stars on 3 processes: round-1 center is common
+        // knowledge → solvable; universal algorithm verifies exhaustively.
+        let ma = GeneralMA::oblivious(generators::all_out_stars(3));
+        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        assert!(space.separation().is_separated());
+        let alg = UniversalAlgorithm::synthesize(&space).unwrap();
+        let report =
+            checker::check_consensus(&alg, &ma, &[0, 1], 2, 1_000_000, true).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+}

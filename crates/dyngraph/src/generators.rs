@@ -1,0 +1,274 @@
+//! Generators and enumerators for communication-graph families.
+//!
+//! The oblivious message adversaries of the paper (§1, [8, 21]) are
+//! determined by a *set of possible graphs*; this module produces the
+//! standard sets: all graphs on `n` nodes, all rooted graphs, the `n = 2`
+//! lossy-link families, structured graphs (stars, cycles, paths), and random
+//! graphs for sampling-based tests.
+
+use rand::Rng;
+
+use crate::{Digraph, Pid};
+
+/// Iterator over **all** self-loop-free digraphs on `n` nodes, in increasing
+/// [`Digraph::code`] order. There are `2^(n(n−1))` of them.
+///
+/// # Panics
+/// Panics if `n > 5` (2^20 graphs is the practical enumeration ceiling for
+/// the adversary machinery; the iterator itself would work up to `n = 8`).
+pub fn all_graphs(n: usize) -> impl Iterator<Item = Digraph> {
+    assert!(n <= 5, "all_graphs(n) enumeration is capped at n = 5 (2^20 graphs)");
+    // Enumerate via n(n-1)-bit counters mapped onto off-diagonal positions.
+    let positions: Vec<(Pid, Pid)> =
+        (0..n).flat_map(|p| (0..n).filter(move |&q| q != p).map(move |q| (p, q))).collect();
+    let total: u64 = 1u64 << positions.len();
+    (0..total).map(move |bits| {
+        let mut g = Digraph::empty(n);
+        for (i, &(p, q)) in positions.iter().enumerate() {
+            if bits & (1 << i) != 0 {
+                g.add_edge(p, q);
+            }
+        }
+        g
+    })
+}
+
+/// All rooted graphs on `n` nodes (nonempty kernel); see
+/// [`Digraph::is_rooted`].
+pub fn rooted_graphs(n: usize) -> impl Iterator<Item = Digraph> {
+    all_graphs(n).filter(Digraph::is_rooted)
+}
+
+/// All strongly connected graphs on `n` nodes.
+pub fn strongly_connected_graphs(n: usize) -> impl Iterator<Item = Digraph> {
+    all_graphs(n).filter(Digraph::is_strongly_connected)
+}
+
+/// The full lossy-link graph set for `n = 2`: `{←, ↔, →}` (paper §1, [21]).
+///
+/// Under the oblivious adversary over this set, consensus is **impossible**
+/// (Santoro–Widmayer); the reproduction's experiment T1.
+pub fn lossy_link_full() -> Vec<Digraph> {
+    ["<-", "<->", "->"].iter().map(|t| Digraph::parse2(t).expect("static")).collect()
+}
+
+/// The reduced lossy-link set `{←, →}` (paper §1, [8]).
+///
+/// Under the oblivious adversary over this set, consensus **is** solvable;
+/// the reproduction's experiment T2.
+pub fn lossy_link_reduced() -> Vec<Digraph> {
+    ["<-", "->"].iter().map(|t| Digraph::parse2(t).expect("static")).collect()
+}
+
+/// The out-star centered at `c`: edges `c → q` for all `q ≠ c`.
+pub fn star_out(n: usize, c: Pid) -> Digraph {
+    let mut g = Digraph::empty(n);
+    for q in 0..n {
+        if q != c {
+            g.add_edge(c, q);
+        }
+    }
+    g
+}
+
+/// The in-star centered at `c`: edges `q → c` for all `q ≠ c`.
+pub fn star_in(n: usize, c: Pid) -> Digraph {
+    star_out(n, c).transpose()
+}
+
+/// The directed cycle `0 → 1 → … → n−1 → 0`.
+pub fn cycle(n: usize) -> Digraph {
+    let mut g = Digraph::empty(n);
+    for p in 0..n {
+        g.add_edge(p, (p + 1) % n);
+    }
+    g
+}
+
+/// The directed path `0 → 1 → … → n−1`.
+pub fn path(n: usize) -> Digraph {
+    let mut g = Digraph::empty(n);
+    for p in 0..n.saturating_sub(1) {
+        g.add_edge(p, p + 1);
+    }
+    g
+}
+
+/// All out-stars on `n` nodes, one per center.
+///
+/// The oblivious adversary over this set is a classic broadcastable-by-round
+/// family: the round-1 star center is a broadcaster known to everyone.
+pub fn all_out_stars(n: usize) -> Vec<Digraph> {
+    (0..n).map(|c| star_out(n, c)).collect()
+}
+
+/// A random self-loop-free graph with independent edge probability `p_edge`.
+///
+/// # Panics
+/// Panics if `p_edge` is not within `[0, 1]`.
+pub fn random_graph<R: Rng + ?Sized>(rng: &mut R, n: usize, p_edge: f64) -> Digraph {
+    assert!((0.0..=1.0).contains(&p_edge), "edge probability must be in [0, 1]");
+    let mut g = Digraph::empty(n);
+    for p in 0..n {
+        for q in 0..n {
+            if p != q && rng.random_bool(p_edge) {
+                g.add_edge(p, q);
+            }
+        }
+    }
+    g
+}
+
+/// A random **rooted** graph obtained by rejection sampling.
+///
+/// # Panics
+/// Panics if `p_edge` is not within `[0, 1]`. With very small `p_edge` and
+/// large `n` this can loop long; intended for test workloads.
+pub fn random_rooted_graph<R: Rng + ?Sized>(rng: &mut R, n: usize, p_edge: f64) -> Digraph {
+    loop {
+        let g = random_graph(rng, n, p_edge);
+        if g.is_rooted() {
+            return g;
+        }
+    }
+}
+
+/// Graphs obtained from the complete graph by removing the out-edges of at
+/// most `k` processes towards a single target each — the “up to `k` lost
+/// messages per round” family of Santoro–Widmayer [21] restricted to losses
+/// targeting distinct receivers.
+///
+/// For `k = n − 1` this family makes consensus impossible (paper §1).
+pub fn complete_minus_losses(n: usize, k: usize) -> Vec<Digraph> {
+    let complete = Digraph::complete(n);
+    let mut out = vec![complete.clone()];
+    // Remove subsets of ≤ k distinct edges; enumerate edge subsets of size ≤ k.
+    let edges: Vec<(Pid, Pid)> = complete.edges().collect();
+    let m = edges.len();
+    // Iterate bitmasks with popcount ≤ k. Cap at 2^20 subsets.
+    assert!(m <= 20, "complete_minus_losses is capped at 20 edges");
+    for bits in 1u32..(1 << m) {
+        if (bits.count_ones() as usize) <= k {
+            let mut g = complete.clone();
+            for (i, &(p, q)) in edges.iter().enumerate() {
+                if bits & (1 << i) != 0 {
+                    g.remove_edge(p, q);
+                }
+            }
+            out.push(g);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_graphs_counts() {
+        assert_eq!(all_graphs(1).count(), 1);
+        assert_eq!(all_graphs(2).count(), 4);
+        assert_eq!(all_graphs(3).count(), 64);
+    }
+
+    #[test]
+    fn all_graphs_distinct_and_normalized() {
+        let gs: Vec<_> = all_graphs(3).collect();
+        let mut dedup = gs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), gs.len());
+        assert!(gs.iter().all(Digraph::is_normalized));
+    }
+
+    #[test]
+    fn rooted_graph_counts_n2() {
+        // On 2 nodes: →, ←, ↔ are rooted; the empty graph is not.
+        assert_eq!(rooted_graphs(2).count(), 3);
+    }
+
+    #[test]
+    fn strongly_connected_subset_of_rooted() {
+        let sc: Vec<_> = strongly_connected_graphs(3).collect();
+        assert!(sc.iter().all(Digraph::is_rooted));
+        // The 3-cycle is there.
+        assert!(sc.contains(&cycle(3)));
+    }
+
+    #[test]
+    fn lossy_link_families() {
+        let full = lossy_link_full();
+        assert_eq!(full.len(), 3);
+        let reduced = lossy_link_reduced();
+        assert_eq!(reduced.len(), 2);
+        assert!(full.iter().all(|g| g.is_rooted()));
+        // reduced ⊂ full
+        assert!(reduced.iter().all(|g| full.contains(g)));
+    }
+
+    #[test]
+    fn star_kernels() {
+        let g = star_out(4, 2);
+        assert_eq!(g.kernel(), vec![2]);
+        let h = star_in(4, 2);
+        assert!(h.kernel().is_empty() || h.n() == 1);
+    }
+
+    #[test]
+    fn cycle_and_path() {
+        assert!(cycle(4).is_strongly_connected());
+        let p = path(4);
+        assert_eq!(p.kernel(), vec![0]);
+        assert!(!p.is_strongly_connected());
+    }
+
+    #[test]
+    fn all_out_stars_cover_centers() {
+        let stars = all_out_stars(3);
+        assert_eq!(stars.len(), 3);
+        for (c, g) in stars.iter().enumerate() {
+            assert_eq!(g.kernel(), vec![c]);
+        }
+    }
+
+    #[test]
+    fn random_graph_edge_probability_extremes() {
+        let mut rng = rand::rng();
+        let g0 = random_graph(&mut rng, 5, 0.0);
+        assert_eq!(g0.edge_count(), 0);
+        let g1 = random_graph(&mut rng, 5, 1.0);
+        assert_eq!(g1, Digraph::complete(5));
+    }
+
+    #[test]
+    fn random_rooted_graph_is_rooted() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert!(random_rooted_graph(&mut rng, 4, 0.4).is_rooted());
+        }
+    }
+
+    #[test]
+    fn complete_minus_losses_n2() {
+        // n=2: complete = ↔ (2 edges). k=1: {↔, →, ←}. That is the full
+        // lossy-link adversary of Santoro–Widmayer.
+        let fam = complete_minus_losses(2, 1);
+        let mut expect = lossy_link_full();
+        expect.sort();
+        let mut got = fam.clone();
+        got.sort();
+        assert_eq!(got, expect);
+        // k = n−1 = 1 already contains the impossibility family.
+    }
+
+    #[test]
+    fn complete_minus_losses_includes_empty_at_full_k() {
+        let fam = complete_minus_losses(2, 2);
+        assert!(fam.contains(&Digraph::empty(2)));
+        assert_eq!(fam.len(), 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Worst-case influence metrics over graph pools.
+//!
+//! The eventually-stabilizing adversaries of [6, 23] solve consensus when
+//! the stability window exceeds the *dynamic diameter*: the worst-case
+//! number of rounds for a root member's initial state to reach every
+//! process across adversarial choices from the pool. This module computes
+//! those bounds exactly by breadth-first search over influence-mask states
+//! (the state space is `≤ 2^n` per process tracked, so exact worst cases
+//! are cheap for the system sizes the checker handles).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::{mask, Digraph, Pid, PidMask};
+
+/// The worst-case number of rounds for `p`'s initial state to reach every
+/// process, over **all** infinite sequences from `pool`; `None` if the
+/// adversary can prevent the broadcast forever.
+///
+/// Computed by BFS on the reachable "informed set" states: from state `K`
+/// (processes that know `p`'s input), each pool graph `g` moves to
+/// `K ∪ {q : some r ∈ K with (r, q) ∈ g}`; the adversary picks the
+/// minimizing successor, so the worst case is the longest shortest path to
+/// the full mask under adversarial choice — a max-min reachability game on
+/// at most `2^n` states, solved by backward induction.
+///
+/// # Panics
+/// Panics if the pool is empty or mixes `n`.
+pub fn worst_case_broadcast(pool: &[Digraph], p: Pid) -> Option<usize> {
+    assert!(!pool.is_empty(), "pool must be nonempty");
+    let n = pool[0].n();
+    assert!(pool.iter().all(|g| g.n() == n), "pool graphs must agree on n");
+    assert!(p < n);
+    let full = mask::full(n);
+
+    // Game: state = informed mask; adversary picks g minimizing progress.
+    // value(K) = 0 if K = full; else 1 + min_g value(step(K, g)).
+    // Monotone: informed masks only grow; compute by iterating from full.
+    let step = |k: PidMask, g: &Digraph| -> PidMask {
+        let mut next = k;
+        for q in 0..n {
+            if g.in_mask(q) & k != 0 {
+                next |= mask::singleton(q);
+            }
+        }
+        next
+    };
+
+    // Value iteration over the (monotone, acyclic up to stationarity) game.
+    let mut value: HashMap<PidMask, usize> = HashMap::new();
+    value.insert(full, 0);
+    // Iterate until fixpoint: at most n rounds of useful growth per state,
+    // and 2^n states; a simple round-robin relaxation converges quickly.
+    let start = mask::singleton(p);
+    let mut states = vec![start];
+    let mut seen: HashMap<PidMask, Vec<PidMask>> = HashMap::new(); // state -> successors
+    let mut queue = VecDeque::from([start]);
+    while let Some(k) = queue.pop_front() {
+        if seen.contains_key(&k) {
+            continue;
+        }
+        let succs: Vec<PidMask> = pool.iter().map(|g| step(k, g)).collect();
+        for &s in &succs {
+            if s != k && !seen.contains_key(&s) {
+                queue.push_back(s);
+                states.push(s);
+            }
+        }
+        seen.insert(k, succs);
+    }
+    // Backward relaxation: repeat until stable.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (&k, succs) in &seen {
+            if k == full {
+                continue;
+            }
+            // The adversary picks the graph that hurts most: the value is
+            // the MAX over successors of 1 + value(successor), where a
+            // stalling successor (s == k, no progress possible to force)
+            // means ∞ (`None`).
+            let mut worst: Option<usize> = Some(0);
+            for &s in succs {
+                if s == k {
+                    worst = None;
+                    break;
+                }
+                match value.get(&s) {
+                    Some(&v) => {
+                        worst = worst.map(|w| w.max(v + 1));
+                    }
+                    None => {
+                        worst = None;
+                        break;
+                    }
+                }
+            }
+            match worst {
+                Some(w) => {
+                    if value.get(&k) != Some(&w) {
+                        value.insert(k, w);
+                        changed = true;
+                    }
+                }
+                None => {
+                    if value.remove(&k).is_some() {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    value.get(&start).copied()
+}
+
+/// The *dynamic diameter* of a pool: the worst case of
+/// [`worst_case_broadcast`] over all processes; `None` if some process can
+/// be silenced forever.
+pub fn dynamic_diameter(pool: &[Digraph]) -> Option<usize> {
+    let n = pool.first()?.n();
+    let mut worst = 0;
+    for p in 0..n {
+        worst = worst.max(worst_case_broadcast(pool, p)?);
+    }
+    Some(worst)
+}
+
+/// The worst-case broadcast time of the common-kernel members: the bound
+/// realized by the `CommonBroadcasterRule` baseline. `None` if the pool has
+/// no common kernel member.
+pub fn common_kernel_broadcast_bound(pool: &[Digraph]) -> Option<(Pid, usize)> {
+    let n = pool.first()?.n();
+    let inter = pool.iter().fold(u32::MAX, |acc, g| acc & g.kernel_mask());
+    let p = (0..n).find(|&p| mask::contains(inter, p))?;
+    worst_case_broadcast(pool, p).map(|t| (p, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn single_arrow_pool() {
+        let pool = vec![Digraph::parse2("->").unwrap()];
+        assert_eq!(worst_case_broadcast(&pool, 0), Some(1));
+        assert_eq!(worst_case_broadcast(&pool, 1), None);
+        assert_eq!(dynamic_diameter(&pool), None);
+    }
+
+    #[test]
+    fn lossy_link_diameter() {
+        // {←, ↔, →}: the adversary can always pick the graph not delivering
+        // p's message… for p = 0 it picks ←, forever. No broadcast.
+        let pool = generators::lossy_link_full();
+        assert_eq!(worst_case_broadcast(&pool, 0), None);
+        assert_eq!(dynamic_diameter(&pool), None);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let pool = vec![Digraph::complete(4)];
+        assert_eq!(dynamic_diameter(&pool), Some(1));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let pool = vec![generators::cycle(4)];
+        assert_eq!(dynamic_diameter(&pool), Some(3));
+    }
+
+    #[test]
+    fn stars_diameter() {
+        // Rotating stars: the adversary avoids p's star forever → None for
+        // broadcast of a FIXED p… unless n = 1.
+        let pool = generators::all_out_stars(3);
+        assert_eq!(worst_case_broadcast(&pool, 0), None);
+    }
+
+    #[test]
+    fn mixed_strongly_connected_pool() {
+        // Two strongly connected graphs: worst case bounded by n − 1.
+        let pool = vec![generators::cycle(3), Digraph::complete(3)];
+        let d = dynamic_diameter(&pool).unwrap();
+        assert!((1..=2).contains(&d), "d = {d}");
+    }
+
+    #[test]
+    fn common_kernel_bound() {
+        let g1 = Digraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let g2 = generators::star_out(3, 0);
+        let (p, t) = common_kernel_broadcast_bound(&[g1, g2]).unwrap();
+        assert_eq!(p, 0);
+        assert!(t <= 2);
+        assert!(common_kernel_broadcast_bound(&generators::lossy_link_reduced()).is_none());
+    }
+
+    #[test]
+    fn single_process() {
+        let pool = vec![Digraph::empty(1)];
+        assert_eq!(dynamic_diameter(&pool), Some(0));
+        assert_eq!(worst_case_broadcast(&pool, 0), Some(0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Human-readable notation for communication graphs.
+//!
+//! For `n = 2` the paper writes the three lossy-link graphs as `←`, `↔`,
+//! `→`; this module parses and prints the ASCII forms `"<-"`, `"<->"`,
+//! `"->"` and `"."` (the edgeless graph). For general `n`, graphs print as
+//! edge lists and export to Graphviz DOT.
+
+use std::fmt;
+
+use crate::{Digraph, Pid};
+
+/// Error from [`Digraph::parse2`] / [`parse_arrows`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArrowError {
+    token: String,
+}
+
+impl fmt::Display for ParseArrowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unrecognized 2-process graph token `{}` (expected `->`, `<-`, `<->` or `.`)",
+            self.token
+        )
+    }
+}
+
+impl std::error::Error for ParseArrowError {}
+
+impl Digraph {
+    /// Parse one of the `n = 2` arrow tokens: `"->"` (edge 0→1), `"<-"`
+    /// (edge 1→0), `"<->"` (both), `"."` (edgeless). Unicode `←`, `→`, `↔`
+    /// are accepted too.
+    ///
+    /// # Errors
+    /// Returns [`ParseArrowError`] on any other token.
+    ///
+    /// ```
+    /// use dyngraph::Digraph;
+    /// assert!(Digraph::parse2("->").unwrap().has_edge(0, 1));
+    /// assert!(Digraph::parse2("↔").unwrap().has_edge(1, 0));
+    /// assert!(Digraph::parse2("xx").is_err());
+    /// ```
+    pub fn parse2(token: &str) -> Result<Self, ParseArrowError> {
+        let edges: &[(Pid, Pid)] = match token.trim() {
+            "->" | "→" => &[(0, 1)],
+            "<-" | "←" => &[(1, 0)],
+            "<->" | "↔" => &[(0, 1), (1, 0)],
+            "." | "·" | "" => &[],
+            other => return Err(ParseArrowError { token: other.to_string() }),
+        };
+        Ok(Digraph::from_edges(2, edges).expect("static edges in range"))
+    }
+
+    /// The arrow token for an `n = 2` graph, if it is one.
+    pub fn arrow2(&self) -> Option<&'static str> {
+        if self.n() != 2 {
+            return None;
+        }
+        let g = self.normalized();
+        Some(match (g.has_edge(0, 1), g.has_edge(1, 0)) {
+            (true, true) => "<->",
+            (true, false) => "->",
+            (false, true) => "<-",
+            (false, false) => ".",
+        })
+    }
+
+    /// Graphviz DOT rendering of the graph.
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph {name} {{");
+        let _ = writeln!(s, "  rankdir=LR;");
+        for p in 0..self.n() {
+            let _ = writeln!(s, "  p{p} [label=\"{p}\"];");
+        }
+        for (p, q) in self.edges() {
+            let _ = writeln!(s, "  p{p} -> p{q};");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Parse a whitespace-separated word of `n = 2` arrow tokens into a graph
+/// sequence prefix, e.g. `"-> -> <-> <-"`.
+///
+/// # Errors
+/// Returns [`ParseArrowError`] on the first bad token.
+pub fn parse_arrows(word: &str) -> Result<Vec<Digraph>, ParseArrowError> {
+    word.split_whitespace().map(Digraph::parse2).collect()
+}
+
+/// Render a graph: arrow token for `n = 2`, edge list otherwise.
+pub(crate) fn fmt_graph(g: &Digraph, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if let Some(tok) = g.arrow2() {
+        return f.write_str(tok);
+    }
+    write!(f, "{{")?;
+    for (i, (p, q)) in g.edges().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{p}→{q}")?;
+    }
+    write!(f, "}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse2_all_tokens() {
+        for (tok, expect_01, expect_10) in [
+            ("->", true, false),
+            ("<-", false, true),
+            ("<->", true, true),
+            (".", false, false),
+        ] {
+            let g = Digraph::parse2(tok).unwrap();
+            assert_eq!(g.has_edge(0, 1), expect_01, "token {tok}");
+            assert_eq!(g.has_edge(1, 0), expect_10, "token {tok}");
+            assert_eq!(g.arrow2().unwrap(), tok);
+        }
+    }
+
+    #[test]
+    fn parse2_unicode() {
+        assert_eq!(Digraph::parse2("→").unwrap(), Digraph::parse2("->").unwrap());
+        assert_eq!(Digraph::parse2("←").unwrap(), Digraph::parse2("<-").unwrap());
+        assert_eq!(Digraph::parse2("↔").unwrap(), Digraph::parse2("<->").unwrap());
+    }
+
+    #[test]
+    fn parse2_error_display() {
+        let err = Digraph::parse2("=>").unwrap_err();
+        assert!(err.to_string().contains("=>"));
+    }
+
+    #[test]
+    fn parse_arrow_word() {
+        let seq = parse_arrows("-> <- <-> .").unwrap();
+        assert_eq!(seq.len(), 4);
+        assert_eq!(format!("{}", seq[2]), "<->");
+    }
+
+    #[test]
+    fn display_general_graph_as_edge_list() {
+        let g = Digraph::from_edges(3, &[(0, 1), (2, 0)]).unwrap();
+        assert_eq!(format!("{g}"), "{0→1, 2→0}");
+    }
+
+    #[test]
+    fn arrow2_none_for_larger_n() {
+        assert!(Digraph::empty(3).arrow2().is_none());
+    }
+
+    #[test]
+    fn dot_output_contains_edges() {
+        let g = Digraph::from_edges(2, &[(0, 1)]).unwrap();
+        let dot = g.to_dot("g");
+        assert!(dot.contains("digraph g"));
+        assert!(dot.contains("p0 -> p1;"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Strongly connected components, condensations, and root components.
+//!
+//! A *root component* (also "source component" in the paper's VSSC
+//! terminology, [6, 23]) is an SCC with no incoming edges from outside. A
+//! graph is *rooted* iff it has exactly one root component and that component
+//! reaches every node — equivalently, `Ker(G) ≠ ∅`; the kernel is then
+//! exactly the node set of the unique root component that reaches all.
+
+use crate::{mask, Digraph, Pid, PidMask};
+
+/// The strongly-connected-component decomposition of a [`Digraph`].
+///
+/// Components are numbered in *reverse topological order of discovery* by
+/// Tarjan's algorithm: if there is an edge from component `a` to component
+/// `b` (with `a ≠ b`) then `comp_id` of the source is **greater** than that
+/// of the target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccDecomposition {
+    n: usize,
+    /// `comp_of[p]` is the component id of process `p`.
+    comp_of: Vec<usize>,
+    /// `members[c]` is the bitmask of component `c`'s members.
+    members: Vec<PidMask>,
+}
+
+impl SccDecomposition {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component id of process `p`.
+    pub fn component_of(&self, p: Pid) -> usize {
+        self.comp_of[p]
+    }
+
+    /// Members of component `c` as a bitmask.
+    pub fn members(&self, c: usize) -> PidMask {
+        self.members[c]
+    }
+
+    /// Iterate over all components as bitmasks.
+    pub fn iter(&self) -> impl Iterator<Item = PidMask> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Whether `p` and `q` are in the same SCC.
+    pub fn same_component(&self, p: Pid, q: Pid) -> bool {
+        self.comp_of[p] == self.comp_of[q]
+    }
+}
+
+/// Compute the SCC decomposition with an iterative Tarjan algorithm.
+///
+/// ```
+/// use dyngraph::{Digraph, scc};
+/// let g = Digraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]).unwrap();
+/// let d = scc::decompose(&g);
+/// assert_eq!(d.count(), 2);
+/// assert!(d.same_component(0, 1));
+/// assert!(d.same_component(2, 3));
+/// assert!(!d.same_component(1, 2));
+/// ```
+pub fn decompose(g: &Digraph) -> SccDecomposition {
+    let n = g.n();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<Pid> = Vec::new();
+    let mut comp_of = vec![UNSET; n];
+    let mut members: Vec<PidMask> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Explicit DFS stack: (node, iterator position over out-neighbors).
+    enum Frame {
+        Enter(Pid),
+        Resume(Pid, usize),
+    }
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(start)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut i) => {
+                    let succs: Vec<Pid> = g.out_neighbors(v).collect();
+                    let mut descended = false;
+                    while i < succs.len() {
+                        let w = succs[i];
+                        i += 1;
+                        if index[w] == UNSET {
+                            frames.push(Frame::Resume(v, i));
+                            frames.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All successors done: close the SCC if v is a root.
+                    if lowlink[v] == index[v] {
+                        let c = members.len();
+                        let mut m = 0;
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp_of[w] = c;
+                            m |= mask::singleton(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        members.push(m);
+                    }
+                    // Propagate lowlink to parent (if any).
+                    if let Some(Frame::Resume(parent, _)) = frames.last() {
+                        let parent = *parent;
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+
+    SccDecomposition { n, comp_of, members }
+}
+
+/// The condensation: a DAG on the SCCs of `g`.
+///
+/// Node `c` of the returned graph is component `c` of [`decompose`].
+pub fn condensation(g: &Digraph) -> (SccDecomposition, Digraph) {
+    let d = decompose(g);
+    let mut dag = Digraph::empty(d.count().max(1));
+    for (p, q) in g.edges() {
+        let (a, b) = (d.comp_of[p], d.comp_of[q]);
+        if a != b {
+            dag.add_edge(a, b);
+        }
+    }
+    (d, dag)
+}
+
+/// The *root components* of `g`: SCCs with no incoming edge from outside.
+///
+/// Every graph has at least one root component. A graph is rooted (has a
+/// nonempty kernel) iff it has exactly **one** root component *and* that
+/// component reaches every node; for arbitrary graphs, members of a unique
+/// all-reaching root component are exactly [`Digraph::kernel`].
+///
+/// ```
+/// use dyngraph::{Digraph, scc};
+/// // Two isolated nodes: two root components.
+/// let g = Digraph::empty(2);
+/// assert_eq!(scc::root_components(&g).len(), 2);
+/// // 0 → 1: one root component {0}.
+/// let g = Digraph::from_edges(2, &[(0, 1)]).unwrap();
+/// assert_eq!(scc::root_components(&g), vec![0b01]);
+/// ```
+pub fn root_components(g: &Digraph) -> Vec<PidMask> {
+    let (d, dag) = condensation(g);
+    (0..d.count()).filter(|&c| dag.in_degree(c) == 0).map(|c| d.members(c)).collect()
+}
+
+/// The unique root component if `g` is rooted, else `None`.
+pub fn rooted_source(g: &Digraph) -> Option<PidMask> {
+    let roots = root_components(g);
+    if roots.len() == 1 && g.kernel_mask() != 0 {
+        Some(roots[0])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_one_component() {
+        let g = Digraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let d = decompose(&g);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.members(0), 0b11111);
+    }
+
+    #[test]
+    fn dag_components_are_singletons() {
+        let g = Digraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let d = decompose(&g);
+        assert_eq!(d.count(), 3);
+        for p in 0..3 {
+            assert_eq!(d.members(d.component_of(p)), mask::singleton(p));
+        }
+    }
+
+    #[test]
+    fn topological_numbering() {
+        // Edge (0,1): component of 0 must have a larger id than component of 1.
+        let g = Digraph::from_edges(2, &[(0, 1)]).unwrap();
+        let d = decompose(&g);
+        assert!(d.component_of(0) > d.component_of(1));
+    }
+
+    #[test]
+    fn condensation_is_dag() {
+        let g =
+            Digraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (0, 3)]).unwrap();
+        let (d, dag) = condensation(&g);
+        assert_eq!(d.count(), 2);
+        assert_eq!(dag.edge_count(), 1);
+        // The DAG has no cycles: kernel of the transpose-free check.
+        assert!(decompose(&dag).count() == dag.n());
+    }
+
+    #[test]
+    fn root_components_of_empty_graph() {
+        let g = Digraph::empty(3);
+        let roots = root_components(&g);
+        assert_eq!(roots.len(), 3);
+    }
+
+    #[test]
+    fn rooted_source_matches_kernel() {
+        let g = Digraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        let src = rooted_source(&g).unwrap();
+        assert_eq!(src, 0b011);
+        assert_eq!(g.kernel_mask(), 0b011);
+    }
+
+    #[test]
+    fn two_roots_means_not_rooted() {
+        // 0 → 2 ← 1: roots {0} and {1}, no kernel.
+        let g = Digraph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        assert_eq!(root_components(&g).len(), 2);
+        assert!(rooted_source(&g).is_none());
+        assert!(!g.is_rooted());
+    }
+
+    #[test]
+    fn unique_root_not_reaching_all_is_not_rooted() {
+        // 0→1 and isolated 2: single root comp {0}? No — {2} is also a root.
+        let g = Digraph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(root_components(&g).len(), 2);
+        assert!(rooted_source(&g).is_none());
+    }
+
+    #[test]
+    fn large_random_graph_component_partition() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = rng.random_range(1..=10);
+            let mut g = Digraph::empty(n);
+            for p in 0..n {
+                for q in 0..n {
+                    if p != q && rng.random_bool(0.3) {
+                        g.add_edge(p, q);
+                    }
+                }
+            }
+            let d = decompose(&g);
+            // Partition property: each process in exactly the claimed mask.
+            let mut seen = 0u32;
+            for c in 0..d.count() {
+                assert_eq!(seen & d.members(c), 0, "components overlap");
+                seen |= d.members(c);
+                for p in mask::iter(d.members(c)) {
+                    assert_eq!(d.component_of(p), c);
+                }
+            }
+            assert_eq!(seen, mask::full(n));
+            // Mutual reachability within components.
+            for c in 0..d.count() {
+                let ms = mask::to_vec(d.members(c));
+                for &p in &ms {
+                    for &q in &ms {
+                        assert!(mask::contains(g.reach_mask(p), q));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Runs: input assignment + graph sequence, with interned views.
+
+use std::fmt;
+
+use dyngraph::{influence::InfluenceTracker, GraphSeq, Lasso, Pid, Round};
+
+use crate::{Inputs, Value, ViewId, ViewTable};
+
+/// A finite run: an input assignment together with a graph-sequence prefix,
+/// plus every process's interned view at every time `0 ≤ t ≤ T`.
+///
+/// This is the finite shadow of a point of the paper's space `PT^ω`: the
+/// depth-`T` prefix determines every distance value `≥ 2^{−T}` (§4).
+///
+/// ```
+/// use dyngraph::GraphSeq;
+/// use ptgraph::{PrefixRun, ViewTable};
+///
+/// let mut table = ViewTable::new(2);
+/// let seq = GraphSeq::parse2("-> <-").unwrap();
+/// let run = PrefixRun::compute(vec![0, 1], &seq, &mut table);
+/// // After round 1 (→), process 1 knows x_0.
+/// assert_eq!(table.data(run.view(1, 1)).input_of(0), Some(0));
+/// // Process 0 learns x_1 only in round 2 (←).
+/// assert_eq!(table.data(run.view(0, 1)).input_of(1), None);
+/// assert_eq!(table.data(run.view(0, 2)).input_of(1), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct PrefixRun {
+    inputs: Inputs,
+    seq: GraphSeq,
+    /// `views[t][p]` = view of `p` at time `t`, for `0 ≤ t ≤ seq.rounds()`.
+    views: Vec<Vec<ViewId>>,
+}
+
+impl PrefixRun {
+    /// Compute the run of `inputs` under `seq`, interning views in `table`.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len()` disagrees with `table.n()` or with the
+    /// graphs of `seq`.
+    pub fn compute(inputs: Inputs, seq: &GraphSeq, table: &mut ViewTable) -> Self {
+        let n = table.n();
+        assert_eq!(inputs.len(), n, "inputs must cover every process");
+        if let Some(m) = seq.n() {
+            assert_eq!(m, n, "sequence and table disagree on n");
+        }
+        let mut views: Vec<Vec<ViewId>> = Vec::with_capacity(seq.rounds() + 1);
+        views.push((0..n).map(|p| table.intern_initial(p, inputs[p])).collect());
+        for t in 1..=seq.rounds() {
+            let g = seq.graph(t);
+            let prev = &views[t - 1];
+            let mut cur = Vec::with_capacity(n);
+            for q in 0..n {
+                let received: Vec<(Pid, ViewId)> =
+                    g.in_neighbors(q).map(|p| (p, prev[p])).collect();
+                cur.push(table.intern_round(q, prev[q], &received));
+            }
+            views.push(cur);
+        }
+        PrefixRun { inputs, seq: seq.clone(), views }
+    }
+
+    /// The input assignment.
+    pub fn inputs(&self) -> &[Value] {
+        &self.inputs
+    }
+
+    /// The graph-sequence prefix.
+    pub fn seq(&self) -> &GraphSeq {
+        &self.seq
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of rounds `T` of the prefix.
+    pub fn rounds(&self) -> usize {
+        self.seq.rounds()
+    }
+
+    /// The interned view of `p` at time `t` (`0 ≤ t ≤ rounds()`).
+    ///
+    /// # Panics
+    /// Panics if `p` or `t` is out of range.
+    pub fn view(&self, p: Pid, t: usize) -> ViewId {
+        self.views[t][p]
+    }
+
+    /// All views at time `t`, indexed by process.
+    pub fn views_at(&self, t: usize) -> &[ViewId] {
+        &self.views[t]
+    }
+
+    /// Whether this run is `v`-valent: every process starts with `v`.
+    pub fn is_valent(&self, v: Value) -> bool {
+        self.inputs.iter().all(|&x| x == v)
+    }
+
+    /// The earliest time by which **every** process has `p`'s initial value
+    /// in its view — `p`'s broadcast completion `T(a)` (paper Def. 5.8) —
+    /// or `None` within this prefix.
+    pub fn broadcast_complete(&self, p: Pid, table: &ViewTable) -> Option<Round> {
+        (0..=self.rounds())
+            .find(|&t| (0..self.n()).all(|q| table.data(self.view(q, t)).has_heard(p)))
+    }
+
+    /// Extend the run by one round with graph `g`.
+    ///
+    /// # Panics
+    /// Panics on mismatched `n`.
+    pub fn extended(&self, g: dyngraph::Digraph, table: &mut ViewTable) -> Self {
+        let n = self.n();
+        assert_eq!(g.n(), n);
+        let t = self.rounds();
+        let prev = &self.views[t];
+        let mut cur = Vec::with_capacity(n);
+        for q in 0..n {
+            let received: Vec<(Pid, ViewId)> = g.in_neighbors(q).map(|p| (p, prev[p])).collect();
+            cur.push(table.intern_round(q, prev[q], &received));
+        }
+        let mut views = self.views.clone();
+        views.push(cur);
+        PrefixRun { inputs: self.inputs.clone(), seq: self.seq.extended(g), views }
+    }
+}
+
+impl fmt::Debug for PrefixRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Run(x={:?}, σ={})", self.inputs, self.seq)
+    }
+}
+
+impl fmt::Display for PrefixRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x={:?} under {}", self.inputs, self.seq)
+    }
+}
+
+/// An infinite run: an input assignment with an ultimately periodic
+/// ([`Lasso`]) graph sequence.
+///
+/// Infinite runs are exact points of `PT^ω`; the zero-distance structure
+/// between them is decided by [`crate::contamination`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct InfiniteRun {
+    inputs: Inputs,
+    lasso: Lasso,
+}
+
+impl InfiniteRun {
+    /// Build from inputs and a lasso sequence.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != lasso.n()`.
+    pub fn new(inputs: Inputs, lasso: Lasso) -> Self {
+        assert_eq!(inputs.len(), lasso.n(), "inputs must cover every process");
+        InfiniteRun { inputs, lasso }
+    }
+
+    /// The input assignment.
+    pub fn inputs(&self) -> &[Value] {
+        &self.inputs
+    }
+
+    /// The lasso graph sequence.
+    pub fn lasso(&self) -> &Lasso {
+        &self.lasso
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether every process starts with `v`.
+    pub fn is_valent(&self, v: Value) -> bool {
+        self.inputs.iter().all(|&x| x == v)
+    }
+
+    /// The depth-`t` finite shadow of this run.
+    pub fn prefix(&self, t: usize, table: &mut ViewTable) -> PrefixRun {
+        PrefixRun::compute(self.inputs.clone(), &self.lasso.unroll(t), table)
+    }
+
+    /// The earliest round by which `p` has broadcast, decided exactly over
+    /// the infinite sequence (`None` = never).
+    pub fn broadcast_round(&self, p: Pid) -> Option<Round> {
+        if self.n() == 1 {
+            return Some(0);
+        }
+        self.lasso.broadcast_round(p)
+    }
+
+    /// The set of processes that broadcast in this run (ever).
+    pub fn broadcasters(&self) -> Vec<Pid> {
+        (0..self.n()).filter(|&p| self.broadcast_round(p).is_some()).collect()
+    }
+
+    /// The influence tracker advanced `t` rounds along this run.
+    pub fn influence_at(&self, t: usize) -> InfluenceTracker {
+        let mut tr = InfluenceTracker::new(self.n());
+        for r in 1..=t {
+            tr.step(self.lasso.graph_at(r));
+        }
+        tr
+    }
+}
+
+impl fmt::Debug for InfiniteRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InfiniteRun(x={:?}, σ={})", self.inputs, self.lasso)
+    }
+}
+
+impl fmt::Display for InfiniteRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x={:?} under {}", self.inputs, self.lasso)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyngraph::Digraph;
+
+    fn table2() -> ViewTable {
+        ViewTable::new(2)
+    }
+
+    #[test]
+    fn views_deterministic_and_shared() {
+        let mut t = table2();
+        let seq = GraphSeq::parse2("-> <-").unwrap();
+        let a = PrefixRun::compute(vec![0, 1], &seq, &mut t);
+        let b = PrefixRun::compute(vec![0, 1], &seq, &mut t);
+        for time in 0..=2 {
+            assert_eq!(a.views_at(time), b.views_at(time));
+        }
+    }
+
+    #[test]
+    fn same_view_iff_indistinguishable() {
+        let mut t = table2();
+        // Under →^2, p0 never hears p1: its views agree across x_1 ∈ {0, 1}.
+        let seq = GraphSeq::parse2("-> ->").unwrap();
+        let a = PrefixRun::compute(vec![0, 0], &seq, &mut t);
+        let b = PrefixRun::compute(vec![0, 1], &seq, &mut t);
+        assert_eq!(a.view(0, 2), b.view(0, 2));
+        // p1 received x_0 both times but its own input differs.
+        assert_ne!(a.view(1, 1), b.view(1, 1));
+    }
+
+    #[test]
+    fn graph_difference_contaminates_receiver() {
+        let mut t = table2();
+        let a = PrefixRun::compute(vec![0, 1], &GraphSeq::parse2("->").unwrap(), &mut t);
+        let b = PrefixRun::compute(vec![0, 1], &GraphSeq::parse2(".").unwrap(), &mut t);
+        // p1 received in a but not in b.
+        assert_ne!(a.view(1, 1), b.view(1, 1));
+        // p0 sent in both (sending is invisible): views equal.
+        assert_eq!(a.view(0, 1), b.view(0, 1));
+    }
+
+    #[test]
+    fn broadcast_complete_matches_influence() {
+        let mut t = ViewTable::new(3);
+        let g1 = Digraph::from_edges(3, &[(0, 1)]).unwrap();
+        let g2 = Digraph::from_edges(3, &[(1, 2)]).unwrap();
+        let seq = GraphSeq::from_graphs(vec![g1, g2]);
+        let run = PrefixRun::compute(vec![5, 6, 7], &seq, &mut t);
+        assert_eq!(run.broadcast_complete(0, &t), Some(2));
+        assert_eq!(run.broadcast_complete(1, &t), None);
+        assert_eq!(seq.broadcast_round(0), Some(2));
+    }
+
+    #[test]
+    fn extended_matches_recompute() {
+        let mut t = table2();
+        let seq = GraphSeq::parse2("->").unwrap();
+        let run = PrefixRun::compute(vec![1, 0], &seq, &mut t);
+        let g = Digraph::parse2("<-").unwrap();
+        let ext = run.extended(g.clone(), &mut t);
+        let direct = PrefixRun::compute(vec![1, 0], &seq.extended(g), &mut t);
+        assert_eq!(ext.views_at(2), direct.views_at(2));
+        assert_eq!(ext.seq(), direct.seq());
+    }
+
+    #[test]
+    fn valence() {
+        let mut t = table2();
+        let seq = GraphSeq::parse2("->").unwrap();
+        assert!(PrefixRun::compute(vec![1, 1], &seq, &mut t).is_valent(1));
+        assert!(!PrefixRun::compute(vec![1, 0], &seq, &mut t).is_valent(1));
+    }
+
+    #[test]
+    fn infinite_run_prefix_consistency() {
+        let mut t = table2();
+        let run = InfiniteRun::new(vec![0, 1], Lasso::parse2("-> | <-").unwrap());
+        let p3 = run.prefix(3, &mut t);
+        let p5 = run.prefix(5, &mut t);
+        for time in 0..=3 {
+            assert_eq!(p3.views_at(time), p5.views_at(time));
+        }
+    }
+
+    #[test]
+    fn infinite_run_broadcasters() {
+        // →^ω: only p0 broadcasts.
+        let run = InfiniteRun::new(vec![0, 1], Lasso::constant(Digraph::parse2("->").unwrap()));
+        assert_eq!(run.broadcasters(), vec![0]);
+        // → then ←^ω: both broadcast.
+        let run = InfiniteRun::new(vec![0, 1], Lasso::parse2("-> | <-").unwrap());
+        assert_eq!(run.broadcasters(), vec![0, 1]);
+        assert_eq!(run.broadcast_round(1), Some(2));
+    }
+
+    #[test]
+    fn single_process_always_broadcasts() {
+        let run = InfiniteRun::new(vec![3], Lasso::constant(Digraph::empty(1)));
+        assert_eq!(run.broadcast_round(0), Some(0));
+    }
+}

@@ -1,0 +1,376 @@
+//! Hash-consed local views.
+//!
+//! The view `V_{p}(PT^t)` of the paper (§3/§4) — process `p`'s causal past at
+//! time `t` — is represented structurally:
+//!
+//! * at time 0, the view is the pair `(p, x_p)`;
+//! * at time `t ≥ 1`, the view is `p`'s previous view plus the sorted list of
+//!   `(q, q's view at t−1)` for every in-neighbor `q` of round `t`.
+//!
+//! Views are interned in a [`ViewTable`]: structural equality of causal pasts
+//! becomes pointer ([`ViewId`]) equality, which is what makes the
+//! prefix-space machinery (bucketing runs by view) cheap. The table also
+//! memoizes per-view metadata — which processes are in the causal past and
+//! which *initial values* are known — used by the broadcastability
+//! characterization (paper Theorem 5.11).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dyngraph::{mask, Pid, PidMask};
+use serde::{Deserialize, Serialize};
+
+use crate::Value;
+
+/// An interned view handle. Equal ids ⟺ identical causal pasts (within one
+/// [`ViewTable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ViewId(u32);
+
+impl ViewId {
+    /// The raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The structural key of a view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ViewKey {
+    /// Time-0 view: own process id and input value.
+    Initial { p: u8, x: Value },
+    /// Time-t view: own previous view plus received views, sorted by sender.
+    Round { p: u8, prev: ViewId, received: Box<[(u8, ViewId)]> },
+}
+
+/// Metadata cached for each interned view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewData {
+    /// The owning process.
+    pub process: Pid,
+    /// The time of the view (0 for initial views).
+    pub time: usize,
+    /// Bitmask of processes whose initial node `(q, 0, x_q)` is in the
+    /// causal past (always contains the owner).
+    pub heard: PidMask,
+    /// The known initial values, sorted by process id; exactly one entry per
+    /// set bit of `heard`.
+    pub known_inputs: Box<[(Pid, Value)]>,
+}
+
+impl ViewData {
+    /// The owner's own input value.
+    pub fn own_input(&self) -> Value {
+        self.input_of(self.process).expect("owner's input is always known")
+    }
+
+    /// The initial value of `q` if `(q, 0, x_q)` is in the causal past.
+    pub fn input_of(&self, q: Pid) -> Option<Value> {
+        self.known_inputs
+            .binary_search_by_key(&q, |&(pid, _)| pid)
+            .ok()
+            .map(|i| self.known_inputs[i].1)
+    }
+
+    /// Whether `q`'s initial node is in the causal past — "the owner has
+    /// heard from `q`" (paper Definition 5.8 uses this with `q` the
+    /// broadcaster).
+    pub fn has_heard(&self, q: Pid) -> bool {
+        mask::contains(self.heard, q)
+    }
+
+    /// The smallest initial value in the causal past (the decision rule of
+    /// the classic min-flooding baseline).
+    pub fn min_known_input(&self) -> Value {
+        self.known_inputs.iter().map(|&(_, v)| v).min().expect("view knows its own input")
+    }
+}
+
+/// Interner for views; see the module docs.
+///
+/// ```
+/// use ptgraph::{ViewTable, ViewId};
+/// let mut table = ViewTable::new(2);
+/// let a = table.intern_initial(0, 7);
+/// let b = table.intern_initial(0, 7);
+/// let c = table.intern_initial(0, 8);
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// assert_eq!(table.data(a).own_input(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ViewTable {
+    n: usize,
+    index: HashMap<ViewKey, ViewId>,
+    data: Vec<ViewData>,
+    keys: Vec<ViewKey>,
+}
+
+impl ViewTable {
+    /// A fresh table for systems of `n` processes.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n > dyngraph::MAX_N`.
+    pub fn new(n: usize) -> Self {
+        assert!((1..=dyngraph::MAX_N).contains(&n));
+        ViewTable { n, index: HashMap::new(), data: Vec::new(), keys: Vec::new() }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct views interned so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Intern the time-0 view of process `p` with input `x`.
+    ///
+    /// # Panics
+    /// Panics if `p ≥ n`.
+    pub fn intern_initial(&mut self, p: Pid, x: Value) -> ViewId {
+        assert!(p < self.n);
+        let key = ViewKey::Initial { p: p as u8, x };
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let data = ViewData {
+            process: p,
+            time: 0,
+            heard: mask::singleton(p),
+            known_inputs: vec![(p, x)].into_boxed_slice(),
+        };
+        self.insert(key, data)
+    }
+
+    /// Intern the round-`t` view of process `p` from its previous view and
+    /// the received `(sender, sender's previous view)` pairs.
+    ///
+    /// `received` need not be sorted and must not contain `p` itself (a
+    /// self-loop delivery is redundant with `prev` and is ignored).
+    ///
+    /// # Panics
+    /// Panics if `prev` does not belong to `p`, if a received view does not
+    /// belong to its claimed sender, or if times are inconsistent.
+    pub fn intern_round(&mut self, p: Pid, prev: ViewId, received: &[(Pid, ViewId)]) -> ViewId {
+        let prev_data = &self.data[prev.index()];
+        assert_eq!(prev_data.process, p, "prev view must belong to p");
+        let t = prev_data.time + 1;
+
+        let mut rec: Vec<(u8, ViewId)> = Vec::with_capacity(received.len());
+        for &(q, vid) in received {
+            if q == p {
+                continue;
+            }
+            let d = &self.data[vid.index()];
+            assert_eq!(d.process, q, "received view must belong to its sender");
+            assert_eq!(d.time, t - 1, "received view must be from the previous round");
+            rec.push((q as u8, vid));
+        }
+        rec.sort_unstable_by_key(|&(q, _)| q);
+        rec.dedup_by_key(|&mut (q, _)| q);
+
+        let key = ViewKey::Round { p: p as u8, prev, received: rec.clone().into_boxed_slice() };
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+
+        // Merge metadata.
+        let mut heard = self.data[prev.index()].heard;
+        let mut known: Vec<(Pid, Value)> = self.data[prev.index()].known_inputs.to_vec();
+        for &(_, vid) in &rec {
+            let d = &self.data[vid.index()];
+            heard |= d.heard;
+            known.extend(d.known_inputs.iter().copied());
+        }
+        known.sort_unstable_by_key(|&(q, _)| q);
+        known.dedup_by_key(|&mut (q, _)| q);
+        debug_assert_eq!(known.len(), heard.count_ones() as usize);
+
+        let data =
+            ViewData { process: p, time: t, heard, known_inputs: known.into_boxed_slice() };
+        self.insert(key, data)
+    }
+
+    fn insert(&mut self, key: ViewKey, data: ViewData) -> ViewId {
+        let id = ViewId(u32::try_from(self.data.len()).expect("view table overflow"));
+        self.index.insert(key.clone(), id);
+        self.keys.push(key);
+        self.data.push(data);
+        id
+    }
+
+    /// Metadata of an interned view.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this table.
+    pub fn data(&self, id: ViewId) -> &ViewData {
+        &self.data[id.index()]
+    }
+
+    /// The `(sender, view)` pairs received in the view's round (empty for
+    /// initial views).
+    pub fn received(&self, id: ViewId) -> &[(u8, ViewId)] {
+        match &self.keys[id.index()] {
+            ViewKey::Initial { .. } => &[],
+            ViewKey::Round { received, .. } => received,
+        }
+    }
+
+    /// The previous view of the same process, or `None` for initial views.
+    pub fn prev(&self, id: ViewId) -> Option<ViewId> {
+        match &self.keys[id.index()] {
+            ViewKey::Initial { .. } => None,
+            ViewKey::Round { prev, .. } => Some(*prev),
+        }
+    }
+
+    /// Render a view as a nested term, e.g. `p0[p0(x=1) | p1(x=0)←p1]`.
+    pub fn render(&self, id: ViewId) -> String {
+        match &self.keys[id.index()] {
+            ViewKey::Initial { p, x } => format!("p{p}(x={x})"),
+            ViewKey::Round { p, prev, received } => {
+                let mut s = format!("p{p}[{}", self.render(*prev));
+                for &(q, vid) in received.iter() {
+                    s.push_str(&format!(" | {}←p{q}", self.render(vid)));
+                }
+                s.push(']');
+                s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_views_deduplicate() {
+        let mut t = ViewTable::new(3);
+        let a = t.intern_initial(1, 5);
+        let b = t.intern_initial(1, 5);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert_ne!(t.intern_initial(2, 5), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn round_views_deduplicate_regardless_of_order() {
+        let mut t = ViewTable::new(3);
+        let v0 = t.intern_initial(0, 0);
+        let v1 = t.intern_initial(1, 1);
+        let v2 = t.intern_initial(2, 0);
+        let a = t.intern_round(0, v0, &[(1, v1), (2, v2)]);
+        let b = t.intern_round(0, v0, &[(2, v2), (1, v1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn self_delivery_ignored() {
+        let mut t = ViewTable::new(2);
+        let v0 = t.intern_initial(0, 3);
+        let a = t.intern_round(0, v0, &[(0, v0)]);
+        let b = t.intern_round(0, v0, &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metadata_accumulates() {
+        let mut t = ViewTable::new(3);
+        let v0 = t.intern_initial(0, 10);
+        let v1 = t.intern_initial(1, 20);
+        let r = t.intern_round(0, v0, &[(1, v1)]);
+        let d = t.data(r);
+        assert_eq!(d.time, 1);
+        assert_eq!(d.heard, 0b011);
+        assert_eq!(d.input_of(1), Some(20));
+        assert_eq!(d.input_of(2), None);
+        assert_eq!(d.own_input(), 10);
+        assert_eq!(d.min_known_input(), 10);
+        assert!(d.has_heard(1));
+        assert!(!d.has_heard(2));
+    }
+
+    #[test]
+    fn two_hop_knowledge() {
+        let mut t = ViewTable::new(3);
+        let v0 = t.intern_initial(0, 1);
+        let v1 = t.intern_initial(1, 2);
+        let v2 = t.intern_initial(2, 3);
+        // Round 1: 0 → 1.
+        let v1r1 = t.intern_round(1, v1, &[(0, v0)]);
+        let v2r1 = t.intern_round(2, v2, &[]);
+        // Round 2: 1 → 2.
+        let v2r2 = t.intern_round(2, v2r1, &[(1, v1r1)]);
+        let d = t.data(v2r2);
+        assert_eq!(d.heard, 0b111);
+        assert_eq!(d.input_of(0), Some(1));
+        assert_eq!(d.min_known_input(), 1);
+    }
+
+    #[test]
+    fn different_inputs_different_views() {
+        let mut t = ViewTable::new(2);
+        let a0 = t.intern_initial(0, 0);
+        let b0 = t.intern_initial(0, 1);
+        assert_ne!(a0, b0);
+        let a1 = t.intern_round(0, a0, &[]);
+        let b1 = t.intern_round(0, b0, &[]);
+        assert_ne!(a1, b1, "views with different causal pasts never merge");
+    }
+
+    #[test]
+    fn prev_and_received_accessors() {
+        let mut t = ViewTable::new(2);
+        let v0 = t.intern_initial(0, 0);
+        let w0 = t.intern_initial(1, 1);
+        let r = t.intern_round(0, v0, &[(1, w0)]);
+        assert_eq!(t.prev(r), Some(v0));
+        assert_eq!(t.prev(v0), None);
+        assert_eq!(t.received(r), &[(1u8, w0)]);
+        assert!(t.received(v0).is_empty());
+    }
+
+    #[test]
+    fn render_nested() {
+        let mut t = ViewTable::new(2);
+        let v0 = t.intern_initial(0, 1);
+        let w0 = t.intern_initial(1, 0);
+        let r = t.intern_round(0, v0, &[(1, w0)]);
+        assert_eq!(t.render(r), "p0[p0(x=1) | p1(x=0)←p1]");
+    }
+
+    #[test]
+    #[should_panic(expected = "prev view must belong to p")]
+    fn intern_round_checks_owner() {
+        let mut t = ViewTable::new(2);
+        let v0 = t.intern_initial(0, 0);
+        let _ = t.intern_round(1, v0, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous round")]
+    fn intern_round_checks_times() {
+        let mut t = ViewTable::new(2);
+        let v0 = t.intern_initial(0, 0);
+        let v1 = t.intern_round(0, v0, &[]);
+        let w0 = t.intern_initial(1, 0);
+        // w0 is at time 0 but p0's prev is at time 1 → received must be time 1.
+        let _ = t.intern_round(0, v1, &[(1, w0)]);
+    }
+}

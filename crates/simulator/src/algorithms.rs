@@ -1,0 +1,303 @@
+//! Reference algorithms.
+
+use dyngraph::Pid;
+use ptgraph::Value;
+
+use crate::Algorithm;
+
+/// Min-flooding with a fixed decision round: carry the minimum input seen,
+/// decide it at the end of round `decide_round`.
+///
+/// Correct exactly when the adversary guarantees that all-to-all influence
+/// completes within the decision round (e.g. oblivious adversaries whose
+/// every graph is strongly connected with `decide_round ≥ n − 1`); used as
+/// the classic baseline the universal algorithm is compared against.
+#[derive(Debug, Clone)]
+pub struct FloodMin {
+    decide_round: usize,
+}
+
+impl FloodMin {
+    /// Decide at the end of round `decide_round`.
+    pub fn new(decide_round: usize) -> Self {
+        FloodMin { decide_round }
+    }
+}
+
+/// State of [`FloodMin`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloodMinState {
+    /// Minimum input value seen so far.
+    pub min: Value,
+    /// Rounds elapsed.
+    pub round: usize,
+    /// The decision, once taken.
+    pub decided: Option<Value>,
+}
+
+impl Algorithm for FloodMin {
+    type State = FloodMinState;
+
+    fn init(&self, _p: Pid, x: Value) -> FloodMinState {
+        FloodMinState { min: x, round: 0, decided: if self.decide_round == 0 { Some(x) } else { None } }
+    }
+
+    fn step(&self, _p: Pid, state: &FloodMinState, received: &[(Pid, FloodMinState)]) -> FloodMinState {
+        let min = received.iter().map(|(_, s)| s.min).chain([state.min]).min().expect("nonempty");
+        let round = state.round + 1;
+        let decided = state.decided.or(if round >= self.decide_round { Some(min) } else { None });
+        FloodMinState { min, round, decided }
+    }
+
+    fn decision(&self, _p: Pid, state: &FloodMinState) -> Option<Value> {
+        state.decided
+    }
+}
+
+/// The one-round algorithm for the reduced lossy link `{←, →}` on `n = 2`
+/// (paper §6.1, [8]): in every round exactly one direction is delivered, so
+/// after round 1 **both** processes know the direction — the receiver got a
+/// message, the sender did not. Decide the round-1 sender's input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirectionRule;
+
+/// State of [`DirectionRule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectionState {
+    /// Own input.
+    pub x: Value,
+    /// The decision after round 1.
+    pub decided: Option<Value>,
+}
+
+impl Algorithm for DirectionRule {
+    type State = DirectionState;
+
+    fn init(&self, _p: Pid, x: Value) -> DirectionState {
+        DirectionState { x, decided: None }
+    }
+
+    fn step(&self, _p: Pid, state: &DirectionState, received: &[(Pid, DirectionState)]) -> DirectionState {
+        if state.decided.is_some() {
+            return state.clone();
+        }
+        // Round 1: received ⟹ the round went towards me ⟹ decide the
+        // sender's input; otherwise I was the sender ⟹ decide my own.
+        let decided = Some(match received.first() {
+            Some((_, sender)) => sender.x,
+            None => state.x,
+        });
+        DirectionState { x: state.x, decided }
+    }
+
+    fn decision(&self, _p: Pid, state: &DirectionState) -> Option<Value> {
+        state.decided
+    }
+}
+
+/// Adaptive min-flooding: carry the set of known `(process, input)` pairs;
+/// decide the minimum once `quiet_rounds` consecutive rounds brought no new
+/// information.
+///
+/// A natural "wait until knowledge stabilizes" heuristic — and a useful
+/// *negative* baseline: under the lossy link it is fooled exactly by the
+/// runs where the silence is the adversary's doing (tested), illustrating
+/// why stability of local knowledge is not common knowledge.
+#[derive(Debug, Clone)]
+pub struct AdaptiveFlood {
+    quiet_rounds: usize,
+}
+
+impl AdaptiveFlood {
+    /// Decide after `quiet_rounds` rounds without new information.
+    ///
+    /// # Panics
+    /// Panics if `quiet_rounds == 0`.
+    pub fn new(quiet_rounds: usize) -> Self {
+        assert!(quiet_rounds >= 1, "need at least one quiet round");
+        AdaptiveFlood { quiet_rounds }
+    }
+}
+
+/// State of [`AdaptiveFlood`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveFloodState {
+    /// Known `(process, input)` pairs, sorted by process.
+    pub known: Vec<(Pid, Value)>,
+    /// Consecutive rounds without new information.
+    pub quiet: usize,
+    /// The decision once taken.
+    pub decided: Option<Value>,
+}
+
+impl Algorithm for AdaptiveFlood {
+    type State = AdaptiveFloodState;
+
+    fn init(&self, p: Pid, x: Value) -> AdaptiveFloodState {
+        AdaptiveFloodState { known: vec![(p, x)], quiet: 0, decided: None }
+    }
+
+    fn step(
+        &self,
+        _p: Pid,
+        state: &AdaptiveFloodState,
+        received: &[(Pid, AdaptiveFloodState)],
+    ) -> AdaptiveFloodState {
+        if state.decided.is_some() {
+            return state.clone();
+        }
+        let mut known = state.known.clone();
+        for (_, s) in received {
+            known.extend(s.known.iter().copied());
+        }
+        known.sort_unstable_by_key(|&(q, _)| q);
+        known.dedup_by_key(|&mut (q, _)| q);
+        let quiet = if known.len() == state.known.len() { state.quiet + 1 } else { 0 };
+        let decided = (quiet >= self.quiet_rounds)
+            .then(|| known.iter().map(|&(_, v)| v).min().expect("knows own input"));
+        AdaptiveFloodState { known, quiet, decided }
+    }
+
+    fn decision(&self, _p: Pid, state: &AdaptiveFloodState) -> Option<Value> {
+        state.decided
+    }
+}
+
+/// A full-information state machine: the state is the complete causal past,
+/// built as an explicit tree. No decision is ever taken (decision rules are
+/// layered on top, e.g. by the universal algorithm in `consensus-core`).
+///
+/// This is the transition function `τ` of the paper's §4 made executable;
+/// its continuity (Lemma 4.5) is checked in the integration tests by
+/// comparing state equality against interned-view equality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullInfo;
+
+/// State of [`FullInfo`]: an explicit causal-past tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FullInfoState {
+    /// Initial: own id and input.
+    Initial {
+        /// Process id.
+        p: Pid,
+        /// Input value.
+        x: Value,
+    },
+    /// After a round: previous state plus received states, sorted by sender.
+    Node {
+        /// Process id.
+        p: Pid,
+        /// Own previous state.
+        prev: Box<FullInfoState>,
+        /// Received `(sender, state)` pairs, sorted by sender.
+        received: Vec<(Pid, FullInfoState)>,
+    },
+}
+
+impl Algorithm for FullInfo {
+    type State = FullInfoState;
+
+    fn init(&self, p: Pid, x: Value) -> FullInfoState {
+        FullInfoState::Initial { p, x }
+    }
+
+    fn step(&self, p: Pid, state: &FullInfoState, received: &[(Pid, FullInfoState)]) -> FullInfoState {
+        let mut received = received.to_vec();
+        received.sort_by_key(|&(q, _)| q);
+        FullInfoState::Node { p, prev: Box::new(state.clone()), received }
+    }
+
+    fn decision(&self, _p: Pid, _state: &FullInfoState) -> Option<Value> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use dyngraph::GraphSeq;
+
+    #[test]
+    fn floodmin_decide_round_zero() {
+        let alg = FloodMin::new(0);
+        let exec = run(&alg, &[3, 1], &GraphSeq::parse2("<->").unwrap());
+        // Decides immediately on own input.
+        assert_eq!(exec.decision_of(0), Some((0, 3)));
+        assert_eq!(exec.decision_of(1), Some((0, 1)));
+    }
+
+    #[test]
+    fn floodmin_propagates_minimum() {
+        let alg = FloodMin::new(2);
+        let g = dyngraph::generators::cycle(3);
+        let seq = dyngraph::GraphSeq::from_graphs(vec![g.clone(), g]);
+        let exec = run(&alg, &[5, 1, 9], &seq);
+        assert_eq!(exec.consensus_value(), Some(1));
+    }
+
+    #[test]
+    fn direction_rule_all_inputs_all_directions() {
+        for (word, expect_idx) in [("->", 0usize), ("<-", 1usize)] {
+            for x0 in 0..2u32 {
+                for x1 in 0..2u32 {
+                    let exec =
+                        run(&DirectionRule, &[x0, x1], &GraphSeq::parse2(word).unwrap());
+                    let expect = [x0, x1][expect_idx];
+                    assert_eq!(exec.consensus_value(), Some(expect), "{word} {x0}{x1}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_flood_converges_on_complete_graph() {
+        let alg = AdaptiveFlood::new(1);
+        let g = dyngraph::Digraph::complete(3);
+        let seq = dyngraph::GraphSeq::from_graphs(vec![g.clone(), g.clone(), g]);
+        let exec = run(&alg, &[5, 2, 9], &seq);
+        assert_eq!(exec.consensus_value(), Some(2));
+        // Quiet after round 2 (round 1 brings everything, round 2 nothing).
+        assert!(exec.decision_of(0).unwrap().0 <= 2);
+    }
+
+    #[test]
+    fn adaptive_flood_fooled_by_lossy_link() {
+        // Under →^k, p0 never learns x1 and grows "quiet" immediately,
+        // deciding its own input while p1 knows both — the adversary makes
+        // local stability a lie.
+        let alg = AdaptiveFlood::new(1);
+        let exec = run(&alg, &[4, 1], &GraphSeq::parse2("-> -> ->").unwrap());
+        assert_eq!(exec.value_of(0), Some(4));
+        assert_eq!(exec.value_of(1), Some(1));
+        assert!(!exec.agreement_holds());
+    }
+
+    #[test]
+    fn adaptive_flood_waits_while_information_flows() {
+        let alg = AdaptiveFlood::new(2);
+        let g = dyngraph::generators::cycle(4);
+        let seq = dyngraph::GraphSeq::from_graphs(vec![g.clone(), g.clone(), g.clone(), g.clone(), g]);
+        let exec = run(&alg, &[3, 1, 4, 1], &seq);
+        // Information keeps arriving for 3 rounds, then 2 quiet rounds.
+        assert!(exec.all_decided());
+        assert_eq!(exec.consensus_value(), Some(1));
+        assert_eq!(exec.decision_of(0).unwrap().0, 5);
+    }
+
+    #[test]
+    fn full_info_states_mirror_views() {
+        // Two runs indistinguishable to p0 yield equal full-info states.
+        let seq = GraphSeq::parse2("-> ->").unwrap();
+        let a = run(&FullInfo, &[0, 0], &seq);
+        let b = run(&FullInfo, &[0, 1], &seq);
+        assert_eq!(a.states[2][0], b.states[2][0], "p0 cannot distinguish");
+        assert_ne!(a.states[2][1], b.states[2][1], "p1 received differing input");
+    }
+
+    #[test]
+    fn full_info_never_decides() {
+        let exec = run(&FullInfo, &[0, 1], &GraphSeq::parse2("<-> <->").unwrap());
+        assert!(!exec.all_decided());
+    }
+}

@@ -1,0 +1,66 @@
+//! Synchronous lock-step round simulator (paper §2).
+//!
+//! Executes deterministic algorithms over a dynamic network: in round `t`,
+//! every process sends its message, receives along the edges of `G_t`, and
+//! computes its next state (send–receive–compute order). An [`Algorithm`]
+//! is full-information-style: the round message is the sender's entire
+//! previous state, which loses no generality for the consensus algorithms of
+//! the paper and keeps the trait small.
+//!
+//! * [`engine`] — running an algorithm on a run, producing an
+//!   [`engine::Execution`] (the paper's configuration sequences `C^t`);
+//! * [`checker`] — exhaustive consensus verification (termination,
+//!   agreement, validity, irrevocability — Definition 5.1) over all
+//!   admissible runs of an adversary at a given depth;
+//! * [`algorithms`] — reference algorithms: min-flooding with a decision
+//!   round, the one-round direction rule for the `{←, →}` lossy link, and a
+//!   full-information state machine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use simulator::{algorithms::FloodMin, engine};
+//! use dyngraph::GraphSeq;
+//!
+//! // Min-flooding, deciding at round 2, on the 2-process sequence → ←.
+//! let alg = FloodMin::new(2);
+//! let exec = engine::run(&alg, &[5, 3], &GraphSeq::parse2("-> <-").unwrap());
+//! assert_eq!(exec.decision_of(0), Some((2, 3)));
+//! assert_eq!(exec.decision_of(1), Some((2, 3)));
+//! assert!(exec.agreement_holds());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod checker;
+pub mod engine;
+pub mod trace;
+
+use dyngraph::Pid;
+use ptgraph::Value;
+
+/// A deterministic full-information-style algorithm (paper §2).
+///
+/// The state must determine everything the process knows; the round message
+/// is the entire previous state. Decisions are read off states by
+/// [`Algorithm::decision`] and must be *irrevocable*: once a state decides
+/// `v`, every successor state must decide `v` (checked by
+/// [`checker::check_consensus`]).
+pub trait Algorithm {
+    /// Per-process local state.
+    type State: Clone + std::fmt::Debug;
+
+    /// The initial state of process `p` with input `x`. Processes do not
+    /// know `n` a priori (paper §2), so `n` is deliberately absent.
+    fn init(&self, p: Pid, x: Value) -> Self::State;
+
+    /// The state after one round, given the received `(sender, sender's
+    /// previous state)` pairs, sorted by sender.
+    fn step(&self, p: Pid, state: &Self::State, received: &[(Pid, Self::State)])
+        -> Self::State;
+
+    /// The decision recorded in the state, if any.
+    fn decision(&self, p: Pid, state: &Self::State) -> Option<Value>;
+}

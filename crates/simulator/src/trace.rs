@@ -1,0 +1,92 @@
+//! Human-readable execution transcripts.
+//!
+//! Renders an [`crate::engine::Execution`] round by round: the communication
+//! graph, each process's state, and decision events — useful for debugging
+//! synthesized algorithms and for the example binaries.
+
+use std::fmt::Write as _;
+
+use dyngraph::GraphSeq;
+use ptgraph::Value;
+
+use crate::{engine::Execution, Algorithm};
+
+/// Render a transcript of an execution (states via `Debug`, truncated to
+/// `state_width` characters per cell).
+pub fn transcript<A: Algorithm>(
+    alg: &A,
+    inputs: &[Value],
+    seq: &GraphSeq,
+    exec: &Execution<A::State>,
+    state_width: usize,
+) -> String {
+    let n = inputs.len();
+    let mut out = String::new();
+    let _ = writeln!(out, "inputs: {inputs:?}");
+    for t in 0..exec.states.len() {
+        if t == 0 {
+            let _ = writeln!(out, "t=0 (initial)");
+        } else {
+            let _ = writeln!(out, "t={t}  graph {}", seq.graph(t));
+        }
+        for p in 0..n {
+            let mut state = format!("{:?}", exec.states[t][p]);
+            if state.len() > state_width {
+                state.truncate(state_width);
+                state.push('…');
+            }
+            let decided = match (exec.decision_of(p), alg.decision(p, &exec.states[t][p])) {
+                (Some((r, v)), _) if r == t => format!("  ← DECIDES {v}"),
+                (_, Some(v)) => format!("  [decided {v}]"),
+                _ => String::new(),
+            };
+            let _ = writeln!(out, "  p{p}: {state}{decided}");
+        }
+    }
+    let verdict = match exec.consensus_value() {
+        Some(v) => format!("consensus value: {v}"),
+        None if !exec.all_decided() => "UNDECIDED processes remain".to_string(),
+        None => "DISAGREEMENT".to_string(),
+    };
+    let _ = writeln!(out, "{verdict}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::FloodMin;
+    use crate::engine;
+
+    #[test]
+    fn transcript_contains_rounds_and_decision() {
+        let alg = FloodMin::new(1);
+        let seq = GraphSeq::parse2("<-> ->").unwrap();
+        let exec = engine::run(&alg, &[3, 1], &seq);
+        let text = transcript(&alg, &[3, 1], &seq, &exec, 60);
+        assert!(text.contains("t=0 (initial)"));
+        assert!(text.contains("t=1"));
+        assert!(text.contains("DECIDES 1"));
+        assert!(text.contains("consensus value: 1"));
+    }
+
+    #[test]
+    fn transcript_reports_disagreement() {
+        let alg = FloodMin::new(1);
+        let mut seq = GraphSeq::new();
+        seq.push(dyngraph::Digraph::empty(2));
+        let exec = engine::run(&alg, &[3, 1], &seq);
+        let text = transcript(&alg, &[3, 1], &seq, &exec, 60);
+        assert!(text.contains("DISAGREEMENT"));
+    }
+
+    #[test]
+    fn transcript_truncates_states() {
+        let alg = crate::algorithms::FullInfo;
+        let seq = GraphSeq::parse2("<-> <-> <->").unwrap();
+        let exec = engine::run(&alg, &[0, 1], &seq);
+        let text = transcript(&alg, &[0, 1], &seq, &exec, 20);
+        assert!(text.contains('…'));
+        assert!(text.contains("UNDECIDED"));
+    }
+}

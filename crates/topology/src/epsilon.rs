@@ -1,0 +1,168 @@
+//! The literal ε-approximation construction of the paper's Definition 6.2.
+//!
+//! `PS^ε_z` is built iteratively: `PS^ε_z[0] = {z}`; each step adds the
+//! ε-balls around all current members (intersected with the space); the
+//! construction stops at a fixpoint, reached after finitely many steps in a
+//! finite space. Lemma 6.3 establishes: (ii) monotonicity in ε, (iii) two
+//! approximations are equal or disjoint, (iv) the true connected component
+//! is contained in the approximation.
+//!
+//! In the bucketed finite spaces used here, the ε-ball of `a` is the union
+//! of `a`'s buckets, so `PS^ε_z` coincides with the union-find component of
+//! `z` computed by [`crate::components_by_buckets`]; this module keeps the
+//! paper-literal BFS as an executable specification (tested equal).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bucketed finite space: each point belongs to the buckets listed; the
+/// ε-ball of a point is the union of its buckets.
+#[derive(Debug, Clone)]
+pub struct BucketSpace<K> {
+    /// `point_buckets[i]` = keys of the buckets containing point `i`.
+    point_buckets: Vec<Vec<K>>,
+    /// bucket key → member points.
+    bucket_members: HashMap<K, Vec<usize>>,
+}
+
+impl<K: Hash + Eq + Clone> BucketSpace<K> {
+    /// Build from `(key, point)` pairs over `num_points` points.
+    ///
+    /// # Panics
+    /// Panics if a point index is out of range.
+    pub fn new<I: IntoIterator<Item = (K, usize)>>(num_points: usize, pairs: I) -> Self {
+        let mut point_buckets = vec![Vec::new(); num_points];
+        let mut bucket_members: HashMap<K, Vec<usize>> = HashMap::new();
+        for (k, p) in pairs {
+            assert!(p < num_points, "point {p} out of range");
+            point_buckets[p].push(k.clone());
+            bucket_members.entry(k).or_default().push(p);
+        }
+        BucketSpace { point_buckets, bucket_members }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.point_buckets.len()
+    }
+
+    /// Whether the space has no points.
+    pub fn is_empty(&self) -> bool {
+        self.point_buckets.is_empty()
+    }
+
+    /// The ε-ball of `point`: every point sharing a bucket (including
+    /// `point` itself).
+    pub fn ball(&self, point: usize) -> Vec<usize> {
+        let mut out = vec![point];
+        for k in &self.point_buckets[point] {
+            out.extend(self.bucket_members[k].iter().copied());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The iterative ε-approximation `PS^ε_z` of Definition 6.2: repeatedly
+    /// add the balls of all members until the fixpoint. Returns the sorted
+    /// member list together with the number of iterations `m` used
+    /// (`PS^ε_z[m] = PS^ε_z[m+1]`).
+    pub fn epsilon_approximation(&self, z: usize) -> (Vec<usize>, usize) {
+        assert!(z < self.len(), "seed out of range");
+        let mut in_set = vec![false; self.len()];
+        in_set[z] = true;
+        let mut frontier = vec![z];
+        let mut iterations = 0;
+        while !frontier.is_empty() {
+            iterations += 1;
+            let mut next = Vec::new();
+            for &p in &frontier {
+                for q in self.ball(p) {
+                    if !in_set[q] {
+                        in_set[q] = true;
+                        next.push(q);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let members: Vec<usize> =
+            (0..self.len()).filter(|&i| in_set[i]).collect();
+        (members, iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components_by_buckets;
+
+    fn space() -> BucketSpace<u32> {
+        // 6 points; buckets 0:{0,1}, 1:{1,2}, 2:{3,4}; point 5 isolated.
+        BucketSpace::new(6, [(0, 0), (0, 1), (1, 1), (1, 2), (2, 3), (2, 4)])
+    }
+
+    #[test]
+    fn ball_contents() {
+        let s = space();
+        assert_eq!(s.ball(0), vec![0, 1]);
+        assert_eq!(s.ball(1), vec![0, 1, 2]);
+        assert_eq!(s.ball(5), vec![5]);
+    }
+
+    #[test]
+    fn epsilon_approximation_reaches_component() {
+        let s = space();
+        let (m, iters) = s.epsilon_approximation(0);
+        assert_eq!(m, vec![0, 1, 2]);
+        assert!(iters >= 2, "chain needs ≥ 2 ball steps");
+        let (m, _) = s.epsilon_approximation(4);
+        assert_eq!(m, vec![3, 4]);
+        let (m, _) = s.epsilon_approximation(5);
+        assert_eq!(m, vec![5]);
+    }
+
+    #[test]
+    fn lemma_6_3_iii_equal_or_disjoint() {
+        let s = space();
+        for z in 0..6 {
+            for w in 0..6 {
+                let (a, _) = s.epsilon_approximation(z);
+                let (b, _) = s.epsilon_approximation(w);
+                let intersect = a.iter().any(|x| b.contains(x));
+                assert_eq!(intersect, a == b, "z={z}, w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_union_find_components() {
+        // The executable specification agrees with the fast path.
+        let pairs = [(0u32, 0), (0, 1), (1, 1), (1, 2), (2, 3), (2, 4)];
+        let s = BucketSpace::new(6, pairs);
+        let c = components_by_buckets(6, pairs);
+        for z in 0..6 {
+            let (members, _) = s.epsilon_approximation(z);
+            let comp = c.members(c.component_of(z));
+            assert_eq!(members, comp, "seed {z}");
+        }
+    }
+
+    #[test]
+    fn random_agreement_with_union_find() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..15 {
+            let n = rng.random_range(1..30);
+            let pairs: Vec<(u32, usize)> = (0..rng.random_range(0..60))
+                .map(|_| (rng.random_range(0..8u32), rng.random_range(0..n)))
+                .collect();
+            let s = BucketSpace::new(n, pairs.iter().copied());
+            let c = components_by_buckets(n, pairs.iter().copied());
+            for z in 0..n {
+                let (members, _) = s.epsilon_approximation(z);
+                assert_eq!(members, c.members(c.component_of(z)));
+            }
+        }
+    }
+}

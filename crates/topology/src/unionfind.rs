@@ -1,0 +1,117 @@
+//! Disjoint-set forest with union by rank and path halving.
+
+/// A union-find structure over points `0 … len−1`.
+///
+/// ```
+/// use topology::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// assert_eq!(uf.component_count(), 4);
+/// uf.union(0, 2);
+/// assert!(uf.same(0, 2));
+/// assert!(!uf.same(0, 1));
+/// assert_eq!(uf.component_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        UnionFind { parent: (0..len).collect(), rank: vec![0; len], components: len }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// The representative of `i`'s set (with path halving).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_sets_disjoint() {
+        let mut uf = UnionFind::new(5);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(uf.same(i, j), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn union_reduces_count() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert_eq!(uf.component_count(), 3);
+        uf.union(2, 3);
+        uf.union(0, 3);
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.same(1, 2));
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.same(0, 9));
+        assert_eq!(uf.component_count(), 1);
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+}

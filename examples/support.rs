@@ -1,0 +1,30 @@
+//! Shared helpers for the example binaries.
+
+use consensus_core::solvability::Verdict;
+
+/// Render a verdict as a short human-readable line.
+pub fn verdict_line(v: &Verdict) -> String {
+    match v {
+        Verdict::Solvable(cert) => format!(
+            "SOLVABLE at depth {} ({} components, decisions verified on {} runs, latest decision round {})",
+            cert.depth,
+            cert.component_count,
+            cert.verification.runs_checked,
+            cert.verification.max_decision_round
+        ),
+        Verdict::Unsolvable(cert) => format!("UNSOLVABLE — certificate: {cert:?}"),
+        Verdict::Undecided(rep) => format!(
+            "UNDECIDED at depth {} ({} mixed components{}; compact: {})",
+            rep.max_depth,
+            rep.mixed_components,
+            if rep.chain.is_some() { ", valence chain extracted" } else { "" },
+            rep.compact
+        ),
+    }
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}

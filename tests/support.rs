@@ -1,0 +1,34 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use adversary::GeneralMA;
+use dyngraph::{generators, Digraph};
+
+/// All 15 nonempty pools over the four 2-process graphs, each with its
+/// ground-truth solvability per the literature ([8, 21]; see DESIGN.md §7):
+/// solvable iff every kernel class has a nonempty common kernel
+/// intersection — for `n = 2` this matches Coulouma–Godard–Peters.
+pub fn n2_pool_ground_truth() -> Vec<(Vec<Digraph>, bool)> {
+    let all: Vec<Digraph> = generators::all_graphs(2).collect();
+    let mut out = Vec::new();
+    for bits in 1u32..16 {
+        let pool: Vec<Digraph> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, g)| g.clone())
+            .collect();
+        let expected = consensus_core::baselines::kernel_beta_solvable_n2(&pool);
+        out.push((pool, expected));
+    }
+    out
+}
+
+/// The Santoro–Widmayer lossy-link adversary (unsolvable).
+pub fn lossy_link_full_ma() -> GeneralMA {
+    GeneralMA::oblivious(generators::lossy_link_full())
+}
+
+/// The reduced (solvable) lossy-link adversary.
+pub fn lossy_link_reduced_ma() -> GeneralMA {
+    GeneralMA::oblivious(generators::lossy_link_reduced())
+}

@@ -1,0 +1,171 @@
+//! Catalog-wide verdict sweep, dynamic-diameter metrics, and deep sampled
+//! verification of synthesized algorithms.
+
+use adversary::{catalog, GeneralMA, MessageAdversary};
+use consensus_core::solvability::{SolvabilityChecker, Verdict};
+use dyngraph::{generators, metrics, Digraph};
+use rand::SeedableRng;
+use simulator::checker;
+
+#[test]
+fn catalog_verdicts_match_literature() {
+    // (name, expected: Some(true)=solvable, Some(false)=exact-unsolvable,
+    //  None=limit-only impossibility → Undecided with evidence)
+    let entries: Vec<(&str, GeneralMA, Option<bool>)> = vec![
+        ("santoro_widmayer", catalog::santoro_widmayer_lossy_link(), None),
+        ("cgp_reduced", catalog::cgp_reduced_lossy_link(), Some(true)),
+        ("rotating_star3", catalog::rotating_star(3), Some(true)),
+        ("message_loss(2,0)", catalog::message_loss(2, 0), Some(true)),
+        ("message_loss(2,1)", catalog::message_loss(2, 1), None),
+        ("message_loss(2,2)", catalog::message_loss(2, 2), Some(false)),
+        ("vssc(2,2,by3)", catalog::vssc(2, 2, Some(3)), Some(true)),
+        ("eventually_bidirectional_by2", catalog::eventually_bidirectional().with_deadline(2), Some(true)),
+    ];
+    for (name, ma, expected) in entries {
+        let verdict = SolvabilityChecker::new(ma)
+            .max_depth(5)
+            .max_runs(4_000_000)
+            .check();
+        match (expected, &verdict) {
+            (Some(true), Verdict::Solvable(_)) => {}
+            (Some(false), Verdict::Unsolvable(_)) => {}
+            (None, Verdict::Undecided(rep)) => {
+                assert!(rep.mixed_components >= 1, "{name}");
+                assert!(rep.chain.is_some(), "{name}");
+            }
+            (exp, got) => panic!("{name}: expected {exp:?}, got {got:?}"),
+        }
+    }
+}
+
+#[test]
+fn all_rooted_n2_equals_lossy_link() {
+    let rooted = catalog::all_rooted(2);
+    let lossy = catalog::santoro_widmayer_lossy_link();
+    assert_eq!(rooted.pool(), lossy.pool());
+}
+
+#[test]
+fn dynamic_diameter_explains_vssc_threshold() {
+    // Within a vertex-stable window the root members broadcast in at most
+    // D rounds, where D is the worst case over stable-mask pools. For the
+    // n = 2 lossy link pool restricted to a fixed root mask the diameter is
+    // 1; the VSSC threshold window = 2 = D + 1 matches [23].
+    for (token, p) in [("->", 0usize), ("<-", 1usize)] {
+        let pool = vec![Digraph::parse2(token).unwrap()];
+        assert_eq!(metrics::worst_case_broadcast(&pool, p), Some(1));
+    }
+    // The full pool lets the adversary silence either process forever.
+    assert_eq!(metrics::dynamic_diameter(&generators::lossy_link_full()), None);
+}
+
+#[test]
+fn common_kernel_bound_matches_checker_decision_round() {
+    // Pool with common kernel member 0 and worst-case broadcast 2: the
+    // synthesized universal algorithm decides within a couple rounds of it.
+    let g1 = Digraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let g2 = generators::star_out(3, 0);
+    let pool = vec![g1, g2];
+    let (p, bound) = metrics::common_kernel_broadcast_bound(&pool).unwrap();
+    assert_eq!(p, 0);
+    assert_eq!(bound, 2);
+    let verdict = SolvabilityChecker::new(GeneralMA::oblivious(pool))
+        .max_depth(4)
+        .max_runs(4_000_000)
+        .check();
+    match verdict {
+        Verdict::Solvable(cert) => {
+            assert!(cert.depth <= bound + 1, "depth {} vs bound {bound}", cert.depth);
+        }
+        other => panic!("expected solvable: {other:?}"),
+    }
+}
+
+#[test]
+fn sampled_deep_verification_of_synthesized_algorithms() {
+    // Exhaustive checking stops at the synthesis depth; sampling probes
+    // depth 25 across several solvable adversaries.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let families: Vec<GeneralMA> = vec![
+        catalog::cgp_reduced_lossy_link(),
+        catalog::rotating_star(3),
+        GeneralMA::oblivious(vec![Digraph::complete(3)]),
+    ];
+    for ma in families {
+        let verdict = SolvabilityChecker::new(ma.clone())
+            .max_depth(3)
+            .max_runs(4_000_000)
+            .check();
+        let cert = match verdict {
+            Verdict::Solvable(cert) => cert,
+            other => panic!("expected solvable: {other:?}"),
+        };
+        let report = checker::check_consensus_sampled(
+            &cert.algorithm,
+            &ma,
+            &[0, 1],
+            25,
+            150,
+            true,
+            &mut rng,
+        );
+        assert!(report.passed(), "{}: {:?}", ma.describe(), report.violations);
+        assert_eq!(report.undecided_runs, 0);
+    }
+}
+
+#[test]
+fn forever_directional_union_catalog() {
+    let ma = catalog::forever_directional();
+    let space = consensus_core::PrefixSpace::build(&ma, &[0, 1], 2, 10_000).unwrap();
+    assert!(space.separation().is_separated());
+    assert!(space.all_components_broadcastable());
+}
+
+#[test]
+fn stabilizing_stars_n3_window_two() {
+    // ◇stable over the rotating-star pool on 3 processes: a stable window
+    // of 2 rounds means the same center broadcasts twice — its value is
+    // common knowledge within the window (center diameter D = 1, so
+    // window = D + 1 = 2 suffices, mirroring [23] at n = 3).
+    let pool = generators::all_out_stars(3);
+    let ma = GeneralMA::stabilizing(pool.clone(), 2, Some(2));
+    let verdict = SolvabilityChecker::new(ma)
+        .max_depth(4)
+        .max_runs(4_000_000)
+        .check();
+    assert!(verdict.is_solvable(), "{verdict:?}");
+    // Window 1 degrades to the plain rotating-star adversary — which is
+    // itself solvable (round-1 center common knowledge), so unlike the
+    // lossy link the degradation stays solvable here.
+    let ma = GeneralMA::stabilizing(pool, 1, Some(2));
+    let verdict = SolvabilityChecker::new(ma)
+        .max_depth(3)
+        .max_runs(4_000_000)
+        .check();
+    assert!(verdict.is_solvable(), "{verdict:?}");
+    // And the per-center window diameter is exactly 1.
+    for c in 0..3 {
+        let center_pool = vec![generators::star_out(3, c)];
+        assert_eq!(metrics::worst_case_broadcast(&center_pool, c), Some(1));
+    }
+}
+
+#[test]
+fn vssc_rooted_pool_n2_window_sweep() {
+    // vssc(2, k, by R) over all rooted 2-graphs: the window threshold at
+    // k = 2 (= D + 1), per [23].
+    let solvable = SolvabilityChecker::new(catalog::vssc(2, 2, Some(2)))
+        .max_depth(4)
+        .max_runs(4_000_000)
+        .check();
+    assert!(solvable.is_solvable(), "{solvable:?}");
+    let mixed = SolvabilityChecker::new(catalog::vssc(2, 1, Some(2)))
+        .max_depth(4)
+        .max_runs(4_000_000)
+        .check();
+    match mixed {
+        Verdict::Undecided(rep) => assert!(rep.mixed_components >= 1),
+        other => panic!("vssc window 1 should stay mixed: {other:?}"),
+    }
+}

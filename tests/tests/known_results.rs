@@ -1,0 +1,148 @@
+//! Ground-truth cross-validation (experiments T1, T2, T5, T8 of DESIGN.md):
+//! the topological checker against the known solvability results of the
+//! literature.
+
+use adversary::GeneralMA;
+use consensus_core::solvability::{SolvabilityChecker, Verdict};
+use dyngraph::{generators, Digraph};
+use integration_support::{lossy_link_full_ma, lossy_link_reduced_ma, n2_pool_ground_truth};
+
+/// T8: every nonempty `n = 2` oblivious pool resolves, and matches the
+/// kernel-class criterion of [8]: `Solvable` where expected; persistent
+/// mixing or an exact chain where not.
+#[test]
+fn all_n2_oblivious_pools_match_ground_truth() {
+    for (pool, expected_solvable) in n2_pool_ground_truth() {
+        let label: Vec<String> = pool.iter().map(|g| g.to_string()).collect();
+        let ma = GeneralMA::oblivious(pool);
+        let verdict = SolvabilityChecker::new(ma).max_depth(4).check();
+        match (expected_solvable, &verdict) {
+            (true, Verdict::Solvable(cert)) => {
+                assert!(cert.verification.passed(), "pool {label:?}");
+                assert!(cert.broadcast.all_broadcastable(), "pool {label:?}");
+            }
+            (false, Verdict::Unsolvable(_)) => {}
+            (false, Verdict::Undecided(rep)) => {
+                // Unsolvable-but-compact families whose impossibility is
+                // limit-only (e.g. {←, ↔, →}): persistent mixing + chain.
+                assert!(rep.mixed_components >= 1, "pool {label:?}");
+                assert!(rep.chain.is_some(), "pool {label:?}");
+            }
+            (exp, got) => panic!("pool {label:?}: expected solvable={exp}, got {got:?}"),
+        }
+    }
+}
+
+/// T1: Santoro–Widmayer — {←, ↔, →} does not separate, at any depth up to 5.
+#[test]
+fn santoro_widmayer_never_separates() {
+    let verdict = SolvabilityChecker::new(lossy_link_full_ma()).max_depth(5).check();
+    match verdict {
+        Verdict::Undecided(rep) => {
+            assert_eq!(rep.max_depth, 5);
+            assert!(rep.mixed_components >= 1);
+            assert!(rep.compact);
+        }
+        other => panic!("expected undecided-with-evidence: {other:?}"),
+    }
+}
+
+/// T2: the reduced lossy link is solvable at depth 1 with a 1-round
+/// universal algorithm, matching [8].
+#[test]
+fn reduced_lossy_link_solvable_one_round() {
+    match SolvabilityChecker::new(lossy_link_reduced_ma()).max_depth(3).check() {
+        Verdict::Solvable(cert) => {
+            assert_eq!(cert.depth, 1);
+            assert_eq!(cert.verification.max_decision_round, 1);
+        }
+        other => panic!("expected solvable: {other:?}"),
+    }
+}
+
+/// T5: VSSC-style stabilizing adversaries over the lossy-link pool —
+/// window 2 (= D + 1 for n = 2) solvable with a deadline; window 1
+/// degrades to the oblivious pool and stays mixed.
+#[test]
+fn stabilizing_window_threshold() {
+    for r in [2usize, 3] {
+        let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 2, Some(r));
+        let verdict = SolvabilityChecker::new(ma)
+            .max_depth(r + 2)
+            .max_runs(4_000_000)
+            .check();
+        assert!(verdict.is_solvable(), "stable(2) by {r}: {verdict:?}");
+    }
+    let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 1, Some(3));
+    let verdict = SolvabilityChecker::new(ma).max_depth(4).check();
+    match verdict {
+        Verdict::Undecided(rep) => assert!(rep.mixed_components >= 1),
+        other => panic!("stable(1) should stay mixed: {other:?}"),
+    }
+}
+
+/// Santoro–Widmayer general form: `complete_minus_losses(2, 1)` equals the
+/// lossy link; with all losses (k = 2) the empty graph joins the pool and
+/// the exact distance-0 chain certificate fires.
+#[test]
+fn complete_minus_losses_families() {
+    let fam_k1 = generators::complete_minus_losses(2, 1);
+    let ma = GeneralMA::oblivious(fam_k1);
+    match SolvabilityChecker::new(ma).max_depth(3).check() {
+        Verdict::Undecided(rep) => assert!(rep.mixed_components >= 1),
+        other => panic!("k=1 loss family: {other:?}"),
+    }
+    let fam_k2 = generators::complete_minus_losses(2, 2);
+    let ma = GeneralMA::oblivious(fam_k2);
+    assert!(SolvabilityChecker::new(ma).max_depth(3).check().is_unsolvable());
+}
+
+/// n = 3 families: out-stars (solvable), the complete graph alone
+/// (solvable), a pool with an unrooted member (unsolvable, exact chain).
+#[test]
+fn n3_families() {
+    let stars = GeneralMA::oblivious(generators::all_out_stars(3));
+    assert!(SolvabilityChecker::new(stars)
+        .max_depth(3)
+        .max_runs(4_000_000)
+        .check()
+        .is_solvable());
+
+    let complete = GeneralMA::oblivious(vec![Digraph::complete(3)]);
+    assert!(SolvabilityChecker::new(complete).max_depth(3).check().is_solvable());
+
+    let unrooted = Digraph::from_edges(3, &[(0, 1), (1, 0)]).unwrap(); // 2 isolated-ish
+    let ma = GeneralMA::oblivious(vec![unrooted, Digraph::complete(3)]);
+    assert!(SolvabilityChecker::new(ma).max_depth(3).check().is_unsolvable());
+}
+
+/// "Eventually ↔ within R" compact adversaries are solvable for every R:
+/// the forced exchange separates valences once the deadline passes.
+#[test]
+fn eventually_swap_compact_family() {
+    for r in [1usize, 2, 3] {
+        let ma = GeneralMA::eventually_graph(
+            generators::lossy_link_full(),
+            Digraph::parse2("<->").unwrap(),
+            Some(r),
+        );
+        let verdict = SolvabilityChecker::new(ma)
+            .max_depth(r + 3)
+            .max_runs(4_000_000)
+            .check();
+        assert!(verdict.is_solvable(), "eventually-swap by {r}: {verdict:?}");
+    }
+}
+
+/// The cycle pool on n = 3: a single strongly connected graph — solvable.
+#[test]
+fn cycle_pool_solvable() {
+    let ma = GeneralMA::oblivious(vec![generators::cycle(3)]);
+    match SolvabilityChecker::new(ma).max_depth(4).check() {
+        Verdict::Solvable(cert) => {
+            // Broadcast needs 2 rounds on the 3-cycle.
+            assert!(cert.depth >= 2);
+        }
+        other => panic!("cycle pool: {other:?}"),
+    }
+}

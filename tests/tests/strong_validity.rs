@@ -1,0 +1,89 @@
+//! Strong validity (`y_p = x_q` for some `q`) — the variant the paper notes
+//! after Definition 5.1.
+
+use adversary::GeneralMA;
+use consensus_core::solvability::{SolvabilityChecker, Verdict};
+use dyngraph::generators;
+use simulator::checker;
+
+/// On binary domains weak and strong validity coincide; both checker modes
+/// agree across the n = 2 atlas.
+#[test]
+fn binary_modes_agree() {
+    for (pool, _) in integration_support::n2_pool_ground_truth() {
+        let weak = SolvabilityChecker::new(GeneralMA::oblivious(pool.clone()))
+            .max_depth(3)
+            .check();
+        let strong = SolvabilityChecker::new(GeneralMA::oblivious(pool))
+            .max_depth(3)
+            .strong_validity(true)
+            .check();
+        assert_eq!(weak.is_solvable(), strong.is_solvable());
+        assert_eq!(weak.is_unsolvable(), strong.is_unsolvable());
+    }
+}
+
+/// Ternary domain: the strong-validity checker synthesizes an algorithm
+/// whose decisions are always someone's input, verified exhaustively.
+#[test]
+fn ternary_strong_validity_solvable() {
+    let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+    let verdict = SolvabilityChecker::new(ma.clone())
+        .values(vec![0, 1, 2])
+        .max_depth(3)
+        .max_runs(4_000_000)
+        .strong_validity(true)
+        .check();
+    let cert = match verdict {
+        Verdict::Solvable(cert) => cert,
+        other => panic!("expected solvable: {other:?}"),
+    };
+    // Re-verify with the strong flag at a deeper horizon.
+    let report = checker::check_consensus_with(
+        &cert.algorithm,
+        &ma,
+        &[0, 1, 2],
+        cert.depth + 1,
+        4_000_000,
+        true,
+        true,
+    )
+    .unwrap();
+    assert!(report.passed(), "violations: {:?}", report.violations);
+}
+
+/// The weak-mode certificate may violate strong validity on ternary inputs
+/// (unlabeled components default to the domain minimum), while the
+/// strong-mode certificate never does — the two modes genuinely differ.
+#[test]
+fn ternary_weak_certificate_can_violate_strong() {
+    // At depth 1 every unlabeled component happens to inherit the sender's
+    // input, so weak and strong coincide; at depth 2 the refinement creates
+    // unlabeled components whose weak default (0) is nobody's input.
+    let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+    let space =
+        consensus_core::PrefixSpace::build(&ma, &[0, 1, 2], 2, 4_000_000).unwrap();
+    let weak = consensus_core::UniversalAlgorithm::synthesize(&space).unwrap();
+    let report =
+        checker::check_consensus_with(&weak, &ma, &[0, 1, 2], 2, 4_000_000, true, true)
+            .unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .all(|v| matches!(v, checker::Violation::StrongValidity { .. })),
+        "only strong-validity violations expected: {:?}",
+        report.violations
+    );
+    assert!(
+        !report.passed(),
+        "the weak default must violate strong validity at depth 2 on a ternary domain"
+    );
+
+    // The strong synthesis on the same space is clean.
+    let strong = consensus_core::UniversalAlgorithm::synthesize_strong(&space).unwrap();
+    let report =
+        checker::check_consensus_with(&strong, &ma, &[0, 1, 2], 2, 4_000_000, true, true)
+            .unwrap();
+    assert!(report.passed(), "violations: {:?}", report.violations);
+}
