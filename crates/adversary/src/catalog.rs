@@ -6,7 +6,7 @@
 
 use dyngraph::{generators, Digraph};
 
-use crate::{GeneralMA, UnionMA};
+use crate::{DynMA, GeneralMA, UnionMA};
 
 /// Santoro–Widmayer [21]: the `n = 2` lossy link `{←, ↔, →}` — up to
 /// `n − 1 = 1` message lost per round. Consensus **impossible**.
@@ -83,10 +83,164 @@ pub fn forever_directional() -> UnionMA {
     UnionMA::new(vec![Box::new(right), Box::new(left)])
 }
 
+/// The expected finite-depth checker outcome of a catalog entry:
+/// `Some(true)` — separates (Solvable), `Some(false)` — exact impossibility
+/// certificate (Unsolvable), `None` — persistent mixing (Undecided with
+/// chain evidence; for the compact entries this is the limit-only
+/// impossibility of §6.1).
+pub type ExpectedOutcome = Option<bool>;
+
+/// A named, buildable catalog entry — the unit the lab's scenario grids
+/// iterate over.
+pub struct CatalogEntry {
+    /// Stable registry name (CLI-addressable, `kebab-case`).
+    pub name: &'static str,
+    /// One-line provenance/summary.
+    pub summary: &'static str,
+    /// Ground-truth finite-depth checker outcome, where the literature
+    /// pins one.
+    pub expected: ExpectedOutcome,
+    build: fn() -> DynMA,
+}
+
+impl CatalogEntry {
+    /// Construct the adversary.
+    pub fn build(&self) -> DynMA {
+        (self.build)()
+    }
+}
+
+impl std::fmt::Debug for CatalogEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatalogEntry")
+            .field("name", &self.name)
+            .field("expected", &self.expected)
+            .finish()
+    }
+}
+
+/// The built-in registry: every named adversary of this module in a
+/// machine-iterable form. Order is stable (it defines scenario-grid order).
+pub fn entries() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            name: "sw-lossy-link",
+            summary: "Santoro–Widmayer {←, ↔, →}; unsolvable (limit-only)",
+            expected: None,
+            build: || Box::new(santoro_widmayer_lossy_link()),
+        },
+        CatalogEntry {
+            name: "cgp-reduced-lossy-link",
+            summary: "Coulouma–Godard–Peters {←, →}; solvable at depth 1",
+            expected: Some(true),
+            build: || Box::new(cgp_reduced_lossy_link()),
+        },
+        CatalogEntry {
+            name: "message-loss-2-0",
+            summary: "n = 2, no losses (complete graph each round); solvable",
+            expected: Some(true),
+            build: || Box::new(message_loss(2, 0)),
+        },
+        CatalogEntry {
+            name: "message-loss-2-1",
+            summary: "n = 2, ≤ 1 loss per round; unsolvable (limit-only)",
+            expected: None,
+            build: || Box::new(message_loss(2, 1)),
+        },
+        CatalogEntry {
+            name: "message-loss-2-2",
+            summary: "n = 2, ≤ 2 losses (empty graph possible); exact chain",
+            expected: Some(false),
+            build: || Box::new(message_loss(2, 2)),
+        },
+        CatalogEntry {
+            name: "rotating-star-3",
+            summary: "n = 3 out-stars; solvable (round-1 center broadcast)",
+            expected: Some(true),
+            build: || Box::new(rotating_star(3)),
+        },
+        CatalogEntry {
+            name: "all-rooted-2",
+            summary: "all rooted graphs, n = 2 (≡ sw-lossy-link); unsolvable",
+            expected: None,
+            build: || Box::new(all_rooted(2)),
+        },
+        CatalogEntry {
+            name: "vssc-2-2-by-3",
+            summary: "stable window 2 by round 3 (compact VSSC); solvable",
+            expected: Some(true),
+            build: || Box::new(vssc(2, 2, Some(3))),
+        },
+        CatalogEntry {
+            name: "vssc-2-1-by-2",
+            summary: "stable window 1 by round 2; window too short — mixed",
+            expected: None,
+            build: || Box::new(vssc(2, 1, Some(2))),
+        },
+        CatalogEntry {
+            name: "eventually-bidirectional",
+            summary: "◇↔ over {←, ↔, →}, no deadline; non-compact",
+            expected: None,
+            build: || Box::new(eventually_bidirectional()),
+        },
+        CatalogEntry {
+            name: "eventually-bidirectional-by-2",
+            summary: "↔ within 2 rounds; compact approximation, solvable",
+            expected: Some(true),
+            build: || Box::new(eventually_bidirectional().with_deadline(2)),
+        },
+        CatalogEntry {
+            name: "forever-directional",
+            summary: "constant → ∪ constant ← (union); solvable at round 1",
+            expected: Some(true),
+            build: || Box::new(forever_directional()),
+        },
+    ]
+}
+
+/// Look up a registry entry by name.
+pub fn by_name(name: &str) -> Option<CatalogEntry> {
+    entries().into_iter().find(|e| e.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::MessageAdversary;
+
+    #[test]
+    fn registry_names_unique_and_buildable() {
+        let entries = entries();
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), entries.len(), "registry names must be unique");
+        for e in &entries {
+            let ma = e.build();
+            assert!(ma.n() >= 2, "{}: degenerate adversary", e.name);
+            assert!(!ma.describe().is_empty());
+            // Fingerprints must be reproducible across builds.
+            assert_eq!(ma.fingerprint(), e.build().fingerprint(), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for e in entries() {
+            assert_eq!(by_name(e.name).expect("registered").name, e.name);
+        }
+        assert!(by_name("no-such-adversary").is_none());
+    }
+
+    #[test]
+    fn structurally_equal_entries_share_fingerprints() {
+        // all-rooted-2 is the same oblivious adversary as sw-lossy-link:
+        // the registry deliberately exposes the alias so the lab cache
+        // demonstrates structural sharing.
+        let a = by_name("sw-lossy-link").unwrap().build();
+        let b = by_name("all-rooted-2").unwrap().build();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
 
     #[test]
     fn catalog_constructs() {

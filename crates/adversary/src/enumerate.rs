@@ -111,10 +111,7 @@ pub fn expand(
                 for g in ma.extensions(seq) {
                     next.push(seq.extended(g));
                     if next.len() * inputs_count > max_runs {
-                        return Err(BudgetExceeded {
-                            max_runs,
-                            needed: next.len() * inputs_count,
-                        });
+                        return Err(BudgetExceeded { max_runs, needed: next.len() * inputs_count });
                     }
                 }
             }
@@ -164,9 +161,8 @@ impl Expansion {
         let mut ext_cache: std::collections::HashMap<GraphSeq, Vec<dyngraph::Digraph>> =
             std::collections::HashMap::new();
         for run in &self.runs {
-            let exts = ext_cache
-                .entry(run.seq().clone())
-                .or_insert_with(|| ma.extensions(run.seq()));
+            let exts =
+                ext_cache.entry(run.seq().clone()).or_insert_with(|| ma.extensions(run.seq()));
             needed += exts.len();
             if needed > max_runs {
                 return Err(BudgetExceeded { max_runs, needed });

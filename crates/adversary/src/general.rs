@@ -35,9 +35,7 @@ impl Liveness {
         match self {
             Liveness::None => true,
             Liveness::OccursGraph { target } => prefix.iter().any(|g| g == target),
-            Liveness::StableWindow { window } => {
-                stable_window_position(prefix, *window).is_some()
-            }
+            Liveness::StableWindow { window } => stable_window_position(prefix, *window).is_some(),
         }
     }
 }
@@ -52,8 +50,7 @@ pub fn stable_window_position(prefix: &GraphSeq, window: usize) -> Option<Round>
     if t < window {
         return None;
     }
-    let masks: Vec<Option<PidMask>> =
-        prefix.iter().map(scc::rooted_source).collect();
+    let masks: Vec<Option<PidMask>> = prefix.iter().map(scc::rooted_source).collect();
     'outer: for s in 0..=(t - window) {
         let m = match masks[s] {
             Some(m) => m,
@@ -141,11 +138,7 @@ impl GeneralMA {
 
     /// "`target` occurs (within `deadline`, if given)" over `pool`.
     /// Non-compact when `deadline` is `None`.
-    pub fn eventually_graph(
-        pool: Vec<Digraph>,
-        target: Digraph,
-        deadline: Option<Round>,
-    ) -> Self {
+    pub fn eventually_graph(pool: Vec<Digraph>, target: Digraph, deadline: Option<Round>) -> Self {
         Self::new(pool, Liveness::OccursGraph { target }, deadline)
     }
 
@@ -206,8 +199,7 @@ impl GeneralMA {
                 if r < *window {
                     return false;
                 }
-                let masks: Vec<Option<PidMask>> =
-                    prefix.iter().map(scc::rooted_source).collect();
+                let masks: Vec<Option<PidMask>> = prefix.iter().map(scc::rooted_source).collect();
                 'starts: for s in 0..=(r - *window) {
                     // Window rounds are s+1 ..= s+window (1-based).
                     let mut required: Option<PidMask> = None;
@@ -232,11 +224,7 @@ impl GeneralMA {
                         // (or any rooted graph if the window hasn't started).
                         match required {
                             Some(req) => {
-                                if self
-                                    .pool
-                                    .iter()
-                                    .any(|g| scc::rooted_source(g) == Some(req))
-                                {
+                                if self.pool.iter().any(|g| scc::rooted_source(g) == Some(req)) {
                                     return true;
                                 }
                             }
@@ -300,9 +288,8 @@ impl MessageAdversary for GeneralMA {
         if !self.pool_valid(&probe) {
             return Some(false);
         }
-        let satisfied_on_lasso = |horizon: usize| -> bool {
-            self.liveness.satisfied(&lasso.unroll(horizon))
-        };
+        let satisfied_on_lasso =
+            |horizon: usize| -> bool { self.liveness.satisfied(&lasso.unroll(horizon)) };
         let verdict = match (&self.liveness, self.deadline) {
             (Liveness::None, _) => true,
             (_, Some(r)) => satisfied_on_lasso(r),
@@ -366,8 +353,7 @@ mod tests {
 
     #[test]
     fn eventually_graph_non_compact() {
-        let ma =
-            GeneralMA::eventually_graph(generators::lossy_link_full(), swap(), None);
+        let ma = GeneralMA::eventually_graph(generators::lossy_link_full(), swap(), None);
         assert!(!ma.is_compact());
         // All prefixes stay alive.
         assert!(ma.admits_prefix(&GraphSeq::parse2("-> -> -> ->").unwrap()));
@@ -380,8 +366,7 @@ mod tests {
 
     #[test]
     fn eventually_graph_with_deadline_compact() {
-        let ma =
-            GeneralMA::eventually_graph(generators::lossy_link_full(), swap(), Some(3));
+        let ma = GeneralMA::eventually_graph(generators::lossy_link_full(), swap(), Some(3));
         assert!(ma.is_compact());
         // After 3 swap-free rounds the prefix is dead.
         assert!(ma.admits_prefix(&GraphSeq::parse2("-> <-").unwrap()));

@@ -44,6 +44,7 @@
 
 pub mod catalog;
 pub mod enumerate;
+pub mod fingerprint;
 mod general;
 pub mod limit;
 pub mod predicate;
@@ -55,6 +56,10 @@ pub use predicate::{IntersectMA, PredicateMA};
 pub use union::UnionMA;
 
 use dyngraph::{Digraph, GraphSeq, Lasso};
+
+/// A boxed, thread-shareable adversary — the currency of the catalog
+/// registry and the lab's scenario grids.
+pub type DynMA = Box<dyn MessageAdversary + Send + Sync>;
 
 /// An object-safe message adversary.
 ///
@@ -95,6 +100,58 @@ pub trait MessageAdversary {
     /// distance-0 chain certificates, excluded-limit enumeration).
     fn pool_hint(&self) -> Option<Vec<Digraph>> {
         None
+    }
+
+    /// A stable structural fingerprint — identical across runs for
+    /// identically-structured adversaries; see [`fingerprint`]. Wrapper
+    /// adversaries should override this to fold member fingerprints.
+    ///
+    /// The default hashes only what the trait exposes (`n`, compactness,
+    /// `describe`, `pool_hint`). Implementations with behavior that those
+    /// don't capture — user closures, external state — **must** override
+    /// it (see [`PredicateMA`]'s per-construction nonce), or structurally
+    /// different adversaries will collide in fingerprint-keyed caches.
+    fn fingerprint(&self) -> u64 {
+        fingerprint::structural(
+            self.n(),
+            self.is_compact(),
+            &self.describe(),
+            self.pool_hint().map(|pool| pool.iter().map(Digraph::code).collect()),
+        )
+    }
+}
+
+impl<T: MessageAdversary + ?Sized> MessageAdversary for Box<T> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn extensions(&self, prefix: &GraphSeq) -> Vec<Digraph> {
+        (**self).extensions(prefix)
+    }
+
+    fn admits_prefix(&self, prefix: &GraphSeq) -> bool {
+        (**self).admits_prefix(prefix)
+    }
+
+    fn admits_lasso(&self, lasso: &Lasso) -> Option<bool> {
+        (**self).admits_lasso(lasso)
+    }
+
+    fn is_compact(&self) -> bool {
+        (**self).is_compact()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+
+    fn pool_hint(&self) -> Option<Vec<Digraph>> {
+        (**self).pool_hint()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
     }
 }
 

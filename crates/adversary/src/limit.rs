@@ -174,9 +174,7 @@ mod tests {
         // (→↔)^ω-style mixtures whose root masks never repeat… count > 0 and
         // every reported limit is indeed inadmissible with valid witnesses.
         assert!(!ex.is_empty());
-        assert!(ex
-            .iter()
-            .any(|e| format!("{}", e.limit).contains("-> <-")));
+        assert!(ex.iter().any(|e| format!("{}", e.limit).contains("-> <-")));
         for e in &ex {
             assert_eq!(ma.admits_lasso(&e.limit), Some(false));
             for w in &e.witnesses {

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use dyngraph::{Digraph, GraphSeq, Lasso};
 
-use crate::MessageAdversary;
+use crate::{DynMA, MessageAdversary};
 
 /// Three-valued admissibility status of a prefix; see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,11 @@ pub struct PredicateMA {
     lasso_oracle: Option<Arc<LassoFn>>,
     compact: bool,
     label: String,
+    /// Per-construction nonce mixed into [`MessageAdversary::fingerprint`]:
+    /// the status closure's behavior is not hashable, so two `PredicateMA`s
+    /// with equal pools and labels but different closures must not collide
+    /// in fingerprint-keyed caches. Clones share the nonce (same predicate).
+    nonce: u64,
 }
 
 impl std::fmt::Debug for PredicateMA {
@@ -96,12 +101,14 @@ impl PredicateMA {
         let mut pool: Vec<Digraph> = pool.into_iter().map(|g| g.normalized()).collect();
         pool.sort();
         pool.dedup();
+        static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         PredicateMA {
             pool,
             status: Arc::new(status),
             lasso_oracle: None,
             compact: true,
             label: label.to_string(),
+            nonce: NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -196,6 +203,14 @@ impl MessageAdversary for PredicateMA {
     fn pool_hint(&self) -> Option<Vec<Digraph>> {
         Some(self.pool.clone())
     }
+
+    fn fingerprint(&self) -> u64 {
+        // The closure's behavior cannot be hashed, so the fingerprint is
+        // per-construction (via the nonce), not structural: distinct
+        // predicates never share fingerprint-keyed cache slots, clones of
+        // one predicate do.
+        crate::fingerprint::combine("predicate", [self.nonce])
+    }
 }
 
 /// The intersection of finitely many adversaries: a sequence is admissible
@@ -204,7 +219,7 @@ impl MessageAdversary for PredicateMA {
 /// Intersections model conjunctions of constraints; an intersection of
 /// compact adversaries is compact.
 pub struct IntersectMA {
-    members: Vec<Box<dyn MessageAdversary>>,
+    members: Vec<DynMA>,
 }
 
 impl IntersectMA {
@@ -212,7 +227,7 @@ impl IntersectMA {
     ///
     /// # Panics
     /// Panics if `members` is empty or disagrees on `n`.
-    pub fn new(members: Vec<Box<dyn MessageAdversary>>) -> Self {
+    pub fn new(members: Vec<DynMA>) -> Self {
         assert!(!members.is_empty(), "intersection needs at least one member");
         let n = members[0].n();
         assert!(members.iter().all(|m| m.n() == n), "members must agree on n");
@@ -274,6 +289,13 @@ impl MessageAdversary for IntersectMA {
         // use the first member's pool as a safe superset.
         self.members[0].pool_hint()
     }
+
+    fn fingerprint(&self) -> u64 {
+        // Intersection is order-insensitive: sort the member fingerprints.
+        let mut fps: Vec<u64> = self.members.iter().map(|m| m.fingerprint()).collect();
+        fps.sort_unstable();
+        crate::fingerprint::combine("intersect", fps)
+    }
 }
 
 #[cfg(test)]
@@ -285,8 +307,7 @@ mod tests {
     fn no_double_left() -> PredicateMA {
         PredicateMA::new(generators::lossy_link_full(), "no-double-left", |prefix| {
             let bad = (2..=prefix.rounds()).any(|t| {
-                prefix.graph(t).arrow2() == Some("<-")
-                    && prefix.graph(t - 1).arrow2() == Some("<-")
+                prefix.graph(t).arrow2() == Some("<-") && prefix.graph(t - 1).arrow2() == Some("<-")
             });
             if bad {
                 PrefixStatus::Dead

@@ -2,7 +2,7 @@
 
 use dyngraph::{Digraph, GraphSeq, Lasso};
 
-use crate::MessageAdversary;
+use crate::{DynMA, MessageAdversary};
 
 /// The union of finitely many adversaries: a sequence is admissible iff it
 /// is admissible under **some** member.
@@ -24,7 +24,7 @@ use crate::MessageAdversary;
 /// assert!(!ma.admits_prefix(&GraphSeq::parse2("-> <-").unwrap()));
 /// ```
 pub struct UnionMA {
-    members: Vec<Box<dyn MessageAdversary>>,
+    members: Vec<DynMA>,
 }
 
 impl UnionMA {
@@ -32,7 +32,7 @@ impl UnionMA {
     ///
     /// # Panics
     /// Panics if `members` is empty or its members disagree on `n`.
-    pub fn new(members: Vec<Box<dyn MessageAdversary>>) -> Self {
+    pub fn new(members: Vec<DynMA>) -> Self {
         assert!(!members.is_empty(), "union needs at least one member");
         let n = members[0].n();
         assert!(members.iter().all(|m| m.n() == n), "members must agree on n");
@@ -40,7 +40,7 @@ impl UnionMA {
     }
 
     /// The member adversaries.
-    pub fn members(&self) -> &[Box<dyn MessageAdversary>] {
+    pub fn members(&self) -> &[DynMA] {
         &self.members
     }
 }
@@ -51,11 +51,8 @@ impl MessageAdversary for UnionMA {
     }
 
     fn extensions(&self, prefix: &GraphSeq) -> Vec<Digraph> {
-        let mut out: Vec<Digraph> = self
-            .members
-            .iter()
-            .flat_map(|m| m.extensions(prefix))
-            .collect();
+        let mut out: Vec<Digraph> =
+            self.members.iter().flat_map(|m| m.extensions(prefix)).collect();
         out.sort();
         out.dedup();
         out
@@ -98,6 +95,13 @@ impl MessageAdversary for UnionMA {
         pool.sort();
         pool.dedup();
         Some(pool)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Union is order-insensitive: sort the member fingerprints.
+        let mut fps: Vec<u64> = self.members.iter().map(|m| m.fingerprint()).collect();
+        fps.sort_unstable();
+        crate::fingerprint::combine("union", fps)
     }
 }
 

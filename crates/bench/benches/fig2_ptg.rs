@@ -17,15 +17,12 @@ fn bench_fig2(c: &mut Criterion) {
     println!("\n[F2] regenerated Figure 2:\n{}", pt.render_ascii());
     println!("[F2] view of p0 at t=2: {:?}\n", pt.causal_past(&[0], 2));
 
-    c.bench_function("fig2/construct_exact", |b| {
-        b.iter(|| black_box(fig2_example()))
-    });
+    c.bench_function("fig2/construct_exact", |b| b.iter(|| black_box(fig2_example())));
 
     let mut group = c.benchmark_group("fig2/causal_past");
     for (n, t) in [(3usize, 2usize), (4, 8), (6, 16), (8, 32)] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let graphs: Vec<_> =
-            (0..t).map(|_| generators::random_graph(&mut rng, n, 0.3)).collect();
+        let graphs: Vec<_> = (0..t).map(|_| generators::random_graph(&mut rng, n, 0.3)).collect();
         let pt = PtGraph::new(vec![0; n], GraphSeq::from_graphs(graphs));
         group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_t{t}")), &pt, |b, pt| {
             b.iter(|| black_box(pt.causal_past(&[0], pt.t_max())))
@@ -36,8 +33,7 @@ fn bench_fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2/view_interning");
     for (n, t) in [(3usize, 8usize), (5, 16), (8, 24)] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let graphs: Vec<_> =
-            (0..t).map(|_| generators::random_graph(&mut rng, n, 0.3)).collect();
+        let graphs: Vec<_> = (0..t).map(|_| generators::random_graph(&mut rng, n, 0.3)).collect();
         let seq = GraphSeq::from_graphs(graphs);
         let inputs: Vec<u32> = (0..n as u32).collect();
         group.bench_with_input(

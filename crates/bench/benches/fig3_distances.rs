@@ -37,8 +37,7 @@ fn bench_fig3(c: &mut Criterion) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut table = ViewTable::new(3);
         let mk = |rng: &mut rand::rngs::StdRng, table: &mut ViewTable| {
-            let graphs: Vec<_> =
-                (0..t).map(|_| generators::random_graph(rng, 3, 0.4)).collect();
+            let graphs: Vec<_> = (0..t).map(|_| generators::random_graph(rng, 3, 0.4)).collect();
             PrefixRun::compute(vec![0, 1, 0], &GraphSeq::from_graphs(graphs), table)
         };
         let a = mk(&mut rng, &mut table);
@@ -51,14 +50,8 @@ fn bench_fig3(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig3/exact_lasso_divergence");
     for cycle in [1usize, 4, 16] {
-        let la = Lasso::new(
-            GraphSeq::new(),
-            GraphSeq::parse2(&"-> ".repeat(cycle)).unwrap(),
-        );
-        let lb = Lasso::new(
-            GraphSeq::new(),
-            GraphSeq::parse2(&"<- ".repeat(cycle)).unwrap(),
-        );
+        let la = Lasso::new(GraphSeq::new(), GraphSeq::parse2(&"-> ".repeat(cycle)).unwrap());
+        let lb = Lasso::new(GraphSeq::new(), GraphSeq::parse2(&"<- ".repeat(cycle)).unwrap());
         let a = InfiniteRun::new(vec![0, 1], la);
         let b = InfiniteRun::new(vec![0, 1], lb);
         group.bench_with_input(BenchmarkId::from_parameter(cycle), &(a, b), |bch, (a, b)| {

@@ -37,16 +37,13 @@ fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4/expand_and_components");
     group.sample_size(10);
     for depth in [2usize, 4, 6] {
-        for (name, ma) in
-            [("reduced", reduced_lossy_link()), ("full", full_lossy_link())]
-        {
+        for (name, ma) in [("reduced", reduced_lossy_link()), ("full", full_lossy_link())] {
             group.bench_with_input(
                 BenchmarkId::new(name, depth),
                 &(ma, depth),
                 |b, (ma, depth)| {
                     b.iter(|| {
-                        let space =
-                            PrefixSpace::build(ma, &[0, 1], *depth, 10_000_000).unwrap();
+                        let space = PrefixSpace::build(ma, &[0, 1], *depth, 10_000_000).unwrap();
                         black_box(space.components().count())
                     })
                 },
@@ -59,11 +56,9 @@ fn bench_fig4(c: &mut Criterion) {
     group.sample_size(10);
     for depth in [2usize, 4] {
         let space = PrefixSpace::build(&stars3(), &[0, 1], depth, 10_000_000).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("stars3", depth),
-            &space,
-            |b, space| b.iter(|| black_box(consensus_core::broadcast::broadcast_report(space))),
-        );
+        group.bench_with_input(BenchmarkId::new("stars3", depth), &space, |b, space| {
+            b.iter(|| black_box(consensus_core::broadcast::broadcast_report(space)))
+        });
     }
     group.finish();
 }

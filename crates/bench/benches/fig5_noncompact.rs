@@ -25,7 +25,11 @@ fn bench_fig5(c: &mut Criterion) {
         let verdict = SolvabilityChecker::new(ma).max_depth(5).max_runs(4_000_000).check();
         println!(
             "[F5] stable({k}) by round 3: {}",
-            if verdict.is_solvable() { "SOLVABLE" } else { "mixed/undecided" }
+            if verdict.is_solvable() {
+                "SOLVABLE"
+            } else {
+                "mixed/undecided"
+            }
         );
     }
     println!();
@@ -44,10 +48,8 @@ fn bench_fig5(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
             b.iter(|| {
                 let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 2, Some(r));
-                let verdict = SolvabilityChecker::new(ma)
-                    .max_depth(r + 2)
-                    .max_runs(4_000_000)
-                    .check();
+                let verdict =
+                    SolvabilityChecker::new(ma).max_depth(r + 2).max_runs(4_000_000).check();
                 black_box(verdict.is_solvable())
             })
         });

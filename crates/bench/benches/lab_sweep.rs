@@ -1,0 +1,84 @@
+//! Lab sweep benches: the parallel scenario engine end-to-end, and the
+//! perf datum of ISSUE 1 — redundant `PrefixSpace` construction eliminated
+//! by the shared memoization cache.
+//!
+//! The printed header quantifies the sharing: a full catalog sweep's
+//! construction count vs its scenario count, and the wall-clock ratio of a
+//! cold sweep (fresh cache) to a warm one (all spaces cached).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use consensus_lab::cache::SpaceCache;
+use consensus_lab::runner::SweepRunner;
+use consensus_lab::scenario::{AnalysisKind, GridBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const BUDGET: usize = 2_000_000;
+
+fn bench_lab_sweep(c: &mut Criterion) {
+    // Datum: construction sharing and the cold→warm speedup on the full
+    // catalog grid at depth 3.
+    let grid = GridBuilder::new(3, BUDGET).over_catalog();
+    let cache = SpaceCache::new();
+    let t0 = Instant::now();
+    let cold = SweepRunner::new().run(&grid, &cache);
+    let cold_wall = t0.elapsed();
+    let t1 = Instant::now();
+    let warm = SweepRunner::new().run(&grid, &cache);
+    let warm_wall = t1.elapsed();
+    assert_eq!(warm.cache.builds, cold.cache.builds, "warm pass must build nothing");
+    println!(
+        "\n[lab] catalog×depth≤3: {} scenarios, {} prefix-space constructions \
+         ({} shared); cold {:.1?} → warm {:.1?} ({:.2}× speedup)\n",
+        cold.scenarios,
+        cold.cache.builds,
+        cold.scenarios - cold.cache.builds,
+        cold_wall,
+        warm_wall,
+        cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9),
+    );
+
+    // The engine end-to-end, cold vs warm cache.
+    let mut group = c.benchmark_group("lab/catalog_sweep");
+    group.sample_size(10);
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let cache = SpaceCache::new();
+            black_box(SweepRunner::new().run(&grid, &cache).scenarios)
+        })
+    });
+    let shared = SpaceCache::new();
+    SweepRunner::new().run(&grid, &shared); // pre-warm
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| black_box(SweepRunner::new().run(&grid, &shared).scenarios))
+    });
+    group.finish();
+
+    // Scaling in the analysis dimension: with the cache, adding analyses to
+    // a sweep costs the analysis, not the expansion.
+    let mut group = c.benchmark_group("lab/analysis_scaling");
+    group.sample_size(10);
+    for kinds in [
+        &[AnalysisKind::ComponentStats][..],
+        &[
+            AnalysisKind::Solvability,
+            AnalysisKind::Bivalence,
+            AnalysisKind::Broadcastability,
+            AnalysisKind::ComponentStats,
+            AnalysisKind::SimCheck,
+        ][..],
+    ] {
+        let grid = GridBuilder::new(3, BUDGET).analyses(kinds).over_catalog();
+        group.bench_with_input(BenchmarkId::from_parameter(kinds.len()), &grid, |b, grid| {
+            b.iter(|| {
+                let cache = SpaceCache::new();
+                black_box(SweepRunner::new().run(grid, &cache).cache.builds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lab_sweep);
+criterion_main!(benches);

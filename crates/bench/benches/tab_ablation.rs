@@ -31,11 +31,9 @@ fn bench_ablation(c: &mut Criterion) {
     for depth in [2usize, 4] {
         let space_full =
             PrefixSpace::build(&full_lossy_link(), &[0, 1], depth, 10_000_000).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("ball_bfs", depth),
-            &space_full,
-            |b, space| b.iter(|| black_box(ablation::components_by_ball_bfs(space))),
-        );
+        group.bench_with_input(BenchmarkId::new("ball_bfs", depth), &space_full, |b, space| {
+            b.iter(|| black_box(ablation::components_by_ball_bfs(space)))
+        });
         group.bench_with_input(
             BenchmarkId::new("union_find", depth),
             &full_lossy_link(),
@@ -53,7 +51,9 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/synthesis");
     group.sample_size(10);
     group.bench_function("early_tables", |b| {
-        b.iter(|| black_box(consensus_core::UniversalAlgorithm::synthesize(&space).unwrap().table_size()))
+        b.iter(|| {
+            black_box(consensus_core::UniversalAlgorithm::synthesize(&space).unwrap().table_size())
+        })
     });
     group.bench_function("full_depth_tables", |b| {
         b.iter(|| black_box(ablation::FullDepthAlgorithm::synthesize(&space).is_some()))

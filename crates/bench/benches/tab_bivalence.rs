@@ -28,8 +28,7 @@ fn bench_bivalence(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
             b.iter(|| {
                 black_box(
-                    bivalence::bivalent_run(&FloodMin::new(4), &full, &[0, 1], rounds, 2)
-                        .is_some(),
+                    bivalence::bivalent_run(&FloodMin::new(4), &full, &[0, 1], rounds, 2).is_some(),
                 )
             })
         });

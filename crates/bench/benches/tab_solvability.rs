@@ -33,9 +33,7 @@ fn bench_solvability(c: &mut Criterion) {
             .collect();
         let names: Vec<String> = pool.iter().map(|g| g.to_string()).collect();
         let kernel = baselines::kernel_beta_solvable_n2(&pool);
-        let verdict = SolvabilityChecker::new(GeneralMA::oblivious(pool))
-            .max_depth(4)
-            .check();
+        let verdict = SolvabilityChecker::new(GeneralMA::oblivious(pool)).max_depth(4).check();
         println!(
             "[T8]   {{{}}}: checker = {}, kernel criterion = {}",
             names.join(", "),
@@ -64,10 +62,8 @@ fn bench_solvability(c: &mut Criterion) {
     for (name, ma) in &families {
         group.bench_with_input(BenchmarkId::from_parameter(*name), ma, |b, ma| {
             b.iter(|| {
-                let verdict = SolvabilityChecker::new(ma.clone())
-                    .max_depth(4)
-                    .max_runs(4_000_000)
-                    .check();
+                let verdict =
+                    SolvabilityChecker::new(ma.clone()).max_depth(4).max_runs(4_000_000).check();
                 black_box(verdict.is_solvable())
             })
         });

@@ -42,17 +42,12 @@ fn bench_universal(c: &mut Criterion) {
     });
     group.bench_function("direction_rule", |b| {
         b.iter(|| {
-            black_box(
-                engine::run(&algorithms::DirectionRule, &[0, 1], &seq).consensus_value(),
-            )
+            black_box(engine::run(&algorithms::DirectionRule, &[0, 1], &seq).consensus_value())
         })
     });
     group.bench_function("floodmin", |b| {
         b.iter(|| {
-            black_box(
-                engine::run(&algorithms::FloodMin::new(2), &[0, 1], &seq)
-                    .consensus_value(),
-            )
+            black_box(engine::run(&algorithms::FloodMin::new(2), &[0, 1], &seq).consensus_value())
         })
     });
     group.finish();

@@ -1,0 +1,202 @@
+//! Offline stand-in for the slice of the `criterion` API the bench crate
+//! uses: `Criterion::bench_function`/`benchmark_group`, `BenchmarkGroup`
+//! with `sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple — mean, min, and max of wall-clock
+//! samples — but the measurement loop shape (warm-up iteration, then timed
+//! samples) matches criterion closely enough for the relative comparisons
+//! the bench targets print (e.g. cached vs. uncached sweeps).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples when the target does not override it.
+const DEFAULT_SAMPLES: usize = 12;
+
+/// Re-export-style helper mirroring `criterion::black_box` (the benches in
+/// this workspace import `std::hint::black_box` directly; this is provided
+/// for API parity).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only id (the group provides the function name).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples (after one
+    /// warm-up call whose result is discarded).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, timings: Vec::new() };
+    f(&mut b);
+    if b.timings.is_empty() {
+        println!("{name:<50} (no timings collected)");
+        return;
+    }
+    let total: Duration = b.timings.iter().sum();
+    let mean = total / b.timings.len() as u32;
+    let min = b.timings.iter().min().expect("nonempty");
+    let max = b.timings.iter().max().expect("nonempty");
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires ≥ 10; we accept anything ≥ 1.
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is immediate; this is for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: DEFAULT_SAMPLES, _criterion: self }
+    }
+}
+
+/// Declare a group of benchmark functions (`criterion_group!(benches, f, g)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        // One warm-up + DEFAULT_SAMPLES timed calls.
+        assert_eq!(calls, DEFAULT_SAMPLES + 1);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut n = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &x| b.iter(|| n += x));
+        group.finish();
+        assert_eq!(n, 4 * 7);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to keep
+//! the public API source-compatible with the real serde, but no code path
+//! serializes through serde (the lab result store writes JSON and CSV with
+//! its own encoder). When registry access is available, deleting
+//! `crates/compat` and restoring the `[workspace.dependencies]` entries for
+//! the real crates is the only change needed.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

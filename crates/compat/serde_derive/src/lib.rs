@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`: the derives are accepted and expand
+//! to nothing. The build container has no registry access, so the real
+//! proc-macro stack (`syn`/`quote`) is unavailable; nothing in this
+//! workspace consumes serialized bytes through serde itself (the lab result
+//! store emits its own JSON/CSV), so marker expansion is sufficient.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -15,9 +15,9 @@
 
 use adversary::MessageAdversary;
 use dyngraph::Pid;
-use parking_lot::Mutex;
 use ptgraph::{Value, ViewId};
 use simulator::Algorithm;
+use std::sync::Mutex;
 use topology::epsilon::BucketSpace;
 
 use crate::space::PrefixSpace;
@@ -93,20 +93,26 @@ impl Algorithm for FullDepthAlgorithm {
     type State = FullDepthState;
 
     fn init(&self, p: Pid, x: Value) -> FullDepthState {
-        let view = self.table.lock().intern_initial(p, x);
-        let decided =
-            (self.depth == 0).then(|| self.decisions.get(&(p, view)).copied()).flatten();
+        let view = self.table.lock().expect("interner lock poisoned").intern_initial(p, x);
+        let decided = (self.depth == 0).then(|| self.decisions.get(&(p, view)).copied()).flatten();
         FullDepthState { view, round: 0, decided }
     }
 
-    fn step(&self, p: Pid, state: &FullDepthState, received: &[(Pid, FullDepthState)]) -> FullDepthState {
+    fn step(
+        &self,
+        p: Pid,
+        state: &FullDepthState,
+        received: &[(Pid, FullDepthState)],
+    ) -> FullDepthState {
         let rec: Vec<(Pid, ViewId)> = received.iter().map(|&(q, ref s)| (q, s.view)).collect();
-        let view = self.table.lock().intern_round(p, state.view, &rec);
+        let view = self
+            .table
+            .lock()
+            .expect("interner lock poisoned")
+            .intern_round(p, state.view, &rec);
         let round = state.round + 1;
         let decided = state.decided.or_else(|| {
-            (round == self.depth)
-                .then(|| self.decisions.get(&(p, view)).copied())
-                .flatten()
+            (round == self.depth).then(|| self.decisions.get(&(p, view)).copied()).flatten()
         });
         FullDepthState { view, round, decided }
     }

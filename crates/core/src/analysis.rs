@@ -79,8 +79,7 @@ impl fmt::Display for SpaceReport {
         )?;
         for c in &self.components {
             let val: Vec<String> = c.valences.iter().map(|v| format!("z{v}")).collect();
-            let bc: Vec<String> =
-                c.broadcasters.iter().map(|(p, t)| format!("p{p}@{t}")).collect();
+            let bc: Vec<String> = c.broadcasters.iter().map(|(p, t)| format!("p{p}@{t}")).collect();
             writeln!(
                 f,
                 "  component {}: {} runs, valences [{}], broadcasters [{}]{}",

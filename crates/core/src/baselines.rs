@@ -54,15 +54,10 @@ pub fn kernel_classes(pool: &[Digraph]) -> Vec<Vec<usize>> {
 /// pairwise-kernel relation is provably too coarse for `n ≥ 3`).
 pub fn kernel_beta_solvable_n2(pool: &[Digraph]) -> bool {
     assert!(!pool.is_empty(), "pool must be nonempty");
-    assert!(
-        pool.iter().all(|g| g.n() == 2),
-        "kernel_beta_solvable_n2 is only valid for n = 2"
-    );
+    assert!(pool.iter().all(|g| g.n() == 2), "kernel_beta_solvable_n2 is only valid for n = 2");
     let kernels: Vec<PidMask> = pool.iter().map(Digraph::kernel_mask).collect();
     kernel_classes(pool).into_iter().all(|class| {
-        let inter = class
-            .iter()
-            .fold(u32::MAX, |acc, &i| acc & kernels[i]);
+        let inter = class.iter().fold(u32::MAX, |acc, &i| acc & kernels[i]);
         inter != 0
     })
 }
@@ -127,12 +122,7 @@ impl Algorithm for CommonBroadcasterRule {
         let round = state.round + 1;
         let decided = state.decided.or_else(|| {
             (round >= self.decide_round)
-                .then(|| {
-                    known
-                        .iter()
-                        .find(|&&(q, _)| q == self.broadcaster)
-                        .map(|&(_, v)| v)
-                })
+                .then(|| known.iter().find(|&&(q, _)| q == self.broadcaster).map(|&(_, v)| v))
                 .flatten()
         });
         CbState { known, round, decided }
@@ -177,13 +167,9 @@ mod tests {
                 .collect();
             let kernel_says = kernel_beta_solvable_n2(&pool);
             let ma = GeneralMA::oblivious(pool);
-            let space =
-                crate::space::PrefixSpace::build(&ma, &[0, 1], 3, 2_000_000).unwrap();
+            let space = crate::space::PrefixSpace::build(&ma, &[0, 1], 3, 2_000_000).unwrap();
             let topo_says = space.separation().is_separated();
-            assert_eq!(
-                kernel_says, topo_says,
-                "criteria disagree on pool bits {bits:#06b}"
-            );
+            assert_eq!(kernel_says, topo_says, "criteria disagree on pool bits {bits:#06b}");
         }
     }
 
@@ -199,9 +185,7 @@ mod tests {
         let g1 = Digraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let g2 = Digraph::from_edges(3, &[(2, 1), (1, 0)]).unwrap();
         let ma = GeneralMA::oblivious(vec![g1, g2]);
-        let verdict = crate::solvability::SolvabilityChecker::new(ma)
-            .max_depth(4)
-            .check();
+        let verdict = crate::solvability::SolvabilityChecker::new(ma).max_depth(4).check();
         match verdict {
             crate::solvability::Verdict::Solvable(cert) => {
                 assert!(cert.verification.passed());

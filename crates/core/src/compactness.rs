@@ -73,10 +73,7 @@ pub fn boundary_report(ma: &dyn MessageAdversary, depth: usize) -> Option<Bounda
 }
 
 /// Boundary census across a depth sweep.
-pub fn boundary_sweep(
-    ma: &dyn MessageAdversary,
-    max_depth: usize,
-) -> Vec<BoundaryReport> {
+pub fn boundary_sweep(ma: &dyn MessageAdversary, max_depth: usize) -> Vec<BoundaryReport> {
     (0..=max_depth).map_while(|d| boundary_report(ma, d)).collect()
 }
 

@@ -259,8 +259,7 @@ mod tests {
         assert_eq!(chain.runs.len(), 4);
         // Every link names a process that never hears the flipped one.
         for (i, &p) in chain.links.iter().enumerate() {
-            let rep =
-                contamination::analyze_infinite(&chain.runs[i], &chain.runs[i + 1]);
+            let rep = contamination::analyze_infinite(&chain.runs[i], &chain.runs[i + 1]);
             assert!(rep.per_process[p].is_zero());
         }
     }
@@ -317,10 +316,7 @@ mod tests {
             let space = PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap();
             let chain = valence_chain(&space, 0, 1).expect("chain exists at every depth");
             assert!(validate_epsilon_chain(&space, &chain));
-            assert!(
-                chain.links.len() >= prev_len,
-                "chains should not shrink with depth"
-            );
+            assert!(chain.links.len() >= prev_len, "chains should not shrink with depth");
             prev_len = chain.links.len();
         }
     }

@@ -18,7 +18,9 @@
 //!   finite shadows of the fair/unfair limit, Definition 5.16); the verdict
 //!   reports that evidence without overclaiming.
 
-use adversary::MessageAdversary;
+use std::sync::Arc;
+
+use adversary::{enumerate, MessageAdversary};
 use ptgraph::Value;
 use simulator::checker::{self, CheckReport};
 
@@ -89,6 +91,43 @@ impl Verdict {
     /// Whether the verdict is [`Verdict::Unsolvable`].
     pub fn is_unsolvable(&self) -> bool {
         matches!(self, Verdict::Unsolvable(_))
+    }
+}
+
+/// A provider of prefix spaces — the seam through which an external
+/// memoization layer (e.g. the lab's sweep cache) plugs into the checker.
+///
+/// [`SolvabilityChecker::check_via`] requests the space for each depth from
+/// the source instead of building it; a source shared across analyses and
+/// scenarios then pays for each `(adversary, depth)` expansion exactly once.
+pub trait SpaceSource {
+    /// The space of `ma` at `depth` over `values`, subject to `max_runs`.
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the expansion would exceed
+    /// the budget.
+    fn space(
+        &self,
+        ma: &dyn MessageAdversary,
+        values: &[Value],
+        depth: usize,
+        max_runs: usize,
+    ) -> Result<Arc<PrefixSpace>, enumerate::BudgetExceeded>;
+}
+
+/// The trivial [`SpaceSource`]: builds a fresh space on every request.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FreshSpaces;
+
+impl SpaceSource for FreshSpaces {
+    fn space(
+        &self,
+        ma: &dyn MessageAdversary,
+        values: &[Value],
+        depth: usize,
+        max_runs: usize,
+    ) -> Result<Arc<PrefixSpace>, enumerate::BudgetExceeded> {
+        PrefixSpace::build(ma, values, depth, max_runs).map(Arc::new)
     }
 }
 
@@ -171,15 +210,8 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
     /// Run the check.
     pub fn check(&self) -> Verdict {
         // Phase 1: exact impossibility certificates (cheap, rigorous).
-        for (i, &v) in self.values.iter().enumerate() {
-            for &w in &self.values[i + 1..] {
-                if let Some(chain) =
-                    fair::exact_zero_chain(&self.ma, v, w, self.max_chain_cycle)
-                {
-                    debug_assert!(chain.verify(&self.ma));
-                    return Verdict::Unsolvable(UnsolvableCert::ZeroChain(chain));
-                }
-            }
+        if let Some(verdict) = self.exact_impossibility() {
+            return verdict;
         }
 
         // Phase 2: incremental depth sweep for separation (views are
@@ -196,7 +228,7 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
                         space.separation().is_separated()
                     };
                     if separated {
-                        return self.certify_solvable(space);
+                        return self.certify_solvable(&space);
                     }
                     if space.depth() < self.max_depth {
                         match space.extended(&self.ma, self.max_runs) {
@@ -237,6 +269,69 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
         })
     }
 
+    /// Phase 1 of [`check`](Self::check): search for an exact distance-0
+    /// chain between two valences — a rigorous impossibility certificate
+    /// that needs no prefix-space expansion.
+    pub fn exact_impossibility(&self) -> Option<Verdict> {
+        for (i, &v) in self.values.iter().enumerate() {
+            for &w in &self.values[i + 1..] {
+                if let Some(chain) = fair::exact_zero_chain(&self.ma, v, w, self.max_chain_cycle) {
+                    debug_assert!(chain.verify(&self.ma));
+                    return Some(Verdict::Unsolvable(UnsolvableCert::ZeroChain(chain)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Run the check against spaces supplied by `source` instead of
+    /// building them here. Semantically identical to [`check`](Self::check);
+    /// a shared caching source amortizes the expansions across analyses and
+    /// scenarios (the lab's sweep path).
+    pub fn check_via(&self, source: &dyn SpaceSource) -> Verdict {
+        if let Some(verdict) = self.exact_impossibility() {
+            return verdict;
+        }
+
+        let mut last: Option<Arc<PrefixSpace>> = None;
+        let mut budget_hit = false;
+        for depth in 0..=self.max_depth {
+            match source.space(&self.ma, &self.values, depth, self.max_runs) {
+                Ok(space) => {
+                    let separated = if self.strong_validity {
+                        space.strong_component_assignment().is_some()
+                    } else {
+                        space.separation().is_separated()
+                    };
+                    if separated {
+                        return self.certify_solvable(&space);
+                    }
+                    last = Some(space);
+                }
+                Err(_) => {
+                    budget_hit = true;
+                    break;
+                }
+            }
+        }
+
+        let (mixed, chain, max_depth) = match &last {
+            Some(space) => {
+                let rep = space.separation();
+                let chain = self.first_mixed_chain(space);
+                (rep.mixed_components.len(), chain, space.depth())
+            }
+            None => (0, None, 0),
+        };
+        Verdict::Undecided(UndecidedReport {
+            max_depth,
+            mixed_components: mixed,
+            chain,
+            compact: self.ma.is_compact(),
+            budget_hit,
+        })
+    }
+
     fn first_mixed_chain(&self, space: &PrefixSpace) -> Option<EpsilonChain> {
         for (i, &v) in self.values.iter().enumerate() {
             for &w in &self.values[i + 1..] {
@@ -248,13 +343,20 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
         None
     }
 
-    fn certify_solvable(&self, space: PrefixSpace) -> Verdict {
-        let broadcast = broadcast_report(&space);
+    /// Certify a separated space: synthesize the universal algorithm and
+    /// verify it exhaustively at the space's depth.
+    ///
+    /// # Panics
+    /// Panics if the space is not separated (the caller checks first) or if
+    /// the synthesized algorithm fails its own verification (an internal
+    /// error by Theorem 5.5).
+    pub fn certify_solvable(&self, space: &PrefixSpace) -> Verdict {
+        let broadcast = broadcast_report(space);
         let algorithm = if self.strong_validity {
-            UniversalAlgorithm::synthesize_strong(&space)
+            UniversalAlgorithm::synthesize_strong(space)
                 .expect("strong assignment checked before certification")
         } else {
-            UniversalAlgorithm::synthesize(&space).expect("separated space must synthesize")
+            UniversalAlgorithm::synthesize(space).expect("separated space must synthesize")
         };
         let verification = checker::check_consensus_with(
             &algorithm,
@@ -385,10 +487,7 @@ mod tests {
     #[test]
     fn ternary_inputs_respected() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let verdict = SolvabilityChecker::new(ma)
-            .values(vec![0, 1, 2])
-            .max_depth(3)
-            .check();
+        let verdict = SolvabilityChecker::new(ma).values(vec![0, 1, 2]).max_depth(3).check();
         assert!(verdict.is_solvable(), "{verdict:?}");
     }
 
@@ -399,5 +498,43 @@ mod tests {
             Verdict::Undecided(rep) => assert!(rep.budget_hit),
             other => panic!("expected undecided: {other:?}"),
         }
+    }
+
+    #[test]
+    fn check_via_fresh_source_matches_check() {
+        let pools = [
+            generators::lossy_link_reduced(),
+            generators::lossy_link_full(),
+            vec![Digraph::empty(2)],
+        ];
+        for pool in pools {
+            let checker = SolvabilityChecker::new(GeneralMA::oblivious(pool.clone())).max_depth(4);
+            let direct = checker.check();
+            let via = checker.check_via(&FreshSpaces);
+            match (&direct, &via) {
+                (Verdict::Solvable(a), Verdict::Solvable(b)) => {
+                    assert_eq!(a.depth, b.depth);
+                    assert_eq!(a.component_count, b.component_count);
+                }
+                (Verdict::Unsolvable(_), Verdict::Unsolvable(_)) => {}
+                (Verdict::Undecided(a), Verdict::Undecided(b)) => {
+                    assert_eq!(a.max_depth, b.max_depth);
+                    assert_eq!(a.mixed_components, b.mixed_components);
+                    assert_eq!(a.chain.is_some(), b.chain.is_some());
+                }
+                (a, b) => panic!("pool {pool:?}: check {a:?} vs check_via {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn space_stats_are_cheap_reads() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let stats = space.stats();
+        assert_eq!(stats.depth, 2);
+        assert_eq!(stats.runs, space.runs().len());
+        assert_eq!(stats.views, space.table().len());
+        assert_eq!(stats.components, space.components().count());
     }
 }

@@ -22,6 +22,20 @@ pub struct PrefixSpace {
     components: Components,
 }
 
+/// Cheap size/shape statistics of a [`PrefixSpace`] — all O(1) reads of
+/// already-computed state, safe to collect per scenario in hot sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceStats {
+    /// The expansion depth `t`.
+    pub depth: usize,
+    /// Admissible runs (inputs × sequences).
+    pub runs: usize,
+    /// Distinct interned views.
+    pub views: usize,
+    /// ε-approximation components.
+    pub components: usize,
+}
+
 impl PrefixSpace {
     /// Expand the adversary at `depth` over the input domain `values` and
     /// compute the ε-approximation components (`ε = 2^{−depth}`).
@@ -67,9 +81,11 @@ impl PrefixSpace {
     /// Component-decompose an existing expansion.
     pub fn from_expansion(expansion: enumerate::Expansion) -> Self {
         let depth = expansion.depth;
-        let buckets = expansion.runs.iter().enumerate().flat_map(|(i, run)| {
-            (0..run.n()).map(move |p| ((p, run.view(p, depth)), i))
-        });
+        let buckets = expansion
+            .runs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, run)| (0..run.n()).map(move |p| ((p, run.view(p, depth)), i)));
         let components = components_by_buckets(expansion.runs.len(), buckets);
         PrefixSpace { expansion, components }
     }
@@ -104,6 +120,17 @@ impl PrefixSpace {
         &self.components
     }
 
+    /// Size/shape statistics without recomputation (state-space telemetry
+    /// for sweeps).
+    pub fn stats(&self) -> SpaceStats {
+        SpaceStats {
+            depth: self.depth(),
+            runs: self.expansion.runs.len(),
+            views: self.expansion.table.len(),
+            components: self.components.count(),
+        }
+    }
+
     /// Labels for the valent runs: run index → `v` for every `v`-valent run
     /// (all processes share input `v`).
     pub fn valence_labels(&self) -> HashMap<usize, Value> {
@@ -132,11 +159,7 @@ impl PrefixSpace {
             return None;
         }
         let default = *self.values().iter().min().expect("nonempty domain");
-        Some(separation::total_assignment(
-            &self.components,
-            &self.valence_labels(),
-            default,
-        ))
+        Some(separation::total_assignment(&self.components, &self.valence_labels(), default))
     }
 
     /// The component assignment under **strong validity** (`y_p = x_q` for
@@ -367,14 +390,10 @@ mod tests {
             assert_eq!(inc.depth(), direct.depth());
             assert_eq!(inc.runs().len(), direct.runs().len());
             assert_eq!(inc.components().count(), direct.components().count());
-            assert_eq!(
-                inc.separation().is_separated(),
-                direct.separation().is_separated()
-            );
+            assert_eq!(inc.separation().is_separated(), direct.separation().is_separated());
             // Component size multiset must agree (orderings may differ).
             let sizes = |s: &PrefixSpace| {
-                let mut v: Vec<usize> =
-                    s.components().iter().map(|m| m.len()).collect();
+                let mut v: Vec<usize> = s.components().iter().map(|m| m.len()).collect();
                 v.sort_unstable();
                 v
             };

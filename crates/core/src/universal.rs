@@ -16,9 +16,9 @@
 use std::collections::HashMap;
 
 use dyngraph::Pid;
-use parking_lot::Mutex;
 use ptgraph::{Value, ViewId, ViewTable};
 use simulator::Algorithm;
+use std::sync::Mutex;
 
 use crate::space::PrefixSpace;
 
@@ -65,10 +65,7 @@ impl UniversalAlgorithm {
         Self::synthesize_from_assignment(space, space.strong_component_assignment()?)
     }
 
-    fn synthesize_from_assignment(
-        space: &PrefixSpace,
-        assignment: Vec<Value>,
-    ) -> Option<Self> {
+    fn synthesize_from_assignment(space: &PrefixSpace, assignment: Vec<Value>) -> Option<Self> {
         let depth = space.depth();
         // Earliest-decision tables: bucket (p, view at s) decides v iff all
         // runs sharing the bucket sit in components assigned v.
@@ -91,15 +88,8 @@ impl UniversalAlgorithm {
                 }
             }
         }
-        let decisions = bucket_values
-            .into_iter()
-            .filter_map(|(k, v)| v.map(|v| (k, v)))
-            .collect();
-        Some(UniversalAlgorithm {
-            table: Mutex::new(space.table().clone()),
-            decisions,
-            depth,
-        })
+        let decisions = bucket_values.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect();
+        Some(UniversalAlgorithm { table: Mutex::new(space.table().clone()), decisions, depth })
     }
 
     /// The synthesis depth: the round by which every admissible run decides.
@@ -122,7 +112,7 @@ impl Algorithm for UniversalAlgorithm {
     type State = UniversalState;
 
     fn init(&self, p: Pid, x: Value) -> UniversalState {
-        let view = self.table.lock().intern_initial(p, x);
+        let view = self.table.lock().expect("interner lock poisoned").intern_initial(p, x);
         UniversalState { view, decided: self.bucket_decision(p, view) }
     }
 
@@ -133,7 +123,11 @@ impl Algorithm for UniversalAlgorithm {
         received: &[(Pid, UniversalState)],
     ) -> UniversalState {
         let rec: Vec<(Pid, ViewId)> = received.iter().map(|&(q, ref s)| (q, s.view)).collect();
-        let view = self.table.lock().intern_round(p, state.view, &rec);
+        let view = self
+            .table
+            .lock()
+            .expect("interner lock poisoned")
+            .intern_round(p, state.view, &rec);
         let decided = state.decided.or_else(|| self.bucket_decision(p, view));
         UniversalState { view, decided }
     }
@@ -167,8 +161,7 @@ mod tests {
         let space = reduced_space(2);
         let alg = UniversalAlgorithm::synthesize(&space).unwrap();
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let report =
-            checker::check_consensus(&alg, &ma, &[0, 1], 2, 100_000, true).unwrap();
+        let report = checker::check_consensus(&alg, &ma, &[0, 1], 2, 100_000, true).unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert_eq!(report.undecided_runs, 0);
     }
@@ -266,36 +259,22 @@ mod tests {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
         let space = PrefixSpace::build(&ma, &[0, 1, 2], 2, 4_000_000).unwrap();
         let strong = UniversalAlgorithm::synthesize_strong(&space).unwrap();
-        let report = checker::check_consensus_with(
-            &strong,
-            &ma,
-            &[0, 1, 2],
-            2,
-            4_000_000,
-            true,
-            true,
-        )
-        .unwrap();
+        let report =
+            checker::check_consensus_with(&strong, &ma, &[0, 1, 2], 2, 4_000_000, true, true)
+                .unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
 
         // The weak synthesis, by contrast, violates strong validity on some
         // mixed-input run (it defaults unlabeled components to value 0).
         let weak = UniversalAlgorithm::synthesize(&space).unwrap();
-        let report = checker::check_consensus_with(
-            &weak,
-            &ma,
-            &[0, 1, 2],
-            2,
-            4_000_000,
-            true,
-            true,
-        )
-        .unwrap();
+        let report =
+            checker::check_consensus_with(&weak, &ma, &[0, 1, 2], 2, 4_000_000, true, true)
+                .unwrap();
         assert!(
-            report.violations.iter().any(|v| matches!(
-                v,
-                simulator::checker::Violation::StrongValidity { .. }
-            )),
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, simulator::checker::Violation::StrongValidity { .. })),
             "expected a strong-validity violation from the weak default: {:?}",
             report.violations
         );
@@ -327,8 +306,7 @@ mod tests {
         let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
         assert!(space.separation().is_separated());
         let alg = UniversalAlgorithm::synthesize(&space).unwrap();
-        let report =
-            checker::check_consensus(&alg, &ma, &[0, 1], 2, 1_000_000, true).unwrap();
+        let report = checker::check_consensus(&alg, &ma, &[0, 1], 2, 1_000_000, true).unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
     }
 }

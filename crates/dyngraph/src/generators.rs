@@ -19,8 +19,9 @@ use crate::{Digraph, Pid};
 pub fn all_graphs(n: usize) -> impl Iterator<Item = Digraph> {
     assert!(n <= 5, "all_graphs(n) enumeration is capped at n = 5 (2^20 graphs)");
     // Enumerate via n(n-1)-bit counters mapped onto off-diagonal positions.
-    let positions: Vec<(Pid, Pid)> =
-        (0..n).flat_map(|p| (0..n).filter(move |&q| q != p).map(move |q| (p, q))).collect();
+    let positions: Vec<(Pid, Pid)> = (0..n)
+        .flat_map(|p| (0..n).filter(move |&q| q != p).map(move |q| (p, q)))
+        .collect();
     let total: u64 = 1u64 << positions.len();
     (0..total).map(move |bits| {
         let mut g = Digraph::empty(n);
@@ -49,7 +50,10 @@ pub fn strongly_connected_graphs(n: usize) -> impl Iterator<Item = Digraph> {
 /// Under the oblivious adversary over this set, consensus is **impossible**
 /// (Santoro–Widmayer); the reproduction's experiment T1.
 pub fn lossy_link_full() -> Vec<Digraph> {
-    ["<-", "<->", "->"].iter().map(|t| Digraph::parse2(t).expect("static")).collect()
+    ["<-", "<->", "->"]
+        .iter()
+        .map(|t| Digraph::parse2(t).expect("static"))
+        .collect()
 }
 
 /// The reduced lossy-link set `{←, →}` (paper §1, [8]).

@@ -420,8 +420,7 @@ impl Iterator for Edges<'_> {
             if self.p >= self.graph.n {
                 return None;
             }
-            self.inner =
-                OutNeighbors { mask: self.graph.out[self.p], n: self.graph.n, next: 0 };
+            self.inner = OutNeighbors { mask: self.graph.out[self.p], n: self.graph.n, next: 0 };
         }
     }
 }

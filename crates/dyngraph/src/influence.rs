@@ -38,11 +38,7 @@ impl InfluenceTracker {
     /// Panics if `n == 0` or `n > MAX_N`.
     pub fn new(n: usize) -> Self {
         assert!((1..=crate::MAX_N).contains(&n));
-        InfluenceTracker {
-            n,
-            heard: (0..n).map(mask::singleton).collect(),
-            rounds: 0,
-        }
+        InfluenceTracker { n, heard: (0..n).map(mask::singleton).collect(), rounds: 0 }
     }
 
     /// Number of processes.

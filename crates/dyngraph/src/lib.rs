@@ -48,8 +48,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod graph;
 pub mod generators;
+mod graph;
 pub mod influence;
 pub mod metrics;
 pub mod notation;

@@ -172,7 +172,10 @@ pub fn condensation(g: &Digraph) -> (SccDecomposition, Digraph) {
 /// ```
 pub fn root_components(g: &Digraph) -> Vec<PidMask> {
     let (d, dag) = condensation(g);
-    (0..d.count()).filter(|&c| dag.in_degree(c) == 0).map(|c| d.members(c)).collect()
+    (0..d.count())
+        .filter(|&c| dag.in_degree(c) == 0)
+        .map(|c| d.members(c))
+        .collect()
 }
 
 /// The unique root component if `g` is rooted, else `None`.
@@ -217,8 +220,7 @@ mod tests {
 
     #[test]
     fn condensation_is_dag() {
-        let g =
-            Digraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (0, 3)]).unwrap();
+        let g = Digraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (0, 3)]).unwrap();
         let (d, dag) = condensation(&g);
         assert_eq!(d.count(), 2);
         assert_eq!(dag.edge_count(), 1);

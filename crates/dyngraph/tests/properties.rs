@@ -1,90 +1,116 @@
-//! Property-based tests for the graph substrate.
+//! Property-style tests for the graph substrate.
+//!
+//! Driven by a seeded deterministic generator (the offline stand-in for
+//! proptest; see `crates/compat/README.md`).
 
 use dyngraph::{generators, influence::InfluenceTracker, mask, scc, Digraph, GraphSeq};
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
-fn arb_graph(n: usize) -> impl Strategy<Value = Digraph> {
+const CASES: usize = 128;
+
+fn arb_graph(rng: &mut StdRng, n: usize) -> Digraph {
     let max_code: u64 = 1 << (n * n);
-    (0..max_code).prop_map(move |c| Digraph::from_code(n, c).normalized())
+    Digraph::from_code(n, rng.random_range(0..max_code)).normalized()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_graphs(rng: &mut StdRng, n: usize, min_len: usize, max_len: usize) -> Vec<Digraph> {
+    let len = rng.random_range(min_len..max_len);
+    (0..len).map(|_| arb_graph(rng, n)).collect()
+}
 
-    /// Kernel members are exactly the nodes whose reach mask is full.
-    #[test]
-    fn kernel_iff_full_reach(g in arb_graph(4)) {
+/// Kernel members are exactly the nodes whose reach mask is full.
+#[test]
+fn kernel_iff_full_reach() {
+    let mut rng = StdRng::seed_from_u64(0xD901);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng, 4);
         let full = mask::full(4);
         for p in 0..4 {
             let in_kernel = g.kernel().contains(&p);
-            prop_assert_eq!(in_kernel, g.reach_mask(p) == full);
+            assert_eq!(in_kernel, g.reach_mask(p) == full);
         }
     }
+}
 
-    /// The kernel of a graph equals the kernel of its reflexive closure.
-    #[test]
-    fn kernel_reflexive_invariant(g in arb_graph(4)) {
-        prop_assert_eq!(g.kernel_mask(), g.reflexive().kernel_mask());
+/// The kernel of a graph equals the kernel of its reflexive closure.
+#[test]
+fn kernel_reflexive_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xD902);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng, 4);
+        assert_eq!(g.kernel_mask(), g.reflexive().kernel_mask());
     }
+}
 
-    /// Transposition swaps reach: q ∈ reach_g(p) ⟺ p ∈ reach_gT(q).
-    #[test]
-    fn transpose_reach_duality(g in arb_graph(4)) {
+/// Transposition swaps reach: q ∈ reach_g(p) ⟺ p ∈ reach_gT(q).
+#[test]
+fn transpose_reach_duality() {
+    let mut rng = StdRng::seed_from_u64(0xD903);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng, 4);
         let gt = g.transpose();
         for p in 0..4 {
             for q in 0..4 {
-                prop_assert_eq!(
-                    mask::contains(g.reach_mask(p), q),
-                    mask::contains(gt.reach_mask(q), p)
-                );
+                assert_eq!(mask::contains(g.reach_mask(p), q), mask::contains(gt.reach_mask(q), p));
             }
         }
     }
+}
 
-    /// SCC membership is symmetric mutual reachability.
-    #[test]
-    fn scc_is_mutual_reach(g in arb_graph(4)) {
+/// SCC membership is symmetric mutual reachability.
+#[test]
+fn scc_is_mutual_reach() {
+    let mut rng = StdRng::seed_from_u64(0xD904);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng, 4);
         let d = scc::decompose(&g);
         for p in 0..4 {
             for q in 0..4 {
-                let mutual = mask::contains(g.reach_mask(p), q)
-                    && mask::contains(g.reach_mask(q), p);
-                prop_assert_eq!(d.same_component(p, q), mutual);
+                let mutual =
+                    mask::contains(g.reach_mask(p), q) && mask::contains(g.reach_mask(q), p);
+                assert_eq!(d.same_component(p, q), mutual);
             }
         }
     }
+}
 
-    /// Root components are exactly the SCCs no outside node reaches into.
-    #[test]
-    fn root_components_no_inbound(g in arb_graph(4)) {
+/// Root components are exactly the SCCs no outside node reaches into.
+#[test]
+fn root_components_no_inbound() {
+    let mut rng = StdRng::seed_from_u64(0xD905);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng, 4);
         let roots = scc::root_components(&g);
-        prop_assert!(!roots.is_empty());
+        assert!(!roots.is_empty());
         for &root in &roots {
             for (p, q) in g.edges() {
                 // No edge from outside the root into it.
                 if mask::contains(root, q) {
-                    prop_assert!(
-                        mask::contains(root, p),
-                        "edge {}→{} enters root {:#b}", p, q, root
-                    );
+                    assert!(mask::contains(root, p), "edge {p}→{q} enters root {root:#b}");
                 }
             }
         }
     }
+}
 
-    /// A graph is rooted iff it has a unique root component.
-    #[test]
-    fn rooted_iff_unique_root(g in arb_graph(4)) {
+/// A graph is rooted iff it has a unique root component.
+#[test]
+fn rooted_iff_unique_root() {
+    let mut rng = StdRng::seed_from_u64(0xD906);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng, 4);
         let roots = scc::root_components(&g);
-        prop_assert_eq!(g.is_rooted(), roots.len() == 1);
+        assert_eq!(g.is_rooted(), roots.len() == 1);
     }
+}
 
-    /// Influence after composing rounds equals path reachability in the
-    /// layered (reflexive) product.
-    #[test]
-    fn influence_matches_reflexive_composition(
-        gs in proptest::collection::vec(arb_graph(3), 1..5)
-    ) {
+/// Influence after composing rounds equals path reachability in the
+/// layered (reflexive) product.
+#[test]
+fn influence_matches_reflexive_composition() {
+    let mut rng = StdRng::seed_from_u64(0xD907);
+    for _ in 0..CASES {
+        let gs = arb_graphs(&mut rng, 3, 1, 5);
         let mut tracker = InfluenceTracker::new(3);
         let mut product = Digraph::empty(3).reflexive();
         for g in &gs {
@@ -93,40 +119,48 @@ proptest! {
         }
         for p in 0..3 {
             for q in 0..3 {
-                prop_assert_eq!(
-                    tracker.heard(q, p),
-                    product.has_edge(p, q),
-                    "p={} q={}", p, q
-                );
+                assert_eq!(tracker.heard(q, p), product.has_edge(p, q), "p={p} q={q}");
             }
         }
     }
+}
 
-    /// Lasso unrolls are consistent under cycle rotation by one period.
-    #[test]
-    fn lasso_periodicity(gs in proptest::collection::vec(arb_graph(2), 1..4)) {
+/// Lasso unrolls are consistent under cycle rotation by one period.
+#[test]
+fn lasso_periodicity() {
+    let mut rng = StdRng::seed_from_u64(0xD908);
+    for _ in 0..CASES {
+        let gs = arb_graphs(&mut rng, 2, 1, 4);
         let lasso = dyngraph::Lasso::new(GraphSeq::new(), GraphSeq::from_graphs(gs));
         let c = lasso.cycle_len();
         for t in 1..=(2 * c) {
-            prop_assert_eq!(lasso.graph_at(t), lasso.graph_at(t + c));
+            assert_eq!(lasso.graph_at(t), lasso.graph_at(t + c));
         }
     }
+}
 
-    /// Broadcast rounds computed on a lasso agree with long finite unrolls.
-    #[test]
-    fn lasso_broadcast_matches_unroll(gs in proptest::collection::vec(arb_graph(3), 1..4)) {
+/// Broadcast rounds computed on a lasso agree with long finite unrolls.
+#[test]
+fn lasso_broadcast_matches_unroll() {
+    let mut rng = StdRng::seed_from_u64(0xD909);
+    for _ in 0..CASES {
+        let gs = arb_graphs(&mut rng, 3, 1, 4);
         let lasso = dyngraph::Lasso::new(GraphSeq::new(), GraphSeq::from_graphs(gs));
         let horizon = 40; // ≫ n² · cycle for these sizes
         let unrolled = lasso.unroll(horizon);
         for p in 0..3 {
-            prop_assert_eq!(lasso.broadcast_round(p), unrolled.broadcast_round(p));
+            assert_eq!(lasso.broadcast_round(p), unrolled.broadcast_round(p));
         }
     }
+}
 
-    /// Graph codes roundtrip.
-    #[test]
-    fn code_roundtrip(g in arb_graph(4)) {
-        prop_assert_eq!(Digraph::from_code(4, g.code()), g);
+/// Graph codes roundtrip.
+#[test]
+fn code_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xD90A);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng, 4);
+        assert_eq!(Digraph::from_code(4, g.code()), g);
     }
 }
 

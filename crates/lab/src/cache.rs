@@ -1,0 +1,215 @@
+//! The shared prefix-space memoization cache.
+//!
+//! Sweeps ask the same *(adversary, depth)* question through several
+//! analyses — solvability, bivalence, broadcastability, component stats,
+//! simulator checks all start from the same [`PrefixSpace`]. The cache keys
+//! spaces by *(structural fingerprint, input domain, depth)* so each
+//! expansion is computed once per sweep, across analyses, across scenarios,
+//! and across structurally identical catalog entries (e.g. `all-rooted-2`
+//! aliases `sw-lossy-link`).
+//!
+//! Implements [`consensus_core::solvability::SpaceSource`], so the core
+//! checker's depth sweep transparently reuses cached spaces too.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use adversary::{enumerate, MessageAdversary};
+use consensus_core::solvability::SpaceSource;
+use consensus_core::PrefixSpace;
+use ptgraph::Value;
+
+/// Cache key: structural adversary fingerprint × input domain × depth.
+type Key = (u64, Vec<Value>, usize);
+
+/// Failure key: a [`Key`] plus the budget the expansion exceeded.
+type FailKey = (u64, Vec<Value>, usize, usize);
+
+/// Counters describing cache effectiveness over a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: usize,
+    /// Requests that triggered a [`PrefixSpace`] construction.
+    pub builds: usize,
+    /// Requests that exceeded the step budget (not cached).
+    pub budget_misses: usize,
+}
+
+impl CacheStats {
+    /// Total space requests served.
+    pub fn requests(&self) -> usize {
+        self.hits + self.builds + self.budget_misses
+    }
+}
+
+/// A thread-safe memoizing [`SpaceSource`]; see the module docs.
+///
+/// Budget-exceeded outcomes are memoized separately (keyed with the budget)
+/// so a sweep does not re-attempt a hopeless expansion per analysis.
+#[derive(Debug, Default)]
+pub struct SpaceCache {
+    spaces: Mutex<HashMap<Key, Arc<PrefixSpace>>>,
+    failures: Mutex<HashMap<FailKey, enumerate::BudgetExceeded>>,
+    hits: AtomicUsize,
+    builds: AtomicUsize,
+    budget_misses: AtomicUsize,
+}
+
+impl SpaceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            budget_misses: self.budget_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached spaces.
+    pub fn len(&self) -> usize {
+        self.spaces.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// [`SpaceSource::space`] plus a flag: `true` if served from the cache.
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the expansion exceeds
+    /// `max_runs` (the failure is memoized per budget).
+    pub fn space_with_meta(
+        &self,
+        ma: &dyn MessageAdversary,
+        values: &[Value],
+        depth: usize,
+        max_runs: usize,
+    ) -> Result<(Arc<PrefixSpace>, bool), enumerate::BudgetExceeded> {
+        let key: Key = (ma.fingerprint(), values.to_vec(), depth);
+        if let Some(space) = self.spaces.lock().expect("cache lock poisoned").get(&key) {
+            // A hit may carry a space built under a *larger* budget than
+            // this request's; that is fine — budgets bound work, not
+            // results, and the cached space is exact.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(space), true));
+        }
+        let fail_key = (key.0, key.1.clone(), key.2, max_runs);
+        if let Some(err) = self.failures.lock().expect("cache lock poisoned").get(&fail_key) {
+            self.budget_misses.fetch_add(1, Ordering::Relaxed);
+            return Err(err.clone());
+        }
+        // Build outside the locks: expansions dominate and must overlap
+        // across worker threads. Two workers racing on one key build twice;
+        // the loser's space is dropped (counted as a build either way, so
+        // the "constructions < scenarios" telemetry stays honest).
+        match PrefixSpace::build(ma, values, depth, max_runs) {
+            Ok(space) => {
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                let space = Arc::new(space);
+                let mut cached = self.spaces.lock().expect("cache lock poisoned");
+                let entry = cached.entry(key).or_insert_with(|| Arc::clone(&space));
+                Ok((Arc::clone(entry), false))
+            }
+            Err(err) => {
+                self.budget_misses.fetch_add(1, Ordering::Relaxed);
+                self.failures.lock().expect("cache lock poisoned").insert(fail_key, err.clone());
+                Err(err)
+            }
+        }
+    }
+}
+
+impl SpaceSource for SpaceCache {
+    fn space(
+        &self,
+        ma: &dyn MessageAdversary,
+        values: &[Value],
+        depth: usize,
+        max_runs: usize,
+    ) -> Result<Arc<PrefixSpace>, enumerate::BudgetExceeded> {
+        self.space_with_meta(ma, values, depth, max_runs).map(|(space, _)| space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adversary::GeneralMA;
+    use dyngraph::generators;
+
+    #[test]
+    fn second_request_hits() {
+        let cache = SpaceCache::new();
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let (a, cached_a) = cache.space_with_meta(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let (b, cached_b) = cache.space_with_meta(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        assert!(!cached_a);
+        assert!(cached_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, builds: 1, budget_misses: 0 });
+    }
+
+    #[test]
+    fn structurally_equal_adversaries_share() {
+        let cache = SpaceCache::new();
+        let mut pool = generators::lossy_link_full();
+        let a = GeneralMA::oblivious(pool.clone());
+        pool.reverse();
+        let b = GeneralMA::oblivious(pool);
+        cache.space_with_meta(&a, &[0, 1], 1, 1_000_000).unwrap();
+        let (_, cached) = cache.space_with_meta(&b, &[0, 1], 1, 1_000_000).unwrap();
+        assert!(cached, "same structure must share one slot");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_depths_and_domains_do_not_collide() {
+        let cache = SpaceCache::new();
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        let (d1, _) = cache.space_with_meta(&ma, &[0, 1], 1, 1_000_000).unwrap();
+        let (d2, _) = cache.space_with_meta(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let (t1, _) = cache.space_with_meta(&ma, &[0, 1, 2], 1, 1_000_000).unwrap();
+        assert_eq!(d1.depth(), 1);
+        assert_eq!(d2.depth(), 2);
+        assert_eq!(t1.values().len(), 3);
+        assert_eq!(cache.stats().builds, 3);
+    }
+
+    #[test]
+    fn budget_failures_memoized_per_budget() {
+        let cache = SpaceCache::new();
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        assert!(cache.space_with_meta(&ma, &[0, 1], 5, 10).is_err());
+        assert!(cache.space_with_meta(&ma, &[0, 1], 5, 10).is_err());
+        let stats = cache.stats();
+        assert_eq!(stats.budget_misses, 2);
+        assert_eq!(stats.builds, 0);
+        // A larger budget is a fresh attempt.
+        assert!(cache.space_with_meta(&ma, &[0, 1], 5, 10_000_000).is_ok());
+        assert_eq!(cache.stats().builds, 1);
+    }
+
+    #[test]
+    fn core_checker_pulls_through_the_cache() {
+        use consensus_core::solvability::SolvabilityChecker;
+        let cache = SpaceCache::new();
+        let checker =
+            SolvabilityChecker::new(GeneralMA::oblivious(generators::lossy_link_reduced()))
+                .max_depth(3);
+        let first = checker.check_via(&cache);
+        assert!(first.is_solvable());
+        let builds_after_first = cache.stats().builds;
+        let second = checker.check_via(&cache);
+        assert!(second.is_solvable());
+        assert_eq!(cache.stats().builds, builds_after_first, "warm re-check must build nothing");
+    }
+}

@@ -1,0 +1,62 @@
+//! **The consensus lab** — a batch experiment-orchestration layer over the
+//! Nowak–Schmid–Winkler machinery (PODC 2019, arXiv:1905.09590).
+//!
+//! The paper's theorems are exercised one adversary at a time by the
+//! `consensus-core` checkers; production workloads ask the opposite
+//! question: *run every analysis over every adversary in a family, fast,
+//! and store the answers*. This crate treats "check one adversary at one
+//! depth with one analysis" as a unit of traffic — a [`scenario::Scenario`]
+//! — and provides:
+//!
+//! * [`scenario`] — scenario specs (catalog entries or parsed pools ×
+//!   depth × analysis kind) and deterministic grid builders;
+//! * [`runner`] — the parallel [`runner::SweepRunner`]: scoped worker
+//!   threads pulling from a shared queue, per-scenario step budgets,
+//!   grid-ordered (deterministic) results;
+//! * [`cache`] — the shared [`cache::SpaceCache`]: prefix spaces memoized
+//!   by *(structural adversary fingerprint, input domain, depth)* and
+//!   plugged into the core checker through
+//!   [`consensus_core::solvability::SpaceSource`], so solvability,
+//!   bivalence, broadcastability, component-stats, and simulator checks on
+//!   the same cell all pay for **one** expansion (paper operations:
+//!   Definition 6.2's ε-approximation is the shared object);
+//! * [`store`] — the serde-style result store: order-stable JSONL records
+//!   plus a CSV summary, with wall-time and state-space telemetry;
+//! * [`report`] — aggregation over stored results;
+//! * [`json`] — the dependency-free JSON encoder/parser backing the store.
+//!
+//! The `consensus-lab` binary exposes all of this as `sweep`, `check`,
+//! `catalog`, and `report` subcommands.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use consensus_lab::cache::SpaceCache;
+//! use consensus_lab::runner::SweepRunner;
+//! use consensus_lab::scenario::{AdversarySpec, AnalysisKind, GridBuilder};
+//!
+//! // Solvability × bivalence over one adversary at depths 1..=2.
+//! let grid = GridBuilder::new(2, 100_000)
+//!     .analyses(&[AnalysisKind::Solvability, AnalysisKind::Bivalence])
+//!     .over_specs(&[AdversarySpec::Catalog("cgp-reduced-lossy-link".into())]);
+//! let cache = SpaceCache::new();
+//! let report = SweepRunner::new().threads(2).run(&grid, &cache);
+//! assert_eq!(report.store.records().len(), 4);
+//! // The memoization cache built strictly fewer spaces than scenarios ran.
+//! assert!(report.cache.builds < report.scenarios);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod store;
+
+pub use cache::SpaceCache;
+pub use runner::{SweepReport, SweepRunner};
+pub use scenario::{AdversarySpec, AnalysisKind, GridBuilder, Scenario};
+pub use store::{ResultStore, ScenarioRecord};

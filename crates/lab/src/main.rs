@@ -1,0 +1,363 @@
+//! The `consensus-lab` CLI: batch experiments over message adversaries.
+//!
+//! ```text
+//! consensus-lab catalog
+//! consensus-lab check --adversary sw-lossy-link --depth 4 [--analysis solvability]
+//! consensus-lab check --pool "-> <- <->" --depth 3
+//! consensus-lab sweep --catalog --max-depth 4 [--out lab-results] [--threads 8]
+//!                     [--analyses solvability,bivalence] [--budget 2000000] [--repeat 2]
+//! consensus-lab report --input lab-results/results.jsonl
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use consensus_lab::cache::SpaceCache;
+use consensus_lab::report::Aggregate;
+use consensus_lab::runner::{execute_scenario, SweepRunner};
+use consensus_lab::scenario::{AdversarySpec, AnalysisKind, GridBuilder, Scenario};
+use consensus_lab::store::parse_jsonl;
+
+const USAGE: &str = "\
+consensus-lab — batch experiments over message adversaries (PODC'19 Nowak–Schmid–Winkler)
+
+USAGE:
+    consensus-lab catalog
+        List the built-in adversary catalog.
+
+    consensus-lab check (--adversary NAME | --pool \"-> <- <->\" [--eventually G [--by R]])
+                        [--depth D] [--analysis KIND] [--budget RUNS]
+        Run one scenario and print the record.
+
+    consensus-lab sweep --catalog [--max-depth D] [--analyses K1,K2] [--budget RUNS]
+                        [--threads N] [--out DIR] [--repeat N] [--time-limit-ms MS]
+        Run the scenario grid over the catalog in parallel; write
+        DIR/results.jsonl and DIR/summary.csv (default DIR: lab-results).
+
+    consensus-lab report --input FILE.jsonl
+        Aggregate a stored result file.
+
+ANALYSES: solvability, bivalence, broadcastability, component-stats, sim-check
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("catalog") => cmd_catalog(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus bare `--switch`es.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+            match value {
+                Some(v) => {
+                    pairs.push((key.to_string(), Some(v.clone())));
+                    i += 2;
+                }
+                None => {
+                    pairs.push((key.to_string(), None));
+                    i += 1;
+                }
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.pairs.iter().find(|(k, _)| k == key) {
+            None => Ok(default),
+            Some((_, None)) => Err(format!("--{key} expects a number")),
+            Some((_, Some(v))) => {
+                v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}"))
+            }
+        }
+    }
+
+    /// Reject flags outside the subcommand's vocabulary — a mistyped
+    /// experiment parameter must fail loudly, not run with a default.
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for (key, _) in &self.pairs {
+            if !allowed.contains(&key.as_str()) {
+                return Err(if allowed.is_empty() {
+                    format!("unknown flag --{key} (this subcommand takes no flags)")
+                } else {
+                    format!(
+                        "unknown flag --{key} (expected one of: {})",
+                        allowed.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+                    )
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+/// `println!` that tolerates a closed stdout (`consensus-lab ... | head`):
+/// Rust's default SIGPIPE handling turns EPIPE into a panic inside
+/// `println!`, so line output goes through this instead.
+fn emit(line: std::fmt::Arguments<'_>) {
+    use std::io::Write;
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+fn cmd_catalog(args: &[String]) -> ExitCode {
+    match Flags::parse(args).and_then(|flags| flags.reject_unknown(&[])) {
+        Ok(()) => {}
+        Err(e) => return fail(&e),
+    }
+    emit(format_args!("{:<30} {:>2} {:>8} {:<12} summary", "name", "n", "compact", "expected"));
+    for entry in adversary::catalog::entries() {
+        let ma = entry.build();
+        let expected = match entry.expected {
+            Some(true) => "solvable",
+            Some(false) => "unsolvable",
+            None => "mixed",
+        };
+        emit(format_args!(
+            "{:<30} {:>2} {:>8} {:<12} {}",
+            entry.name,
+            ma.n(),
+            ma.is_compact(),
+            expected,
+            entry.summary
+        ));
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_spec(flags: &Flags) -> Result<AdversarySpec, String> {
+    match (flags.get("adversary"), flags.get("pool")) {
+        (Some(name), None) => {
+            if flags.has("eventually") || flags.has("by") {
+                return Err("--eventually/--by only apply to --pool adversaries".into());
+            }
+            Ok(AdversarySpec::Catalog(name.to_string()))
+        }
+        (None, Some(word)) => {
+            let eventually = match flags.get("eventually") {
+                None => None,
+                Some(target) => {
+                    // A malformed deadline must not silently fall back to
+                    // "no deadline" — that is a different (non-compact)
+                    // adversary.
+                    let deadline = match flags.get("by") {
+                        None if flags.has("by") => return Err("--by expects a round number".into()),
+                        None => None,
+                        Some(r) => Some(
+                            r.parse()
+                                .map_err(|_| format!("--by expects a round number, got {r:?}"))?,
+                        ),
+                    };
+                    Some((target.to_string(), deadline))
+                }
+            };
+            Ok(AdversarySpec::Pool { word: word.to_string(), eventually })
+        }
+        (Some(_), Some(_)) => Err("--adversary and --pool are mutually exclusive".into()),
+        (None, None) => Err("check needs --adversary NAME or --pool \"...\"".into()),
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = flags.reject_unknown(&[
+        "adversary",
+        "pool",
+        "eventually",
+        "by",
+        "depth",
+        "analysis",
+        "budget",
+    ]) {
+        return fail(&e);
+    }
+    let spec = match parse_spec(&flags) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let depth = match flags.get_usize("depth", 4) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    let budget = match flags.get_usize("budget", 2_000_000) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let analyses: Vec<AnalysisKind> = match flags.get("analysis") {
+        None => AnalysisKind::ALL.to_vec(),
+        Some(name) => match AnalysisKind::parse(name) {
+            Some(kind) => vec![kind],
+            None => return fail(&format!("unknown analysis {name:?}")),
+        },
+    };
+    let cache = SpaceCache::new();
+    let mut errored = false;
+    for analysis in analyses {
+        let scenario = Scenario { spec: spec.clone(), depth, analysis, max_runs: budget };
+        let record = execute_scenario(0, &scenario, &cache, None);
+        errored |= record.outcome.verdict == "error";
+        emit(format_args!("{}", record.to_json()));
+    }
+    let stats = cache.stats();
+    eprintln!(
+        "[cache] constructions: {}, hits: {}, budget misses: {}",
+        stats.builds, stats.hits, stats.budget_misses
+    );
+    if errored {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = flags.reject_unknown(&[
+        "catalog",
+        "max-depth",
+        "analyses",
+        "budget",
+        "threads",
+        "out",
+        "repeat",
+        "time-limit-ms",
+    ]) {
+        return fail(&e);
+    }
+    if !flags.has("catalog") {
+        return fail("sweep currently requires --catalog (the built-in adversary registry)");
+    }
+    let max_depth = match flags.get_usize("max-depth", 4) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    let budget = match flags.get_usize("budget", 2_000_000) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let threads = match flags.get_usize("threads", 0) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let repeat = match flags.get_usize("repeat", 1) {
+        Ok(r) => r.max(1),
+        Err(e) => return fail(&e),
+    };
+    let out = PathBuf::from(flags.get("out").unwrap_or("lab-results"));
+    let mut builder = GridBuilder::new(max_depth, budget);
+    if let Some(list) = flags.get("analyses") {
+        let kinds: Result<Vec<AnalysisKind>, String> = list
+            .split(',')
+            .map(|name| {
+                AnalysisKind::parse(name.trim()).ok_or_else(|| format!("unknown analysis {name:?}"))
+            })
+            .collect();
+        match kinds {
+            Ok(kinds) => builder = builder.analyses(&kinds),
+            Err(e) => return fail(&e),
+        }
+    }
+    let grid = builder.over_catalog();
+    let mut runner = SweepRunner::new();
+    if threads > 0 {
+        runner = runner.threads(threads);
+    }
+    if flags.has("time-limit-ms") {
+        match flags.get("time-limit-ms").map(str::parse::<u64>) {
+            Some(Ok(ms)) => runner = runner.time_limit(Duration::from_millis(ms)),
+            Some(Err(_)) | None => return fail("--time-limit-ms expects a number"),
+        }
+    }
+
+    // One shared cache across repeats: pass 2+ runs warm and demonstrates
+    // constructions ≪ scenarios.
+    let cache = SpaceCache::new();
+    let mut last = None;
+    for pass in 1..=repeat {
+        let report = runner.run(&grid, &cache);
+        emit(format_args!("[pass {pass}/{repeat}] {}", report.summary()));
+        last = Some(report);
+    }
+    let report = last.expect("repeat >= 1");
+    match report.store.write_files(&out) {
+        Ok((jsonl, csv)) => {
+            emit(format_args!("wrote {} and {}", jsonl.display(), csv.display()));
+            for mismatch in report.mismatches() {
+                eprintln!(
+                    "ground-truth mismatch: {}@{} → {}",
+                    mismatch.adversary, mismatch.depth, mismatch.outcome.verdict
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("writing results to {}: {e}", out.display())),
+    }
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = flags.reject_unknown(&["input"]) {
+        return fail(&e);
+    }
+    let Some(input) = flags.get("input") else {
+        return fail("report needs --input FILE.jsonl");
+    };
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {input}: {e}")),
+    };
+    match parse_jsonl(&text) {
+        Ok(records) => {
+            emit(format_args!("{}", Aggregate::from_records(&records)));
+            ExitCode::SUCCESS
+        }
+        Err((line, e)) => fail(&format!("{input}:{line}: {e}")),
+    }
+}

@@ -1,0 +1,114 @@
+//! Aggregation over stored result files (the `report` CLI subcommand).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::Value;
+
+/// Aggregated view of a JSONL result file.
+#[derive(Debug, Default, PartialEq)]
+pub struct Aggregate {
+    /// Records counted.
+    pub records: usize,
+    /// `(analysis, verdict) → count`.
+    pub by_analysis: BTreeMap<(String, String), usize>,
+    /// Records flagged `matches_expected: false`.
+    pub mismatches: Vec<String>,
+    /// Total wall-clock milliseconds across records.
+    pub total_wall_ms: f64,
+    /// Records served from the space cache (`cached_space: true`).
+    pub cached: usize,
+    /// Records with a `cached_space` field at all.
+    pub cacheable: usize,
+    /// Records with `budget_hit: true`.
+    pub budget_hits: usize,
+}
+
+impl Aggregate {
+    /// Aggregate parsed JSONL records.
+    pub fn from_records(records: &[Value]) -> Self {
+        let mut agg = Aggregate::default();
+        for r in records {
+            agg.records += 1;
+            let analysis = r.get("analysis").and_then(Value::as_str).unwrap_or("?").to_string();
+            let verdict = r.get("verdict").and_then(Value::as_str).unwrap_or("?").to_string();
+            *agg.by_analysis.entry((analysis, verdict)).or_insert(0) += 1;
+            if r.get("matches_expected").and_then(Value::as_bool) == Some(false) {
+                let label = format!(
+                    "{}@{}",
+                    r.get("adversary").and_then(Value::as_str).unwrap_or("?"),
+                    r.get("depth").and_then(Value::as_i64).unwrap_or(-1),
+                );
+                agg.mismatches.push(label);
+            }
+            if let Some(Value::Float(wall)) = r.get("wall_ms") {
+                agg.total_wall_ms += wall;
+            } else if let Some(Value::Int(wall)) = r.get("wall_ms") {
+                agg.total_wall_ms += *wall as f64;
+            }
+            if let Some(cached) = r.get("cached_space").and_then(Value::as_bool) {
+                agg.cacheable += 1;
+                if cached {
+                    agg.cached += 1;
+                }
+            }
+            if r.get("budget_hit").and_then(Value::as_bool) == Some(true) {
+                agg.budget_hits += 1;
+            }
+        }
+        agg
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} records, {:.1} ms total compute, {} budget hits, cache {}/{}",
+            self.records, self.total_wall_ms, self.budget_hits, self.cached, self.cacheable
+        )?;
+        let mut current = "";
+        for ((analysis, verdict), count) in &self.by_analysis {
+            if analysis != current {
+                writeln!(f, "  {analysis}:")?;
+                current = analysis;
+            }
+            writeln!(f, "    {verdict:<18} {count}")?;
+        }
+        if self.mismatches.is_empty() {
+            writeln!(f, "  ground truth: all solvability verdicts match the catalog")?;
+        } else {
+            writeln!(f, "  ground-truth MISMATCHES: {}", self.mismatches.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::parse_jsonl;
+
+    const SAMPLE: &str = concat!(
+        r#"{"adversary":"a","depth":1,"analysis":"solvability","verdict":"solvable","matches_expected":true,"budget_hit":false,"wall_ms":1.5}"#,
+        "\n",
+        r#"{"adversary":"b","depth":2,"analysis":"solvability","verdict":"undecided","matches_expected":false,"budget_hit":true,"wall_ms":2.0}"#,
+        "\n",
+        r#"{"adversary":"b","depth":2,"analysis":"bivalence","verdict":"mixed","cached_space":true,"budget_hit":false,"wall_ms":0.5}"#,
+        "\n",
+    );
+
+    #[test]
+    fn aggregates_counts_and_mismatches() {
+        let records = parse_jsonl(SAMPLE).unwrap();
+        let agg = Aggregate::from_records(&records);
+        assert_eq!(agg.records, 3);
+        assert_eq!(agg.by_analysis[&("solvability".to_string(), "solvable".to_string())], 1);
+        assert_eq!(agg.mismatches, vec!["b@2".to_string()]);
+        assert_eq!(agg.budget_hits, 1);
+        assert_eq!((agg.cached, agg.cacheable), (1, 1));
+        assert!((agg.total_wall_ms - 4.0).abs() < 1e-9);
+        let text = agg.to_string();
+        assert!(text.contains("MISMATCHES: b@2"));
+    }
+}

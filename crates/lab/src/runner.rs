@@ -1,0 +1,565 @@
+//! The parallel scenario-sweep engine.
+//!
+//! [`SweepRunner`] executes a scenario grid on a pool of scoped worker
+//! threads pulling indices from a shared atomic queue (the work-stealing
+//! shape of a rayon `par_iter`, built on `std` because the build
+//! environment is registry-less — see `crates/compat/README.md`). Results
+//! land in per-index slots, so the output order is the grid order no matter
+//! how the scheduling interleaves: identical grids produce identical result
+//! files (modulo wall-clock fields).
+//!
+//! All space-hungry analyses pull their [`PrefixSpace`]s through the shared
+//! [`SpaceCache`], so one *(adversary, depth)* expansion serves every
+//! analysis that needs it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use consensus_core::solvability::{SolvabilityChecker, Verdict};
+use consensus_core::{analysis, broadcast, fair, UniversalAlgorithm};
+use ptgraph::Value;
+use simulator::algorithms::FloodMin;
+use simulator::checker;
+
+use crate::cache::{CacheStats, SpaceCache};
+use crate::json::Value as Json;
+use crate::scenario::{AnalysisKind, Scenario};
+use crate::store::{Outcome, ResultStore, ScenarioRecord};
+
+/// The input domain used by sweeps (binary consensus, as throughout the
+/// paper's examples).
+pub const SWEEP_VALUES: &[Value] = &[0, 1];
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+    /// Soft per-scenario wall-clock limit; exceeding it flags the record
+    /// (step budgets, not preemption, bound the actual work).
+    time_limit: Option<Duration>,
+}
+
+/// A finished sweep: records in grid order plus engine telemetry.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The result store (records in grid order).
+    pub store: ResultStore,
+    /// Cache counters accumulated over the sweep.
+    pub cache: CacheStats,
+    /// Number of scenarios executed.
+    pub scenarios: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total wall time.
+    pub wall: Duration,
+}
+
+impl SweepReport {
+    /// Scenarios whose solvability verdict contradicted the catalog ground
+    /// truth.
+    pub fn mismatches(&self) -> Vec<&ScenarioRecord> {
+        self.store
+            .records()
+            .iter()
+            .filter(|r| r.matches_expected == Some(false))
+            .collect()
+    }
+
+    /// One-paragraph human summary (the sweep's stdout footer).
+    pub fn summary(&self) -> String {
+        let stats = self.cache;
+        format!(
+            "{} scenarios on {} threads in {:.2?}; prefix-space constructions: {} \
+             (cache hits: {}, budget misses: {}); ground-truth mismatches: {}",
+            self.scenarios,
+            self.threads,
+            self.wall,
+            stats.builds,
+            stats.hits,
+            stats.budget_misses,
+            self.mismatches().len(),
+        )
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner { threads: default_threads(), time_limit: None }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+impl SweepRunner {
+    /// A runner with the default thread count (available parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker-thread count (≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the soft per-scenario time limit.
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Execute `scenarios` against the shared `cache`; results come back in
+    /// grid order regardless of scheduling.
+    pub fn run(&self, scenarios: &[Scenario], cache: &SpaceCache) -> SweepReport {
+        let start = Instant::now();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ScenarioRecord>>> =
+            scenarios.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(scenarios.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(scenario) = scenarios.get(i) else {
+                        break;
+                    };
+                    let record = execute_scenario(i, scenario, cache, self.time_limit);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(record);
+                });
+            }
+        });
+
+        let records: Vec<ScenarioRecord> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("every index was claimed by a worker")
+            })
+            .collect();
+        SweepReport {
+            store: ResultStore::new(records),
+            cache: cache.stats(),
+            scenarios: scenarios.len(),
+            threads: self.threads,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+/// Execute one scenario (also the `check` CLI path, with `index` 0).
+pub fn execute_scenario(
+    index: usize,
+    scenario: &Scenario,
+    cache: &SpaceCache,
+    time_limit: Option<Duration>,
+) -> ScenarioRecord {
+    let start = Instant::now();
+    let ma = match scenario.spec.build() {
+        Ok(ma) => ma,
+        Err(e) => {
+            return ScenarioRecord {
+                index,
+                adversary: scenario.spec.label(),
+                describe: String::new(),
+                fingerprint: 0,
+                n: 0,
+                compact: false,
+                depth: scenario.depth,
+                analysis: scenario.analysis,
+                outcome: Outcome::tag("error").with("error", Json::Str(e.to_string())),
+                expected: None,
+                matches_expected: None,
+                space: None,
+                cached_space: None,
+                budget_hit: false,
+                wall_ms: ms(start.elapsed()),
+            }
+        }
+    };
+
+    let mut record = ScenarioRecord {
+        index,
+        adversary: scenario.spec.label(),
+        describe: ma.describe(),
+        fingerprint: ma.fingerprint(),
+        n: ma.n(),
+        compact: ma.is_compact(),
+        depth: scenario.depth,
+        analysis: scenario.analysis,
+        outcome: Outcome::tag("error"),
+        expected: scenario.spec.expected(),
+        matches_expected: None,
+        space: None,
+        cached_space: None,
+        budget_hit: false,
+        wall_ms: 0.0,
+    };
+
+    match scenario.analysis {
+        AnalysisKind::Solvability => {
+            let checker = SolvabilityChecker::new(ma)
+                .max_depth(scenario.depth)
+                .max_runs(scenario.max_runs);
+            let verdict = checker.check_via(cache);
+            record.outcome = solvability_outcome(&verdict);
+            record.budget_hit = matches!(&verdict, Verdict::Undecided(rep) if rep.budget_hit);
+            if let Some(expected) = record.expected {
+                // `expected` pins the verdict at *sufficient* depth. An
+                // Undecided at a shallow depth does not contradict an
+                // eventually-solvable (or exactly-unsolvable) entry — only a
+                // verdict of the opposite certainty does, so the flag is
+                // absent (inconclusive) rather than false there. Likewise an
+                // Undecided that carries no evidence (budget-starved, no
+                // mixing observed) confirms nothing for an expected-mixed
+                // entry.
+                record.matches_expected = match (expected, &verdict) {
+                    (Some(true), Verdict::Solvable(_)) => Some(true),
+                    (Some(true), Verdict::Unsolvable(_)) => Some(false),
+                    (Some(false), Verdict::Unsolvable(_)) => Some(true),
+                    (Some(false), Verdict::Solvable(_)) => Some(false),
+                    (Some(_), Verdict::Undecided(_)) => None,
+                    (None, Verdict::Undecided(rep)) => {
+                        if rep.budget_hit || rep.mixed_components == 0 {
+                            None
+                        } else {
+                            Some(true)
+                        }
+                    }
+                    (None, _) => Some(false),
+                };
+            }
+        }
+        space_analysis => {
+            match cache.space_with_meta(&ma, SWEEP_VALUES, scenario.depth, scenario.max_runs) {
+                Err(err) => {
+                    record.outcome = Outcome::tag("budget-exceeded")
+                        .with("needed_runs", Json::Int(err.needed as i64));
+                    record.budget_hit = true;
+                }
+                Ok((space, cached)) => {
+                    record.space = Some(space.stats());
+                    record.cached_space = Some(cached);
+                    record.outcome = match space_analysis {
+                        AnalysisKind::Bivalence => bivalence_outcome(&space),
+                        AnalysisKind::Broadcastability => broadcast_outcome(&space),
+                        AnalysisKind::ComponentStats => stats_outcome(&space),
+                        AnalysisKind::SimCheck => sim_check_outcome(&space, &ma, scenario.max_runs),
+                        AnalysisKind::Solvability => unreachable!("handled above"),
+                    };
+                }
+            }
+        }
+    }
+
+    let elapsed = start.elapsed();
+    if let Some(limit) = time_limit {
+        if elapsed > limit {
+            record.outcome.details.push(("timed_out", Json::Bool(true)));
+        }
+    }
+    record.wall_ms = ms(elapsed);
+    record
+}
+
+fn ms(d: Duration) -> f64 {
+    // Rounded to ns precision so the JSON stays readable.
+    (d.as_secs_f64() * 1e9).round() / 1e6
+}
+
+fn solvability_outcome(verdict: &Verdict) -> Outcome {
+    match verdict {
+        Verdict::Solvable(cert) => Outcome::tag("solvable")
+            .with("solvable_depth", Json::Int(cert.depth as i64))
+            .with("components", Json::Int(cert.component_count as i64))
+            .with("all_broadcastable", Json::Bool(cert.broadcast.all_broadcastable()))
+            .with("verified_runs", Json::Int(cert.verification.runs_checked as i64))
+            .with("decision_round", Json::Int(cert.verification.max_decision_round as i64)),
+        Verdict::Unsolvable(consensus_core::solvability::UnsolvableCert::ZeroChain(chain)) => {
+            Outcome::tag("unsolvable")
+                .with("chain_runs", Json::Int(chain.runs.len() as i64))
+                .with(
+                    "valences",
+                    Json::Arr(vec![
+                        Json::Int(chain.valences.0 as i64),
+                        Json::Int(chain.valences.1 as i64),
+                    ]),
+                )
+        }
+        Verdict::Undecided(rep) => Outcome::tag("undecided")
+            .with("mixed_components", Json::Int(rep.mixed_components as i64))
+            .with("chain_found", Json::Bool(rep.chain.is_some())),
+    }
+}
+
+fn bivalence_outcome(space: &consensus_core::PrefixSpace) -> Outcome {
+    let rep = space.separation();
+    if rep.is_separated() {
+        return Outcome::tag("separated").with("mixed_components", Json::Int(0));
+    }
+    // The finite shadow of the forever-bivalent run: a valence-connecting
+    // ε-chain inside a mixed component (Definition 5.16 / §6.1).
+    let chain = fair::valence_chain(space, SWEEP_VALUES[0], SWEEP_VALUES[1]);
+    let mut outcome = Outcome::tag("mixed")
+        .with("mixed_components", Json::Int(rep.mixed_components.len() as i64));
+    match chain {
+        Some(chain) => {
+            outcome = outcome
+                .with("chain_found", Json::Bool(true))
+                .with("chain_links", Json::Int(chain.links.len() as i64));
+        }
+        None => outcome = outcome.with("chain_found", Json::Bool(false)),
+    }
+    outcome
+}
+
+fn broadcast_outcome(space: &consensus_core::PrefixSpace) -> Outcome {
+    let rep = broadcast::broadcast_report(space);
+    let failing = rep.failing_components();
+    let worst_round = rep
+        .components
+        .iter()
+        .filter_map(|c| c.best().map(|(_, t)| t))
+        .max()
+        .unwrap_or(0);
+    Outcome::tag(if rep.all_broadcastable() {
+        "broadcastable"
+    } else {
+        "obstructed"
+    })
+    .with("components", Json::Int(rep.components.len() as i64))
+    .with("failing_components", Json::Int(failing.len() as i64))
+    .with("worst_completion_round", Json::Int(worst_round as i64))
+}
+
+fn stats_outcome(space: &consensus_core::PrefixSpace) -> Outcome {
+    let rep = analysis::report(space);
+    let largest = rep.components.iter().map(|c| c.size).max().unwrap_or(0);
+    let mut outcome = Outcome::tag(if rep.separated { "separated" } else { "mixed" })
+        .with("runs", Json::Int(rep.run_count as i64))
+        .with("views", Json::Int(rep.view_count as i64))
+        .with("components", Json::Int(rep.components.len() as i64))
+        .with("mixed_components", Json::Int(rep.mixed_count() as i64))
+        .with("largest_component", Json::Int(largest as i64));
+    if let Some(d) = rep.min_class_distance {
+        outcome = outcome.with("min_class_distance", Json::Float(d.as_f64()));
+    }
+    outcome
+}
+
+fn sim_check_outcome(
+    space: &consensus_core::PrefixSpace,
+    ma: &adversary::DynMA,
+    max_runs: usize,
+) -> Outcome {
+    if space.separation().is_separated() {
+        // Synthesize the universal algorithm from the (shared) space and
+        // verify it exhaustively at the space's depth.
+        let alg = UniversalAlgorithm::synthesize(space).expect("separated space must synthesize");
+        match checker::check_consensus_with(
+            &alg,
+            ma,
+            SWEEP_VALUES,
+            space.depth(),
+            max_runs,
+            true,
+            false,
+        ) {
+            Ok(rep) => Outcome::tag(if rep.passed() { "passed" } else { "failed" })
+                .with("algorithm", Json::Str("universal".into()))
+                .with("runs_checked", Json::Int(rep.runs_checked as i64))
+                .with("violations", Json::Int(rep.violations.len() as i64))
+                .with("decision_round", Json::Int(rep.max_decision_round as i64)),
+            Err(err) => Outcome::tag("budget-exceeded")
+                .with("algorithm", Json::Str("universal".into()))
+                .with("needed_runs", Json::Int(err.needed as i64)),
+        }
+    } else {
+        // No algorithm can exist on a mixed space (Corollary 5.6); exhibit
+        // the obstruction on the reference flooding algorithm instead.
+        let alg = FloodMin::new(space.depth());
+        match checker::check_consensus_with(
+            &alg,
+            ma,
+            SWEEP_VALUES,
+            space.depth(),
+            max_runs,
+            true,
+            false,
+        ) {
+            Ok(rep) => Outcome::tag(if rep.passed() { "passed" } else { "failed" })
+                .with("algorithm", Json::Str("floodmin".into()))
+                .with("runs_checked", Json::Int(rep.runs_checked as i64))
+                .with("violations", Json::Int(rep.violations.len() as i64)),
+            Err(err) => Outcome::tag("budget-exceeded")
+                .with("algorithm", Json::Str("floodmin".into()))
+                .with("needed_runs", Json::Int(err.needed as i64)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AdversarySpec, GridBuilder};
+
+    fn catalog_scenario(name: &str, depth: usize, analysis: AnalysisKind) -> Scenario {
+        Scenario {
+            spec: AdversarySpec::Catalog(name.to_string()),
+            depth,
+            analysis,
+            max_runs: 2_000_000,
+        }
+    }
+
+    #[test]
+    fn solvable_entry_reports_solvable() {
+        let cache = SpaceCache::new();
+        let rec = execute_scenario(
+            0,
+            &catalog_scenario("cgp-reduced-lossy-link", 3, AnalysisKind::Solvability),
+            &cache,
+            None,
+        );
+        assert_eq!(rec.outcome.verdict, "solvable");
+        assert_eq!(rec.matches_expected, Some(true));
+    }
+
+    #[test]
+    fn exact_unsolvable_entry_reports_unsolvable() {
+        let cache = SpaceCache::new();
+        let rec = execute_scenario(
+            0,
+            &catalog_scenario("message-loss-2-2", 3, AnalysisKind::Solvability),
+            &cache,
+            None,
+        );
+        assert_eq!(rec.outcome.verdict, "unsolvable");
+        assert_eq!(rec.matches_expected, Some(true));
+    }
+
+    #[test]
+    fn mixed_entry_reports_undecided_with_chain() {
+        let cache = SpaceCache::new();
+        let rec = execute_scenario(
+            0,
+            &catalog_scenario("sw-lossy-link", 3, AnalysisKind::Solvability),
+            &cache,
+            None,
+        );
+        assert_eq!(rec.outcome.verdict, "undecided");
+        assert_eq!(rec.matches_expected, Some(true));
+        let chain = rec
+            .outcome
+            .details
+            .iter()
+            .find(|(k, _)| *k == "chain_found")
+            .map(|(_, v)| v.clone());
+        assert_eq!(chain, Some(Json::Bool(true)));
+    }
+
+    #[test]
+    fn analyses_share_one_space_per_depth() {
+        let cache = SpaceCache::new();
+        for analysis in [
+            AnalysisKind::Bivalence,
+            AnalysisKind::Broadcastability,
+            AnalysisKind::ComponentStats,
+            AnalysisKind::SimCheck,
+        ] {
+            let rec =
+                execute_scenario(0, &catalog_scenario("sw-lossy-link", 2, analysis), &cache, None);
+            assert_ne!(rec.outcome.verdict, "error", "{analysis}: {rec:?}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1, "four analyses, one expansion: {stats:?}");
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn sweep_results_in_grid_order_any_thread_count() {
+        let grid = GridBuilder::new(2, 2_000_000).over_specs(&[
+            AdversarySpec::Catalog("cgp-reduced-lossy-link".into()),
+            AdversarySpec::Catalog("sw-lossy-link".into()),
+        ]);
+        let single = SweepRunner::new().threads(1).run(&grid, &SpaceCache::new());
+        let multi = SweepRunner::new().threads(8).run(&grid, &SpaceCache::new());
+        let strip = |r: &SweepReport| {
+            r.store
+                .records()
+                .iter()
+                .map(|rec| rec.to_json().without_keys(crate::store::TIMING_FIELDS))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&single), strip(&multi));
+        for (i, rec) in multi.store.records().iter().enumerate() {
+            assert_eq!(rec.index, i);
+        }
+    }
+
+    #[test]
+    fn sim_check_verifies_universal_on_separated_space() {
+        let cache = SpaceCache::new();
+        let rec = execute_scenario(
+            0,
+            &catalog_scenario("cgp-reduced-lossy-link", 2, AnalysisKind::SimCheck),
+            &cache,
+            None,
+        );
+        assert_eq!(rec.outcome.verdict, "passed");
+    }
+
+    #[test]
+    fn sim_check_exhibits_floodmin_failure_on_mixed_space() {
+        let cache = SpaceCache::new();
+        let rec = execute_scenario(
+            0,
+            &catalog_scenario("sw-lossy-link", 2, AnalysisKind::SimCheck),
+            &cache,
+            None,
+        );
+        assert_eq!(rec.outcome.verdict, "failed");
+    }
+
+    #[test]
+    fn bad_spec_is_an_error_record_not_a_panic() {
+        let cache = SpaceCache::new();
+        let rec = execute_scenario(
+            7,
+            &Scenario {
+                spec: AdversarySpec::Catalog("no-such-entry".into()),
+                depth: 2,
+                analysis: AnalysisKind::Solvability,
+                max_runs: 1000,
+            },
+            &cache,
+            None,
+        );
+        assert_eq!(rec.outcome.verdict, "error");
+        assert_eq!(rec.index, 7);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_per_scenario() {
+        let cache = SpaceCache::new();
+        let rec = execute_scenario(
+            0,
+            &catalog_scenario("sw-lossy-link", 6, AnalysisKind::ComponentStats),
+            &cache,
+            None,
+        );
+        // 3^6 sequences × 4 inputs = 2916 runs fits; shrink the budget (on
+        // a cold cache — a warm one would rightly serve the cached space).
+        let tiny = Scenario {
+            max_runs: 10,
+            ..catalog_scenario("sw-lossy-link", 6, AnalysisKind::ComponentStats)
+        };
+        let rec2 = execute_scenario(1, &tiny, &SpaceCache::new(), None);
+        assert_ne!(rec.outcome.verdict, "budget-exceeded");
+        assert_eq!(rec2.outcome.verdict, "budget-exceeded");
+        assert!(rec2.budget_hit);
+    }
+}

@@ -1,0 +1,298 @@
+//! Scenarios — the unit of sweep traffic.
+//!
+//! A [`Scenario`] is *(adversary spec, depth, analysis kind)* plus budgets:
+//! exactly one question the paper's machinery can answer about one
+//! adversary at one resolution. Grids of scenarios (a catalog × depths ×
+//! analyses product) are what the [`runner`](crate::runner) fans out.
+
+use std::fmt;
+
+use adversary::{catalog, DynMA, GeneralMA};
+use dyngraph::Digraph;
+
+/// Which analysis to run on the scenario's `(adversary, depth)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnalysisKind {
+    /// The three-valued solvability checker (§5.1 meta-procedure; sweeps
+    /// depths `0..=depth` internally).
+    Solvability,
+    /// Mixed-component census and valence-connecting ε-chain extraction at
+    /// the scenario depth (the §6.1 bivalence reconstruction).
+    Bivalence,
+    /// Broadcastability of every component (Theorem 5.11 / 6.6).
+    Broadcastability,
+    /// Component statistics: sizes, valences, class distances (Fig. 4/5).
+    ComponentStats,
+    /// Simulator cross-check: synthesize the universal algorithm if the
+    /// space separates and verify it exhaustively; otherwise exhibit a
+    /// reference-algorithm violation.
+    SimCheck,
+}
+
+impl AnalysisKind {
+    /// All kinds, in stable grid order.
+    pub const ALL: [AnalysisKind; 5] = [
+        AnalysisKind::Solvability,
+        AnalysisKind::Bivalence,
+        AnalysisKind::Broadcastability,
+        AnalysisKind::ComponentStats,
+        AnalysisKind::SimCheck,
+    ];
+
+    /// The stable machine name (CLI and result-store key).
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisKind::Solvability => "solvability",
+            AnalysisKind::Bivalence => "bivalence",
+            AnalysisKind::Broadcastability => "broadcastability",
+            AnalysisKind::ComponentStats => "component-stats",
+            AnalysisKind::SimCheck => "sim-check",
+        }
+    }
+
+    /// Parse a machine name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for AnalysisKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the scenario's adversary is obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdversarySpec {
+    /// A named entry of [`adversary::catalog::entries`].
+    Catalog(String),
+    /// An oblivious `n = 2` adversary over parsed arrow tokens
+    /// (`"-> <- <->"`), optionally with an eventually-occurs liveness.
+    Pool {
+        /// Whitespace-separated 2-process graph tokens.
+        word: String,
+        /// Liveness: `Some((target_token, deadline))` for "`target` occurs
+        /// (within `deadline`)".
+        eventually: Option<(String, Option<usize>)>,
+    },
+}
+
+/// A spec that names nothing buildable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad adversary spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl AdversarySpec {
+    /// Construct the adversary.
+    ///
+    /// # Errors
+    /// Returns [`SpecError`] for unknown catalog names or unparsable pools.
+    pub fn build(&self) -> Result<DynMA, SpecError> {
+        match self {
+            AdversarySpec::Catalog(name) => catalog::by_name(name)
+                .map(|e| e.build())
+                .ok_or_else(|| SpecError(format!("unknown catalog entry {name:?}"))),
+            AdversarySpec::Pool { word, eventually } => {
+                let pool = parse_pool(word)?;
+                match eventually {
+                    None => Ok(Box::new(GeneralMA::oblivious(pool))),
+                    Some((target, deadline)) => {
+                        let target = parse_graph(target)?;
+                        Ok(Box::new(GeneralMA::eventually_graph(pool, target, *deadline)))
+                    }
+                }
+            }
+        }
+    }
+
+    /// The display label used in result records.
+    pub fn label(&self) -> String {
+        match self {
+            AdversarySpec::Catalog(name) => name.clone(),
+            AdversarySpec::Pool { word, eventually: None } => format!("pool({word})"),
+            AdversarySpec::Pool { word, eventually: Some((t, None)) } => {
+                format!("pool({word}) ◇{t}")
+            }
+            AdversarySpec::Pool { word, eventually: Some((t, Some(r))) } => {
+                format!("pool({word}) {t} by {r}")
+            }
+        }
+    }
+
+    /// The ground-truth checker outcome, where known (catalog entries only).
+    pub fn expected(&self) -> Option<catalog::ExpectedOutcome> {
+        match self {
+            AdversarySpec::Catalog(name) => catalog::by_name(name).map(|e| e.expected),
+            AdversarySpec::Pool { .. } => None,
+        }
+    }
+}
+
+fn parse_graph(token: &str) -> Result<Digraph, SpecError> {
+    Digraph::parse2(token)
+        .map_err(|e| SpecError(format!("unparsable 2-process graph token {token:?}: {e}")))
+}
+
+fn parse_pool(word: &str) -> Result<Vec<Digraph>, SpecError> {
+    let graphs: Result<Vec<Digraph>, SpecError> =
+        word.split_whitespace().map(parse_graph).collect();
+    let graphs = graphs?;
+    if graphs.is_empty() {
+        return Err(SpecError("empty pool".to_string()));
+    }
+    Ok(graphs)
+}
+
+/// One unit of sweep traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// The adversary.
+    pub spec: AdversarySpec,
+    /// The resolution depth `t` (`ε = 2^{−t}`).
+    pub depth: usize,
+    /// The analysis to run.
+    pub analysis: AnalysisKind,
+    /// Step budget: maximum admissible runs per expansion.
+    pub max_runs: usize,
+}
+
+impl Scenario {
+    /// A human-readable one-liner.
+    pub fn label(&self) -> String {
+        format!("{}@{}/{}", self.spec.label(), self.depth, self.analysis)
+    }
+}
+
+/// Deterministic scenario grids.
+#[derive(Debug, Clone)]
+pub struct GridBuilder {
+    depths: Vec<usize>,
+    analyses: Vec<AnalysisKind>,
+    max_runs: usize,
+}
+
+impl GridBuilder {
+    /// Depths `1..=max_depth`, all analyses, the given step budget.
+    pub fn new(max_depth: usize, max_runs: usize) -> Self {
+        GridBuilder {
+            depths: (1..=max_depth).collect(),
+            analyses: AnalysisKind::ALL.to_vec(),
+            max_runs,
+        }
+    }
+
+    /// Restrict the analyses (grid order follows [`AnalysisKind::ALL`]).
+    pub fn analyses(mut self, kinds: &[AnalysisKind]) -> Self {
+        self.analyses = AnalysisKind::ALL.into_iter().filter(|k| kinds.contains(k)).collect();
+        self
+    }
+
+    /// The grid over the whole built-in catalog, in catalog × depth ×
+    /// analysis order.
+    pub fn over_catalog(&self) -> Vec<Scenario> {
+        let specs: Vec<AdversarySpec> = catalog::entries()
+            .iter()
+            .map(|e| AdversarySpec::Catalog(e.name.to_string()))
+            .collect();
+        self.over_specs(&specs)
+    }
+
+    /// The grid over explicit specs, in spec × depth × analysis order.
+    pub fn over_specs(&self, specs: &[AdversarySpec]) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(specs.len() * self.depths.len() * self.analyses.len());
+        for spec in specs {
+            for &depth in &self.depths {
+                for &analysis in &self.analyses {
+                    out.push(Scenario {
+                        spec: spec.clone(),
+                        depth,
+                        analysis,
+                        max_runs: self.max_runs,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_names_roundtrip() {
+        for kind in AnalysisKind::ALL {
+            assert_eq!(AnalysisKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(AnalysisKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn catalog_spec_builds() {
+        let spec = AdversarySpec::Catalog("sw-lossy-link".to_string());
+        let ma = spec.build().unwrap();
+        assert_eq!(ma.n(), 2);
+        assert_eq!(spec.expected(), Some(None));
+        assert!(AdversarySpec::Catalog("missing".into()).build().is_err());
+    }
+
+    #[test]
+    fn pool_spec_builds() {
+        let spec = AdversarySpec::Pool { word: "-> <-".to_string(), eventually: None };
+        let ma = spec.build().unwrap();
+        assert!(ma.is_compact());
+        assert_eq!(ma.pool_hint().unwrap().len(), 2);
+
+        let live = AdversarySpec::Pool {
+            word: "-> <- <->".to_string(),
+            eventually: Some(("<->".to_string(), Some(2))),
+        };
+        assert!(live.build().unwrap().is_compact());
+        let nc = AdversarySpec::Pool {
+            word: "-> <- <->".to_string(),
+            eventually: Some(("<->".to_string(), None)),
+        };
+        assert!(!nc.build().unwrap().is_compact());
+    }
+
+    #[test]
+    fn bad_pool_rejected() {
+        for word in ["", "xx", "-> zz"] {
+            let spec = AdversarySpec::Pool { word: word.to_string(), eventually: None };
+            assert!(spec.build().is_err(), "{word:?} should fail");
+        }
+    }
+
+    #[test]
+    fn grid_is_deterministic_and_ordered() {
+        let grid = GridBuilder::new(3, 100_000).over_catalog();
+        let again = GridBuilder::new(3, 100_000).over_catalog();
+        assert_eq!(grid, again);
+        let per_entry = 3 * AnalysisKind::ALL.len();
+        assert_eq!(grid.len(), adversary::catalog::entries().len() * per_entry);
+        // First block: first catalog entry, depth 1, analyses in ALL order.
+        assert_eq!(grid[0].depth, 1);
+        assert_eq!(grid[0].analysis, AnalysisKind::Solvability);
+        assert_eq!(grid[1].analysis, AnalysisKind::Bivalence);
+    }
+
+    #[test]
+    fn grid_analysis_filter() {
+        let grid = GridBuilder::new(2, 1000)
+            .analyses(&[AnalysisKind::SimCheck, AnalysisKind::Solvability])
+            .over_specs(&[AdversarySpec::Catalog("cgp-reduced-lossy-link".into())]);
+        assert_eq!(grid.len(), 4);
+        // Canonical order, not the caller's order.
+        assert_eq!(grid[0].analysis, AnalysisKind::Solvability);
+        assert_eq!(grid[1].analysis, AnalysisKind::SimCheck);
+    }
+}

@@ -1,0 +1,318 @@
+//! The serializable result store: scenario records, JSONL and CSV emission.
+//!
+//! Records carry three layers: identity (scenario index, adversary label,
+//! fingerprint, depth, analysis), outcome (verdict plus analysis-specific
+//! detail fields), and telemetry (state-space sizes, cache hit flag,
+//! wall-clock time). Two telemetry fields are scheduling-dependent — the
+//! wall clock, and which concurrent requester won a cache-build race —
+//! and [`TIMING_FIELDS`] names them so tests and downstream tooling can
+//! compare result files modulo that nondeterminism.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use consensus_core::space::SpaceStats;
+
+use crate::json::{self, Value};
+use crate::scenario::AnalysisKind;
+
+/// JSONL fields whose values may vary between identical runs: wall-clock
+/// time, and the cache-hit flag (a race between workers decides which
+/// request builds a shared space).
+pub const TIMING_FIELDS: &[&str] = &["wall_ms", "cached_space"];
+
+/// The outcome of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// The verdict tag: `solvable`, `unsolvable`, `undecided`, `separated`,
+    /// `mixed`, `broadcastable`, `obstructed`, `passed`, `failed`,
+    /// `budget-exceeded`, or `error`.
+    pub verdict: String,
+    /// Analysis-specific detail fields, deterministic and order-stable.
+    pub details: Vec<(&'static str, Value)>,
+}
+
+impl Outcome {
+    /// An outcome with no details.
+    pub fn tag(verdict: &str) -> Self {
+        Outcome { verdict: verdict.to_string(), details: Vec::new() }
+    }
+
+    /// Append a detail field.
+    pub fn with(mut self, key: &'static str, value: Value) -> Self {
+        self.details.push((key, value));
+        self
+    }
+}
+
+/// One executed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    /// Position in the scenario grid (result order is grid order).
+    pub index: usize,
+    /// The spec label (catalog name or pool description).
+    pub adversary: String,
+    /// The adversary's self-description.
+    pub describe: String,
+    /// Structural fingerprint (the cache key component).
+    pub fingerprint: u64,
+    /// Number of processes.
+    pub n: usize,
+    /// Whether the adversary is compact.
+    pub compact: bool,
+    /// The scenario depth.
+    pub depth: usize,
+    /// The analysis that ran.
+    pub analysis: AnalysisKind,
+    /// Verdict and details.
+    pub outcome: Outcome,
+    /// Catalog ground truth (`None` = not a catalog entry / not pinned).
+    pub expected: Option<Option<bool>>,
+    /// Whether the solvability verdict matched `expected` (solvability
+    /// scenarios on catalog entries only).
+    pub matches_expected: Option<bool>,
+    /// State-space telemetry of the deepest space this scenario touched.
+    pub space: Option<SpaceStats>,
+    /// Whether that space came out of the shared cache.
+    pub cached_space: Option<bool>,
+    /// Whether a step budget cut the analysis short.
+    pub budget_hit: bool,
+    /// Wall-clock milliseconds (timing; excluded from determinism).
+    pub wall_ms: f64,
+}
+
+impl ScenarioRecord {
+    /// The record as an order-stable JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("index".into(), Value::Int(self.index as i64)),
+            ("adversary".into(), Value::Str(self.adversary.clone())),
+            ("describe".into(), Value::Str(self.describe.clone())),
+            ("fingerprint".into(), Value::Str(format!("{:016x}", self.fingerprint))),
+            ("n".into(), Value::Int(self.n as i64)),
+            ("compact".into(), Value::Bool(self.compact)),
+            ("depth".into(), Value::Int(self.depth as i64)),
+            ("analysis".into(), Value::Str(self.analysis.name().into())),
+            ("verdict".into(), Value::Str(self.outcome.verdict.clone())),
+        ];
+        for (k, v) in &self.outcome.details {
+            fields.push(((*k).into(), v.clone()));
+        }
+        fields.push((
+            "expected".into(),
+            match self.expected {
+                None => Value::Null,
+                Some(None) => Value::Str("mixed".into()),
+                Some(Some(true)) => Value::Str("solvable".into()),
+                Some(Some(false)) => Value::Str("unsolvable".into()),
+            },
+        ));
+        if let Some(m) = self.matches_expected {
+            fields.push(("matches_expected".into(), Value::Bool(m)));
+        }
+        if let Some(stats) = self.space {
+            fields.push((
+                "space".into(),
+                Value::Obj(vec![
+                    ("runs".into(), Value::Int(stats.runs as i64)),
+                    ("views".into(), Value::Int(stats.views as i64)),
+                    ("components".into(), Value::Int(stats.components as i64)),
+                ]),
+            ));
+        }
+        if let Some(cached) = self.cached_space {
+            fields.push(("cached_space".into(), Value::Bool(cached)));
+        }
+        fields.push(("budget_hit".into(), Value::Bool(self.budget_hit)));
+        fields.push(("wall_ms".into(), Value::Float(self.wall_ms)));
+        Value::Obj(fields)
+    }
+
+    /// The CSV summary row (see [`csv_header`]).
+    pub fn to_csv_row(&self) -> String {
+        let space = self.space.unwrap_or(SpaceStats {
+            depth: self.depth,
+            runs: 0,
+            views: 0,
+            components: 0,
+        });
+        [
+            self.index.to_string(),
+            csv_quote(&self.adversary),
+            self.depth.to_string(),
+            self.analysis.name().to_string(),
+            csv_quote(&self.outcome.verdict),
+            match self.expected {
+                None => String::new(),
+                Some(None) => "mixed".into(),
+                Some(Some(true)) => "solvable".into(),
+                Some(Some(false)) => "unsolvable".into(),
+            },
+            self.matches_expected.map(|m| m.to_string()).unwrap_or_default(),
+            space.runs.to_string(),
+            space.views.to_string(),
+            space.components.to_string(),
+            self.cached_space.map(|c| c.to_string()).unwrap_or_default(),
+            self.budget_hit.to_string(),
+            format!("{:.3}", self.wall_ms),
+        ]
+        .join(",")
+    }
+}
+
+/// The CSV header matching [`ScenarioRecord::to_csv_row`].
+pub fn csv_header() -> &'static str {
+    "index,adversary,depth,analysis,verdict,expected,matches_expected,\
+     runs,views,components,cached_space,budget_hit,wall_ms"
+}
+
+fn csv_quote(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// An ordered collection of records with JSONL/CSV emission.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    records: Vec<ScenarioRecord>,
+}
+
+impl ResultStore {
+    /// Wrap records (already in grid order).
+    pub fn new(records: Vec<ScenarioRecord>) -> Self {
+        ResultStore { records }
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[ScenarioRecord] {
+        &self.records
+    }
+
+    /// One JSON object per line, in grid order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The CSV summary (header + one row per record).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(csv_header());
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&r.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write `results.jsonl` and `summary.csv` under `dir` (created if
+    /// missing); returns the two paths.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_files(&self, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
+        fs::create_dir_all(dir)?;
+        let jsonl = dir.join("results.jsonl");
+        let csv = dir.join("summary.csv");
+        fs::write(&jsonl, self.to_jsonl())?;
+        fs::write(&csv, self.to_csv())?;
+        Ok((jsonl, csv))
+    }
+}
+
+/// Parse a JSONL result file back into JSON objects (for `report`).
+///
+/// # Errors
+/// Returns the first malformed line as `(line_number, error)`.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Value>, (usize, json::ParseError)> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| json::parse(line).map_err(|e| (i + 1, e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ScenarioRecord {
+        ScenarioRecord {
+            index: 3,
+            adversary: "sw-lossy-link".into(),
+            describe: "oblivious(|pool|=3)".into(),
+            fingerprint: 0xdead_beef,
+            n: 2,
+            compact: true,
+            depth: 2,
+            analysis: AnalysisKind::Solvability,
+            outcome: Outcome::tag("undecided")
+                .with("mixed_components", Value::Int(1))
+                .with("chain_found", Value::Bool(true)),
+            expected: Some(None),
+            matches_expected: Some(true),
+            space: Some(SpaceStats { depth: 2, runs: 36, views: 40, components: 3 }),
+            cached_space: Some(false),
+            budget_hit: false,
+            wall_ms: 1.25,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_and_orders_keys() {
+        let r = record();
+        let line = r.to_json().to_string();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("adversary").unwrap().as_str(), Some("sw-lossy-link"));
+        assert_eq!(v.get("mixed_components").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get("space").unwrap().get("runs").unwrap().as_i64(), Some(36));
+        assert!(line.starts_with(r#"{"index":3,"adversary":"#));
+        assert!(line.ends_with("\"wall_ms\":1.25}"));
+    }
+
+    #[test]
+    fn timing_strip_makes_records_comparable() {
+        let mut a = record();
+        let mut b = record();
+        a.wall_ms = 1.0;
+        b.wall_ms = 999.0;
+        assert_ne!(a.to_json().to_string(), b.to_json().to_string());
+        assert_eq!(
+            a.to_json().without_keys(TIMING_FIELDS),
+            b.to_json().without_keys(TIMING_FIELDS)
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let store = ResultStore::new(vec![record()]);
+        let csv = store.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), csv_header());
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("3,sw-lossy-link,2,solvability,undecided,mixed,true,36,40,3,"));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_quote("plain"), "plain");
+        assert_eq!(csv_quote("a,b"), "\"a,b\"");
+        assert_eq!(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn jsonl_parses_back() {
+        let store = ResultStore::new(vec![record(), record()]);
+        let parsed = parse_jsonl(&store.to_jsonl()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].get("verdict").unwrap().as_str(), Some("undecided"));
+    }
+}

@@ -110,9 +110,7 @@ pub fn finite_trace(a: &PrefixRun, b: &PrefixRun) -> Vec<PidMask> {
     let n = a.n();
     assert_eq!(n, b.n());
     let horizon = a.rounds().min(b.rounds());
-    let mut d: PidMask = mask::from_iter(
-        (0..n).filter(|&q| a.inputs()[q] != b.inputs()[q]),
-    );
+    let mut d: PidMask = mask::from_iter((0..n).filter(|&q| a.inputs()[q] != b.inputs()[q]));
     let mut out = Vec::with_capacity(horizon + 1);
     out.push(d);
     for t in 1..=horizon {
@@ -127,11 +125,9 @@ pub fn analyze_finite(a: &PrefixRun, b: &PrefixRun) -> DivergenceReport {
     let trace = finite_trace(a, b);
     let horizon = trace.len() - 1;
     let per_process = (0..a.n())
-        .map(|p| {
-            match trace.iter().position(|&d| mask::contains(d, p)) {
-                Some(t) => Divergence::At(t),
-                None => Divergence::NotWithin(horizon),
-            }
+        .map(|p| match trace.iter().position(|&d| mask::contains(d, p)) {
+            Some(t) => Divergence::At(t),
+            None => Divergence::NotWithin(horizon),
         })
         .collect();
     DivergenceReport { per_process }
@@ -156,11 +152,9 @@ pub fn analyze_infinite(a: &InfiniteRun, b: &InfiniteRun) -> DivergenceReport {
     let period = lcm(la.cycle_len(), lb.cycle_len());
     let horizon = max_prefix + (n + 1) * period;
 
-    let mut d: PidMask =
-        mask::from_iter((0..n).filter(|&q| a.inputs()[q] != b.inputs()[q]));
-    let mut first: Vec<Option<Round>> = (0..n)
-        .map(|p| if mask::contains(d, p) { Some(0) } else { None })
-        .collect();
+    let mut d: PidMask = mask::from_iter((0..n).filter(|&q| a.inputs()[q] != b.inputs()[q]));
+    let mut first: Vec<Option<Round>> =
+        (0..n).map(|p| if mask::contains(d, p) { Some(0) } else { None }).collect();
     for t in 1..=horizon {
         d = step(d, la.graph_at(t), lb.graph_at(t));
         for (p, slot) in first.iter_mut().enumerate() {
@@ -312,9 +306,8 @@ mod tests {
         for _ in 0..200 {
             let mk = |rng: &mut rand::rngs::StdRng| {
                 let inputs: Vec<u32> = (0..3).map(|_| rng.random_range(0..2)).collect();
-                let graphs: Vec<_> = (0..4)
-                    .map(|_| dyngraph::generators::random_graph(rng, 3, 0.4))
-                    .collect();
+                let graphs: Vec<_> =
+                    (0..4).map(|_| dyngraph::generators::random_graph(rng, 3, 0.4)).collect();
                 (inputs, GraphSeq::from_graphs(graphs))
             };
             let (xa, sa) = mk(&mut rng);
@@ -333,27 +326,13 @@ mod tests {
     #[test]
     fn finite_report_matches_distance_module() {
         let mut table = ViewTable::new(2);
-        let a = PrefixRun::compute(
-            vec![0, 1],
-            &GraphSeq::parse2("-> -> ->").unwrap(),
-            &mut table,
-        );
-        let b = PrefixRun::compute(
-            vec![0, 0],
-            &GraphSeq::parse2("-> -> ->").unwrap(),
-            &mut table,
-        );
+        let a = PrefixRun::compute(vec![0, 1], &GraphSeq::parse2("-> -> ->").unwrap(), &mut table);
+        let b = PrefixRun::compute(vec![0, 0], &GraphSeq::parse2("-> -> ->").unwrap(), &mut table);
         let rep = analyze_finite(&a, &b);
         assert_eq!(rep.per_process[0], Divergence::NotWithin(3));
         assert_eq!(rep.per_process[1], Divergence::At(0));
-        assert_eq!(
-            crate::distance::d_p(&a, &b, 0),
-            crate::distance::Distance::Below(3)
-        );
-        assert_eq!(
-            crate::distance::d_p(&a, &b, 1),
-            crate::distance::Distance::Finite(0)
-        );
+        assert_eq!(crate::distance::d_p(&a, &b, 0), crate::distance::Distance::Below(3));
+        assert_eq!(crate::distance::d_p(&a, &b, 1), crate::distance::Distance::Finite(0));
     }
 
     #[test]

@@ -71,12 +71,7 @@ pub fn latest_view_of(table: &ViewTable, view: ViewId, q: Pid) -> Option<ViewId>
 /// two processes, `K_1 (x_0)` holds but `K_0 K_1 (x_0)` does **not** — the
 /// sender cannot know its message arrived. This is the coordinated-attack
 /// phenomenon behind the lossy-link impossibility (§6.1).
-pub fn knows_that_knows(
-    table: &ViewTable,
-    view: ViewId,
-    q: Pid,
-    r: Pid,
-) -> Option<Value> {
+pub fn knows_that_knows(table: &ViewTable, view: ViewId, q: Pid, r: Pid) -> Option<Value> {
     let q_view = latest_view_of(table, view, q)?;
     knows_input(table, q_view, r)
 }
@@ -84,12 +79,7 @@ pub fn knows_that_knows(
 /// The depth of mutual input knowledge along a chain `p₀ → p₁ → … → p_k`:
 /// checks `K_{p0} K_{p1} … K_{pk} (x_target)` by following latest embedded
 /// views.
-pub fn knows_chain(
-    table: &ViewTable,
-    view: ViewId,
-    chain: &[Pid],
-    target: Pid,
-) -> Option<Value> {
+pub fn knows_chain(table: &ViewTable, view: ViewId, chain: &[Pid], target: Pid) -> Option<Value> {
     let mut current = view;
     for &q in chain {
         current = latest_view_of(table, current, q)?;

@@ -124,8 +124,7 @@ impl PtGraph {
         assert!(t <= self.t_max(), "time out of range");
         let mut frontier: BTreeSet<Pid> = ps.iter().copied().collect();
         assert!(frontier.iter().all(|&p| p < self.n()), "pid out of range");
-        let mut past: BTreeSet<(Pid, Round)> =
-            frontier.iter().map(|&p| (p, t)).collect();
+        let mut past: BTreeSet<(Pid, Round)> = frontier.iter().map(|&p| (p, t)).collect();
         for s in (1..=t).rev() {
             let g = self.seq.graph(s);
             let mut prev_frontier = BTreeSet::new();
@@ -162,7 +161,11 @@ impl PtGraph {
                 } else {
                     format!("({p}, {t})")
                 };
-                let style = if hl.contains(&(p, t)) { ", style=bold, color=green" } else { "" };
+                let style = if hl.contains(&(p, t)) {
+                    ", style=bold, color=green"
+                } else {
+                    ""
+                };
                 let _ = writeln!(s, "    n{p}_{t} [label=\"{label}\"{style}];");
             }
             let _ = writeln!(s, "  }}");
@@ -278,18 +281,13 @@ mod tests {
         // values the interned view knows.
         let pt = fig2_example();
         let mut table = crate::ViewTable::new(3);
-        let run =
-            crate::PrefixRun::compute(pt.inputs().to_vec(), pt.seq(), &mut table);
+        let run = crate::PrefixRun::compute(pt.inputs().to_vec(), pt.seq(), &mut table);
         for p in 0..3 {
             for t in 0..=2 {
                 let past = pt.causal_past(&[p], t);
                 let data = table.data(run.view(p, t));
                 for q in 0..3 {
-                    assert_eq!(
-                        past.contains(&(q, 0)),
-                        data.has_heard(q),
-                        "p={p} t={t} q={q}"
-                    );
+                    assert_eq!(past.contains(&(q, 0)), data.has_heard(q), "p={p} t={t} q={q}");
                 }
             }
         }

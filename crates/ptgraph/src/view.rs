@@ -46,7 +46,11 @@ enum ViewKey {
     /// Time-0 view: own process id and input value.
     Initial { p: u8, x: Value },
     /// Time-t view: own previous view plus received views, sorted by sender.
-    Round { p: u8, prev: ViewId, received: Box<[(u8, ViewId)]> },
+    Round {
+        p: u8,
+        prev: ViewId,
+        received: Box<[(u8, ViewId)]>,
+    },
 }
 
 /// Metadata cached for each interned view.
@@ -88,7 +92,11 @@ impl ViewData {
     /// The smallest initial value in the causal past (the decision rule of
     /// the classic min-flooding baseline).
     pub fn min_known_input(&self) -> Value {
-        self.known_inputs.iter().map(|&(_, v)| v).min().expect("view knows its own input")
+        self.known_inputs
+            .iter()
+            .map(|&(_, v)| v)
+            .min()
+            .expect("view knows its own input")
     }
 }
 
@@ -200,8 +208,7 @@ impl ViewTable {
         known.dedup_by_key(|&mut (q, _)| q);
         debug_assert_eq!(known.len(), heard.count_ones() as usize);
 
-        let data =
-            ViewData { process: p, time: t, heard, known_inputs: known.into_boxed_slice() };
+        let data = ViewData { process: p, time: t, heard, known_inputs: known.into_boxed_slice() };
         self.insert(key, data)
     }
 

@@ -39,13 +39,30 @@ impl Algorithm for FloodMin {
     type State = FloodMinState;
 
     fn init(&self, _p: Pid, x: Value) -> FloodMinState {
-        FloodMinState { min: x, round: 0, decided: if self.decide_round == 0 { Some(x) } else { None } }
+        FloodMinState {
+            min: x,
+            round: 0,
+            decided: if self.decide_round == 0 {
+                Some(x)
+            } else {
+                None
+            },
+        }
     }
 
-    fn step(&self, _p: Pid, state: &FloodMinState, received: &[(Pid, FloodMinState)]) -> FloodMinState {
+    fn step(
+        &self,
+        _p: Pid,
+        state: &FloodMinState,
+        received: &[(Pid, FloodMinState)],
+    ) -> FloodMinState {
         let min = received.iter().map(|(_, s)| s.min).chain([state.min]).min().expect("nonempty");
         let round = state.round + 1;
-        let decided = state.decided.or(if round >= self.decide_round { Some(min) } else { None });
+        let decided = state.decided.or(if round >= self.decide_round {
+            Some(min)
+        } else {
+            None
+        });
         FloodMinState { min, round, decided }
     }
 
@@ -77,7 +94,12 @@ impl Algorithm for DirectionRule {
         DirectionState { x, decided: None }
     }
 
-    fn step(&self, _p: Pid, state: &DirectionState, received: &[(Pid, DirectionState)]) -> DirectionState {
+    fn step(
+        &self,
+        _p: Pid,
+        state: &DirectionState,
+        received: &[(Pid, DirectionState)],
+    ) -> DirectionState {
         if state.decided.is_some() {
             return state.clone();
         }
@@ -152,7 +174,11 @@ impl Algorithm for AdaptiveFlood {
         }
         known.sort_unstable_by_key(|&(q, _)| q);
         known.dedup_by_key(|&mut (q, _)| q);
-        let quiet = if known.len() == state.known.len() { state.quiet + 1 } else { 0 };
+        let quiet = if known.len() == state.known.len() {
+            state.quiet + 1
+        } else {
+            0
+        };
         let decided = (quiet >= self.quiet_rounds)
             .then(|| known.iter().map(|&(_, v)| v).min().expect("knows own input"));
         AdaptiveFloodState { known, quiet, decided }
@@ -201,7 +227,12 @@ impl Algorithm for FullInfo {
         FullInfoState::Initial { p, x }
     }
 
-    fn step(&self, p: Pid, state: &FullInfoState, received: &[(Pid, FullInfoState)]) -> FullInfoState {
+    fn step(
+        &self,
+        p: Pid,
+        state: &FullInfoState,
+        received: &[(Pid, FullInfoState)],
+    ) -> FullInfoState {
         let mut received = received.to_vec();
         received.sort_by_key(|&(q, _)| q);
         FullInfoState::Node { p, prev: Box::new(state.clone()), received }
@@ -241,8 +272,7 @@ mod tests {
         for (word, expect_idx) in [("->", 0usize), ("<-", 1usize)] {
             for x0 in 0..2u32 {
                 for x1 in 0..2u32 {
-                    let exec =
-                        run(&DirectionRule, &[x0, x1], &GraphSeq::parse2(word).unwrap());
+                    let exec = run(&DirectionRule, &[x0, x1], &GraphSeq::parse2(word).unwrap());
                     let expect = [x0, x1][expect_idx];
                     assert_eq!(exec.consensus_value(), Some(expect), "{word} {x0}{x1}");
                 }
@@ -277,7 +307,8 @@ mod tests {
     fn adaptive_flood_waits_while_information_flows() {
         let alg = AdaptiveFlood::new(2);
         let g = dyngraph::generators::cycle(4);
-        let seq = dyngraph::GraphSeq::from_graphs(vec![g.clone(), g.clone(), g.clone(), g.clone(), g]);
+        let seq =
+            dyngraph::GraphSeq::from_graphs(vec![g.clone(), g.clone(), g.clone(), g.clone(), g]);
         let exec = run(&alg, &[3, 1, 4, 1], &seq);
         // Information keeps arriving for 3 rounds, then 2 quiet rounds.
         assert!(exec.all_decided());

@@ -72,10 +72,9 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::Agreement { inputs, seq, values } => write!(
-                f,
-                "agreement violated: x={inputs:?} under {seq} decided {values:?}"
-            ),
+            Violation::Agreement { inputs, seq, values } => {
+                write!(f, "agreement violated: x={inputs:?} under {seq} decided {values:?}")
+            }
             Violation::Validity { expected, decided, seq } => write!(
                 f,
                 "validity violated: all inputs {expected} but decided {decided} under {seq}"
@@ -152,10 +151,7 @@ pub fn check_consensus_with<A: Algorithm>(
         let inputs_count = values.len().pow(ma.n() as u32);
         let seqs = enumerate::admissible_sequences(ma, depth);
         if seqs.len() * inputs_count > max_runs {
-            return Err(enumerate::BudgetExceeded {
-                max_runs,
-                needed: seqs.len() * inputs_count,
-            });
+            return Err(enumerate::BudgetExceeded { max_runs, needed: seqs.len() * inputs_count });
         }
         seqs
     };
@@ -175,7 +171,7 @@ pub fn check_consensus_with<A: Algorithm>(
 }
 
 /// Parallel variant of [`check_consensus_with`]: the `(inputs, sequence)`
-/// grid is split across `threads` crossbeam-scoped workers. Requires the
+/// grid is split across `threads` scoped workers. Requires the
 /// algorithm to be [`Sync`] (the synthesized universal algorithm is: its
 /// interner sits behind a lock). The report is deterministic up to
 /// violation order (violations are sorted for stability).
@@ -201,10 +197,7 @@ where
         let inputs_count = values.len().pow(ma.n() as u32);
         let seqs = enumerate::admissible_sequences(ma, depth);
         if seqs.len() * inputs_count > max_runs {
-            return Err(enumerate::BudgetExceeded {
-                max_runs,
-                needed: seqs.len() * inputs_count,
-            });
+            return Err(enumerate::BudgetExceeded { max_runs, needed: seqs.len() * inputs_count });
         }
         seqs
     };
@@ -213,11 +206,11 @@ where
         inputs.iter().flat_map(|x| seqs.iter().map(move |s| (x, s))).collect();
 
     let chunk = grid.len().div_ceil(threads).max(1);
-    let partials: Vec<CheckReport> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<CheckReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = grid
             .chunks(chunk)
             .map(|part| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut report = CheckReport {
                         runs_checked: 0,
                         undecided_runs: 0,
@@ -239,8 +232,7 @@ where
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
+    });
 
     let mut report = CheckReport {
         runs_checked: 0,
@@ -413,8 +405,7 @@ mod tests {
     #[test]
     fn direction_rule_passes_reduced_lossy_link() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let report =
-            check_consensus(&DirectionRule, &ma, &[0, 1], 3, 100_000, true).unwrap();
+        let report = check_consensus(&DirectionRule, &ma, &[0, 1], 3, 100_000, true).unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert_eq!(report.undecided_runs, 0);
         assert_eq!(report.max_decision_round, 1);
@@ -426,13 +417,9 @@ mod tests {
         // With ↔ in the pool the direction inference is wrong: both
         // processes receive and decide the other's input.
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let report =
-            check_consensus(&DirectionRule, &ma, &[0, 1], 2, 100_000, true).unwrap();
+        let report = check_consensus(&DirectionRule, &ma, &[0, 1], 2, 100_000, true).unwrap();
         assert!(!report.passed());
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::Agreement { .. })));
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::Agreement { .. })));
     }
 
     #[test]
@@ -441,8 +428,7 @@ mod tests {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
         for round in 1..4 {
             let report =
-                check_consensus(&FloodMin::new(round), &ma, &[0, 1], round, 100_000, true)
-                    .unwrap();
+                check_consensus(&FloodMin::new(round), &ma, &[0, 1], round, 100_000, true).unwrap();
             assert!(!report.passed(), "FloodMin({round}) should fail");
         }
     }
@@ -450,8 +436,7 @@ mod tests {
     #[test]
     fn floodmin_passes_all_to_all() {
         let ma = GeneralMA::oblivious(vec![dyngraph::Digraph::complete(3)]);
-        let report =
-            check_consensus(&FloodMin::new(1), &ma, &[0, 1], 2, 100_000, true).unwrap();
+        let report = check_consensus(&FloodMin::new(1), &ma, &[0, 1], 2, 100_000, true).unwrap();
         assert!(report.passed());
     }
 
@@ -467,12 +452,9 @@ mod tests {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
         for alg_round in [1usize, 2] {
             let alg = FloodMin::new(alg_round);
-            let seq_report =
-                check_consensus(&alg, &ma, &[0, 1], 3, 100_000, true).unwrap();
-            let par_report = check_consensus_parallel(
-                &alg, &ma, &[0, 1], 3, 100_000, true, false, 4,
-            )
-            .unwrap();
+            let seq_report = check_consensus(&alg, &ma, &[0, 1], 3, 100_000, true).unwrap();
+            let par_report =
+                check_consensus_parallel(&alg, &ma, &[0, 1], 3, 100_000, true, false, 4).unwrap();
             assert_eq!(seq_report.runs_checked, par_report.runs_checked);
             assert_eq!(seq_report.undecided_runs, par_report.undecided_runs);
             assert_eq!(seq_report.max_decision_round, par_report.max_decision_round);
@@ -484,17 +466,9 @@ mod tests {
     #[test]
     fn parallel_checker_single_thread() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let report = check_consensus_parallel(
-            &DirectionRule,
-            &ma,
-            &[0, 1],
-            3,
-            100_000,
-            true,
-            false,
-            1,
-        )
-        .unwrap();
+        let report =
+            check_consensus_parallel(&DirectionRule, &ma, &[0, 1], 3, 100_000, true, false, 1)
+                .unwrap();
         assert!(report.passed());
         assert_eq!(report.runs_checked, 4 * 8);
     }
@@ -503,15 +477,7 @@ mod tests {
     fn sampled_checker_passes_direction_rule() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let report = check_consensus_sampled(
-            &DirectionRule,
-            &ma,
-            &[0, 1],
-            20,
-            200,
-            true,
-            &mut rng,
-        );
+        let report = check_consensus_sampled(&DirectionRule, &ma, &[0, 1], 20, 200, true, &mut rng);
         assert_eq!(report.runs_checked, 200);
         assert!(report.passed(), "violations: {:?}", report.violations);
     }
@@ -520,15 +486,8 @@ mod tests {
     fn sampled_checker_catches_floodmin() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let report = check_consensus_sampled(
-            &FloodMin::new(2),
-            &ma,
-            &[0, 1],
-            6,
-            300,
-            true,
-            &mut rng,
-        );
+        let report =
+            check_consensus_sampled(&FloodMin::new(2), &ma, &[0, 1], 6, 300, true, &mut rng);
         assert!(!report.passed(), "FloodMin should be caught by sampling");
     }
 

@@ -88,7 +88,10 @@ pub fn run<A: Algorithm>(alg: &A, inputs: &[Value], seq: &GraphSeq) -> Execution
 
     let mut decisions: Vec<Option<(Round, Value)>> = vec![None; n];
     let mut revoked = vec![false; n];
-    let note_decisions = |t: Round, sts: &[A::State], decisions: &mut Vec<Option<(Round, Value)>>, revoked: &mut Vec<bool>| {
+    let note_decisions = |t: Round,
+                          sts: &[A::State],
+                          decisions: &mut Vec<Option<(Round, Value)>>,
+                          revoked: &mut Vec<bool>| {
         for (p, s) in sts.iter().enumerate() {
             match (decisions[p], alg.decision(p, s)) {
                 (None, Some(v)) => decisions[p] = Some((t, v)),

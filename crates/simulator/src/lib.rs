@@ -58,8 +58,7 @@ pub trait Algorithm {
 
     /// The state after one round, given the received `(sender, sender's
     /// previous state)` pairs, sorted by sender.
-    fn step(&self, p: Pid, state: &Self::State, received: &[(Pid, Self::State)])
-        -> Self::State;
+    fn step(&self, p: Pid, state: &Self::State, received: &[(Pid, Self::State)]) -> Self::State;
 
     /// The decision recorded in the state, if any.
     fn decision(&self, p: Pid, state: &Self::State) -> Option<Value>;

@@ -86,8 +86,7 @@ impl<K: Hash + Eq + Clone> BucketSpace<K> {
             }
             frontier = next;
         }
-        let members: Vec<usize> =
-            (0..self.len()).filter(|&i| in_set[i]).collect();
+        let members: Vec<usize> = (0..self.len()).filter(|&i| in_set[i]).collect();
         (members, iterations)
     }
 }

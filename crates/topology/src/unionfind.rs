@@ -57,7 +57,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo] = hi;
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;

@@ -53,21 +53,17 @@ fn main() {
     }
 
     section("A custom predicate adversary: 'no two consecutive ← rounds'");
-    let no_double_left = PredicateMA::new(
-        generators::lossy_link_full(),
-        "no-double-left",
-        |prefix: &GraphSeq| {
+    let no_double_left =
+        PredicateMA::new(generators::lossy_link_full(), "no-double-left", |prefix: &GraphSeq| {
             let bad = (2..=prefix.rounds()).any(|t| {
-                prefix.graph(t).arrow2() == Some("<-")
-                    && prefix.graph(t - 1).arrow2() == Some("<-")
+                prefix.graph(t).arrow2() == Some("<-") && prefix.graph(t - 1).arrow2() == Some("<-")
             });
             if bad {
                 PrefixStatus::Dead
             } else {
                 PrefixStatus::Satisfied
             }
-        },
-    );
+        });
     println!("adversary: {}", no_double_left.describe());
     let verdict = SolvabilityChecker::new(no_double_left).max_depth(4).check();
     println!("verdict:   {}", verdict_line(&verdict));
@@ -75,8 +71,7 @@ fn main() {
     section("Intersection: no-double-left ∩ (↔ within 2 rounds)");
     let a = PredicateMA::new(generators::lossy_link_full(), "no-double-left", |prefix| {
         let bad = (2..=prefix.rounds()).any(|t| {
-            prefix.graph(t).arrow2() == Some("<-")
-                && prefix.graph(t - 1).arrow2() == Some("<-")
+            prefix.graph(t).arrow2() == Some("<-") && prefix.graph(t - 1).arrow2() == Some("<-")
         });
         if bad {
             PrefixStatus::Dead

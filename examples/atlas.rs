@@ -24,10 +24,8 @@ fn main() {
             .filter(|(i, _)| bits & (1 << i) != 0)
             .map(|(_, g)| g.clone())
             .collect();
-        let name = format!(
-            "{{{}}}",
-            pool.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(", ")
-        );
+        let name =
+            format!("{{{}}}", pool.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(", "));
         let kernel = baselines::kernel_beta_solvable_n2(&pool);
         let verdict = SolvabilityChecker::new(GeneralMA::oblivious(pool)).max_depth(4).check();
         let (tag, note) = match &verdict {
@@ -38,16 +36,12 @@ fn main() {
                     cert.component_count, cert.verification.max_decision_round
                 ),
             ),
-            Verdict::Unsolvable(_) => (
-                "UNSOLVABLE (exact chain)".to_string(),
-                "distance-0 input-flip chain".to_string(),
-            ),
+            Verdict::Unsolvable(_) => {
+                ("UNSOLVABLE (exact chain)".to_string(), "distance-0 input-flip chain".to_string())
+            }
             Verdict::Undecided(rep) => (
                 format!("mixed through depth {}", rep.max_depth),
-                format!(
-                    "{} mixed components; limit-only impossibility",
-                    rep.mixed_components
-                ),
+                format!("{} mixed components; limit-only impossibility", rep.mixed_components),
             ),
         };
         let checker_solvable = verdict.is_solvable();

@@ -37,8 +37,7 @@ fn main() {
 
     section("The fair-sequence shadow: valence-connecting chains per depth");
     for depth in 1..=4 {
-        let space = PrefixSpace::build(&ma, &[0, 1], depth, 2_000_000)
-            .expect("within budget");
+        let space = PrefixSpace::build(&ma, &[0, 1], depth, 2_000_000).expect("within budget");
         let chain = fair::valence_chain(&space, 0, 1).expect("mixed component chains");
         assert!(fair::validate_epsilon_chain(&space, &chain));
         println!("depth {depth}: chain of {} links:", chain.links.len());

@@ -43,11 +43,8 @@ fn main() {
 
     section("Broadcastability of the components (Theorem 5.11)");
     for comp in &cert.broadcast.components {
-        let who: Vec<String> = comp
-            .broadcasters
-            .iter()
-            .map(|(p, t)| format!("p{p} (by round {t})"))
-            .collect();
+        let who: Vec<String> =
+            comp.broadcasters.iter().map(|(p, t)| format!("p{p} (by round {t})")).collect();
         println!(
             "component {} ({} runs): broadcastable by {}",
             comp.component,

@@ -28,8 +28,7 @@ fn main() {
     let excluded = limit::excluded_limits(&ma, 0, 2, 3);
     println!("{} excluded limit lassos of shape (·)^ω with cycle 2:", excluded.len());
     for ex in excluded.iter().take(6) {
-        let witness: Vec<String> =
-            ex.witnesses.iter().map(|w| format!("{w}")).collect();
+        let witness: Vec<String> = ex.witnesses.iter().map(|w| format!("{w}")).collect();
         println!("  limit {}   ← witnesses: {}", ex.limit, witness.join(", "));
     }
 
@@ -40,10 +39,7 @@ fn main() {
                 continue;
             }
             let ma = GeneralMA::stabilizing(generators::lossy_link_full(), k, Some(r));
-            let verdict = SolvabilityChecker::new(ma)
-                .max_depth(r + 2)
-                .max_runs(4_000_000)
-                .check();
+            let verdict = SolvabilityChecker::new(ma).max_depth(r + 2).max_runs(4_000_000).check();
             println!("stable({k}) by round {r}: {}", verdict_line(&verdict));
         }
     }

@@ -1,0 +1,60 @@
+//! Sweep: drive the lab's parallel scenario engine over a slice of the
+//! built-in adversary catalog and show the shared prefix-space cache at
+//! work.
+//!
+//! ```text
+//! cargo run -p examples-support --example sweep
+//! ```
+
+use consensus_lab::cache::SpaceCache;
+use consensus_lab::runner::SweepRunner;
+use consensus_lab::scenario::{AdversarySpec, AnalysisKind, GridBuilder};
+use examples_support::section;
+
+fn main() {
+    section("A small catalog sweep (3 adversaries × depths 1..=3 × 3 analyses)");
+    let specs = [
+        AdversarySpec::Catalog("sw-lossy-link".into()),
+        AdversarySpec::Catalog("cgp-reduced-lossy-link".into()),
+        AdversarySpec::Catalog("forever-directional".into()),
+    ];
+    let grid = GridBuilder::new(3, 2_000_000)
+        .analyses(&[
+            AnalysisKind::Solvability,
+            AnalysisKind::Broadcastability,
+            AnalysisKind::SimCheck,
+        ])
+        .over_specs(&specs);
+    println!("grid: {} scenarios", grid.len());
+
+    let cache = SpaceCache::new();
+    let report = SweepRunner::new().run(&grid, &cache);
+
+    for record in report.store.records() {
+        let space = record
+            .space
+            .map(|s| format!("{} runs / {} components", s.runs, s.components))
+            .unwrap_or_else(|| "—".to_string());
+        println!(
+            "  {:<28} depth {}  {:<16} → {:<12} [{}]",
+            record.adversary,
+            record.depth,
+            record.analysis.name(),
+            record.outcome.verdict,
+            space
+        );
+    }
+
+    section("Engine telemetry");
+    println!("{}", report.summary());
+    assert!(
+        report.cache.builds < report.scenarios,
+        "the memoization cache must undercut one-expansion-per-scenario"
+    );
+
+    section("Warm re-sweep (same cache): zero new constructions");
+    let before = cache.stats().builds;
+    let again = SweepRunner::new().run(&grid, &cache);
+    println!("{}", again.summary());
+    assert_eq!(cache.stats().builds, before);
+}

@@ -19,13 +19,14 @@ fn catalog_verdicts_match_literature() {
         ("message_loss(2,1)", catalog::message_loss(2, 1), None),
         ("message_loss(2,2)", catalog::message_loss(2, 2), Some(false)),
         ("vssc(2,2,by3)", catalog::vssc(2, 2, Some(3)), Some(true)),
-        ("eventually_bidirectional_by2", catalog::eventually_bidirectional().with_deadline(2), Some(true)),
+        (
+            "eventually_bidirectional_by2",
+            catalog::eventually_bidirectional().with_deadline(2),
+            Some(true),
+        ),
     ];
     for (name, ma, expected) in entries {
-        let verdict = SolvabilityChecker::new(ma)
-            .max_depth(5)
-            .max_runs(4_000_000)
-            .check();
+        let verdict = SolvabilityChecker::new(ma).max_depth(5).max_runs(4_000_000).check();
         match (expected, &verdict) {
             (Some(true), Verdict::Solvable(_)) => {}
             (Some(false), Verdict::Unsolvable(_)) => {}
@@ -92,10 +93,7 @@ fn sampled_deep_verification_of_synthesized_algorithms() {
         GeneralMA::oblivious(vec![Digraph::complete(3)]),
     ];
     for ma in families {
-        let verdict = SolvabilityChecker::new(ma.clone())
-            .max_depth(3)
-            .max_runs(4_000_000)
-            .check();
+        let verdict = SolvabilityChecker::new(ma.clone()).max_depth(3).max_runs(4_000_000).check();
         let cert = match verdict {
             Verdict::Solvable(cert) => cert,
             other => panic!("expected solvable: {other:?}"),
@@ -130,19 +128,13 @@ fn stabilizing_stars_n3_window_two() {
     // window = D + 1 = 2 suffices, mirroring [23] at n = 3).
     let pool = generators::all_out_stars(3);
     let ma = GeneralMA::stabilizing(pool.clone(), 2, Some(2));
-    let verdict = SolvabilityChecker::new(ma)
-        .max_depth(4)
-        .max_runs(4_000_000)
-        .check();
+    let verdict = SolvabilityChecker::new(ma).max_depth(4).max_runs(4_000_000).check();
     assert!(verdict.is_solvable(), "{verdict:?}");
     // Window 1 degrades to the plain rotating-star adversary — which is
     // itself solvable (round-1 center common knowledge), so unlike the
     // lossy link the degradation stays solvable here.
     let ma = GeneralMA::stabilizing(pool, 1, Some(2));
-    let verdict = SolvabilityChecker::new(ma)
-        .max_depth(3)
-        .max_runs(4_000_000)
-        .check();
+    let verdict = SolvabilityChecker::new(ma).max_depth(3).max_runs(4_000_000).check();
     assert!(verdict.is_solvable(), "{verdict:?}");
     // And the per-center window diameter is exactly 1.
     for c in 0..3 {

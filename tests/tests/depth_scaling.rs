@@ -62,22 +62,13 @@ fn interner_sharing_is_effective() {
 fn parallel_verifier_deep_agreement() {
     use consensus_core::solvability::Verdict;
     let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-    let cert = match consensus_core::SolvabilityChecker::new(ma.clone())
-        .max_depth(3)
-        .check()
-    {
+    let cert = match consensus_core::SolvabilityChecker::new(ma.clone()).max_depth(3).check() {
         Verdict::Solvable(cert) => cert,
         other => panic!("expected solvable: {other:?}"),
     };
-    let seq_report = simulator::checker::check_consensus(
-        &cert.algorithm,
-        &ma,
-        &[0, 1],
-        6,
-        5_000_000,
-        true,
-    )
-    .unwrap();
+    let seq_report =
+        simulator::checker::check_consensus(&cert.algorithm, &ma, &[0, 1], 6, 5_000_000, true)
+            .unwrap();
     let par_report = simulator::checker::check_consensus_parallel(
         &cert.algorithm,
         &ma,

@@ -67,10 +67,7 @@ fn reduced_lossy_link_solvable_one_round() {
 fn stabilizing_window_threshold() {
     for r in [2usize, 3] {
         let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 2, Some(r));
-        let verdict = SolvabilityChecker::new(ma)
-            .max_depth(r + 2)
-            .max_runs(4_000_000)
-            .check();
+        let verdict = SolvabilityChecker::new(ma).max_depth(r + 2).max_runs(4_000_000).check();
         assert!(verdict.is_solvable(), "stable(2) by {r}: {verdict:?}");
     }
     let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 1, Some(3));
@@ -126,10 +123,7 @@ fn eventually_swap_compact_family() {
             Digraph::parse2("<->").unwrap(),
             Some(r),
         );
-        let verdict = SolvabilityChecker::new(ma)
-            .max_depth(r + 3)
-            .max_runs(4_000_000)
-            .check();
+        let verdict = SolvabilityChecker::new(ma).max_depth(r + 3).max_runs(4_000_000).check();
         assert!(verdict.is_solvable(), "eventually-swap by {r}: {verdict:?}");
     }
 }

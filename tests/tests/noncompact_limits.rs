@@ -60,9 +60,7 @@ fn stabilizing_excluded_alternation() {
     let excluded = limit::excluded_limits(&ma, 0, 2, 3);
     let alternating: Vec<&limit::ExcludedLimit> = excluded
         .iter()
-        .filter(|e| {
-            e.limit.cycle_len() == 2 && e.limit.graph_at(1) != e.limit.graph_at(2)
-        })
+        .filter(|e| e.limit.cycle_len() == 2 && e.limit.graph_at(1) != e.limit.graph_at(2))
         .collect();
     assert!(!alternating.is_empty());
     for ex in alternating {

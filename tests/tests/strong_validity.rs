@@ -11,9 +11,7 @@ use simulator::checker;
 #[test]
 fn binary_modes_agree() {
     for (pool, _) in integration_support::n2_pool_ground_truth() {
-        let weak = SolvabilityChecker::new(GeneralMA::oblivious(pool.clone()))
-            .max_depth(3)
-            .check();
+        let weak = SolvabilityChecker::new(GeneralMA::oblivious(pool.clone())).max_depth(3).check();
         let strong = SolvabilityChecker::new(GeneralMA::oblivious(pool))
             .max_depth(3)
             .strong_validity(true)
@@ -61,12 +59,10 @@ fn ternary_weak_certificate_can_violate_strong() {
     // input, so weak and strong coincide; at depth 2 the refinement creates
     // unlabeled components whose weak default (0) is nobody's input.
     let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-    let space =
-        consensus_core::PrefixSpace::build(&ma, &[0, 1, 2], 2, 4_000_000).unwrap();
+    let space = consensus_core::PrefixSpace::build(&ma, &[0, 1, 2], 2, 4_000_000).unwrap();
     let weak = consensus_core::UniversalAlgorithm::synthesize(&space).unwrap();
     let report =
-        checker::check_consensus_with(&weak, &ma, &[0, 1, 2], 2, 4_000_000, true, true)
-            .unwrap();
+        checker::check_consensus_with(&weak, &ma, &[0, 1, 2], 2, 4_000_000, true, true).unwrap();
     assert!(
         report
             .violations
@@ -83,7 +79,6 @@ fn ternary_weak_certificate_can_violate_strong() {
     // The strong synthesis on the same space is clean.
     let strong = consensus_core::UniversalAlgorithm::synthesize_strong(&space).unwrap();
     let report =
-        checker::check_consensus_with(&strong, &ma, &[0, 1, 2], 2, 4_000_000, true, true)
-            .unwrap();
+        checker::check_consensus_with(&strong, &ma, &[0, 1, 2], 2, 4_000_000, true, true).unwrap();
     assert!(report.passed(), "violations: {:?}", report.violations);
 }

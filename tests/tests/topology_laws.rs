@@ -1,16 +1,21 @@
-//! Property-based tests of the paper's topological laws (experiments T3,
+//! Property-style tests of the paper's topological laws (experiments T3,
 //! T6, T7 of DESIGN.md).
+//!
+//! Driven by a seeded deterministic generator (the offline stand-in for
+//! proptest; see `crates/compat/README.md`).
 
 use dyngraph::{generators, Digraph, GraphSeq};
-use proptest::prelude::*;
 use ptgraph::{contamination, distance, PrefixRun, ViewTable};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use simulator::{algorithms::FullInfo, engine};
 
-/// Strategy: a random run (inputs, sequence) on `n` processes, `t` rounds.
-fn run_strategy(n: usize, t: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u64>)> {
-    let inputs = proptest::collection::vec(0u32..3, n);
+const CASES: usize = 64;
+
+/// A random run (inputs, sequence) on `n` processes, `t` rounds.
+fn random_run(rng: &mut StdRng, n: usize, t: usize) -> (Vec<u32>, Vec<u64>) {
     let max_code: u64 = 1 << (n * n);
-    let seq = proptest::collection::vec(0..max_code, t);
+    let inputs = (0..n).map(|_| rng.random_range(0..3u32)).collect();
+    let seq = (0..t).map(|_| rng.random_range(0..max_code)).collect();
     (inputs, seq)
 }
 
@@ -20,15 +25,15 @@ fn materialize(n: usize, inputs: &[u32], codes: &[u64], table: &mut ViewTable) -
     PrefixRun::compute(inputs.to_vec(), &GraphSeq::from_graphs(graphs), table)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// T7 / Theorem 4.3: symmetry, triangle inequality, monotonicity in P,
-    /// and d_[n] = d_max, on random n = 3 runs.
-    #[test]
-    fn pseudo_metric_laws((xa, sa) in run_strategy(3, 4),
-                          (xb, sb) in run_strategy(3, 4),
-                          (xc, sc) in run_strategy(3, 4)) {
+/// T7 / Theorem 4.3: symmetry, triangle inequality, monotonicity in P,
+/// and d_[n] = d_max, on random n = 3 runs.
+#[test]
+fn pseudo_metric_laws() {
+    let mut rng = StdRng::seed_from_u64(0x0701);
+    for _ in 0..CASES {
+        let (xa, sa) = random_run(&mut rng, 3, 4);
+        let (xb, sb) = random_run(&mut rng, 3, 4);
+        let (xc, sc) = random_run(&mut rng, 3, 4);
         let mut table = ViewTable::new(3);
         let a = materialize(3, &xa, &sa, &mut table);
         let b = materialize(3, &xb, &sb, &mut table);
@@ -36,33 +41,37 @@ proptest! {
 
         for p in 0..3 {
             // Symmetry.
-            prop_assert_eq!(distance::d_p(&a, &b, p), distance::d_p(&b, &a, p));
+            assert_eq!(distance::d_p(&a, &b, p), distance::d_p(&b, &a, p));
             // Triangle inequality on the dyadic values.
             let ab = distance::d_p(&a, &b, p).as_f64();
             let bc = distance::d_p(&b, &c, p).as_f64();
             let ac = distance::d_p(&a, &c, p).as_f64();
-            prop_assert!(ac <= ab + bc + 1e-12);
+            assert!(ac <= ab + bc + 1e-12);
         }
         // Monotonicity: d_P ≤ d_Q for P ⊆ Q.
         let d01 = distance::d_set(&a, &b, &[0, 1]);
         let d012 = distance::d_set(&a, &b, &[0, 1, 2]);
-        prop_assert!(d01 <= d012);
+        assert!(d01 <= d012);
         // d_[n] = d_max.
-        prop_assert_eq!(distance::d_max(&a, &b), d012);
+        assert_eq!(distance::d_max(&a, &b), d012);
         // d_min ≤ d_p ≤ d_max.
         let dmin = distance::d_min(&a, &b);
         for p in 0..3 {
             let dp = distance::d_p(&a, &b, p);
-            prop_assert!(dmin <= dp);
-            prop_assert!(dp <= distance::d_max(&a, &b));
+            assert!(dmin <= dp);
+            assert!(dp <= distance::d_max(&a, &b));
         }
     }
+}
 
-    /// The contamination rule coincides with interned-view inequality
-    /// (the exactness of the divergence calculus, DESIGN.md §3).
-    #[test]
-    fn contamination_is_exact((xa, sa) in run_strategy(3, 5),
-                              (xb, sb) in run_strategy(3, 5)) {
+/// The contamination rule coincides with interned-view inequality
+/// (the exactness of the divergence calculus, DESIGN.md §3).
+#[test]
+fn contamination_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0x0702);
+    for _ in 0..CASES {
+        let (xa, sa) = random_run(&mut rng, 3, 5);
+        let (xb, sb) = random_run(&mut rng, 3, 5);
         let mut table = ViewTable::new(3);
         let a = materialize(3, &xa, &sa, &mut table);
         let b = materialize(3, &xb, &sb, &mut table);
@@ -70,17 +79,21 @@ proptest! {
         for (t, d) in trace.iter().enumerate() {
             for p in 0..3 {
                 let differs = a.view(p, t) != b.view(p, t);
-                prop_assert_eq!(differs, d & (1 << p) != 0, "t={} p={}", t, p);
+                assert_eq!(differs, d & (1 << p) != 0, "t={t} p={p}");
             }
         }
     }
+}
 
-    /// T6 / Lemma 4.5: the transition function τ (full-information protocol)
-    /// is non-expansive: equal views at time t imply equal states at time t,
-    /// so d_P(τ(a), τ(b)) ≤ d_P(a, b).
-    #[test]
-    fn tau_is_continuous((xa, sa) in run_strategy(2, 4),
-                         (xb, sb) in run_strategy(2, 4)) {
+/// T6 / Lemma 4.5: the transition function τ (full-information protocol)
+/// is non-expansive: equal views at time t imply equal states at time t,
+/// so d_P(τ(a), τ(b)) ≤ d_P(a, b).
+#[test]
+fn tau_is_continuous() {
+    let mut rng = StdRng::seed_from_u64(0x0703);
+    for _ in 0..CASES {
+        let (xa, sa) = random_run(&mut rng, 2, 4);
+        let (xb, sb) = random_run(&mut rng, 2, 4);
         let mut table = ViewTable::new(2);
         let a = materialize(2, &xa, &sa, &mut table);
         let b = materialize(2, &xb, &sb, &mut table);
@@ -92,16 +105,20 @@ proptest! {
                 let states_equal = ea.states[t][p] == eb.states[t][p];
                 // Views are exactly the full-information states: equality
                 // must coincide, which gives continuity in both directions.
-                prop_assert_eq!(views_equal, states_equal, "t={} p={}", t, p);
+                assert_eq!(views_equal, states_equal, "t={t} p={p}");
             }
         }
     }
+}
 
-    /// Views are cumulative: once a process distinguishes two runs it
-    /// distinguishes them forever (monotone divergence).
-    #[test]
-    fn divergence_is_monotone((xa, sa) in run_strategy(3, 5),
-                              (xb, sb) in run_strategy(3, 5)) {
+/// Views are cumulative: once a process distinguishes two runs it
+/// distinguishes them forever (monotone divergence).
+#[test]
+fn divergence_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x0704);
+    for _ in 0..CASES {
+        let (xa, sa) = random_run(&mut rng, 3, 5);
+        let (xb, sb) = random_run(&mut rng, 3, 5);
         let mut table = ViewTable::new(3);
         let a = materialize(3, &xa, &sa, &mut table);
         let b = materialize(3, &xb, &sb, &mut table);
@@ -109,7 +126,7 @@ proptest! {
             let mut diverged = false;
             for t in 0..=5usize {
                 let now = a.view(p, t) != b.view(p, t);
-                prop_assert!(!diverged || now, "divergence must persist");
+                assert!(!diverged || now, "divergence must persist");
                 diverged = now;
             }
         }
@@ -150,13 +167,11 @@ fn broadcastable_components_have_constant_broadcaster_input() {
 fn class_distances_match_separation() {
     use adversary::GeneralMA;
     use consensus_core::analysis;
-    for (pool, expect_separated) in [
-        (generators::lossy_link_reduced(), true),
-        (generators::lossy_link_full(), false),
-    ] {
+    for (pool, expect_separated) in
+        [(generators::lossy_link_reduced(), true), (generators::lossy_link_full(), false)]
+    {
         let ma = GeneralMA::oblivious(pool);
-        let space = consensus_core::space::PrefixSpace::build(&ma, &[0, 1], 3, 2_000_000)
-            .unwrap();
+        let space = consensus_core::space::PrefixSpace::build(&ma, &[0, 1], 3, 2_000_000).unwrap();
         let rep = analysis::report(&space);
         assert_eq!(rep.separated, expect_separated);
         match (expect_separated, rep.min_class_distance.unwrap()) {

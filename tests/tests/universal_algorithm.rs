@@ -24,15 +24,9 @@ fn solvable_cert(ma: GeneralMA, depth: usize) -> consensus_core::solvability::So
 fn decisions_persist_beyond_synthesis_depth() {
     let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
     let cert = solvable_cert(ma.clone(), 3);
-    let report = checker::check_consensus(
-        &cert.algorithm,
-        &ma,
-        &[0, 1],
-        cert.depth + 3,
-        4_000_000,
-        true,
-    )
-    .unwrap();
+    let report =
+        checker::check_consensus(&cert.algorithm, &ma, &[0, 1], cert.depth + 3, 4_000_000, true)
+            .unwrap();
     assert!(report.passed(), "violations: {:?}", report.violations);
     assert_eq!(report.undecided_runs, 0);
 }
@@ -44,8 +38,7 @@ fn ternary_universal_algorithm() {
     let space = PrefixSpace::build(&ma, &[0, 1, 2], 2, 4_000_000).unwrap();
     assert!(space.separation().is_separated());
     let alg = UniversalAlgorithm::synthesize(&space).unwrap();
-    let report =
-        checker::check_consensus(&alg, &ma, &[0, 1, 2], 2, 4_000_000, true).unwrap();
+    let report = checker::check_consensus(&alg, &ma, &[0, 1, 2], 2, 4_000_000, true).unwrap();
     assert!(report.passed(), "violations: {:?}", report.violations);
     // Validity specifically for value 2.
     let exec = engine::run(&alg, &[2, 2], &GraphSeq::parse2("-> <-").unwrap());
@@ -90,11 +83,7 @@ fn star_universal_matches_center_rule() {
             let _ = exec;
             for x in [[0u32, 1, 0], [1, 0, 1], [0, 0, 1]] {
                 let exec = engine::run(&cert.algorithm, &x, &seq);
-                assert_eq!(
-                    exec.consensus_value(),
-                    Some(x[center]),
-                    "center {center}, x {x:?}"
-                );
+                assert_eq!(exec.consensus_value(), Some(x[center]), "center {center}, x {x:?}");
             }
         }
     }
