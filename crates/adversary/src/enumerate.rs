@@ -14,7 +14,11 @@ use ptgraph::{all_inputs, Inputs, PrefixRun, Value, ViewTable};
 use crate::MessageAdversary;
 
 /// The expanded prefix space at a fixed depth.
-#[derive(Debug)]
+///
+/// Cloning is a deep copy of the runs and the view table — much cheaper
+/// than re-expanding, which is what lets caching layers *ladder* a cached
+/// expansion to a deeper one without giving up the original.
+#[derive(Debug, Clone)]
 pub struct Expansion {
     /// All admissible runs: `inputs × admissible sequences`, in
     /// deterministic order (inputs lexicographic, sequences in expansion

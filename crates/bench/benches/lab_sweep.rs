@@ -1,45 +1,102 @@
-//! Lab sweep benches: the parallel scenario engine end-to-end, and the
-//! perf datum of ISSUE 1 — redundant `PrefixSpace` construction eliminated
-//! by the shared memoization cache.
-//!
-//! The printed header quantifies the sharing: a full catalog sweep's
-//! construction count vs its scenario count, and the wall-clock ratio of a
-//! cold sweep (fresh cache) to a warm one (all spaces cached).
+//! Lab sweep benches: the parallel scenario engine end-to-end, the
+//! memoization datum of ISSUE 1 (redundant `PrefixSpace` construction
+//! eliminated by the shared cache), and the persistence datum of ISSUE 2 —
+//! cold vs warm-memory vs warm-disk sweeps, emitted to
+//! `BENCH_lab_sweep.json` at the repo root so the perf trajectory
+//! accumulates across PRs.
 
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use consensus_lab::cache::SpaceCache;
+use consensus_lab::json::Value as Json;
+use consensus_lab::persist::DiskCache;
 use consensus_lab::runner::SweepRunner;
-use consensus_lab::scenario::{AnalysisKind, GridBuilder};
+use consensus_lab::scenario::{AnalysisKind, GridBuilder, Scenario};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const BUDGET: usize = 2_000_000;
 
-fn bench_lab_sweep(c: &mut Criterion) {
-    // Datum: construction sharing and the cold→warm speedup on the full
-    // catalog grid at depth 3.
-    let grid = GridBuilder::new(3, BUDGET).over_catalog();
+fn ms(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e6).round() / 1e3
+}
+
+/// Time the three cache temperatures on one grid and write the datum file.
+fn emit_bench_json(grid: &[Scenario]) {
+    let entries: Vec<(usize, Scenario)> = grid.iter().cloned().enumerate().collect();
+    let disk_dir = std::env::temp_dir().join(format!("lab-bench-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+
+    // Cold: fresh space cache, populating an empty disk journal.
+    let disk = DiskCache::open(&disk_dir).expect("open bench cache dir");
     let cache = SpaceCache::new();
     let t0 = Instant::now();
-    let cold = SweepRunner::new().run(&grid, &cache);
+    let cold = SweepRunner::new().run_indexed(&entries, &cache, Some(&disk));
     let cold_wall = t0.elapsed();
+
+    // Warm memory: same space cache, no disk.
     let t1 = Instant::now();
-    let warm = SweepRunner::new().run(&grid, &cache);
-    let warm_wall = t1.elapsed();
-    assert_eq!(warm.cache.builds, cold.cache.builds, "warm pass must build nothing");
+    let warm_mem = SweepRunner::new().run(grid, &cache);
+    let warm_mem_wall = t1.elapsed();
+    assert_eq!(warm_mem.cache.builds, cold.cache.builds, "warm pass must build nothing");
+
+    // Warm disk: a new process's view — cold space cache, reloaded journal.
+    drop(disk);
+    let disk = DiskCache::open(&disk_dir).expect("reopen bench cache dir");
+    let t2 = Instant::now();
+    let warm_disk = SweepRunner::new().run_indexed(&entries, &SpaceCache::new(), Some(&disk));
+    let warm_disk_wall = t2.elapsed();
+    assert_eq!(warm_disk.cache.builds, 0, "warm-disk pass must expand nothing");
+    let _ = std::fs::remove_dir_all(&disk_dir);
+
     println!(
         "\n[lab] catalog×depth≤3: {} scenarios, {} prefix-space constructions \
-         ({} shared); cold {:.1?} → warm {:.1?} ({:.2}× speedup)\n",
+         ({} ladder extensions); cold {:.1?} → warm-memory {:.1?} ({:.2}×) → \
+         warm-disk {:.1?} ({:.2}×)\n",
         cold.scenarios,
         cold.cache.builds,
-        cold.scenarios - cold.cache.builds,
+        cold.cache.ladder_hits,
         cold_wall,
-        warm_wall,
-        cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9),
+        warm_mem_wall,
+        cold_wall.as_secs_f64() / warm_mem_wall.as_secs_f64().max(1e-9),
+        warm_disk_wall,
+        cold_wall.as_secs_f64() / warm_disk_wall.as_secs_f64().max(1e-9),
     );
 
-    // The engine end-to-end, cold vs warm cache.
+    let datum = Json::Obj(vec![
+        ("bench".into(), Json::Str("lab_sweep".into())),
+        ("scenarios".into(), Json::Int(cold.scenarios as i64)),
+        ("builds_cold".into(), Json::Int(cold.cache.builds as i64)),
+        ("ladder_hits_cold".into(), Json::Int(cold.cache.ladder_hits as i64)),
+        ("disk_hits_warm".into(), Json::Int(warm_disk.cache.disk_hits as i64)),
+        ("cold_ms".into(), Json::Float(ms(cold_wall))),
+        ("warm_memory_ms".into(), Json::Float(ms(warm_mem_wall))),
+        ("warm_disk_ms".into(), Json::Float(ms(warm_disk_wall))),
+        (
+            "speedup_warm_memory".into(),
+            Json::Float(cold_wall.as_secs_f64() / warm_mem_wall.as_secs_f64().max(1e-9)),
+        ),
+        (
+            "speedup_warm_disk".into(),
+            Json::Float(cold_wall.as_secs_f64() / warm_disk_wall.as_secs_f64().max(1e-9)),
+        ),
+    ]);
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lab_sweep.json").to_string()
+    });
+    match std::fs::write(&out, format!("{datum}\n")) {
+        Ok(()) => println!("[lab] wrote {out}"),
+        Err(e) => eprintln!("[lab] could not write {out}: {e}"),
+    }
+}
+
+fn bench_lab_sweep(c: &mut Criterion) {
+    // Datum: construction sharing and the cold → warm-memory → warm-disk
+    // trajectory on the full catalog grid at depth 3.
+    let grid = GridBuilder::new(3, BUDGET).over_catalog();
+    emit_bench_json(&grid);
+
+    // The engine end-to-end: cold, warm in-memory, warm on-disk.
     let mut group = c.benchmark_group("lab/catalog_sweep");
     group.sample_size(10);
     group.bench_function("cold_cache", |b| {
@@ -50,9 +107,30 @@ fn bench_lab_sweep(c: &mut Criterion) {
     });
     let shared = SpaceCache::new();
     SweepRunner::new().run(&grid, &shared); // pre-warm
-    group.bench_function("warm_cache", |b| {
+    group.bench_function("warm_memory", |b| {
         b.iter(|| black_box(SweepRunner::new().run(&grid, &shared).scenarios))
     });
+    let entries: Vec<(usize, Scenario)> = grid.iter().cloned().enumerate().collect();
+    let disk_dir = std::env::temp_dir().join(format!("lab-bench-group-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    {
+        let disk = DiskCache::open(&disk_dir).expect("open bench cache dir");
+        SweepRunner::new().run_indexed(&entries, &SpaceCache::new(), Some(&disk));
+        // pre-warm
+    }
+    group.bench_function("warm_disk", |b| {
+        b.iter(|| {
+            // A fresh DiskCache per iteration models the new-process read
+            // path (journal reload included); the space cache stays cold.
+            let disk = DiskCache::open(&disk_dir).expect("reopen bench cache dir");
+            black_box(
+                SweepRunner::new()
+                    .run_indexed(&entries, &SpaceCache::new(), Some(&disk))
+                    .scenarios,
+            )
+        })
+    });
+    let _ = std::fs::remove_dir_all(&disk_dir);
     group.finish();
 
     // Scaling in the analysis dimension: with the cache, adding analyses to

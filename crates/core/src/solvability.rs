@@ -100,6 +100,13 @@ impl Verdict {
 /// [`SolvabilityChecker::check_via`] requests the space for each depth from
 /// the source instead of building it; a source shared across analyses and
 /// scenarios then pays for each `(adversary, depth)` expansion exactly once.
+///
+/// Sources are free to serve a depth-`t` request by *laddering*: extending
+/// a shallower space they already hold via
+/// [`PrefixSpace::extended_from`], which yields a space identical to a
+/// from-scratch build at `t`. The checker's ascending-depth request pattern
+/// makes every request after the first a one-round extension for such a
+/// source.
 pub trait SpaceSource {
     /// The space of `ma` at `depth` over `values`, subject to `max_runs`.
     ///

@@ -16,7 +16,10 @@ use ptgraph::{PrefixRun, Value, ViewId};
 use topology::{components_by_buckets, separation, Components};
 
 /// The expanded and component-decomposed prefix space at one depth.
-#[derive(Debug)]
+///
+/// Cloning deep-copies the expansion and components; see
+/// [`PrefixSpace::extended_from`] for why callers want that.
+#[derive(Debug, Clone)]
 pub struct PrefixSpace {
     expansion: enumerate::Expansion,
     components: Components,
@@ -76,6 +79,31 @@ impl PrefixSpace {
 
     fn from_expansion_keep_depth(expansion: enumerate::Expansion) -> Self {
         Self::from_expansion(expansion)
+    }
+
+    /// Extend *a copy of* this space by one round, leaving `self` intact —
+    /// the extension seam for caching [`SpaceSource`] implementations: a
+    /// source holding this space (e.g. behind an `Arc`) can serve a
+    /// depth-`t+1` request by laddering up from the cached depth-`t` space
+    /// instead of re-expanding from scratch, while the depth-`t` entry
+    /// stays live for other requesters. The runs/views/components produced
+    /// are identical to a from-scratch [`PrefixSpace::build`] at the deeper
+    /// depth (runs are enumerated in the same input-major, breadth-first
+    /// sequence order either way).
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the extension would exceed
+    /// `max_runs`; `self` is untouched either way.
+    ///
+    /// [`SpaceSource`]: crate::solvability::SpaceSource
+    pub fn extended_from(
+        &self,
+        ma: &dyn MessageAdversary,
+        max_runs: usize,
+    ) -> Result<Self, enumerate::BudgetExceeded> {
+        let mut expansion = self.expansion.clone();
+        expansion.extend(ma, max_runs)?;
+        Ok(Self::from_expansion(expansion))
     }
 
     /// Component-decompose an existing expansion.
@@ -399,6 +427,28 @@ mod tests {
             };
             assert_eq!(sizes(&inc), sizes(&direct));
         }
+    }
+
+    #[test]
+    fn extended_from_leaves_base_intact_and_matches_rebuild() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let base = PrefixSpace::build(&ma, &[0, 1], 1, 1_000_000).unwrap();
+        let deeper = base.extended_from(&ma, 1_000_000).unwrap();
+        // The base is untouched and still usable.
+        assert_eq!(base.depth(), 1);
+        assert_eq!(deeper.depth(), 2);
+        let direct = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        assert_eq!(deeper.runs().len(), direct.runs().len());
+        assert_eq!(deeper.stats(), direct.stats());
+        assert_eq!(deeper.separation().is_separated(), direct.separation().is_separated());
+        // Run order matches the from-scratch enumeration exactly.
+        for (a, b) in deeper.runs().iter().zip(direct.runs()) {
+            assert_eq!(a.inputs(), b.inputs());
+            assert_eq!(a.seq(), b.seq());
+        }
+        // Budget failure leaves the base intact too.
+        assert!(base.extended_from(&ma, 10).is_err());
+        assert_eq!(base.depth(), 1);
     }
 
     #[test]

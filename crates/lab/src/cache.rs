@@ -31,16 +31,33 @@ type FailKey = (u64, Vec<Value>, usize, usize);
 pub struct CacheStats {
     /// Requests answered from the cache.
     pub hits: usize,
-    /// Requests that triggered a [`PrefixSpace`] construction.
+    /// Requests that triggered a full from-scratch [`PrefixSpace`]
+    /// expansion.
     pub builds: usize,
+    /// Requests served by *laddering* — extending the deepest cached
+    /// ancestor space round-by-round via [`PrefixSpace::extended_from`]
+    /// instead of re-expanding from scratch.
+    pub ladder_hits: usize,
+    /// Scenario outcomes answered from the on-disk verdict journal
+    /// ([`crate::persist::DiskCache`]). Always zero for a bare
+    /// [`SpaceCache`]; the sweep runner fills it in so one stats struct
+    /// carries the whole cache hierarchy.
+    pub disk_hits: usize,
     /// Requests that exceeded the step budget (not cached).
     pub budget_misses: usize,
 }
 
 impl CacheStats {
-    /// Total space requests served.
+    /// Total space requests served (disk hits are scenario-level, not
+    /// space-level, and are excluded).
     pub fn requests(&self) -> usize {
-        self.hits + self.builds + self.budget_misses
+        self.hits + self.builds + self.ladder_hits + self.budget_misses
+    }
+
+    /// Prefix-space expansions avoided entirely (pure hits plus ladder
+    /// extensions plus whole scenarios answered from disk).
+    pub fn avoided(&self) -> usize {
+        self.hits + self.ladder_hits + self.disk_hits
     }
 }
 
@@ -54,6 +71,7 @@ pub struct SpaceCache {
     failures: Mutex<HashMap<FailKey, enumerate::BudgetExceeded>>,
     hits: AtomicUsize,
     builds: AtomicUsize,
+    ladder_hits: AtomicUsize,
     budget_misses: AtomicUsize,
 }
 
@@ -63,11 +81,14 @@ impl SpaceCache {
         Self::default()
     }
 
-    /// Current counters.
+    /// Current counters (`disk_hits` is always zero here; see
+    /// [`CacheStats::disk_hits`]).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            ladder_hits: self.ladder_hits.load(Ordering::Relaxed),
+            disk_hits: 0,
             budget_misses: self.budget_misses.load(Ordering::Relaxed),
         }
     }
@@ -107,24 +128,82 @@ impl SpaceCache {
             self.budget_misses.fetch_add(1, Ordering::Relaxed);
             return Err(err.clone());
         }
-        // Build outside the locks: expansions dominate and must overlap
-        // across worker threads. Two workers racing on one key build twice;
-        // the loser's space is dropped (counted as a build either way, so
+        // Depth ladder: the deepest cached space for the same
+        // (fingerprint, domain) strictly below the requested depth is an
+        // exact ancestor — extend it up round-by-round instead of
+        // re-expanding from scratch. The per-round budget check of
+        // `Expansion::extend` counts the same quantity (runs at the next
+        // depth) as the from-scratch pre-count, so budget accounting is
+        // preserved.
+        let ancestor = {
+            let cached = self.spaces.lock().expect("cache lock poisoned");
+            (0..depth)
+                .rev()
+                .find_map(|d| cached.get(&(key.0, key.1.clone(), d)).map(Arc::clone))
+        };
+        // Build or ladder outside the locks: expansions dominate and must
+        // overlap across worker threads. Two workers racing on one key
+        // build twice; the loser's space is dropped (counted either way, so
         // the "constructions < scenarios" telemetry stays honest).
-        match PrefixSpace::build(ma, values, depth, max_runs) {
-            Ok(space) => {
-                self.builds.fetch_add(1, Ordering::Relaxed);
-                let space = Arc::new(space);
-                let mut cached = self.spaces.lock().expect("cache lock poisoned");
-                let entry = cached.entry(key).or_insert_with(|| Arc::clone(&space));
-                Ok((Arc::clone(entry), false))
+        // A ladder budget failure falls through to the from-scratch
+        // pre-count below: `extend` reports `needed` at per-run
+        // granularity, `expand` at per-sequence-level granularity, and
+        // which path a request takes depends on scheduling — so the
+        // *canonical* (from-scratch) error is the one recorded and
+        // memoized, keeping budget-exceeded JSONL rows deterministic. The
+        // pre-count aborts early and interns nothing, so the fallback is
+        // cheap.
+        let laddered =
+            ancestor.and_then(|base| self.ladder(base, ma, values, depth, max_runs).ok());
+        match laddered {
+            Some(space) => {
+                self.ladder_hits.fetch_add(1, Ordering::Relaxed);
+                Ok((space, false))
             }
-            Err(err) => {
-                self.budget_misses.fetch_add(1, Ordering::Relaxed);
-                self.failures.lock().expect("cache lock poisoned").insert(fail_key, err.clone());
-                Err(err)
-            }
+            None => match PrefixSpace::build(ma, values, depth, max_runs) {
+                Ok(space) => {
+                    self.builds.fetch_add(1, Ordering::Relaxed);
+                    let space = Arc::new(space);
+                    let mut cached = self.spaces.lock().expect("cache lock poisoned");
+                    let entry = cached.entry(key).or_insert_with(|| Arc::clone(&space));
+                    Ok((Arc::clone(entry), false))
+                }
+                Err(err) => {
+                    self.budget_misses.fetch_add(1, Ordering::Relaxed);
+                    self.failures
+                        .lock()
+                        .expect("cache lock poisoned")
+                        .insert(fail_key, err.clone());
+                    Err(err)
+                }
+            },
         }
+    }
+
+    /// Extend `base` up to `depth` one round at a time (the ladder leg of
+    /// a miss). `base` stays cached and intact throughout, and every rung
+    /// — intermediate depths included — is inserted into the cache, so a
+    /// later request for a shallower depth is a pure hit instead of a
+    /// repeat climb. If another worker already cached a rung, its copy
+    /// wins and the climb continues from the shared `Arc`.
+    fn ladder(
+        &self,
+        base: Arc<PrefixSpace>,
+        ma: &dyn MessageAdversary,
+        values: &[Value],
+        depth: usize,
+        max_runs: usize,
+    ) -> Result<Arc<PrefixSpace>, enumerate::BudgetExceeded> {
+        debug_assert!(base.depth() < depth);
+        let mut current = base;
+        while current.depth() < depth {
+            let next = Arc::new(current.extended_from(ma, max_runs)?);
+            let rung: Key = (ma.fingerprint(), values.to_vec(), next.depth());
+            let mut cached = self.spaces.lock().expect("cache lock poisoned");
+            let entry = cached.entry(rung).or_insert_with(|| Arc::clone(&next));
+            current = Arc::clone(entry);
+        }
+        Ok(current)
     }
 }
 
@@ -155,7 +234,7 @@ mod tests {
         assert!(!cached_a);
         assert!(cached_b);
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, builds: 1, budget_misses: 0 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, builds: 1, ..CacheStats::default() });
     }
 
     #[test]
@@ -181,7 +260,56 @@ mod tests {
         assert_eq!(d1.depth(), 1);
         assert_eq!(d2.depth(), 2);
         assert_eq!(t1.values().len(), 3);
-        assert_eq!(cache.stats().builds, 3);
+        // The depth-2 request ladders off the cached depth-1 space; the
+        // ternary domain is a separate key family and builds from scratch.
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 2);
+        assert_eq!(stats.ladder_hits, 1);
+    }
+
+    #[test]
+    fn miss_with_cached_ancestor_ladders_instead_of_rebuilding() {
+        let cache = SpaceCache::new();
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        cache.space_with_meta(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        assert_eq!(cache.stats(), CacheStats { builds: 1, ..CacheStats::default() });
+        // Depth 3 has a depth-2 ancestor: one ladder extension, no build.
+        let (s3, cached) = cache.space_with_meta(&ma, &[0, 1], 3, 1_000_000).unwrap();
+        assert!(!cached);
+        assert_eq!(s3.depth(), 3);
+        let stats = cache.stats();
+        assert_eq!((stats.builds, stats.ladder_hits), (1, 1));
+        // The laddered space is exact: identical stats to a scratch build.
+        let direct = PrefixSpace::build(&ma, &[0, 1], 3, 1_000_000).unwrap();
+        assert_eq!(s3.stats(), direct.stats());
+        // Depth 5 ladders two rounds off the cached depth 3 — still one
+        // ladder hit, and the ancestor entry survives.
+        let (s5, _) = cache.space_with_meta(&ma, &[0, 1], 5, 10_000_000).unwrap();
+        assert_eq!(s5.depth(), 5);
+        let stats = cache.stats();
+        assert_eq!((stats.builds, stats.ladder_hits), (1, 2));
+        let (again, cached) = cache.space_with_meta(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        assert!(cached);
+        assert_eq!(again.depth(), 2);
+    }
+
+    #[test]
+    fn ladder_budget_failure_memoized_and_ancestor_kept() {
+        let cache = SpaceCache::new();
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let (base, _) = cache.space_with_meta(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let runs_before = base.runs().len();
+        // A depth-4 ladder overruns a tiny budget: budget miss, memoized.
+        assert!(cache.space_with_meta(&ma, &[0, 1], 4, 50).is_err());
+        assert!(cache.space_with_meta(&ma, &[0, 1], 4, 50).is_err());
+        let stats = cache.stats();
+        assert_eq!(stats.budget_misses, 2);
+        assert_eq!(stats.ladder_hits, 0);
+        assert_eq!(stats.builds, 1);
+        // The cached ancestor is untouched and still serves hits.
+        let (b2, cached) = cache.space_with_meta(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        assert!(cached);
+        assert_eq!(b2.runs().len(), runs_before);
     }
 
     #[test]

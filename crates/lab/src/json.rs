@@ -56,6 +56,12 @@ impl Value {
         }
     }
 
+    /// The value under `key` as a `usize` — the common shape of the
+    /// store/persist/meta parsers.
+    pub fn get_usize(&self, key: &str) -> Option<usize> {
+        usize::try_from(self.get(key)?.as_i64()?).ok()
+    }
+
     /// The boolean payload.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

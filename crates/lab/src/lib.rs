@@ -19,7 +19,15 @@
 //!   [`consensus_core::solvability::SpaceSource`], so solvability,
 //!   bivalence, broadcastability, component-stats, and simulator checks on
 //!   the same cell all pay for **one** expansion (paper operations:
-//!   Definition 6.2's ε-approximation is the shared object);
+//!   Definition 6.2's ε-approximation is the shared object). Misses with a
+//!   cached shallower space for the same *(fingerprint, domain)* are
+//!   served by the **depth ladder** — one-round
+//!   [`consensus_core::PrefixSpace::extended_from`] extensions instead of
+//!   a from-scratch re-expansion;
+//! * [`persist`] — the on-disk [`persist::DiskCache`]: deterministic
+//!   verdicts (plus compact space digests) journaled to a salted cache
+//!   directory, so a second sweep in a *new process* answers warm
+//!   scenarios with zero expansions;
 //! * [`store`] — the serde-style result store: order-stable JSONL records
 //!   plus a CSV summary, with wall-time and state-space telemetry;
 //! * [`report`] — aggregation over stored results;
@@ -51,12 +59,14 @@
 
 pub mod cache;
 pub mod json;
+pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod store;
 
 pub use cache::SpaceCache;
+pub use persist::DiskCache;
 pub use runner::{SweepReport, SweepRunner};
-pub use scenario::{AdversarySpec, AnalysisKind, GridBuilder, Scenario};
+pub use scenario::{AdversarySpec, AnalysisKind, GridBuilder, Scenario, Shard};
 pub use store::{ResultStore, ScenarioRecord};

@@ -9,15 +9,19 @@
 //! consensus-lab report --input lab-results/results.jsonl
 //! ```
 
-use std::path::PathBuf;
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
 use consensus_lab::cache::SpaceCache;
-use consensus_lab::report::Aggregate;
-use consensus_lab::runner::{execute_scenario, SweepRunner};
-use consensus_lab::scenario::{AdversarySpec, AnalysisKind, GridBuilder, Scenario};
-use consensus_lab::store::parse_jsonl;
+use consensus_lab::persist::DiskCache;
+use consensus_lab::report::{Aggregate, SweepMeta, SWEEP_META_FILE};
+use consensus_lab::runner::{execute_scenario, solvability_matches, SweepRunner};
+use consensus_lab::scenario::{AdversarySpec, AnalysisKind, GridBuilder, Scenario, Shard};
+use consensus_lab::store::{
+    parse_jsonl, parse_records, ResultStore, ScenarioRecord, TIMING_FIELDS,
+};
 
 const USAGE: &str = "\
 consensus-lab — batch experiments over message adversaries (PODC'19 Nowak–Schmid–Winkler)
@@ -32,11 +36,34 @@ USAGE:
 
     consensus-lab sweep --catalog [--max-depth D] [--analyses K1,K2] [--budget RUNS]
                         [--threads N] [--out DIR] [--repeat N] [--time-limit-ms MS]
+                        [--shard I/N] [--resume DIR] [--cache-dir DIR]
+                        [--strict] [--assert-warm]
         Run the scenario grid over the catalog in parallel; write
-        DIR/results.jsonl and DIR/summary.csv (default DIR: lab-results).
+        DIR/results.jsonl, DIR/summary.csv, and DIR/sweep-meta.json
+        (default DIR: lab-results).
+          --shard I/N      run only this deterministic slice of the grid
+                           (records keep their global indices for `merge`)
+          --resume DIR     skip scenarios already in DIR/results.jsonl and
+                           write the completed set back to DIR
+          --cache-dir DIR  persist verdicts across processes; a warm cache
+                           answers repeat scenarios with zero expansions
+          --strict         exit nonzero if any verdict contradicts the
+                           catalog's pinned ground truth, or fails to
+                           confirm it conclusively at the deepest depth
+          --assert-warm    exit nonzero if any full prefix-space expansion
+                           was needed (CI warm-cache regression check)
+
+    consensus-lab merge --inputs A.jsonl,B.jsonl[,...] --out DIR
+        Merge shard result files (by global grid index) into
+        DIR/results.jsonl + DIR/summary.csv, byte-identical to the
+        unsharded sweep's files; sums sweep-meta sidecars when present.
+
+    consensus-lab diff --a X.jsonl --b Y.jsonl
+        Compare two result files modulo timing fields; exit 1 on drift.
 
     consensus-lab report --input FILE.jsonl
-        Aggregate a stored result file.
+        Aggregate a stored result file (plus its sweep-meta sidecar's
+        cache counters, when present).
 
 ANALYSES: solvability, bivalence, broadcastability, component-stats, sim-check
 ";
@@ -47,6 +74,8 @@ fn main() -> ExitCode {
         Some("catalog") => cmd_catalog(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -241,8 +270,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
     let stats = cache.stats();
     eprintln!(
-        "[cache] constructions: {}, hits: {}, budget misses: {}",
-        stats.builds, stats.hits, stats.budget_misses
+        "[cache] constructions: {}, hits: {}, ladder extensions: {}, budget misses: {}",
+        stats.builds, stats.hits, stats.ladder_hits, stats.budget_misses
     );
     if errored {
         ExitCode::FAILURE
@@ -265,6 +294,11 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         "out",
         "repeat",
         "time-limit-ms",
+        "shard",
+        "resume",
+        "cache-dir",
+        "strict",
+        "assert-warm",
     ]) {
         return fail(&e);
     }
@@ -287,7 +321,34 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         Ok(r) => r.max(1),
         Err(e) => return fail(&e),
     };
-    let out = PathBuf::from(flags.get("out").unwrap_or("lab-results"));
+    let shard = match flags.get("shard") {
+        None if flags.has("shard") => return fail("--shard expects I/N (e.g. --shard 0/2)"),
+        None => None,
+        Some(spec) => match Shard::parse(spec) {
+            Ok(s) => Some(s),
+            Err(e) => return fail(&e),
+        },
+    };
+    let resume = match flags.get("resume") {
+        None if flags.has("resume") => return fail("--resume expects a directory"),
+        other => other.map(PathBuf::from),
+    };
+    if resume.is_some() && flags.has("out") {
+        return fail(
+            "--resume and --out are mutually exclusive (--resume writes back into its directory)",
+        );
+    }
+    let out = resume
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(flags.get("out").unwrap_or("lab-results")));
+    let disk = match flags.get("cache-dir") {
+        None if flags.has("cache-dir") => return fail("--cache-dir expects a directory"),
+        None => None,
+        Some(dir) => match DiskCache::open(dir) {
+            Ok(cache) => Some(cache),
+            Err(e) => return fail(&format!("opening cache dir {dir}: {e}")),
+        },
+    };
     let mut builder = GridBuilder::new(max_depth, budget);
     if let Some(list) = flags.get("analyses") {
         let kinds: Result<Vec<AnalysisKind>, String> = list
@@ -302,6 +363,107 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         }
     }
     let grid = builder.over_catalog();
+    let indexed: Vec<(usize, Scenario)> = grid.into_iter().enumerate().collect();
+    let selected = match shard {
+        Some(shard) => {
+            let slice = shard.select(&indexed);
+            emit(format_args!("[shard {shard}] {} of {} scenarios", slice.len(), indexed.len()));
+            slice
+        }
+        None => indexed.clone(),
+    };
+
+    let scenario_identity =
+        |s: &Scenario| -> (String, usize, AnalysisKind) { (s.spec.label(), s.depth, s.analysis) };
+    let grid_by_identity: HashMap<(String, usize, AnalysisKind), usize> =
+        indexed.iter().map(|(i, s)| (scenario_identity(s), *i)).collect();
+
+    // Resume: scenarios already completed in the output file are not
+    // re-executed; their stored records are revalidated and spliced back
+    // into the final grid order. A stored record counts as *done* only if
+    // it is budget/limit-independent (mirroring what the disk cache will
+    // journal) AND its fingerprint still matches the adversary the current
+    // binary builds for that cell — `expected`/`matches_expected` are then
+    // re-derived against the current catalog, so a stale results file can
+    // never mask ground-truth drift under `--resume --strict`. Records
+    // failing those tests land in `leftover`: re-executed when selected,
+    // but preserved verbatim when this run's shard does not cover them, so
+    // shard-wise resumes accumulate without losing grid cells.
+    let mut done: HashMap<(String, usize, AnalysisKind), ScenarioRecord> = HashMap::new();
+    let mut leftover: HashMap<(String, usize, AnalysisKind), ScenarioRecord> = HashMap::new();
+    if resume.is_some() {
+        let path = out.join("results.jsonl");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match parse_records(&text) {
+                Ok(records) => {
+                    let mut unknown = 0usize;
+                    let total = records.len();
+                    for mut r in records {
+                        let identity = r.identity();
+                        let Some(&index) = grid_by_identity.get(&identity) else {
+                            unknown += 1;
+                            continue;
+                        };
+                        let scenario = &indexed[index].1;
+                        if !consensus_lab::persist::persistable(&r) {
+                            leftover.insert(identity, r);
+                            continue;
+                        }
+                        match scenario.spec.build() {
+                            Ok(ma) if ma.fingerprint() == r.fingerprint => {
+                                r.expected = scenario.spec.expected();
+                                r.matches_expected = None;
+                                if scenario.analysis == AnalysisKind::Solvability {
+                                    if let Some(expected) = r.expected {
+                                        r.matches_expected =
+                                            solvability_matches(expected, &r.outcome, r.budget_hit);
+                                    }
+                                }
+                                done.insert(identity, r);
+                            }
+                            // Stale structure (or no longer buildable):
+                            // recompute when selected.
+                            _ => {
+                                leftover.insert(identity, r);
+                            }
+                        }
+                    }
+                    if unknown > 0 {
+                        // Rewriting would destroy completed work the
+                        // current grid cannot re-create (e.g. depth-4
+                        // records under a --max-depth 3 resume). Refuse
+                        // rather than lose data.
+                        return fail(&format!(
+                            "{} of {total} record(s) in {} fall outside the current grid \
+                             (different --max-depth or --analyses than the original run?); \
+                             refusing to rewrite and lose them — rerun with matching grid \
+                             flags or a fresh --out",
+                            unknown,
+                            path.display()
+                        ));
+                    }
+                    emit(format_args!(
+                        "[resume] {} scenario(s) done in {}, {} to re-execute when selected \
+                         (contingent or stale)",
+                        done.len(),
+                        path.display(),
+                        leftover.len()
+                    ));
+                }
+                Err((line, e)) => return fail(&format!("{}:{line}: {e}", path.display())),
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                emit(format_args!("[resume] no prior results at {}", path.display()));
+            }
+            Err(e) => return fail(&format!("reading {}: {e}", path.display())),
+        }
+    }
+    let pending: Vec<(usize, Scenario)> = selected
+        .iter()
+        .filter(|(_, s)| !done.contains_key(&scenario_identity(s)))
+        .cloned()
+        .collect();
+
     let mut runner = SweepRunner::new();
     if threads > 0 {
         runner = runner.threads(threads);
@@ -318,24 +480,232 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     let cache = SpaceCache::new();
     let mut last = None;
     for pass in 1..=repeat {
-        let report = runner.run(&grid, &cache);
+        let report = runner.run_indexed(&pending, &cache, disk.as_ref());
         emit(format_args!("[pass {pass}/{repeat}] {}", report.summary()));
         last = Some(report);
     }
     let report = last.expect("repeat >= 1");
-    match report.store.write_files(&out) {
+
+    // Final record set: resumed records (re-anchored to current grid
+    // indices) plus this run's, in global grid order. Resumed records are
+    // spliced against the *whole* grid, not just the current selection, so
+    // successive `--resume --shard i/n` runs into one directory accumulate
+    // rather than overwrite each other's completed shards. Splice priority
+    // per cell: freshly executed > done > leftover (a leftover in a
+    // selected cell was just re-executed and is overridden below).
+    let mut by_index: BTreeMap<usize, ScenarioRecord> = BTreeMap::new();
+    // Cells carried over from `leftover` were neither executed nor
+    // revalidated this run: their stored flags are preserved verbatim in
+    // the rewrite but must not decide this run's --strict gates.
+    let mut unvalidated: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    for (index, scenario) in &indexed {
+        let identity = scenario_identity(scenario);
+        if let Some(mut record) = done.remove(&identity) {
+            record.index = *index;
+            by_index.insert(*index, record);
+        } else if let Some(mut record) = leftover.remove(&identity) {
+            record.index = *index;
+            unvalidated.insert(*index);
+            by_index.insert(*index, record);
+        }
+    }
+    for record in report.store.records() {
+        unvalidated.remove(&record.index);
+        by_index.insert(record.index, record.clone());
+    }
+    let records: Vec<ScenarioRecord> = by_index.into_values().collect();
+    let mismatched: Vec<String> = records
+        .iter()
+        .filter(|r| !unvalidated.contains(&r.index) && r.matches_expected == Some(false))
+        .map(|r| format!("{}@{} → {}", r.adversary, r.depth, r.outcome.verdict))
+        .collect();
+    // The gate's second jaw: at the sweep's deepest resolution every
+    // pinned catalog entry must *confirm* its ground truth, not merely
+    // avoid contradicting it — a regression degrading a decided verdict to
+    // `undecided` (or a budget-starved run) is drift too.
+    let inconclusive: Vec<String> = records
+        .iter()
+        .filter(|r| {
+            !unvalidated.contains(&r.index)
+                && r.analysis == AnalysisKind::Solvability
+                && r.depth == max_depth
+                && r.expected.is_some()
+                && r.matches_expected.is_none()
+        })
+        .map(|r| format!("{}@{} → {}", r.adversary, r.depth, r.outcome.verdict))
+        .collect();
+    // The sidecar describes the result set being written (so a warm or
+    // resumed run still reports the full record count) plus this run's
+    // cache counters.
+    let scenario_count = records.len();
+    let store = ResultStore::new(records);
+    let meta =
+        SweepMeta { scenarios: scenario_count, threads: report.threads, cache: report.cache };
+
+    match store.write_files(&out) {
         Ok((jsonl, csv)) => {
-            emit(format_args!("wrote {} and {}", jsonl.display(), csv.display()));
-            for mismatch in report.mismatches() {
-                eprintln!(
-                    "ground-truth mismatch: {}@{} → {}",
-                    mismatch.adversary, mismatch.depth, mismatch.outcome.verdict
-                );
+            let meta_path = out.join(SWEEP_META_FILE);
+            if let Err(e) = std::fs::write(&meta_path, format!("{}\n", meta.to_json())) {
+                return fail(&format!("writing {}: {e}", meta_path.display()));
+            }
+            emit(format_args!(
+                "wrote {}, {}, and {}",
+                jsonl.display(),
+                csv.display(),
+                meta_path.display()
+            ));
+            for mismatch in &mismatched {
+                eprintln!("ground-truth mismatch: {mismatch}");
+            }
+            if flags.has("strict") && !mismatched.is_empty() {
+                return fail(&format!(
+                    "--strict: {} verdict(s) drifted from the catalog's pinned ground truth",
+                    mismatched.len()
+                ));
+            }
+            if flags.has("strict") && !inconclusive.is_empty() {
+                for entry in &inconclusive {
+                    eprintln!("inconclusive at max depth: {entry}");
+                }
+                return fail(&format!(
+                    "--strict: {} pinned catalog verdict(s) failed to resolve conclusively \
+                     at depth {max_depth}",
+                    inconclusive.len()
+                ));
+            }
+            if flags.has("assert-warm") && report.cache.builds > 0 {
+                return fail(&format!(
+                    "--assert-warm: {} full prefix-space expansion(s) on a supposedly warm cache",
+                    report.cache.builds
+                ));
             }
             ExitCode::SUCCESS
         }
         Err(e) => fail(&format!("writing results to {}: {e}", out.display())),
     }
+}
+
+fn cmd_merge(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = flags.reject_unknown(&["inputs", "out"]) {
+        return fail(&e);
+    }
+    let Some(inputs) = flags.get("inputs") else {
+        return fail("merge needs --inputs A.jsonl,B.jsonl[,...]");
+    };
+    let Some(out) = flags.get("out") else {
+        return fail("merge needs --out DIR");
+    };
+    let out = PathBuf::from(out);
+    let mut records: Vec<ScenarioRecord> = Vec::new();
+    let mut metas: Vec<SweepMeta> = Vec::new();
+    let mut metas_complete = true;
+    for input in inputs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let text = match std::fs::read_to_string(input) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("reading {input}: {e}")),
+        };
+        match parse_records(&text) {
+            Ok(mut shard) => records.append(&mut shard),
+            Err((line, e)) => return fail(&format!("{input}:{line}: {e}")),
+        }
+        match read_sweep_meta(Path::new(input)) {
+            Some(meta) => metas.push(meta),
+            None => metas_complete = false,
+        }
+    }
+    records.sort_by_key(|r| r.index);
+    for (position, record) in records.iter().enumerate() {
+        if record.index != position {
+            return fail(&format!(
+                "shard union is not the whole grid: {} at sorted position {position} \
+                 (duplicate or missing shard?)",
+                record.index
+            ));
+        }
+    }
+    let count = records.len();
+    match ResultStore::new(records).write_files(&out) {
+        Ok((jsonl, csv)) => {
+            emit(format_args!(
+                "merged {count} records into {} and {}",
+                jsonl.display(),
+                csv.display()
+            ));
+            if metas_complete && !metas.is_empty() {
+                let meta = SweepMeta::merged(&metas);
+                let meta_path = out.join(SWEEP_META_FILE);
+                if let Err(e) = std::fs::write(&meta_path, format!("{}\n", meta.to_json())) {
+                    return fail(&format!("writing {}: {e}", meta_path.display()));
+                }
+                emit(format_args!(
+                    "summed {} sweep-meta sidecars into {}",
+                    metas.len(),
+                    meta_path.display()
+                ));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("writing merged results to {}: {e}", out.display())),
+    }
+}
+
+/// The sweep-meta sidecar next to a results file, if present and parseable.
+fn read_sweep_meta(results: &Path) -> Option<SweepMeta> {
+    let path = results.parent()?.join(SWEEP_META_FILE);
+    let text = std::fs::read_to_string(path).ok()?;
+    SweepMeta::from_json(&consensus_lab::json::parse(&text).ok()?)
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = flags.reject_unknown(&["a", "b"]) {
+        return fail(&e);
+    }
+    let (Some(path_a), Some(path_b)) = (flags.get("a"), flags.get("b")) else {
+        return fail("diff needs --a X.jsonl --b Y.jsonl");
+    };
+    let load = |path: &str| -> Result<Vec<String>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        parse_jsonl(&text)
+            .map_err(|(line, e)| format!("{path}:{line}: {e}"))
+            .map(|values| {
+                values.iter().map(|v| v.without_keys(TIMING_FIELDS).to_string()).collect()
+            })
+    };
+    let a = match load(path_a) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let b = match load(path_b) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if a.len() != b.len() {
+        return fail(&format!(
+            "record counts differ: {} has {}, {} has {}",
+            path_a,
+            a.len(),
+            path_b,
+            b.len()
+        ));
+    }
+    for (i, (la, lb)) in a.iter().zip(&b).enumerate() {
+        if la != lb {
+            eprintln!("record {i} differs (modulo timing fields):");
+            eprintln!("  a: {la}");
+            eprintln!("  b: {lb}");
+            return fail(&format!("{path_a} and {path_b} disagree at record {i}"));
+        }
+    }
+    emit(format_args!("identical modulo timing fields ({} records)", a.len()));
+    ExitCode::SUCCESS
 }
 
 fn cmd_report(args: &[String]) -> ExitCode {
@@ -356,6 +726,12 @@ fn cmd_report(args: &[String]) -> ExitCode {
     match parse_jsonl(&text) {
         Ok(records) => {
             emit(format_args!("{}", Aggregate::from_records(&records)));
+            // Engine telemetry rides in the sweep-meta sidecar: surface the
+            // cache counters (ladder/disk hits, budget misses) that the
+            // per-record JSONL cannot carry.
+            if let Some(meta) = read_sweep_meta(Path::new(input)) {
+                emit(format_args!("{meta}"));
+            }
             ExitCode::SUCCESS
         }
         Err((line, e)) => fail(&format!("{input}:{line}: {e}")),

@@ -1,9 +1,97 @@
-//! Aggregation over stored result files (the `report` CLI subcommand).
+//! Aggregation over stored result files (the `report` CLI subcommand),
+//! plus the sweep-metadata sidecar that carries engine telemetry — cache
+//! counters in particular — alongside the per-record JSONL.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::cache::CacheStats;
 use crate::json::Value;
+
+/// File name of the engine-telemetry sidecar a sweep writes next to
+/// `results.jsonl`.
+pub const SWEEP_META_FILE: &str = "sweep-meta.json";
+
+/// Engine telemetry of one sweep (or the sum over merged shards): what the
+/// records themselves cannot carry — how the cache hierarchy performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepMeta {
+    /// Scenario records in the accompanying results file (a warm or
+    /// resumed run reports the full set, not just what it re-executed).
+    pub scenarios: usize,
+    /// Worker threads used (maximum over merged shards).
+    pub threads: usize,
+    /// Space/disk cache counters accumulated over the sweep.
+    pub cache: CacheStats,
+}
+
+impl SweepMeta {
+    /// The order-stable JSON form written to [`SWEEP_META_FILE`].
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("scenarios".into(), Value::Int(self.scenarios as i64)),
+            ("threads".into(), Value::Int(self.threads as i64)),
+            (
+                "cache".into(),
+                Value::Obj(vec![
+                    ("builds".into(), Value::Int(self.cache.builds as i64)),
+                    ("hits".into(), Value::Int(self.cache.hits as i64)),
+                    ("ladder_hits".into(), Value::Int(self.cache.ladder_hits as i64)),
+                    ("disk_hits".into(), Value::Int(self.cache.disk_hits as i64)),
+                    ("budget_misses".into(), Value::Int(self.cache.budget_misses as i64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parse the JSON form back; `None` if any field is missing/ill-typed.
+    pub fn from_json(v: &Value) -> Option<SweepMeta> {
+        let cache = v.get("cache")?;
+        Some(SweepMeta {
+            scenarios: v.get_usize("scenarios")?,
+            threads: v.get_usize("threads")?,
+            cache: CacheStats {
+                builds: cache.get_usize("builds")?,
+                hits: cache.get_usize("hits")?,
+                ladder_hits: cache.get_usize("ladder_hits")?,
+                disk_hits: cache.get_usize("disk_hits")?,
+                budget_misses: cache.get_usize("budget_misses")?,
+            },
+        })
+    }
+
+    /// Combine shard sidecars: counters sum, thread counts take the max.
+    pub fn merged(metas: &[SweepMeta]) -> SweepMeta {
+        let mut out = SweepMeta::default();
+        for m in metas {
+            out.scenarios += m.scenarios;
+            out.threads = out.threads.max(m.threads);
+            out.cache.builds += m.cache.builds;
+            out.cache.hits += m.cache.hits;
+            out.cache.ladder_hits += m.cache.ladder_hits;
+            out.cache.disk_hits += m.cache.disk_hits;
+            out.cache.budget_misses += m.cache.budget_misses;
+        }
+        out
+    }
+}
+
+impl fmt::Display for SweepMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "engine: {} scenarios on {} threads; space cache: {} builds, {} hits, \
+             {} ladder extensions, {} budget misses; disk cache: {} hits",
+            self.scenarios,
+            self.threads,
+            self.cache.builds,
+            self.cache.hits,
+            self.cache.ladder_hits,
+            self.cache.budget_misses,
+            self.cache.disk_hits,
+        )
+    }
+}
 
 /// Aggregated view of a JSONL result file.
 #[derive(Debug, Default, PartialEq)]
@@ -97,6 +185,35 @@ mod tests {
         r#"{"adversary":"b","depth":2,"analysis":"bivalence","verdict":"mixed","cached_space":true,"budget_hit":false,"wall_ms":0.5}"#,
         "\n",
     );
+
+    #[test]
+    fn sweep_meta_roundtrips_and_merges() {
+        let a = SweepMeta {
+            scenarios: 60,
+            threads: 4,
+            cache: CacheStats {
+                hits: 40,
+                builds: 5,
+                ladder_hits: 10,
+                disk_hits: 3,
+                budget_misses: 2,
+            },
+        };
+        let back =
+            SweepMeta::from_json(&crate::json::parse(&a.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, a);
+        let b = SweepMeta { scenarios: 61, threads: 8, ..a };
+        let merged = SweepMeta::merged(&[a, b]);
+        assert_eq!(merged.scenarios, 121);
+        assert_eq!(merged.threads, 8);
+        assert_eq!(merged.cache.ladder_hits, 20);
+        assert_eq!(merged.cache.disk_hits, 6);
+        let text = a.to_string();
+        assert!(text.contains("10 ladder extensions"));
+        assert!(text.contains("2 budget misses"));
+        assert!(text.contains("disk cache: 3 hits"));
+        assert!(SweepMeta::from_json(&Value::Null).is_none());
+    }
 
     #[test]
     fn aggregates_counts_and_mismatches() {

@@ -24,6 +24,7 @@ use simulator::checker;
 
 use crate::cache::{CacheStats, SpaceCache};
 use crate::json::Value as Json;
+use crate::persist::{persistable, DiskCache, DiskEntry};
 use crate::scenario::{AnalysisKind, Scenario};
 use crate::store::{Outcome, ResultStore, ScenarioRecord};
 
@@ -71,12 +72,15 @@ impl SweepReport {
         let stats = self.cache;
         format!(
             "{} scenarios on {} threads in {:.2?}; prefix-space constructions: {} \
-             (cache hits: {}, budget misses: {}); ground-truth mismatches: {}",
+             (cache hits: {}, ladder extensions: {}, disk hits: {}, budget misses: {}); \
+             ground-truth mismatches: {}",
             self.scenarios,
             self.threads,
             self.wall,
             stats.builds,
             stats.hits,
+            stats.ladder_hits,
+            stats.disk_hits,
             stats.budget_misses,
             self.mismatches().len(),
         )
@@ -114,19 +118,36 @@ impl SweepRunner {
     /// Execute `scenarios` against the shared `cache`; results come back in
     /// grid order regardless of scheduling.
     pub fn run(&self, scenarios: &[Scenario], cache: &SpaceCache) -> SweepReport {
+        let entries: Vec<(usize, Scenario)> = scenarios.iter().cloned().enumerate().collect();
+        self.run_indexed(&entries, cache, None)
+    }
+
+    /// Execute explicitly indexed scenarios — the shard/resume entry point:
+    /// each `(index, scenario)` pair carries its *global grid index*, so
+    /// records from partial runs (a shard of the grid, or the not-yet-done
+    /// remainder of a resumed sweep) land with the indices the merged
+    /// report needs. Outcomes are additionally answered from / journaled to
+    /// `disk` when one is given.
+    pub fn run_indexed(
+        &self,
+        entries: &[(usize, Scenario)],
+        cache: &SpaceCache,
+        disk: Option<&DiskCache>,
+    ) -> SweepReport {
         let start = Instant::now();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<ScenarioRecord>>> =
-            scenarios.iter().map(|_| Mutex::new(None)).collect();
+            entries.iter().map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(scenarios.len().max(1)) {
+            for _ in 0..self.threads.min(entries.len().max(1)) {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(scenario) = scenarios.get(i) else {
+                    let Some((index, scenario)) = entries.get(i) else {
                         break;
                     };
-                    let record = execute_scenario(i, scenario, cache, self.time_limit);
+                    let record =
+                        execute_scenario_with(*index, scenario, cache, disk, self.time_limit);
                     *slots[i].lock().expect("slot lock poisoned") = Some(record);
                 });
             }
@@ -140,13 +161,57 @@ impl SweepRunner {
                     .expect("every index was claimed by a worker")
             })
             .collect();
+        let mut stats = cache.stats();
+        if let Some(disk) = disk {
+            stats.disk_hits = disk.hits();
+        }
         SweepReport {
             store: ResultStore::new(records),
-            cache: cache.stats(),
-            scenarios: scenarios.len(),
+            cache: stats,
+            scenarios: entries.len(),
             threads: self.threads,
             wall: start.elapsed(),
         }
+    }
+}
+
+/// Whether a solvability `outcome` agrees with the catalog's pinned ground
+/// truth `expected`. Three-valued: `expected` pins the verdict at
+/// *sufficient* depth, so an `undecided` at a shallow depth does not
+/// contradict an eventually-solvable (or exactly-unsolvable) entry — only
+/// a verdict of the opposite certainty does, and the flag is `None`
+/// (inconclusive) there. Likewise an `undecided` that carries no evidence
+/// (budget-starved, no mixing observed) confirms nothing for an
+/// expected-mixed entry.
+///
+/// Works on the serialized outcome rather than the checker's `Verdict` so
+/// the disk-cache path can re-derive the flag against the *current*
+/// catalog at lookup time (journaled records must not freeze a stale
+/// ground truth past a catalog change).
+pub fn solvability_matches(
+    expected: adversary::catalog::ExpectedOutcome,
+    outcome: &Outcome,
+    budget_hit: bool,
+) -> Option<bool> {
+    match (expected, outcome.verdict.as_str()) {
+        (Some(true), "solvable") | (Some(false), "unsolvable") => Some(true),
+        (Some(true), "unsolvable") | (Some(false), "solvable") => Some(false),
+        (Some(_), "undecided") => None,
+        (None, "undecided") => {
+            let mixed = outcome
+                .details
+                .iter()
+                .find(|(k, _)| k == "mixed_components")
+                .and_then(|(_, v)| v.as_i64());
+            if budget_hit || mixed == Some(0) {
+                None
+            } else {
+                Some(true)
+            }
+        }
+        (None, "solvable" | "unsolvable") => Some(false),
+        // Not a solvability verdict tag: nothing to compare.
+        _ => None,
     }
 }
 
@@ -155,6 +220,20 @@ pub fn execute_scenario(
     index: usize,
     scenario: &Scenario,
     cache: &SpaceCache,
+    time_limit: Option<Duration>,
+) -> ScenarioRecord {
+    execute_scenario_with(index, scenario, cache, None, time_limit)
+}
+
+/// [`execute_scenario`] with an optional persistent verdict cache: a
+/// journaled outcome for this `(fingerprint, domain, depth, analysis)`
+/// cell is returned without touching a prefix space, and freshly computed
+/// budget-independent outcomes are journaled for the next process.
+pub fn execute_scenario_with(
+    index: usize,
+    scenario: &Scenario,
+    cache: &SpaceCache,
+    disk: Option<&DiskCache>,
     time_limit: Option<Duration>,
 ) -> ScenarioRecord {
     let start = Instant::now();
@@ -199,6 +278,24 @@ pub fn execute_scenario(
         wall_ms: 0.0,
     };
 
+    if let Some(disk) = disk {
+        if let Some(entry) =
+            disk.lookup(record.fingerprint, SWEEP_VALUES, scenario.depth, scenario.analysis)
+        {
+            record.outcome = entry.outcome;
+            record.space = entry.space;
+            record.cached_space = entry.space.map(|_| true);
+            if scenario.analysis == AnalysisKind::Solvability {
+                if let Some(expected) = record.expected {
+                    // Journaled entries are never budget-contingent.
+                    record.matches_expected = solvability_matches(expected, &record.outcome, false);
+                }
+            }
+            record.wall_ms = ms(start.elapsed());
+            return record;
+        }
+    }
+
     match scenario.analysis {
         AnalysisKind::Solvability => {
             let checker = SolvabilityChecker::new(ma)
@@ -208,29 +305,8 @@ pub fn execute_scenario(
             record.outcome = solvability_outcome(&verdict);
             record.budget_hit = matches!(&verdict, Verdict::Undecided(rep) if rep.budget_hit);
             if let Some(expected) = record.expected {
-                // `expected` pins the verdict at *sufficient* depth. An
-                // Undecided at a shallow depth does not contradict an
-                // eventually-solvable (or exactly-unsolvable) entry — only a
-                // verdict of the opposite certainty does, so the flag is
-                // absent (inconclusive) rather than false there. Likewise an
-                // Undecided that carries no evidence (budget-starved, no
-                // mixing observed) confirms nothing for an expected-mixed
-                // entry.
-                record.matches_expected = match (expected, &verdict) {
-                    (Some(true), Verdict::Solvable(_)) => Some(true),
-                    (Some(true), Verdict::Unsolvable(_)) => Some(false),
-                    (Some(false), Verdict::Unsolvable(_)) => Some(true),
-                    (Some(false), Verdict::Solvable(_)) => Some(false),
-                    (Some(_), Verdict::Undecided(_)) => None,
-                    (None, Verdict::Undecided(rep)) => {
-                        if rep.budget_hit || rep.mixed_components == 0 {
-                            None
-                        } else {
-                            Some(true)
-                        }
-                    }
-                    (None, _) => Some(false),
-                };
+                record.matches_expected =
+                    solvability_matches(expected, &record.outcome, record.budget_hit);
             }
         }
         space_analysis => {
@@ -258,10 +334,23 @@ pub fn execute_scenario(
     let elapsed = start.elapsed();
     if let Some(limit) = time_limit {
         if elapsed > limit {
-            record.outcome.details.push(("timed_out", Json::Bool(true)));
+            record.outcome.details.push(("timed_out".into(), Json::Bool(true)));
         }
     }
     record.wall_ms = ms(elapsed);
+    if let Some(disk) = disk {
+        if persistable(&record) {
+            // Best-effort: a full cache disk or permission error degrades
+            // to a cold cache, never fails the sweep.
+            let _ = disk.store(
+                record.fingerprint,
+                SWEEP_VALUES,
+                scenario.depth,
+                scenario.analysis,
+                DiskEntry { outcome: record.outcome.clone(), space: record.space },
+            );
+        }
+    }
     record
 }
 

@@ -11,7 +11,7 @@ use adversary::{catalog, DynMA, GeneralMA};
 use dyngraph::Digraph;
 
 /// Which analysis to run on the scenario's `(adversary, depth)` cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AnalysisKind {
     /// The three-valued solvability checker (§5.1 meta-procedure; sweeps
     /// depths `0..=depth` internally).
@@ -171,6 +171,56 @@ impl Scenario {
     }
 }
 
+/// A deterministic `i/n` partition of the scenario grid, so one sweep fans
+/// out across CI jobs or machines. Assignment is round-robin on the global
+/// grid index (`index % count == shard.index`), which balances depths and
+/// analyses across shards; the selected entries keep their global indices,
+/// so shard outputs merge back into the unsharded report exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's position, `0 ≤ index < count`.
+    pub index: usize,
+    /// Total number of shards, ≥ 1.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parse the CLI form `"i/n"`.
+    ///
+    /// # Errors
+    /// Rejects malformed input, `n = 0`, and `i ≥ n`.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec {s:?} is not of the form i/n"))?;
+        let index: usize = i.trim().parse().map_err(|_| format!("bad shard index in {s:?}"))?;
+        let count: usize = n.trim().parse().map_err(|_| format!("bad shard count in {s:?}"))?;
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range for {count} shards"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns global grid index `index`.
+    pub fn selects(&self, index: usize) -> bool {
+        index % self.count == self.index
+    }
+
+    /// This shard's slice of an indexed grid.
+    pub fn select<T: Clone>(&self, entries: &[(usize, T)]) -> Vec<(usize, T)> {
+        entries.iter().filter(|(i, _)| self.selects(*i)).cloned().collect()
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
 /// Deterministic scenario grids.
 #[derive(Debug, Clone)]
 pub struct GridBuilder {
@@ -283,6 +333,28 @@ mod tests {
         assert_eq!(grid[0].depth, 1);
         assert_eq!(grid[0].analysis, AnalysisKind::Solvability);
         assert_eq!(grid[1].analysis, AnalysisKind::Bivalence);
+    }
+
+    #[test]
+    fn shard_parse_and_partition() {
+        assert_eq!(Shard::parse("0/2"), Ok(Shard { index: 0, count: 2 }));
+        assert_eq!(Shard::parse("2/3").unwrap().to_string(), "2/3");
+        for bad in ["", "1", "2/2", "3/2", "a/2", "1/b", "1/0", "-1/2"] {
+            assert!(Shard::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // Every index lands in exactly one shard; union is the whole grid.
+        let entries: Vec<(usize, char)> = ('a'..='j').enumerate().collect();
+        let n = 3;
+        let mut seen = Vec::new();
+        for i in 0..n {
+            let shard = Shard { index: i, count: n };
+            for (idx, _) in shard.select(&entries) {
+                assert!(shard.selects(idx));
+                seen.push(idx);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..entries.len()).collect::<Vec<_>>());
     }
 
     #[test]

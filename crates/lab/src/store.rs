@@ -29,8 +29,10 @@ pub struct Outcome {
     /// `mixed`, `broadcastable`, `obstructed`, `passed`, `failed`,
     /// `budget-exceeded`, or `error`.
     pub verdict: String,
-    /// Analysis-specific detail fields, deterministic and order-stable.
-    pub details: Vec<(&'static str, Value)>,
+    /// Analysis-specific detail fields, deterministic and order-stable
+    /// (owned keys so outcomes can be reconstituted from stored JSONL —
+    /// the resume/merge/disk-cache paths).
+    pub details: Vec<(String, Value)>,
 }
 
 impl Outcome {
@@ -40,8 +42,8 @@ impl Outcome {
     }
 
     /// Append a detail field.
-    pub fn with(mut self, key: &'static str, value: Value) -> Self {
-        self.details.push((key, value));
+    pub fn with(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.details.push((key.into(), value));
         self
     }
 }
@@ -97,7 +99,7 @@ impl ScenarioRecord {
             ("verdict".into(), Value::Str(self.outcome.verdict.clone())),
         ];
         for (k, v) in &self.outcome.details {
-            fields.push(((*k).into(), v.clone()));
+            fields.push((k.clone(), v.clone()));
         }
         fields.push((
             "expected".into(),
@@ -127,6 +129,105 @@ impl ScenarioRecord {
         fields.push(("budget_hit".into(), Value::Bool(self.budget_hit)));
         fields.push(("wall_ms".into(), Value::Float(self.wall_ms)));
         Value::Obj(fields)
+    }
+
+    /// Reconstitute a record from its [`to_json`](Self::to_json) form —
+    /// the inverse used by `--resume`, `merge`, and the disk cache. Detail
+    /// fields are recovered positionally: everything between `verdict` and
+    /// `expected` belongs to the outcome (those two anchors are emitted
+    /// unconditionally).
+    ///
+    /// # Errors
+    /// Returns a description of the first missing or ill-typed field.
+    pub fn from_json(v: &Value) -> Result<ScenarioRecord, String> {
+        let Value::Obj(fields) = v else {
+            return Err("record is not a JSON object".to_string());
+        };
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let int_field = |key: &str| -> Result<usize, String> {
+            v.get_usize(key).ok_or_else(|| format!("missing integer field {key:?}"))
+        };
+        let bool_field = |key: &str| -> Result<bool, String> {
+            v.get(key)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("missing boolean field {key:?}"))
+        };
+
+        let fingerprint_hex = str_field("fingerprint")?;
+        let fingerprint = u64::from_str_radix(&fingerprint_hex, 16)
+            .map_err(|_| format!("bad fingerprint {fingerprint_hex:?}"))?;
+        let analysis_name = str_field("analysis")?;
+        let analysis = AnalysisKind::parse(&analysis_name)
+            .ok_or_else(|| format!("unknown analysis {analysis_name:?}"))?;
+        let depth = int_field("depth")?;
+
+        let verdict_at = fields
+            .iter()
+            .position(|(k, _)| k == "verdict")
+            .ok_or_else(|| "missing field \"verdict\"".to_string())?;
+        let expected_at = fields
+            .iter()
+            .position(|(k, _)| k == "expected")
+            .ok_or_else(|| "missing field \"expected\"".to_string())?;
+        if expected_at < verdict_at {
+            return Err("field order corrupted: \"expected\" precedes \"verdict\"".to_string());
+        }
+        let details: Vec<(String, Value)> = fields[verdict_at + 1..expected_at].to_vec();
+        let expected = match &fields[expected_at].1 {
+            Value::Null => None,
+            Value::Str(s) if s == "mixed" => Some(None),
+            Value::Str(s) if s == "solvable" => Some(Some(true)),
+            Value::Str(s) if s == "unsolvable" => Some(Some(false)),
+            other => return Err(format!("bad expected value {other}")),
+        };
+        let space = match v.get("space") {
+            None => None,
+            Some(obj) => {
+                let field = |key: &str| -> Result<usize, String> {
+                    obj.get_usize(key).ok_or_else(|| format!("missing space field {key:?}"))
+                };
+                // Space analyses always record the space at the scenario
+                // depth (solvability records carry no space object).
+                Some(SpaceStats {
+                    depth,
+                    runs: field("runs")?,
+                    views: field("views")?,
+                    components: field("components")?,
+                })
+            }
+        };
+        Ok(ScenarioRecord {
+            index: int_field("index")?,
+            adversary: str_field("adversary")?,
+            describe: str_field("describe")?,
+            fingerprint,
+            n: int_field("n")?,
+            compact: bool_field("compact")?,
+            depth,
+            analysis,
+            outcome: Outcome { verdict: str_field("verdict")?, details },
+            expected,
+            matches_expected: v.get("matches_expected").and_then(Value::as_bool),
+            space,
+            cached_space: v.get("cached_space").and_then(Value::as_bool),
+            budget_hit: bool_field("budget_hit")?,
+            wall_ms: match v.get("wall_ms") {
+                Some(Value::Float(x)) => *x,
+                Some(Value::Int(i)) => *i as f64,
+                _ => return Err("missing numeric field \"wall_ms\"".to_string()),
+            },
+        })
+    }
+
+    /// The scenario-identity key `(adversary label, depth, analysis)` —
+    /// what `--resume` and shard merging match records on.
+    pub fn identity(&self) -> (String, usize, AnalysisKind) {
+        (self.adversary.clone(), self.depth, self.analysis)
     }
 
     /// The CSV summary row (see [`csv_header`]).
@@ -228,6 +329,23 @@ impl ResultStore {
     }
 }
 
+/// Parse a JSONL result file back into full [`ScenarioRecord`]s (the
+/// resume/merge read path).
+///
+/// # Errors
+/// Returns `(line_number, description)` for the first malformed line.
+pub fn parse_records(text: &str) -> Result<Vec<ScenarioRecord>, (usize, String)> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            json::parse(line)
+                .map_err(|e| (i + 1, e.to_string()))
+                .and_then(|v| ScenarioRecord::from_json(&v).map_err(|e| (i + 1, e)))
+        })
+        .collect()
+}
+
 /// Parse a JSONL result file back into JSON objects (for `report`).
 ///
 /// # Errors
@@ -306,6 +424,31 @@ mod tests {
         assert_eq!(csv_quote("plain"), "plain");
         assert_eq!(csv_quote("a,b"), "\"a,b\"");
         assert_eq!(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn record_roundtrips_through_json_byte_identically() {
+        let r = record();
+        let line = r.to_json().to_string();
+        let back = ScenarioRecord::from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // Byte-stable re-emission is what makes shard merging exact.
+        assert_eq!(back.to_json().to_string(), line);
+        assert_eq!(back.to_csv_row(), r.to_csv_row());
+        assert_eq!(back.identity(), ("sw-lossy-link".to_string(), 2, AnalysisKind::Solvability));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_records() {
+        for bad in [
+            r#"{"index":0}"#,
+            r#"[1,2]"#,
+            r#"{"index":0,"adversary":"a","describe":"","fingerprint":"zz","n":2,"compact":true,"depth":1,"analysis":"solvability","verdict":"solvable","expected":null,"budget_hit":false,"wall_ms":1.0}"#,
+            r#"{"index":0,"adversary":"a","describe":"","fingerprint":"ff","n":2,"compact":true,"depth":1,"analysis":"nope","verdict":"solvable","expected":null,"budget_hit":false,"wall_ms":1.0}"#,
+        ] {
+            let v = crate::json::parse(bad).unwrap();
+            assert!(ScenarioRecord::from_json(&v).is_err(), "{bad}");
+        }
     }
 
     #[test]
