@@ -1,0 +1,245 @@
+//! Dense-ID arena for admissible graph-sequence prefixes.
+//!
+//! The expansion engine enumerates the tree of admissible prefixes round by
+//! round. Instead of materializing every intermediate prefix as its own
+//! [`GraphSeq`] (a full `Vec<Digraph>` clone per node per round), the arena
+//! stores one `(parent, round graph)` pair per node in depth order, with a
+//! flat *round-offset table* marking where each depth's contiguous id range
+//! begins. Sequence identity becomes a dense `usize` id — the key property
+//! the parallel expansion and the extension fast path rely on: extensions
+//! are computed **once per frontier node** and indexed by offset, never by
+//! hashing a `GraphSeq`.
+
+use std::ops::Range;
+
+use dyngraph::{Digraph, GraphSeq};
+
+use crate::MessageAdversary;
+
+/// The admissible-prefix tree of one adversary, grown breadth-first.
+///
+/// Node 0 is the empty prefix; nodes of depth `r` occupy the contiguous id
+/// range `round_range(r)`. Every non-root node records its parent id and
+/// the graph of its last round only.
+#[derive(Debug, Clone)]
+pub struct SeqArena {
+    /// `parents[id - 1]` = parent node id of node `id` (ids are 1-based in
+    /// these two columns; node 0, the root, has no row).
+    parents: Vec<u32>,
+    /// `graphs[id - 1]` = the last-round graph of node `id`.
+    graphs: Vec<Digraph>,
+    /// `round_offsets[r]` = first node id of depth `r`;
+    /// `round_offsets[rounds() + 1]` = total node count.
+    round_offsets: Vec<usize>,
+    /// The materialized sequences of the current frontier (deepest round),
+    /// in id order — kept so growing by one round extends these instead of
+    /// re-walking parent chains.
+    frontier_seqs: Vec<GraphSeq>,
+}
+
+/// Error: growing the arena one more round would exceed the run budget
+/// (frontier size × input count, the same quantity the serial pre-count
+/// checked).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaBudget {
+    /// A lower bound on the runs the grown frontier implies.
+    pub needed: usize,
+}
+
+impl SeqArena {
+    /// The one-node arena holding only the empty prefix.
+    pub fn new() -> Self {
+        SeqArena {
+            parents: Vec::new(),
+            graphs: Vec::new(),
+            round_offsets: vec![0, 1],
+            frontier_seqs: vec![GraphSeq::new()],
+        }
+    }
+
+    /// Number of rounds grown so far (the depth of the frontier).
+    pub fn rounds(&self) -> usize {
+        self.round_offsets.len() - 2
+    }
+
+    /// Total nodes, the root included.
+    pub fn len(&self) -> usize {
+        *self.round_offsets.last().expect("offsets nonempty")
+    }
+
+    /// Whether the arena holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// The id range of the depth-`r` nodes.
+    ///
+    /// # Panics
+    /// Panics if `r > rounds()`.
+    pub fn round_range(&self, r: usize) -> Range<usize> {
+        self.round_offsets[r]..self.round_offsets[r + 1]
+    }
+
+    /// The id range of the deepest round.
+    pub fn frontier(&self) -> Range<usize> {
+        self.round_range(self.rounds())
+    }
+
+    /// The materialized sequences of the frontier, in id order.
+    pub fn frontier_seqs(&self) -> &[GraphSeq] {
+        &self.frontier_seqs
+    }
+
+    /// Consume the arena, keeping only the materialized frontier.
+    pub fn into_frontier_seqs(self) -> Vec<GraphSeq> {
+        self.frontier_seqs
+    }
+
+    /// Materialize the sequence of an arbitrary node by walking its parent
+    /// chain (the frontier is cheaper through [`Self::frontier_seqs`]).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn materialize(&self, id: usize) -> GraphSeq {
+        assert!(id < self.len(), "node {id} out of range");
+        let mut rev: Vec<Digraph> = Vec::new();
+        let mut cur = id;
+        while cur != 0 {
+            rev.push(self.graphs[cur - 1].clone());
+            cur = self.parents[cur - 1] as usize;
+        }
+        rev.reverse();
+        GraphSeq::from_graphs(rev)
+    }
+
+    /// Grow the frontier by one round: every frontier node is extended by
+    /// its admissible extensions (asked of `ma` exactly once per node).
+    ///
+    /// With `budget = Some((inputs_count, max_runs))`, the growth aborts as
+    /// soon as the partially-built next frontier already implies more than
+    /// `max_runs` runs — the same early-abort pre-count the serial engine
+    /// performs, reported with the same `needed` lower bound. On error the
+    /// arena is left at the previous round.
+    ///
+    /// # Errors
+    /// Returns [`ArenaBudget`] on budget exhaustion.
+    pub fn grow(
+        &mut self,
+        ma: &dyn MessageAdversary,
+        budget: Option<(usize, usize)>,
+    ) -> Result<(), ArenaBudget> {
+        let frontier = self.frontier();
+        let mut next_seqs: Vec<GraphSeq> = Vec::with_capacity(self.frontier_seqs.len() * 2);
+        let nodes_before = (self.parents.len(), self.graphs.len());
+        for (slot, id) in frontier.enumerate() {
+            let seq = &self.frontier_seqs[slot];
+            for g in ma.extensions(seq) {
+                next_seqs.push(seq.extended(g.clone()));
+                self.parents.push(u32::try_from(id).expect("arena overflow"));
+                self.graphs.push(g);
+                if let Some((inputs_count, max_runs)) = budget {
+                    let needed = next_seqs.len().saturating_mul(inputs_count);
+                    if needed > max_runs {
+                        // Roll back the partial round.
+                        self.parents.truncate(nodes_before.0);
+                        self.graphs.truncate(nodes_before.1);
+                        return Err(ArenaBudget { needed });
+                    }
+                }
+            }
+        }
+        self.round_offsets.push(self.len() + next_seqs.len());
+        self.frontier_seqs = next_seqs;
+        Ok(())
+    }
+
+    /// A rough heap footprint in bytes (nodes, offsets, and the frontier
+    /// materialization) — telemetry for sweep reports, not an allocator
+    /// measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let node = std::mem::size_of::<u32>() + std::mem::size_of::<Digraph>();
+        let frontier: usize = self
+            .frontier_seqs
+            .iter()
+            .map(|s| s.rounds() * std::mem::size_of::<Digraph>())
+            .sum();
+        self.parents.len() * node
+            + self.round_offsets.len() * std::mem::size_of::<usize>()
+            + frontier
+    }
+}
+
+impl Default for SeqArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneralMA;
+    use dyngraph::generators;
+
+    #[test]
+    fn grows_like_the_naive_enumeration() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let mut arena = SeqArena::new();
+        for depth in 0..4 {
+            assert_eq!(arena.rounds(), depth);
+            assert_eq!(arena.frontier().len(), 3usize.pow(depth as u32));
+            // Frontier materializations agree with parent-chain walks.
+            for (slot, id) in arena.frontier().enumerate() {
+                assert_eq!(arena.materialize(id), arena.frontier_seqs()[slot]);
+            }
+            arena.grow(&ma, None).unwrap();
+        }
+        assert_eq!(arena.len(), 1 + 3 + 9 + 27 + 81);
+    }
+
+    #[test]
+    fn round_ranges_partition_ids() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+        let mut arena = SeqArena::new();
+        for _ in 0..3 {
+            arena.grow(&ma, None).unwrap();
+        }
+        let mut seen = 0;
+        for r in 0..=arena.rounds() {
+            let range = arena.round_range(r);
+            assert_eq!(range.start, seen);
+            seen = range.end;
+        }
+        assert_eq!(seen, arena.len());
+    }
+
+    #[test]
+    fn budget_aborts_and_rolls_back() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let mut arena = SeqArena::new();
+        arena.grow(&ma, None).unwrap();
+        let len_before = arena.len();
+        let rounds_before = arena.rounds();
+        // 9 next-frontier nodes × 4 inputs = 36 > 20.
+        let err = arena.grow(&ma, Some((4, 20))).unwrap_err();
+        assert!(err.needed > 20);
+        assert_eq!(arena.len(), len_before);
+        assert_eq!(arena.rounds(), rounds_before);
+        // The arena still grows fine with a sufficient budget.
+        arena.grow(&ma, Some((4, 100))).unwrap();
+        assert_eq!(arena.frontier().len(), 9);
+    }
+
+    #[test]
+    fn liveness_pruning_respected() {
+        let ma = GeneralMA::eventually_graph(
+            generators::lossy_link_full(),
+            dyngraph::Digraph::parse2("<->").unwrap(),
+            Some(2),
+        );
+        let mut arena = SeqArena::new();
+        arena.grow(&ma, None).unwrap();
+        arena.grow(&ma, None).unwrap();
+        assert_eq!(arena.frontier().len(), 5);
+    }
+}

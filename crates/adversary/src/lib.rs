@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod catalog;
 pub mod enumerate;
 pub mod fingerprint;

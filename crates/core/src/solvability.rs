@@ -159,6 +159,7 @@ pub struct SolvabilityChecker<M> {
     max_runs: usize,
     max_chain_cycle: usize,
     strong_validity: bool,
+    expand_threads: usize,
 }
 
 impl<M: MessageAdversary> SolvabilityChecker<M> {
@@ -171,6 +172,7 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
             max_runs: 2_000_000,
             max_chain_cycle: 3,
             strong_validity: false,
+            expand_threads: 1,
         }
     }
 
@@ -196,6 +198,16 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
     /// Set the maximum lasso cycle length searched for exact chains.
     pub fn max_chain_cycle(mut self, c: usize) -> Self {
         self.max_chain_cycle = c;
+        self
+    }
+
+    /// Shard the checker's own prefix-space expansions over `threads`
+    /// scoped workers (`≤ 1` = serial, the default). Verdicts and
+    /// certificates are byte-identical for every thread count; only wall
+    /// clock changes. Sources passed to [`check_via`](Self::check_via)
+    /// carry their own knob (e.g. the lab cache's `with_threads`).
+    pub fn expand_threads(mut self, threads: usize) -> Self {
+        self.expand_threads = threads.max(1);
         self
     }
 
@@ -225,7 +237,9 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
         // interned once across the sweep; see `PrefixSpace::extended`).
         let mut last: Option<PrefixSpace> = None;
         let mut budget_hit = false;
-        let mut current = PrefixSpace::build(&self.ma, &self.values, 0, self.max_runs).ok();
+        let mut current =
+            PrefixSpace::build_with(&self.ma, &self.values, 0, self.max_runs, self.expand_threads)
+                .ok();
         for _depth in 0..=self.max_depth {
             match current.take() {
                 Some(space) => {
@@ -238,7 +252,7 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
                         return self.certify_solvable(&space);
                     }
                     if space.depth() < self.max_depth {
-                        match space.extended(&self.ma, self.max_runs) {
+                        match space.extended_with(&self.ma, self.max_runs, self.expand_threads) {
                             Ok(next) => current = Some(next),
                             Err((space, _)) => {
                                 budget_hit = true;
@@ -530,6 +544,34 @@ mod tests {
                     assert_eq!(a.chain.is_some(), b.chain.is_some());
                 }
                 (a, b) => panic!("pool {pool:?}: check {a:?} vs check_via {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_checker_verdicts_match_serial() {
+        for pool in [
+            generators::lossy_link_reduced(),
+            generators::lossy_link_full(),
+            vec![Digraph::empty(2)],
+        ] {
+            let serial =
+                SolvabilityChecker::new(GeneralMA::oblivious(pool.clone())).max_depth(3).check();
+            let parallel = SolvabilityChecker::new(GeneralMA::oblivious(pool.clone()))
+                .max_depth(3)
+                .expand_threads(8)
+                .check();
+            match (&serial, &parallel) {
+                (Verdict::Solvable(a), Verdict::Solvable(b)) => {
+                    assert_eq!(a.depth, b.depth);
+                    assert_eq!(a.component_count, b.component_count);
+                }
+                (Verdict::Unsolvable(_), Verdict::Unsolvable(_)) => {}
+                (Verdict::Undecided(a), Verdict::Undecided(b)) => {
+                    assert_eq!(a.mixed_components, b.mixed_components);
+                    assert_eq!(a.chain.is_some(), b.chain.is_some());
+                }
+                (a, b) => panic!("pool {pool:?}: serial {a:?} vs parallel {b:?}"),
             }
         }
     }

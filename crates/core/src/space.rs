@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use adversary::{enumerate, MessageAdversary};
 use dyngraph::Pid;
 use ptgraph::{PrefixRun, Value, ViewId};
-use topology::{components_by_buckets, separation, Components};
+use topology::{components_by_dense_buckets, separation, Components};
 
 /// The expanded and component-decomposed prefix space at one depth.
 ///
@@ -52,7 +52,25 @@ impl PrefixSpace {
         depth: usize,
         max_runs: usize,
     ) -> Result<Self, enumerate::BudgetExceeded> {
-        let expansion = enumerate::expand(ma, values, depth, max_runs)?;
+        Self::build_with(ma, values, depth, max_runs, 1)
+    }
+
+    /// [`build`](Self::build) with the expansion sharded over `threads`
+    /// scoped workers (`≤ 1` = serial). The space — runs, view ids,
+    /// components — is byte-identical for every thread count
+    /// (see [`enumerate::expand_with`]).
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the space exceeds
+    /// `max_runs`.
+    pub fn build_with(
+        ma: &dyn MessageAdversary,
+        values: &[Value],
+        depth: usize,
+        max_runs: usize,
+        threads: usize,
+    ) -> Result<Self, enumerate::BudgetExceeded> {
+        let expansion = enumerate::expand_with(ma, values, depth, max_runs, threads)?;
         Ok(Self::from_expansion(expansion))
     }
 
@@ -70,8 +88,24 @@ impl PrefixSpace {
         ma: &dyn MessageAdversary,
         max_runs: usize,
     ) -> Result<Self, (Self, enumerate::BudgetExceeded)> {
+        self.extended_with(ma, max_runs, 1)
+    }
+
+    /// [`extended`](Self::extended) with the run extension sharded over
+    /// `threads` scoped workers; byte-identical output for every count.
+    ///
+    /// # Errors
+    /// Returns `(self, BudgetExceeded)` if the extension would exceed
+    /// `max_runs` (the space rides along in the error so callers keep it).
+    #[allow(clippy::result_large_err)]
+    pub fn extended_with(
+        self,
+        ma: &dyn MessageAdversary,
+        max_runs: usize,
+        threads: usize,
+    ) -> Result<Self, (Self, enumerate::BudgetExceeded)> {
         let mut expansion = self.expansion;
-        match expansion.extend(ma, max_runs) {
+        match expansion.extend_with(ma, max_runs, threads) {
             Ok(()) => Ok(Self::from_expansion(expansion)),
             Err(e) => Err((Self::from_expansion_keep_depth(expansion), e)),
         }
@@ -101,20 +135,41 @@ impl PrefixSpace {
         ma: &dyn MessageAdversary,
         max_runs: usize,
     ) -> Result<Self, enumerate::BudgetExceeded> {
+        self.extended_from_with(ma, max_runs, 1)
+    }
+
+    /// [`extended_from`](Self::extended_from) with the run extension
+    /// sharded over `threads` scoped workers; byte-identical output.
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the extension would exceed
+    /// `max_runs`; `self` is untouched either way.
+    pub fn extended_from_with(
+        &self,
+        ma: &dyn MessageAdversary,
+        max_runs: usize,
+        threads: usize,
+    ) -> Result<Self, enumerate::BudgetExceeded> {
         let mut expansion = self.expansion.clone();
-        expansion.extend(ma, max_runs)?;
+        expansion.extend_with(ma, max_runs, threads)?;
         Ok(Self::from_expansion(expansion))
     }
 
     /// Component-decompose an existing expansion.
+    ///
+    /// Two runs are ε-close iff some process has the same interned view at
+    /// the expansion depth in both; a view determines its owner, so the
+    /// bucket key is the dense view id itself — one flat sweep over the run
+    /// views, no hashing (see [`components_by_dense_buckets`]).
     pub fn from_expansion(expansion: enumerate::Expansion) -> Self {
         let depth = expansion.depth;
         let buckets = expansion
             .runs
             .iter()
             .enumerate()
-            .flat_map(|(i, run)| (0..run.n()).map(move |p| ((p, run.view(p, depth)), i)));
-        let components = components_by_buckets(expansion.runs.len(), buckets);
+            .flat_map(|(i, run)| run.views_at(depth).iter().map(move |v| (v.index(), i)));
+        let components =
+            components_by_dense_buckets(expansion.runs.len(), expansion.table.len(), buckets);
         PrefixSpace { expansion, components }
     }
 
@@ -146,6 +201,12 @@ impl PrefixSpace {
     /// The ε-approximation components.
     pub fn components(&self) -> &Components {
         &self.components
+    }
+
+    /// Telemetry of the engine pass that produced (or last extended) the
+    /// underlying expansion.
+    pub fn expand_stats(&self) -> enumerate::ExpandStats {
+        self.expansion.stats
     }
 
     /// Size/shape statistics without recomputation (state-space telemetry
@@ -460,6 +521,36 @@ mod tests {
         assert_eq!(space.runs().len(), runs_before);
         assert_eq!(space.depth(), 2);
         assert!(err.needed > 10);
+    }
+
+    #[test]
+    fn parallel_build_identical_components_and_views() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        for depth in 0..4 {
+            let serial = PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap();
+            for threads in [2, 8] {
+                let par = PrefixSpace::build_with(&ma, &[0, 1], depth, 1_000_000, threads).unwrap();
+                assert_eq!(par.runs(), serial.runs(), "depth {depth}, threads {threads}");
+                assert_eq!(par.table(), serial.table(), "depth {depth}, threads {threads}");
+                assert_eq!(
+                    par.components(),
+                    serial.components(),
+                    "depth {depth}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ladder_identical_to_serial_ladder() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let base = PrefixSpace::build(&ma, &[0, 1], 1, 1_000_000).unwrap();
+        let serial = base.extended_from(&ma, 1_000_000).unwrap();
+        let par = base.extended_from_with(&ma, 1_000_000, 8).unwrap();
+        assert_eq!(par.runs(), serial.runs());
+        assert_eq!(par.table(), serial.table());
+        assert_eq!(par.components(), serial.components());
+        assert!(par.expand_stats().shards > 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! checker's depth sweep transparently reuses cached spaces too.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use adversary::{enumerate, MessageAdversary};
@@ -61,6 +61,21 @@ impl CacheStats {
     }
 }
 
+/// Accumulated expansion-engine telemetry over a sweep — what the space
+/// shards did, summed across every build and ladder extension the cache
+/// performed (see [`enumerate::ExpandStats`] for the per-pass datum).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExpandTotals {
+    /// Engine passes (builds + ladder rungs) that reported stats.
+    pub passes: usize,
+    /// Worker shards summed over all passes (= passes when serial).
+    pub shards: usize,
+    /// Milliseconds spent absorbing shard tables and remapping views.
+    pub merge_ms: f64,
+    /// Peak approximate arena footprint of any single pass, in bytes.
+    pub arena_bytes_peak: usize,
+}
+
 /// A thread-safe memoizing [`SpaceSource`]; see the module docs.
 ///
 /// Budget-exceeded outcomes are memoized separately (keyed with the budget)
@@ -73,12 +88,47 @@ pub struct SpaceCache {
     builds: AtomicUsize,
     ladder_hits: AtomicUsize,
     budget_misses: AtomicUsize,
+    /// Worker shards per expansion (0 and 1 both mean serial).
+    threads: usize,
+    expand_passes: AtomicUsize,
+    expand_shards: AtomicUsize,
+    expand_merge_ns: AtomicU64,
+    expand_arena_peak: AtomicUsize,
 }
 
 impl SpaceCache {
-    /// An empty cache.
+    /// An empty cache with the serial expansion engine.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache whose misses expand with `threads` workers
+    /// (`≤ 1` = serial). Spaces are byte-identical either way — the knob
+    /// trades CPU for wall clock, never results.
+    pub fn with_threads(threads: usize) -> Self {
+        SpaceCache { threads, ..Self::default() }
+    }
+
+    /// The configured expansion worker count (`≤ 1` = serial).
+    pub fn threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    fn record_expand(&self, stats: enumerate::ExpandStats) {
+        self.expand_passes.fetch_add(1, Ordering::Relaxed);
+        self.expand_shards.fetch_add(stats.shards, Ordering::Relaxed);
+        self.expand_merge_ns.fetch_add((stats.merge_ms * 1e6) as u64, Ordering::Relaxed);
+        self.expand_arena_peak.fetch_max(stats.arena_bytes, Ordering::Relaxed);
+    }
+
+    /// Accumulated expansion telemetry (see [`ExpandTotals`]).
+    pub fn expand_totals(&self) -> ExpandTotals {
+        ExpandTotals {
+            passes: self.expand_passes.load(Ordering::Relaxed),
+            shards: self.expand_shards.load(Ordering::Relaxed),
+            merge_ms: self.expand_merge_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            arena_bytes_peak: self.expand_arena_peak.load(Ordering::Relaxed),
+        }
     }
 
     /// Current counters (`disk_hits` is always zero here; see
@@ -160,9 +210,10 @@ impl SpaceCache {
                 self.ladder_hits.fetch_add(1, Ordering::Relaxed);
                 Ok((space, false))
             }
-            None => match PrefixSpace::build(ma, values, depth, max_runs) {
+            None => match PrefixSpace::build_with(ma, values, depth, max_runs, self.threads()) {
                 Ok(space) => {
                     self.builds.fetch_add(1, Ordering::Relaxed);
+                    self.record_expand(space.expand_stats());
                     let space = Arc::new(space);
                     let mut cached = self.spaces.lock().expect("cache lock poisoned");
                     let entry = cached.entry(key).or_insert_with(|| Arc::clone(&space));
@@ -197,7 +248,8 @@ impl SpaceCache {
         debug_assert!(base.depth() < depth);
         let mut current = base;
         while current.depth() < depth {
-            let next = Arc::new(current.extended_from(ma, max_runs)?);
+            let next = Arc::new(current.extended_from_with(ma, max_runs, self.threads())?);
+            self.record_expand(next.expand_stats());
             let rung: Key = (ma.fingerprint(), values.to_vec(), next.depth());
             let mut cached = self.spaces.lock().expect("cache lock poisoned");
             let entry = cached.entry(rung).or_insert_with(|| Arc::clone(&next));
@@ -324,6 +376,26 @@ mod tests {
         // A larger budget is a fresh attempt.
         assert!(cache.space_with_meta(&ma, &[0, 1], 5, 10_000_000).is_ok());
         assert_eq!(cache.stats().builds, 1);
+    }
+
+    #[test]
+    fn threaded_cache_serves_identical_spaces_and_counts_shards() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let serial = SpaceCache::new();
+        let threaded = SpaceCache::with_threads(8);
+        for depth in [2, 3] {
+            let (a, _) = serial.space_with_meta(&ma, &[0, 1], depth, 1_000_000).unwrap();
+            let (b, _) = threaded.space_with_meta(&ma, &[0, 1], depth, 1_000_000).unwrap();
+            assert_eq!(a.runs(), b.runs());
+            assert_eq!(a.table(), b.table());
+            assert_eq!(a.components(), b.components());
+        }
+        // Same cache trajectory: one build, one ladder extension each.
+        assert_eq!(serial.stats(), threaded.stats());
+        let totals = threaded.expand_totals();
+        assert_eq!(totals.passes, 2);
+        assert!(totals.shards > totals.passes, "threaded passes must shard");
+        assert_eq!(serial.expand_totals().shards, serial.expand_totals().passes);
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! The bench-regression gate (`consensus-lab bench-gate`).
+//!
+//! CI re-runs the benches and compares the fresh `BENCH_*.json` datum
+//! against the committed baseline: wall-clock keys (`*_ms`) may regress up
+//! to a tolerance, structural counters named `--exact` must match to the
+//! digit (a drifted run/view/expansion count is a determinism bug, not
+//! noise). The gate reads only the top-level numeric fields of the datum
+//! object — nested per-depth arrays are context for humans.
+
+use std::fmt;
+
+use crate::json::Value;
+
+/// How one key is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// Wall-clock: fresh may exceed baseline by at most the tolerance.
+    Timing,
+    /// Structural counter: fresh must equal baseline exactly.
+    Exact,
+}
+
+/// The judgement of one compared key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLine {
+    /// The JSON key compared.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+    /// Judgement rule applied.
+    pub kind: GateKind,
+    /// Whether the key passed.
+    pub ok: bool,
+}
+
+impl fmt::Display for GateLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = if self.ok { "ok" } else { "FAIL" };
+        match self.kind {
+            GateKind::Timing => {
+                let ratio = if self.baseline > 0.0 {
+                    format!("{:.2}×", self.fresh / self.baseline)
+                } else {
+                    "n/a".to_string()
+                };
+                write!(
+                    f,
+                    "{verdict:<4} {key:<28} {base:>12.3} → {fresh:>12.3} ms ({ratio})",
+                    key = self.key,
+                    base = self.baseline,
+                    fresh = self.fresh,
+                )
+            }
+            GateKind::Exact => write!(
+                f,
+                "{verdict:<4} {key:<28} {base:>12} → {fresh:>12} (exact)",
+                key = self.key,
+                base = self.baseline,
+                fresh = self.fresh,
+            ),
+        }
+    }
+}
+
+/// The full gate outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Per-key judgements, in baseline key order.
+    pub lines: Vec<GateLine>,
+    /// The tolerance applied to timing keys, in percent.
+    pub tolerance_pct: f64,
+}
+
+impl GateReport {
+    /// Keys that failed.
+    pub fn failures(&self) -> Vec<&GateLine> {
+        self.lines.iter().filter(|l| !l.ok).collect()
+    }
+
+    /// Whether every key passed.
+    pub fn passed(&self) -> bool {
+        self.lines.iter().all(|l| l.ok)
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        let failures = self.failures().len();
+        if failures == 0 {
+            write!(
+                f,
+                "bench gate passed: {} key(s) within {:.0}% of baseline",
+                self.lines.len(),
+                self.tolerance_pct
+            )
+        } else {
+            write!(
+                f,
+                "bench gate FAILED: {failures} of {} key(s) regressed beyond {:.0}%",
+                self.lines.len(),
+                self.tolerance_pct
+            )
+        }
+    }
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Compare `fresh` against `baseline`.
+///
+/// Timing keys are every top-level numeric key of the baseline ending in
+/// `_ms` — unless `keys` restricts the set. Keys listed in `exact` are
+/// compared for equality instead. A gated key missing from `fresh` (or
+/// non-numeric on either side) is an error, not a silent pass.
+///
+/// # Errors
+/// Returns a message naming the offending key.
+pub fn compare(
+    baseline: &Value,
+    fresh: &Value,
+    tolerance_pct: f64,
+    keys: Option<&[String]>,
+    exact: &[String],
+) -> Result<GateReport, String> {
+    let Value::Obj(fields) = baseline else {
+        return Err("baseline is not a JSON object".into());
+    };
+    let timing: Vec<String> = match keys {
+        Some(list) => list.to_vec(),
+        None => fields
+            .iter()
+            .filter(|(k, v)| k.ends_with("_ms") && numeric(v).is_some())
+            .map(|(k, _)| k.clone())
+            .collect(),
+    };
+    let mut lines = Vec::new();
+    for (kind, key) in timing
+        .iter()
+        .map(|k| (GateKind::Timing, k))
+        .chain(exact.iter().map(|k| (GateKind::Exact, k)))
+    {
+        let base = baseline
+            .get(key)
+            .and_then(numeric)
+            .ok_or_else(|| format!("baseline key {key:?} is missing or not numeric"))?;
+        let now = fresh
+            .get(key)
+            .and_then(numeric)
+            .ok_or_else(|| format!("fresh key {key:?} is missing or not numeric"))?;
+        let ok = match kind {
+            // A zero baseline means "too small to measure" — any fresh
+            // value is equally unmeasurable noise, never a regression.
+            GateKind::Timing => base <= 0.0 || now <= base * (1.0 + tolerance_pct / 100.0),
+            GateKind::Exact => now == base,
+        };
+        lines.push(GateLine { key: key.clone(), baseline: base, fresh: now, kind, ok });
+    }
+    if lines.is_empty() {
+        return Err("nothing to gate: no timing keys found and no --exact keys given".into());
+    }
+    Ok(GateReport { lines, tolerance_pct })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn obj(text: &str) -> Value {
+        parse(text).unwrap()
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = obj(r#"{"cold_ms": 100.0, "warm_ms": 10.0, "runs": 240}"#);
+        let fresh = obj(r#"{"cold_ms": 120.0, "warm_ms": 9.0, "runs": 240}"#);
+        let report = compare(&base, &fresh, 25.0, None, &[]).unwrap();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.lines.len(), 2, "only *_ms keys are gated by default");
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = obj(r#"{"cold_ms": 100.0}"#);
+        let fresh = obj(r#"{"cold_ms": 126.0}"#);
+        let report = compare(&base, &fresh, 25.0, None, &[]).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures().len(), 1);
+        assert!(report.to_string().contains("FAILED"));
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let base = obj(r#"{"cold_ms": 100.0}"#);
+        let fresh = obj(r#"{"cold_ms": 1.0}"#);
+        assert!(compare(&base, &fresh, 25.0, None, &[]).unwrap().passed());
+    }
+
+    #[test]
+    fn zero_baseline_never_fails_the_timing_gate() {
+        // A 0.0 baseline means "too small to measure" — any fresh value is
+        // noise at the same scale, and the report must not print NaN.
+        let base = obj(r#"{"warm_ms": 0.0}"#);
+        let fresh = obj(r#"{"warm_ms": 0.4}"#);
+        let report = compare(&base, &fresh, 25.0, None, &[]).unwrap();
+        assert!(report.passed(), "{report}");
+        assert!(report.to_string().contains("n/a"));
+    }
+
+    #[test]
+    fn exact_keys_must_match_to_the_digit() {
+        let base = obj(r#"{"cold_ms": 100.0, "runs": 240}"#);
+        let drifted = obj(r#"{"cold_ms": 100.0, "runs": 241}"#);
+        let report = compare(&base, &drifted, 25.0, None, &["runs".to_string()]).unwrap();
+        assert!(!report.passed());
+        let line = &report.failures()[0];
+        assert_eq!(line.key, "runs");
+        assert_eq!(line.kind, GateKind::Exact);
+    }
+
+    #[test]
+    fn explicit_keys_restrict_the_timing_set() {
+        let base = obj(r#"{"cold_ms": 100.0, "warm_ms": 1.0}"#);
+        let fresh = obj(r#"{"cold_ms": 100.0, "warm_ms": 99.0}"#);
+        // warm_ms regressed, but only cold_ms is gated.
+        let report = compare(&base, &fresh, 25.0, Some(&["cold_ms".to_string()]), &[]).unwrap();
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn missing_fresh_key_is_an_error() {
+        let base = obj(r#"{"cold_ms": 100.0}"#);
+        let fresh = obj(r#"{"other_ms": 1.0}"#);
+        let err = compare(&base, &fresh, 25.0, None, &[]).unwrap_err();
+        assert!(err.contains("cold_ms"));
+    }
+
+    #[test]
+    fn empty_gate_is_an_error() {
+        let base = obj(r#"{"runs": 240}"#);
+        let err = compare(&base, &base, 25.0, None, &[]).unwrap_err();
+        assert!(err.contains("nothing to gate"));
+    }
+}

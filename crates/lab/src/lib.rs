@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod gate;
 pub mod json;
 pub mod persist;
 pub mod report;

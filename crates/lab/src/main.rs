@@ -31,13 +31,13 @@ USAGE:
         List the built-in adversary catalog.
 
     consensus-lab check (--adversary NAME | --pool \"-> <- <->\" [--eventually G [--by R]])
-                        [--depth D] [--analysis KIND] [--budget RUNS]
+                        [--depth D] [--analysis KIND] [--budget RUNS] [--expand-threads N]
         Run one scenario and print the record.
 
     consensus-lab sweep --catalog [--max-depth D] [--analyses K1,K2] [--budget RUNS]
-                        [--threads N] [--out DIR] [--repeat N] [--time-limit-ms MS]
-                        [--shard I/N] [--resume DIR] [--cache-dir DIR]
-                        [--strict] [--assert-warm]
+                        [--threads N] [--expand-threads N] [--out DIR] [--repeat N]
+                        [--time-limit-ms MS] [--shard I/N] [--resume DIR]
+                        [--cache-dir DIR] [--strict] [--assert-warm]
         Run the scenario grid over the catalog in parallel; write
         DIR/results.jsonl, DIR/summary.csv, and DIR/sweep-meta.json
         (default DIR: lab-results).
@@ -52,6 +52,10 @@ USAGE:
                            confirm it conclusively at the deepest depth
           --assert-warm    exit nonzero if any full prefix-space expansion
                            was needed (CI warm-cache regression check)
+          --expand-threads N
+                           shard each prefix-space expansion over N scoped
+                           workers (0 = all available cores, 1 = serial;
+                           results are byte-identical either way)
 
     consensus-lab merge --inputs A.jsonl,B.jsonl[,...] --out DIR
         Merge shard result files (by global grid index) into
@@ -63,7 +67,14 @@ USAGE:
 
     consensus-lab report --input FILE.jsonl
         Aggregate a stored result file (plus its sweep-meta sidecar's
-        cache counters, when present).
+        cache counters and expansion-engine telemetry, when present).
+
+    consensus-lab bench-gate --baseline BENCH.json --fresh BENCH.json
+                             [--max-regression PCT] [--keys K1,K2] [--exact K1,K2]
+        Compare a freshly measured bench datum against the committed
+        baseline: timing keys (*_ms, or --keys) may regress at most PCT
+        percent (default 25); --exact keys must match to the digit.
+        Exit 1 on any regression.
 
 ANALYSES: solvability, bivalence, broadcastability, component-stats, sim-check
 ";
@@ -77,6 +88,7 @@ fn main() -> ExitCode {
         Some("merge") => cmd_merge(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("bench-gate") => cmd_bench_gate(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -225,6 +237,18 @@ fn parse_spec(flags: &Flags) -> Result<AdversarySpec, String> {
     }
 }
 
+/// Resolve `--expand-threads`: an explicit 0 = all available cores,
+/// 1 = serial, N = that many expansion workers; absent = `default`
+/// (both subcommands default to serial).
+fn expand_threads(flags: &Flags, default: usize) -> Result<usize, String> {
+    let n = flags.get_usize("expand-threads", default)?;
+    Ok(if n == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        n
+    })
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
     let flags = match Flags::parse(args) {
         Ok(f) => f,
@@ -238,6 +262,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
         "depth",
         "analysis",
         "budget",
+        "expand-threads",
     ]) {
         return fail(&e);
     }
@@ -253,6 +278,9 @@ fn cmd_check(args: &[String]) -> ExitCode {
         Ok(b) => b,
         Err(e) => return fail(&e),
     };
+    if flags.has("analysis") && flags.get("analysis").is_none() {
+        return fail("--analysis expects an analysis kind (e.g. solvability)");
+    }
     let analyses: Vec<AnalysisKind> = match flags.get("analysis") {
         None => AnalysisKind::ALL.to_vec(),
         Some(name) => match AnalysisKind::parse(name) {
@@ -260,7 +288,11 @@ fn cmd_check(args: &[String]) -> ExitCode {
             None => return fail(&format!("unknown analysis {name:?}")),
         },
     };
-    let cache = SpaceCache::new();
+    let threads = match expand_threads(&flags, 1) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let cache = SpaceCache::with_threads(threads);
     let mut errored = false;
     for analysis in analyses {
         let scenario = Scenario { spec: spec.clone(), depth, analysis, max_runs: budget };
@@ -291,6 +323,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         "analyses",
         "budget",
         "threads",
+        "expand-threads",
         "out",
         "repeat",
         "time-limit-ms",
@@ -338,6 +371,9 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             "--resume and --out are mutually exclusive (--resume writes back into its directory)",
         );
     }
+    if flags.has("out") && flags.get("out").is_none() {
+        return fail("--out expects a directory");
+    }
     let out = resume
         .clone()
         .unwrap_or_else(|| PathBuf::from(flags.get("out").unwrap_or("lab-results")));
@@ -349,6 +385,9 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             Err(e) => return fail(&format!("opening cache dir {dir}: {e}")),
         },
     };
+    if flags.has("analyses") && flags.get("analyses").is_none() {
+        return fail("--analyses expects a comma-separated list (e.g. solvability,bivalence)");
+    }
     let mut builder = GridBuilder::new(max_depth, budget);
     if let Some(list) = flags.get("analyses") {
         let kinds: Result<Vec<AnalysisKind>, String> = list
@@ -475,9 +514,13 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         }
     }
 
+    let expand_workers = match expand_threads(&flags, 1) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
     // One shared cache across repeats: pass 2+ runs warm and demonstrates
     // constructions ≪ scenarios.
-    let cache = SpaceCache::new();
+    let cache = SpaceCache::with_threads(expand_workers);
     let mut last = None;
     for pass in 1..=repeat {
         let report = runner.run_indexed(&pending, &cache, disk.as_ref());
@@ -539,8 +582,12 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     // cache counters.
     let scenario_count = records.len();
     let store = ResultStore::new(records);
-    let meta =
-        SweepMeta { scenarios: scenario_count, threads: report.threads, cache: report.cache };
+    let meta = SweepMeta {
+        scenarios: scenario_count,
+        threads: report.threads,
+        cache: report.cache,
+        expand: report.expand,
+    };
 
     match store.write_files(&out) {
         Ok((jsonl, csv)) => {
@@ -706,6 +753,62 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     }
     emit(format_args!("identical modulo timing fields ({} records)", a.len()));
     ExitCode::SUCCESS
+}
+
+fn cmd_bench_gate(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = flags.reject_unknown(&["baseline", "fresh", "max-regression", "keys", "exact"])
+    {
+        return fail(&e);
+    }
+    let (Some(baseline_path), Some(fresh_path)) = (flags.get("baseline"), flags.get("fresh"))
+    else {
+        return fail("bench-gate needs --baseline BENCH.json --fresh BENCH.json");
+    };
+    for key_flag in ["keys", "exact"] {
+        if flags.has(key_flag) && flags.get(key_flag).is_none() {
+            return fail(&format!("--{key_flag} expects a comma-separated key list"));
+        }
+    }
+    let tolerance = match flags.get_usize("max-regression", 25) {
+        Ok(pct) => pct as f64,
+        Err(e) => return fail(&e),
+    };
+    let split = |list: &str| -> Vec<String> {
+        list.split(',')
+            .map(str::trim)
+            .filter(|k| !k.is_empty())
+            .map(String::from)
+            .collect()
+    };
+    let keys = flags.get("keys").map(split);
+    let exact = flags.get("exact").map(split).unwrap_or_default();
+    let load = |path: &str| -> Result<consensus_lab::json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        consensus_lab::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = match load(baseline_path) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let fresh = match load(fresh_path) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    match consensus_lab::gate::compare(&baseline, &fresh, tolerance, keys.as_deref(), &exact) {
+        Ok(report) => {
+            emit(format_args!("{report}"));
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(&e),
+    }
 }
 
 fn cmd_report(args: &[String]) -> ExitCode {

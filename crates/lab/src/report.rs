@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, ExpandTotals};
 use crate::json::Value;
 
 /// File name of the engine-telemetry sidecar a sweep writes next to
@@ -14,7 +14,7 @@ pub const SWEEP_META_FILE: &str = "sweep-meta.json";
 
 /// Engine telemetry of one sweep (or the sum over merged shards): what the
 /// records themselves cannot carry — how the cache hierarchy performed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SweepMeta {
     /// Scenario records in the accompanying results file (a warm or
     /// resumed run reports the full set, not just what it re-executed).
@@ -23,6 +23,8 @@ pub struct SweepMeta {
     pub threads: usize,
     /// Space/disk cache counters accumulated over the sweep.
     pub cache: CacheStats,
+    /// Expansion-engine telemetry: shard counts, merge time, arena bytes.
+    pub expand: ExpandTotals,
 }
 
 impl SweepMeta {
@@ -41,12 +43,36 @@ impl SweepMeta {
                     ("budget_misses".into(), Value::Int(self.cache.budget_misses as i64)),
                 ]),
             ),
+            (
+                "expand".into(),
+                Value::Obj(vec![
+                    ("passes".into(), Value::Int(self.expand.passes as i64)),
+                    ("shards".into(), Value::Int(self.expand.shards as i64)),
+                    ("merge_ms".into(), Value::Float(self.expand.merge_ms)),
+                    ("arena_bytes_peak".into(), Value::Int(self.expand.arena_bytes_peak as i64)),
+                ]),
+            ),
         ])
     }
 
     /// Parse the JSON form back; `None` if any field is missing/ill-typed.
+    /// The `expand` block is optional (sidecars written before it existed
+    /// parse to zeroed telemetry).
     pub fn from_json(v: &Value) -> Option<SweepMeta> {
         let cache = v.get("cache")?;
+        let expand = match v.get("expand") {
+            Some(e) => ExpandTotals {
+                passes: e.get_usize("passes")?,
+                shards: e.get_usize("shards")?,
+                merge_ms: match e.get("merge_ms") {
+                    Some(Value::Float(ms)) => *ms,
+                    Some(Value::Int(ms)) => *ms as f64,
+                    _ => return None,
+                },
+                arena_bytes_peak: e.get_usize("arena_bytes_peak")?,
+            },
+            None => ExpandTotals::default(),
+        };
         Some(SweepMeta {
             scenarios: v.get_usize("scenarios")?,
             threads: v.get_usize("threads")?,
@@ -57,10 +83,12 @@ impl SweepMeta {
                 disk_hits: cache.get_usize("disk_hits")?,
                 budget_misses: cache.get_usize("budget_misses")?,
             },
+            expand,
         })
     }
 
-    /// Combine shard sidecars: counters sum, thread counts take the max.
+    /// Combine shard sidecars: counters sum, thread counts and arena peaks
+    /// take the max.
     pub fn merged(metas: &[SweepMeta]) -> SweepMeta {
         let mut out = SweepMeta::default();
         for m in metas {
@@ -71,6 +99,11 @@ impl SweepMeta {
             out.cache.ladder_hits += m.cache.ladder_hits;
             out.cache.disk_hits += m.cache.disk_hits;
             out.cache.budget_misses += m.cache.budget_misses;
+            out.expand.passes += m.expand.passes;
+            out.expand.shards += m.expand.shards;
+            out.expand.merge_ms += m.expand.merge_ms;
+            out.expand.arena_bytes_peak =
+                out.expand.arena_bytes_peak.max(m.expand.arena_bytes_peak);
         }
         out
     }
@@ -89,7 +122,19 @@ impl fmt::Display for SweepMeta {
             self.cache.ladder_hits,
             self.cache.budget_misses,
             self.cache.disk_hits,
-        )
+        )?;
+        if self.expand.passes > 0 {
+            write!(
+                f,
+                "; expansion engine: {} passes in {} shards, {:.2} ms merging, \
+                 peak arena {} bytes",
+                self.expand.passes,
+                self.expand.shards,
+                self.expand.merge_ms,
+                self.expand.arena_bytes_peak,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -198,6 +243,7 @@ mod tests {
                 disk_hits: 3,
                 budget_misses: 2,
             },
+            expand: ExpandTotals { passes: 15, shards: 60, merge_ms: 1.25, arena_bytes_peak: 4096 },
         };
         let back =
             SweepMeta::from_json(&crate::json::parse(&a.to_json().to_string()).unwrap()).unwrap();
@@ -208,11 +254,26 @@ mod tests {
         assert_eq!(merged.threads, 8);
         assert_eq!(merged.cache.ladder_hits, 20);
         assert_eq!(merged.cache.disk_hits, 6);
+        assert_eq!(merged.expand.passes, 30);
+        assert_eq!(merged.expand.shards, 120);
+        assert_eq!(merged.expand.arena_bytes_peak, 4096, "peaks take the max, not the sum");
         let text = a.to_string();
         assert!(text.contains("10 ladder extensions"));
         assert!(text.contains("2 budget misses"));
         assert!(text.contains("disk cache: 3 hits"));
+        assert!(text.contains("15 passes in 60 shards"));
         assert!(SweepMeta::from_json(&Value::Null).is_none());
+    }
+
+    #[test]
+    fn sweep_meta_without_expand_block_parses_to_zeroes() {
+        // Sidecars written before the expansion telemetry existed stay
+        // readable.
+        let text = r#"{"scenarios":3,"threads":2,"cache":{"builds":1,"hits":2,"ladder_hits":0,"disk_hits":0,"budget_misses":0}}"#;
+        let meta = SweepMeta::from_json(&crate::json::parse(text).unwrap()).unwrap();
+        assert_eq!(meta.scenarios, 3);
+        assert_eq!(meta.expand, ExpandTotals::default());
+        assert!(!meta.to_string().contains("expansion engine"));
     }
 
     #[test]

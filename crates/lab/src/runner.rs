@@ -22,7 +22,7 @@ use ptgraph::Value;
 use simulator::algorithms::FloodMin;
 use simulator::checker;
 
-use crate::cache::{CacheStats, SpaceCache};
+use crate::cache::{CacheStats, ExpandTotals, SpaceCache};
 use crate::json::Value as Json;
 use crate::persist::{persistable, DiskCache, DiskEntry};
 use crate::scenario::{AnalysisKind, Scenario};
@@ -48,6 +48,9 @@ pub struct SweepReport {
     pub store: ResultStore,
     /// Cache counters accumulated over the sweep.
     pub cache: CacheStats,
+    /// Expansion-engine telemetry accumulated over the sweep (shard
+    /// counts, merge time, arena footprint).
+    pub expand: ExpandTotals,
     /// Number of scenarios executed.
     pub scenarios: usize,
     /// Worker threads used.
@@ -168,6 +171,7 @@ impl SweepRunner {
         SweepReport {
             store: ResultStore::new(records),
             cache: stats,
+            expand: cache.expand_totals(),
             scenarios: entries.len(),
             threads: self.threads,
             wall: start.elapsed(),

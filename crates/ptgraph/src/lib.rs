@@ -50,7 +50,7 @@ mod view;
 
 pub use ptg::{fig2_example, PtGraph, PtNode};
 pub use run::{InfiniteRun, PrefixRun};
-pub use view::{ViewData, ViewId, ViewTable};
+pub use view::{LocalViews, ShardTable, ViewData, ViewId, ViewInterner, ViewTable};
 
 /// A consensus input/output value (the paper's finite domain `V_I ⊆ V_O`).
 pub type Value = u32;
@@ -66,7 +66,7 @@ pub type Inputs = Vec<Value>;
 /// assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
 /// ```
 pub fn all_inputs(n: usize, values: &[Value]) -> Vec<Inputs> {
-    let mut out = Vec::with_capacity(values.len().pow(n as u32));
+    let mut out = Vec::with_capacity(values.len().checked_pow(n as u32).unwrap_or(0));
     let mut cur = vec![values[0]; n];
     fn rec(i: usize, n: usize, values: &[Value], cur: &mut Vec<Value>, out: &mut Vec<Inputs>) {
         if i == n {

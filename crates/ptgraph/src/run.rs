@@ -4,7 +4,7 @@ use std::fmt;
 
 use dyngraph::{influence::InfluenceTracker, GraphSeq, Lasso, Pid, Round};
 
-use crate::{Inputs, Value, ViewId, ViewTable};
+use crate::{Inputs, Value, ViewId, ViewInterner, ViewTable};
 
 /// A finite run: an input assignment together with a graph-sequence prefix,
 /// plus every process's interned view at every time `0 ≤ t ≤ T`.
@@ -34,12 +34,17 @@ pub struct PrefixRun {
 }
 
 impl PrefixRun {
-    /// Compute the run of `inputs` under `seq`, interning views in `table`.
+    /// Compute the run of `inputs` under `seq`, interning views in `table`
+    /// (the shared [`ViewTable`] or a worker's [`crate::ShardTable`]).
     ///
     /// # Panics
     /// Panics if `inputs.len()` disagrees with `table.n()` or with the
     /// graphs of `seq`.
-    pub fn compute(inputs: Inputs, seq: &GraphSeq, table: &mut ViewTable) -> Self {
+    pub fn compute<T: ViewInterner + ?Sized>(
+        inputs: Inputs,
+        seq: &GraphSeq,
+        table: &mut T,
+    ) -> Self {
         let n = table.n();
         assert_eq!(inputs.len(), n, "inputs must cover every process");
         if let Some(m) = seq.n() {
@@ -107,11 +112,28 @@ impl PrefixRun {
             .find(|&t| (0..self.n()).all(|q| table.data(self.view(q, t)).has_heard(p)))
     }
 
+    /// Remap every view id at or above `base_len` through `remap` (the
+    /// table returned by [`ViewTable::absorb`]); ids below `base_len` are
+    /// already global and stay put. The inverse bookkeeping step of
+    /// computing this run against a [`crate::ShardTable`].
+    ///
+    /// # Panics
+    /// Panics if a local id falls outside `remap`.
+    pub fn remap_views(&mut self, base_len: usize, remap: &[ViewId]) {
+        for level in &mut self.views {
+            for v in level {
+                if v.index() >= base_len {
+                    *v = remap[v.index() - base_len];
+                }
+            }
+        }
+    }
+
     /// Extend the run by one round with graph `g`.
     ///
     /// # Panics
     /// Panics on mismatched `n`.
-    pub fn extended(&self, g: dyngraph::Digraph, table: &mut ViewTable) -> Self {
+    pub fn extended<T: ViewInterner + ?Sized>(&self, g: dyngraph::Digraph, table: &mut T) -> Self {
         let n = self.n();
         assert_eq!(g.n(), n);
         let t = self.rounds();

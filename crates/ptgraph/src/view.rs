@@ -53,6 +53,79 @@ enum ViewKey {
     },
 }
 
+impl ViewKey {
+    /// The key with every contained [`ViewId`] pushed through `map`.
+    fn mapped(&self, map: impl Fn(ViewId) -> ViewId) -> ViewKey {
+        match self {
+            ViewKey::Initial { .. } => self.clone(),
+            ViewKey::Round { p, prev, received } => ViewKey::Round {
+                p: *p,
+                prev: map(*prev),
+                received: received.iter().map(|&(q, v)| (q, map(v))).collect(),
+            },
+        }
+    }
+}
+
+/// Normalize a received list: drop self-deliveries, validate sender/time,
+/// sort by sender, dedup. `data_of` resolves any id the caller may pass.
+fn normalize_received<'a>(
+    p: Pid,
+    t: usize,
+    received: &[(Pid, ViewId)],
+    data_of: impl Fn(ViewId) -> &'a ViewData,
+) -> Vec<(u8, ViewId)> {
+    let mut rec: Vec<(u8, ViewId)> = Vec::with_capacity(received.len());
+    for &(q, vid) in received {
+        if q == p {
+            continue;
+        }
+        let d = data_of(vid);
+        assert_eq!(d.process, q, "received view must belong to its sender");
+        assert_eq!(d.time, t - 1, "received view must be from the previous round");
+        rec.push((q as u8, vid));
+    }
+    rec.sort_unstable_by_key(|&(q, _)| q);
+    rec.dedup_by_key(|&mut (q, _)| q);
+    rec
+}
+
+/// Merge the metadata of a round view from its parts.
+fn merge_round_data<'a>(
+    p: Pid,
+    t: usize,
+    prev: ViewId,
+    rec: &[(u8, ViewId)],
+    data_of: impl Fn(ViewId) -> &'a ViewData,
+) -> ViewData {
+    let mut heard = data_of(prev).heard;
+    let mut known: Vec<(Pid, Value)> = data_of(prev).known_inputs.to_vec();
+    for &(_, vid) in rec {
+        let d = data_of(vid);
+        heard |= d.heard;
+        known.extend(d.known_inputs.iter().copied());
+    }
+    known.sort_unstable_by_key(|&(q, _)| q);
+    known.dedup_by_key(|&mut (q, _)| q);
+    debug_assert_eq!(known.len(), heard.count_ones() as usize);
+    ViewData { process: p, time: t, heard, known_inputs: known.into_boxed_slice() }
+}
+
+/// A sink for view interning — implemented by the shared [`ViewTable`] and
+/// by per-worker [`ShardTable`]s, so run computation
+/// ([`crate::PrefixRun::compute`]) is generic over where views land.
+pub trait ViewInterner {
+    /// Number of processes.
+    fn n(&self) -> usize;
+
+    /// Intern the time-0 view of process `p` with input `x`.
+    fn intern_initial(&mut self, p: Pid, x: Value) -> ViewId;
+
+    /// Intern the round-`t` view of `p` from its previous view and the
+    /// received `(sender, sender's previous view)` pairs.
+    fn intern_round(&mut self, p: Pid, prev: ViewId, received: &[(Pid, ViewId)]) -> ViewId;
+}
+
 /// Metadata cached for each interned view.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViewData {
@@ -112,7 +185,7 @@ impl ViewData {
 /// assert_ne!(a, c);
 /// assert_eq!(table.data(a).own_input(), 7);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViewTable {
     n: usize,
     index: HashMap<ViewKey, ViewId>,
@@ -178,37 +251,13 @@ impl ViewTable {
         assert_eq!(prev_data.process, p, "prev view must belong to p");
         let t = prev_data.time + 1;
 
-        let mut rec: Vec<(u8, ViewId)> = Vec::with_capacity(received.len());
-        for &(q, vid) in received {
-            if q == p {
-                continue;
-            }
-            let d = &self.data[vid.index()];
-            assert_eq!(d.process, q, "received view must belong to its sender");
-            assert_eq!(d.time, t - 1, "received view must be from the previous round");
-            rec.push((q as u8, vid));
-        }
-        rec.sort_unstable_by_key(|&(q, _)| q);
-        rec.dedup_by_key(|&mut (q, _)| q);
-
+        let rec = normalize_received(p, t, received, |id| &self.data[id.index()]);
         let key = ViewKey::Round { p: p as u8, prev, received: rec.clone().into_boxed_slice() };
         if let Some(&id) = self.index.get(&key) {
             return id;
         }
 
-        // Merge metadata.
-        let mut heard = self.data[prev.index()].heard;
-        let mut known: Vec<(Pid, Value)> = self.data[prev.index()].known_inputs.to_vec();
-        for &(_, vid) in &rec {
-            let d = &self.data[vid.index()];
-            heard |= d.heard;
-            known.extend(d.known_inputs.iter().copied());
-        }
-        known.sort_unstable_by_key(|&(q, _)| q);
-        known.dedup_by_key(|&mut (q, _)| q);
-        debug_assert_eq!(known.len(), heard.count_ones() as usize);
-
-        let data = ViewData { process: p, time: t, heard, known_inputs: known.into_boxed_slice() };
+        let data = merge_round_data(p, t, prev, &rec, |id| &self.data[id.index()]);
         self.insert(key, data)
     }
 
@@ -245,6 +294,44 @@ impl ViewTable {
         }
     }
 
+    /// Merge a worker shard's local views into this table, in the shard's
+    /// local insertion order, and return the remap `local index → global
+    /// id`. The shard must have been built over a prefix of this table
+    /// (`local.base_len() ≤ self.len()`); base ids are stable because the
+    /// table only ever appends.
+    ///
+    /// Absorbing the shards of a canonically-chunked parallel expansion in
+    /// chunk order reproduces *exactly* the [`ViewId`] assignment of the
+    /// serial pass: a view's first global occurrence is in the earliest
+    /// chunk containing it, at its first position within that chunk — the
+    /// same order in which a serial sweep over the chunks' runs would have
+    /// interned it.
+    ///
+    /// # Panics
+    /// Panics if the shard was built for a different `n` or over a longer
+    /// base than this table.
+    pub fn absorb(&mut self, local: &LocalViews) -> Vec<ViewId> {
+        assert_eq!(local.n, self.n, "shard and table disagree on n");
+        assert!(local.base_len <= self.data.len(), "shard base is not a prefix of this table");
+        let mut remap: Vec<ViewId> = Vec::with_capacity(local.keys.len());
+        for (i, key) in local.keys.iter().enumerate() {
+            let translate = |id: ViewId| {
+                if id.index() < local.base_len {
+                    id
+                } else {
+                    remap[id.index() - local.base_len]
+                }
+            };
+            let key = key.mapped(translate);
+            let id = match self.index.get(&key) {
+                Some(&id) => id,
+                None => self.insert(key, local.data[i].clone()),
+            };
+            remap.push(id);
+        }
+        remap
+    }
+
     /// Render a view as a nested term, e.g. `p0[p0(x=1) | p1(x=0)←p1]`.
     pub fn render(&self, id: ViewId) -> String {
         match &self.keys[id.index()] {
@@ -258,6 +345,141 @@ impl ViewTable {
                 s
             }
         }
+    }
+}
+
+impl ViewInterner for ViewTable {
+    fn n(&self) -> usize {
+        ViewTable::n(self)
+    }
+
+    fn intern_initial(&mut self, p: Pid, x: Value) -> ViewId {
+        ViewTable::intern_initial(self, p, x)
+    }
+
+    fn intern_round(&mut self, p: Pid, prev: ViewId, received: &[(Pid, ViewId)]) -> ViewId {
+        ViewTable::intern_round(self, p, prev, received)
+    }
+}
+
+/// A per-worker view interner layered over an immutable base [`ViewTable`].
+///
+/// Ids below `base.len()` resolve in the base; new views land in a local
+/// extension with ids continuing from `base.len()`. Workers of a parallel
+/// expansion each build one shard against the shared base, then the shards
+/// are [`ViewTable::absorb`]ed into the base in canonical chunk order —
+/// reproducing the serial interning order without any locking on the hot
+/// path.
+#[derive(Debug)]
+pub struct ShardTable<'a> {
+    base: &'a ViewTable,
+    index: HashMap<ViewKey, ViewId>,
+    data: Vec<ViewData>,
+    keys: Vec<ViewKey>,
+}
+
+impl<'a> ShardTable<'a> {
+    /// A fresh shard over `base`.
+    pub fn new(base: &'a ViewTable) -> Self {
+        ShardTable { base, index: HashMap::new(), data: Vec::new(), keys: Vec::new() }
+    }
+
+    /// Number of views interned locally (excluding the base).
+    pub fn local_len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn resolve(&self, id: ViewId) -> &ViewData {
+        let i = id.index();
+        if i < self.base.len() {
+            &self.base.data[i]
+        } else {
+            &self.data[i - self.base.len()]
+        }
+    }
+
+    fn insert(&mut self, key: ViewKey, data: ViewData) -> ViewId {
+        let raw = self.base.len() + self.data.len();
+        let id = ViewId(u32::try_from(raw).expect("view table overflow"));
+        self.index.insert(key.clone(), id);
+        self.keys.push(key);
+        self.data.push(data);
+        id
+    }
+
+    /// Detach the local extension for [`ViewTable::absorb`], releasing the
+    /// borrow on the base.
+    pub fn into_local(self) -> LocalViews {
+        LocalViews { n: self.base.n, base_len: self.base.len(), keys: self.keys, data: self.data }
+    }
+}
+
+impl ViewInterner for ShardTable<'_> {
+    fn n(&self) -> usize {
+        self.base.n
+    }
+
+    fn intern_initial(&mut self, p: Pid, x: Value) -> ViewId {
+        assert!(p < self.base.n);
+        let key = ViewKey::Initial { p: p as u8, x };
+        if let Some(&id) = self.base.index.get(&key) {
+            return id;
+        }
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let data = ViewData {
+            process: p,
+            time: 0,
+            heard: mask::singleton(p),
+            known_inputs: vec![(p, x)].into_boxed_slice(),
+        };
+        self.insert(key, data)
+    }
+
+    fn intern_round(&mut self, p: Pid, prev: ViewId, received: &[(Pid, ViewId)]) -> ViewId {
+        let prev_data = self.resolve(prev);
+        assert_eq!(prev_data.process, p, "prev view must belong to p");
+        let t = prev_data.time + 1;
+
+        let rec = normalize_received(p, t, received, |id| self.resolve(id));
+        let key = ViewKey::Round { p: p as u8, prev, received: rec.clone().into_boxed_slice() };
+        if let Some(&id) = self.base.index.get(&key) {
+            return id;
+        }
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+
+        let data = merge_round_data(p, t, prev, &rec, |id| self.resolve(id));
+        self.insert(key, data)
+    }
+}
+
+/// The detached local extension of a [`ShardTable`], ready to be
+/// [`ViewTable::absorb`]ed. Keys are in local insertion order.
+#[derive(Debug)]
+pub struct LocalViews {
+    n: usize,
+    base_len: usize,
+    keys: Vec<ViewKey>,
+    data: Vec<ViewData>,
+}
+
+impl LocalViews {
+    /// The base-table length this shard extended — ids below it are global.
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Number of locally interned views.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the shard interned nothing new.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
     }
 }
 
@@ -360,6 +582,95 @@ mod tests {
         let w0 = t.intern_initial(1, 0);
         let r = t.intern_round(0, v0, &[(1, w0)]);
         assert_eq!(t.render(r), "p0[p0(x=1) | p1(x=0)←p1]");
+    }
+
+    #[test]
+    fn shard_over_empty_base_replays_serially() {
+        // Interning the same views serially and via a shard+absorb must
+        // assign identical ids.
+        let mut serial = ViewTable::new(2);
+        let a0 = serial.intern_initial(0, 0);
+        let b0 = serial.intern_initial(1, 1);
+        let a1 = serial.intern_round(0, a0, &[(1, b0)]);
+
+        let mut base = ViewTable::new(2);
+        let mut shard = ShardTable::new(&base);
+        let sa0 = ViewInterner::intern_initial(&mut shard, 0, 0);
+        let sb0 = ViewInterner::intern_initial(&mut shard, 1, 1);
+        let sa1 = ViewInterner::intern_round(&mut shard, 0, sa0, &[(1, sb0)]);
+        let local = shard.into_local();
+        let remap = base.absorb(&local);
+        assert_eq!(remap[sa0.index()], a0);
+        assert_eq!(remap[sb0.index()], b0);
+        assert_eq!(remap[sa1.index()], a1);
+        assert_eq!(base, serial);
+    }
+
+    #[test]
+    fn shard_deduplicates_against_base_and_absorb_remaps() {
+        let mut base = ViewTable::new(2);
+        let a0 = base.intern_initial(0, 0);
+        let b0 = base.intern_initial(1, 1);
+        let known = base.intern_round(0, a0, &[]);
+        let base_len = base.len();
+
+        let mut shard = ShardTable::new(&base);
+        // Already in the base: resolved there, nothing interned locally.
+        assert_eq!(ViewInterner::intern_initial(&mut shard, 0, 0), a0);
+        assert_eq!(ViewInterner::intern_round(&mut shard, 0, a0, &[]), known);
+        assert_eq!(shard.local_len(), 0);
+        // New: local ids continue from the base length.
+        let fresh = ViewInterner::intern_round(&mut shard, 0, a0, &[(1, b0)]);
+        assert_eq!(fresh.index(), base_len);
+        let local = shard.into_local();
+        assert_eq!(local.len(), 1);
+        assert_eq!(local.base_len(), base_len);
+
+        let remap = base.absorb(&local);
+        assert_eq!(remap.len(), 1);
+        assert_eq!(remap[0].index(), base_len);
+        assert_eq!(base.data(remap[0]).heard, 0b011);
+    }
+
+    #[test]
+    fn absorb_two_shards_first_chunk_wins() {
+        // Both shards intern the same new view; after absorbing in chunk
+        // order both remap to the id the first chunk created.
+        let mut base = ViewTable::new(2);
+        let a0 = base.intern_initial(0, 0);
+        let s1 = {
+            let mut shard = ShardTable::new(&base);
+            ViewInterner::intern_round(&mut shard, 0, a0, &[]);
+            shard.into_local()
+        };
+        let s2 = {
+            let mut shard = ShardTable::new(&base);
+            ViewInterner::intern_round(&mut shard, 0, a0, &[]);
+            shard.into_local()
+        };
+        let r1 = base.absorb(&s1);
+        let r2 = base.absorb(&s2);
+        assert_eq!(r1, r2);
+        assert_eq!(base.len(), 2);
+    }
+
+    #[test]
+    fn run_remap_after_shard_compute_matches_direct() {
+        use crate::PrefixRun;
+        use dyngraph::GraphSeq;
+        let seq = GraphSeq::parse2("-> <-").unwrap();
+
+        let mut serial = ViewTable::new(2);
+        let direct = PrefixRun::compute(vec![0, 1], &seq, &mut serial);
+
+        let mut base = ViewTable::new(2);
+        let mut shard = ShardTable::new(&base);
+        let mut run = PrefixRun::compute(vec![0, 1], &seq, &mut shard);
+        let local = shard.into_local();
+        let remap = base.absorb(&local);
+        run.remap_views(local.base_len(), &remap);
+        assert_eq!(base, serial);
+        assert_eq!(run, direct);
     }
 
     #[test]
