@@ -124,6 +124,44 @@ where
     finish(uf)
 }
 
+/// [`components_by_buckets`] for *dense* bucket keys `0 … num_buckets − 1`:
+/// the first-seen map is a flat array instead of a `HashMap`, so the merge
+/// pass never hashes. Produces exactly the same [`Components`] as the
+/// hashed version over the same `(key, point)` pairs (component ids are
+/// canonical — ordered by smallest member — either way).
+///
+/// ```
+/// use topology::components_by_dense_buckets;
+/// let comps = components_by_dense_buckets(4, 3, [(0, 0), (0, 1), (1, 1), (1, 2), (2, 3)]);
+/// assert_eq!(comps.count(), 2);
+/// assert!(comps.connected(0, 2));
+/// assert!(!comps.connected(0, 3));
+/// ```
+///
+/// # Panics
+/// Panics if a point or bucket index is out of range.
+pub fn components_by_dense_buckets<I>(
+    num_points: usize,
+    num_buckets: usize,
+    buckets: I,
+) -> Components
+where
+    I: IntoIterator<Item = (usize, usize)>,
+{
+    let mut uf = UnionFind::new(num_points);
+    let mut first: Vec<usize> = vec![usize::MAX; num_buckets];
+    for (key, point) in buckets {
+        assert!(point < num_points, "point {point} out of range");
+        assert!(key < num_buckets, "bucket {key} out of range");
+        if first[key] == usize::MAX {
+            first[key] = point;
+        } else {
+            uf.union(first[key], point);
+        }
+    }
+    finish(uf)
+}
+
 /// Components from an explicit edge list.
 pub fn components_by_edges<I>(num_points: usize, edges: I) -> Components
 where
@@ -214,6 +252,22 @@ mod tests {
         let a = components_by_edges(2, []);
         let b = components_by_edges(3, []);
         assert!(!a.refines(&b));
+    }
+
+    #[test]
+    fn dense_buckets_match_hashed_buckets() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.random_range(1..40);
+            let b = rng.random_range(1..12usize);
+            let pairs: Vec<(usize, usize)> = (0..rng.random_range(0..80))
+                .map(|_| (rng.random_range(0..b), rng.random_range(0..n)))
+                .collect();
+            let hashed = components_by_buckets(n, pairs.iter().copied());
+            let dense = components_by_dense_buckets(n, b, pairs.iter().copied());
+            assert_eq!(hashed, dense);
+        }
     }
 
     #[test]
