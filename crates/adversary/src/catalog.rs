@@ -8,13 +8,13 @@ use dyngraph::{generators, Digraph};
 
 use crate::{DynMA, GeneralMA, UnionMA};
 
-/// Santoro–Widmayer [21]: the `n = 2` lossy link `{←, ↔, →}` — up to
+/// Santoro–Widmayer \[21\]: the `n = 2` lossy link `{←, ↔, →}` — up to
 /// `n − 1 = 1` message lost per round. Consensus **impossible**.
 pub fn santoro_widmayer_lossy_link() -> GeneralMA {
     GeneralMA::oblivious(generators::lossy_link_full())
 }
 
-/// Coulouma–Godard–Peters [8]: the reduced lossy link `{←, →}`.
+/// Coulouma–Godard–Peters \[8\]: the reduced lossy link `{←, →}`.
 /// Consensus **solvable** (one-round direction rule).
 pub fn cgp_reduced_lossy_link() -> GeneralMA {
     GeneralMA::oblivious(generators::lossy_link_reduced())
@@ -51,7 +51,7 @@ pub fn all_rooted(n: usize) -> GeneralMA {
 }
 
 /// The eventually-stabilizing (VSSC-style) adversary of Winkler–Schwarz–
-/// Schmid [23] over all rooted graphs: some window of `window` rounds has a
+/// Schmid \[23\] over all rooted graphs: some window of `window` rounds has a
 /// vertex-stable root component. Non-compact for `deadline = None`.
 /// Solvable iff the window length exceeds the dynamic diameter (for
 /// `n = 2`: window ≥ 2).
@@ -63,7 +63,7 @@ pub fn vssc(n: usize, window: usize, deadline: Option<usize>) -> GeneralMA {
 /// The `n = 2` "eventually bidirectional" adversary: over `{←, ↔, →}`, a
 /// `↔` round eventually occurs. Non-compact; the excluded limits are the
 /// `↔`-free sequences (the coordinated-attack obstruction of Fevat–Godard
-/// [9] lives among them).
+/// \[9\] lives among them).
 pub fn eventually_bidirectional() -> GeneralMA {
     GeneralMA::eventually_graph(
         generators::lossy_link_full(),

@@ -7,7 +7,7 @@
 //! component computation as depth grows.
 
 use benches::{full_lossy_link, reduced_lossy_link, stars3};
-use consensus_core::{analysis, space::PrefixSpace};
+use consensus_core::{analysis, space::PrefixSpace, ExpandConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -43,7 +43,8 @@ fn bench_fig4(c: &mut Criterion) {
                 &(ma, depth),
                 |b, (ma, depth)| {
                     b.iter(|| {
-                        let space = PrefixSpace::build(ma, &[0, 1], *depth, 10_000_000).unwrap();
+                        let cfg = ExpandConfig::with_budget(10_000_000);
+                        let space = PrefixSpace::expand(ma, &[0, 1], *depth, &cfg).unwrap();
                         black_box(space.components().count())
                     })
                 },
@@ -55,7 +56,9 @@ fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4/broadcast_report");
     group.sample_size(10);
     for depth in [2usize, 4] {
-        let space = PrefixSpace::build(&stars3(), &[0, 1], depth, 10_000_000).unwrap();
+        let space =
+            PrefixSpace::expand(&stars3(), &[0, 1], depth, &ExpandConfig::with_budget(10_000_000))
+                .unwrap();
         group.bench_with_input(BenchmarkId::new("stars3", depth), &space, |b, space| {
             b.iter(|| black_box(consensus_core::broadcast::broadcast_report(space)))
         });

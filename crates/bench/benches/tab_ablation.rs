@@ -8,7 +8,7 @@
 
 use adversary::GeneralMA;
 use benches::{full_lossy_link, reduced_lossy_link};
-use consensus_core::{ablation, solvability::SolvabilityChecker, space::PrefixSpace};
+use consensus_core::{ablation, solvability::SolvabilityChecker, space::PrefixSpace, ExpandConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dyngraph::{Digraph, GraphSeq};
 use simulator::engine;
@@ -17,7 +17,8 @@ use std::hint::black_box;
 fn bench_ablation(c: &mut Criterion) {
     // Ablation 2 datum: decision rounds, early vs full-depth.
     let ma = reduced_lossy_link();
-    let space = PrefixSpace::build(&ma, &[0, 1], 3, 4_000_000).unwrap();
+    let space =
+        PrefixSpace::expand(&ma, &[0, 1], 3, &ExpandConfig::with_budget(4_000_000)).unwrap();
     let early = consensus_core::UniversalAlgorithm::synthesize(&space).unwrap();
     let late = ablation::FullDepthAlgorithm::synthesize(&space).unwrap();
     let seq = GraphSeq::parse2("-> <- ->").unwrap();
@@ -29,8 +30,13 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/components");
     group.sample_size(10);
     for depth in [2usize, 4] {
-        let space_full =
-            PrefixSpace::build(&full_lossy_link(), &[0, 1], depth, 10_000_000).unwrap();
+        let space_full = PrefixSpace::expand(
+            &full_lossy_link(),
+            &[0, 1],
+            depth,
+            &ExpandConfig::with_budget(10_000_000),
+        )
+        .unwrap();
         group.bench_with_input(BenchmarkId::new("ball_bfs", depth), &space_full, |b, space| {
             b.iter(|| black_box(ablation::components_by_ball_bfs(space)))
         });
@@ -39,7 +45,8 @@ fn bench_ablation(c: &mut Criterion) {
             &full_lossy_link(),
             |b, ma| {
                 b.iter(|| {
-                    let s = PrefixSpace::build(ma, &[0, 1], depth, 10_000_000).unwrap();
+                    let cfg = ExpandConfig::with_budget(10_000_000);
+                    let s = PrefixSpace::expand(ma, &[0, 1], depth, &cfg).unwrap();
                     black_box(s.components().count())
                 })
             },

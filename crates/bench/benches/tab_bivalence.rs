@@ -6,7 +6,7 @@
 //! per-depth ε-chain extraction, and the exact distance-0 chain search.
 
 use adversary::GeneralMA;
-use consensus_core::{bivalence, fair, space::PrefixSpace};
+use consensus_core::{bivalence, fair, space::PrefixSpace, ExpandConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dyngraph::{generators, Digraph};
 use simulator::algorithms::FloodMin;
@@ -38,7 +38,9 @@ fn bench_bivalence(c: &mut Criterion) {
     let mut group = c.benchmark_group("tab_bivalence/epsilon_chain");
     group.sample_size(10);
     for depth in [2usize, 3, 4] {
-        let space = PrefixSpace::build(&full, &[0, 1], depth, 4_000_000).unwrap();
+        let space =
+            PrefixSpace::expand(&full, &[0, 1], depth, &ExpandConfig::with_budget(4_000_000))
+                .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(depth), &space, |b, space| {
             b.iter(|| black_box(fair::valence_chain(space, 0, 1).unwrap().links.len()))
         });

@@ -6,7 +6,7 @@
 //! `DirectionRule` and `FloodMin` baselines.
 
 use adversary::GeneralMA;
-use consensus_core::{space::PrefixSpace, universal::UniversalAlgorithm};
+use consensus_core::{space::PrefixSpace, universal::UniversalAlgorithm, ExpandConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dyngraph::{generators, GraphSeq};
 use simulator::{algorithms, engine};
@@ -14,7 +14,7 @@ use std::hint::black_box;
 
 fn bench_universal(c: &mut Criterion) {
     let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-    let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+    let space = PrefixSpace::expand(&ma, &[0, 1], 2, &ExpandConfig::default()).unwrap();
     let universal = UniversalAlgorithm::synthesize(&space).unwrap();
     let seq = GraphSeq::parse2("-> <- -> <- -> <-").unwrap();
 
@@ -29,7 +29,9 @@ fn bench_universal(c: &mut Criterion) {
     for depth in [1usize, 2, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
             b.iter(|| {
-                let space = PrefixSpace::build(&ma, &[0, 1], depth, 4_000_000).unwrap();
+                let space =
+                    PrefixSpace::expand(&ma, &[0, 1], depth, &ExpandConfig::with_budget(4_000_000))
+                        .unwrap();
                 black_box(UniversalAlgorithm::synthesize(&space).unwrap().table_size())
             })
         });

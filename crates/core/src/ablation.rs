@@ -132,7 +132,8 @@ pub fn check_without_exact_phase(
     max_runs: usize,
 ) -> Option<usize> {
     for depth in 0..=max_depth {
-        match PrefixSpace::build(ma, values, depth, max_runs) {
+        let cfg = crate::config::ExpandConfig::with_budget(max_runs);
+        match PrefixSpace::expand(ma, values, depth, &cfg) {
             Ok(space) => {
                 if space.separation().is_separated() {
                     return Some(depth);
@@ -151,11 +152,15 @@ mod tests {
     use dyngraph::{generators, Digraph, GraphSeq};
     use simulator::{checker, engine};
 
+    use crate::config::ExpandConfig;
+
+    const CFG: ExpandConfig = ExpandConfig { threads: 1, max_runs: 1_000_000 };
+
     #[test]
     fn ball_bfs_matches_union_find() {
         for pool in [generators::lossy_link_full(), generators::lossy_link_reduced()] {
             let ma = GeneralMA::oblivious(pool);
-            let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+            let space = PrefixSpace::expand(&ma, &[0, 1], 2, &CFG).unwrap();
             let bfs = components_by_ball_bfs(&space);
             for i in 0..space.runs().len() {
                 for j in 0..space.runs().len() {
@@ -172,12 +177,18 @@ mod tests {
     #[test]
     fn full_depth_algorithm_equivalent_values_later_rounds() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 2, &CFG).unwrap();
         let early = crate::universal::UniversalAlgorithm::synthesize(&space).unwrap();
         let late = FullDepthAlgorithm::synthesize(&space).unwrap();
         assert_eq!(late.decision_depth(), 2);
 
-        let report = checker::check_consensus(&late, &ma, &[0, 1], 2, 100_000, true).unwrap();
+        let report = checker::check(
+            &late,
+            &ma,
+            &[0, 1],
+            &checker::CheckConfig::at_depth(2).max_runs(100_000),
+        )
+        .unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert_eq!(report.max_decision_round, 2, "full-depth always decides at depth");
 

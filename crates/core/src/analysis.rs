@@ -175,7 +175,8 @@ pub fn depth_sweep(
 ) -> Vec<SpaceReport> {
     let mut out = Vec::new();
     for depth in 0..=max_depth {
-        match PrefixSpace::build(ma, values, depth, max_runs) {
+        let cfg = crate::config::ExpandConfig::with_budget(max_runs);
+        match PrefixSpace::expand(ma, values, depth, &cfg) {
             Ok(space) => out.push(report(&space)),
             Err(_) => break,
         }
@@ -190,10 +191,14 @@ mod tests {
     use dyngraph::{generators, Digraph};
     use ptgraph::distance::Distance;
 
+    use crate::config::ExpandConfig;
+
+    const CFG: ExpandConfig = ExpandConfig { threads: 1, max_runs: 1_000_000 };
+
     #[test]
     fn report_reduced_lossy_link() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 2, &CFG).unwrap();
         let rep = report(&space);
         assert!(rep.separated);
         assert_eq!(rep.mixed_count(), 0);
@@ -210,7 +215,7 @@ mod tests {
     #[test]
     fn report_full_lossy_link_mixed() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 2, &CFG).unwrap();
         let rep = report(&space);
         assert!(!rep.separated);
         assert!(rep.mixed_count() >= 1);
@@ -255,7 +260,7 @@ mod tests {
     #[test]
     fn report_single_graph_pool() {
         let ma = GeneralMA::oblivious(vec![Digraph::parse2("<->").unwrap()]);
-        let space = PrefixSpace::build(&ma, &[0, 1], 1, 1000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 1, &ExpandConfig::with_budget(1000)).unwrap();
         let rep = report(&space);
         assert!(rep.separated);
         assert_eq!(rep.run_count, 4);

@@ -2,7 +2,7 @@
 //!
 //! * [`kernel_classes`] / [`kernel_beta_solvable_n2`] — the kernel-based
 //!   criterion for **`n = 2`** oblivious adversaries, equivalent on two
-//!   processes to the Coulouma–Godard–Peters characterization [8] (and to
+//!   processes to the Coulouma–Godard–Peters characterization \[8\] (and to
 //!   the paper's broadcastability characterization, Theorem 5.11): group
 //!   pool graphs by the transitive closure of "kernels intersect"; solvable
 //!   iff every class has a nonempty common kernel intersection.
@@ -46,7 +46,7 @@ pub fn kernel_classes(pool: &[Digraph]) -> Vec<Vec<usize>> {
 }
 
 /// The kernel-based solvability criterion for `n = 2` oblivious adversaries
-/// ([8] reformulated via Theorem 5.11): every kernel class must have a
+/// (\[8\] reformulated via Theorem 5.11): every kernel class must have a
 /// nonempty common kernel intersection.
 ///
 /// # Panics
@@ -138,7 +138,7 @@ mod tests {
     use super::*;
     use adversary::GeneralMA;
     use dyngraph::generators;
-    use simulator::checker::check_consensus;
+    use simulator::checker::{check, CheckConfig};
 
     #[test]
     fn kernel_classes_lossy_link() {
@@ -167,7 +167,13 @@ mod tests {
                 .collect();
             let kernel_says = kernel_beta_solvable_n2(&pool);
             let ma = GeneralMA::oblivious(pool);
-            let space = crate::space::PrefixSpace::build(&ma, &[0, 1], 3, 2_000_000).unwrap();
+            let space = crate::space::PrefixSpace::expand(
+                &ma,
+                &[0, 1],
+                3,
+                &crate::config::ExpandConfig::default(),
+            )
+            .unwrap();
             let topo_says = space.separation().is_separated();
             assert_eq!(kernel_says, topo_says, "criteria disagree on pool bits {bits:#06b}");
         }
@@ -205,7 +211,8 @@ mod tests {
         assert_eq!(p, 0);
         let alg = CommonBroadcasterRule::new(p, 2);
         let ma = GeneralMA::oblivious(pool);
-        let report = check_consensus(&alg, &ma, &[0, 1], 3, 1_000_000, true).unwrap();
+        let report =
+            check(&alg, &ma, &[0, 1], &CheckConfig::at_depth(3).max_runs(1_000_000)).unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
     }
 

@@ -224,7 +224,13 @@ mod tests {
         // On the solvable {←, →} the universal algorithm becomes univalent
         // quickly: no bivalent extension survives past its decision depth.
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let space = crate::space::PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let space = crate::space::PrefixSpace::expand(
+            &ma,
+            &[0, 1],
+            2,
+            &crate::config::ExpandConfig::default(),
+        )
+        .unwrap();
         let alg = crate::universal::UniversalAlgorithm::synthesize(&space).unwrap();
         let run = bivalent_run(&alg, &ma, &[0, 1], 3, 2);
         assert!(run.is_none(), "universal algorithm must not stay bivalent: {run:?}");

@@ -95,10 +95,14 @@ mod tests {
     use adversary::GeneralMA;
     use dyngraph::generators;
 
+    use crate::config::ExpandConfig;
+
+    const CFG: ExpandConfig = ExpandConfig { threads: 1, max_runs: 1_000_000 };
+
     #[test]
     fn reduced_lossy_link_broadcastable() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 2, &CFG).unwrap();
         let rep = broadcast_report(&space);
         assert!(rep.all_broadcastable());
         assert!(rep.failing_components().is_empty());
@@ -111,7 +115,7 @@ mod tests {
     #[test]
     fn full_lossy_link_mixed_component_fails() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let space = PrefixSpace::build(&ma, &[0, 1], 3, 1_000_000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 3, &CFG).unwrap();
         let rep = broadcast_report(&space);
         assert!(!rep.all_broadcastable());
         // Theorem 5.11 agreement: separation fails ⟺ some component is not
@@ -135,7 +139,7 @@ mod tests {
                 .map(|(_, g)| g.clone())
                 .collect();
             let ma = GeneralMA::oblivious(pool);
-            let space = PrefixSpace::build(&ma, &[0, 1], 3, 1_000_000).unwrap();
+            let space = PrefixSpace::expand(&ma, &[0, 1], 3, &CFG).unwrap();
             let pure = space.separation().is_separated();
             let broadcastable = broadcast_report(&space).all_broadcastable();
             if broadcastable {
@@ -150,7 +154,7 @@ mod tests {
     #[test]
     fn single_process_trivially_broadcastable() {
         let ma = GeneralMA::oblivious(vec![dyngraph::Digraph::empty(1)]);
-        let space = PrefixSpace::build(&ma, &[0, 1], 1, 1000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 1, &ExpandConfig::with_budget(1000)).unwrap();
         let rep = broadcast_report(&space);
         assert!(rep.all_broadcastable());
     }

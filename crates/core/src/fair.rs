@@ -238,6 +238,10 @@ mod tests {
     use adversary::GeneralMA;
     use dyngraph::{generators, Digraph};
 
+    use crate::config::ExpandConfig;
+
+    const CFG: ExpandConfig = ExpandConfig { threads: 1, max_runs: 1_000_000 };
+
     #[test]
     fn empty_graph_pool_yields_zero_chain() {
         // Pool {∅}: nobody ever hears anybody — flips are invisible.
@@ -289,7 +293,7 @@ mod tests {
     #[test]
     fn epsilon_chain_within_mixed_component() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let space = PrefixSpace::build(&ma, &[0, 1], 3, 1_000_000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 3, &CFG).unwrap();
         let chain = valence_chain(&space, 0, 1).expect("mixed component must chain");
         assert!(validate_epsilon_chain(&space, &chain));
         assert!(space.runs()[chain.start].is_valent(0));
@@ -301,7 +305,7 @@ mod tests {
     #[test]
     fn epsilon_chain_none_across_components() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 2, &CFG).unwrap();
         // Separated: no valence chain.
         assert!(valence_chain(&space, 0, 1).is_none());
     }
@@ -313,7 +317,7 @@ mod tests {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
         let mut prev_len = 0;
         for depth in 1..4 {
-            let space = PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap();
+            let space = PrefixSpace::expand(&ma, &[0, 1], depth, &CFG).unwrap();
             let chain = valence_chain(&space, 0, 1).expect("chain exists at every depth");
             assert!(validate_epsilon_chain(&space, &chain));
             assert!(chain.links.len() >= prev_len, "chains should not shrink with depth");

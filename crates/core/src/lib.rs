@@ -27,7 +27,7 @@
 //! * [`bivalence`] — the classic bivalence analysis of §6.1, reconstructed
 //!   on top of the topological machinery;
 //! * [`baselines`] — the kernel-based criterion for `n = 2` oblivious
-//!   adversaries ([8]) and simple sufficient conditions, used as ground
+//!   adversaries (\[8\]) and simple sufficient conditions, used as ground
 //!   truth in cross-validation;
 //! * [`analysis`] — component statistics reports (the data behind the
 //!   paper's Figures 4 and 5).
@@ -59,11 +59,15 @@ pub mod baselines;
 pub mod bivalence;
 pub mod broadcast;
 pub mod compactness;
+pub mod config;
+pub mod error;
 pub mod fair;
 pub mod solvability;
 pub mod space;
 pub mod universal;
 
+pub use config::{AnalysisConfig, CacheConfig, ExpandConfig};
+pub use error::{Error, SpecError};
 pub use solvability::{SolvabilityChecker, Verdict};
 pub use space::PrefixSpace;
 pub use universal::UniversalAlgorithm;

@@ -26,6 +26,7 @@ use simulator::checker::{self, CheckReport};
 
 use crate::{
     broadcast::{broadcast_report, BroadcastReport},
+    config::{AnalysisConfig, ExpandConfig},
     fair::{self, EpsilonChain, ZeroChain},
     space::PrefixSpace,
     universal::UniversalAlgorithm,
@@ -134,7 +135,7 @@ impl SpaceSource for FreshSpaces {
         depth: usize,
         max_runs: usize,
     ) -> Result<Arc<PrefixSpace>, enumerate::BudgetExceeded> {
-        PrefixSpace::build(ma, values, depth, max_runs).map(Arc::new)
+        PrefixSpace::build_impl(ma, values, depth, max_runs, 1).map(Arc::new)
     }
 }
 
@@ -155,25 +156,38 @@ impl SpaceSource for FreshSpaces {
 pub struct SolvabilityChecker<M> {
     ma: M,
     values: Vec<Value>,
-    max_depth: usize,
-    max_runs: usize,
-    max_chain_cycle: usize,
-    strong_validity: bool,
-    expand_threads: usize,
+    analysis: AnalysisConfig,
+    expand: ExpandConfig,
 }
 
 impl<M: MessageAdversary> SolvabilityChecker<M> {
-    /// A checker with binary inputs, depth limit 6, and a 2·10⁶-run budget.
+    /// A checker with binary inputs and the default configs (depth ladder
+    /// to 6, weak validity, serial expansion, 2·10⁶-run budget).
     pub fn new(ma: M) -> Self {
-        SolvabilityChecker {
-            ma,
-            values: vec![0, 1],
-            max_depth: 6,
-            max_runs: 2_000_000,
-            max_chain_cycle: 3,
-            strong_validity: false,
-            expand_threads: 1,
-        }
+        Self::with_config(ma, AnalysisConfig::default(), ExpandConfig::default())
+    }
+
+    /// A checker with binary inputs and explicit analysis/engine configs —
+    /// the typed replacement for chaining `max_depth` / `max_runs` /
+    /// `strong_validity` / `expand_threads` setters.
+    ///
+    /// ```
+    /// use consensus_core::config::{AnalysisConfig, ExpandConfig};
+    /// use consensus_core::solvability::SolvabilityChecker;
+    /// use adversary::GeneralMA;
+    /// use dyngraph::generators;
+    ///
+    /// let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
+    /// let verdict = SolvabilityChecker::with_config(
+    ///     ma,
+    ///     AnalysisConfig::new().max_depth(4),
+    ///     ExpandConfig::default(),
+    /// )
+    /// .check();
+    /// assert!(verdict.is_solvable());
+    /// ```
+    pub fn with_config(ma: M, analysis: AnalysisConfig, expand: ExpandConfig) -> Self {
+        SolvabilityChecker { ma, values: vec![0, 1], analysis, expand }
     }
 
     /// Set the input domain.
@@ -185,29 +199,29 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
 
     /// Set the maximum resolution depth.
     pub fn max_depth(mut self, depth: usize) -> Self {
-        self.max_depth = depth;
+        self.analysis.max_depth = depth;
         self
     }
 
     /// Set the expansion budget (runs per depth).
     pub fn max_runs(mut self, max_runs: usize) -> Self {
-        self.max_runs = max_runs;
+        self.expand.max_runs = max_runs;
         self
     }
 
     /// Set the maximum lasso cycle length searched for exact chains.
     pub fn max_chain_cycle(mut self, c: usize) -> Self {
-        self.max_chain_cycle = c;
+        self.analysis.max_chain_cycle = c;
         self
     }
 
-    /// Shard the checker's own prefix-space expansions over `threads`
-    /// scoped workers (`≤ 1` = serial, the default). Verdicts and
-    /// certificates are byte-identical for every thread count; only wall
-    /// clock changes. Sources passed to [`check_via`](Self::check_via)
-    /// carry their own knob (e.g. the lab cache's `with_threads`).
+    /// Legacy knob for the expansion worker count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "pass an `ExpandConfig` to `SolvabilityChecker::with_config` instead"
+    )]
     pub fn expand_threads(mut self, threads: usize) -> Self {
-        self.expand_threads = threads.max(1);
+        self.expand.threads = threads.max(1);
         self
     }
 
@@ -217,13 +231,23 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
     /// separated for weak validity may still fail strong validity (no legal
     /// assignment); the sweep then continues to deeper resolutions.
     pub fn strong_validity(mut self, enable: bool) -> Self {
-        self.strong_validity = enable;
+        self.analysis.strong_validity = enable;
         self
     }
 
     /// The adversary under analysis.
     pub fn adversary(&self) -> &M {
         &self.ma
+    }
+
+    /// The analysis configuration in effect.
+    pub fn analysis_config(&self) -> &AnalysisConfig {
+        &self.analysis
+    }
+
+    /// The expansion configuration in effect.
+    pub fn expand_config(&self) -> &ExpandConfig {
+        &self.expand
     }
 
     /// Run the check.
@@ -237,13 +261,11 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
         // interned once across the sweep; see `PrefixSpace::extended`).
         let mut last: Option<PrefixSpace> = None;
         let mut budget_hit = false;
-        let mut current =
-            PrefixSpace::build_with(&self.ma, &self.values, 0, self.max_runs, self.expand_threads)
-                .ok();
-        for _depth in 0..=self.max_depth {
+        let mut current = PrefixSpace::expand(&self.ma, &self.values, 0, &self.expand).ok();
+        for _depth in 0..=self.analysis.max_depth {
             match current.take() {
                 Some(space) => {
-                    let separated = if self.strong_validity {
+                    let separated = if self.analysis.strong_validity {
                         space.strong_component_assignment().is_some()
                     } else {
                         space.separation().is_separated()
@@ -251,8 +273,8 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
                     if separated {
                         return self.certify_solvable(&space);
                     }
-                    if space.depth() < self.max_depth {
-                        match space.extended_with(&self.ma, self.max_runs, self.expand_threads) {
+                    if space.depth() < self.analysis.max_depth {
+                        match space.extend(&self.ma, &self.expand) {
                             Ok(next) => current = Some(next),
                             Err((space, _)) => {
                                 budget_hit = true;
@@ -296,7 +318,9 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
     pub fn exact_impossibility(&self) -> Option<Verdict> {
         for (i, &v) in self.values.iter().enumerate() {
             for &w in &self.values[i + 1..] {
-                if let Some(chain) = fair::exact_zero_chain(&self.ma, v, w, self.max_chain_cycle) {
+                if let Some(chain) =
+                    fair::exact_zero_chain(&self.ma, v, w, self.analysis.max_chain_cycle)
+                {
                     debug_assert!(chain.verify(&self.ma));
                     return Some(Verdict::Unsolvable(UnsolvableCert::ZeroChain(chain)));
                 }
@@ -316,10 +340,10 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
 
         let mut last: Option<Arc<PrefixSpace>> = None;
         let mut budget_hit = false;
-        for depth in 0..=self.max_depth {
-            match source.space(&self.ma, &self.values, depth, self.max_runs) {
+        for depth in 0..=self.analysis.max_depth {
+            match source.space(&self.ma, &self.values, depth, self.expand.max_runs) {
                 Ok(space) => {
-                    let separated = if self.strong_validity {
+                    let separated = if self.analysis.strong_validity {
                         space.strong_component_assignment().is_some()
                     } else {
                         space.separation().is_separated()
@@ -373,20 +397,19 @@ impl<M: MessageAdversary> SolvabilityChecker<M> {
     /// error by Theorem 5.5).
     pub fn certify_solvable(&self, space: &PrefixSpace) -> Verdict {
         let broadcast = broadcast_report(space);
-        let algorithm = if self.strong_validity {
+        let algorithm = if self.analysis.strong_validity {
             UniversalAlgorithm::synthesize_strong(space)
                 .expect("strong assignment checked before certification")
         } else {
             UniversalAlgorithm::synthesize(space).expect("separated space must synthesize")
         };
-        let verification = checker::check_consensus_with(
+        let verification = checker::check(
             &algorithm,
             &self.ma,
             &self.values,
-            space.depth(),
-            self.max_runs,
-            true,
-            self.strong_validity,
+            &checker::CheckConfig::at_depth(space.depth())
+                .max_runs(self.expand.max_runs)
+                .strong_validity(self.analysis.strong_validity),
         )
         .expect("depth already expanded within budget");
         assert!(
@@ -557,10 +580,12 @@ mod tests {
         ] {
             let serial =
                 SolvabilityChecker::new(GeneralMA::oblivious(pool.clone())).max_depth(3).check();
-            let parallel = SolvabilityChecker::new(GeneralMA::oblivious(pool.clone()))
-                .max_depth(3)
-                .expand_threads(8)
-                .check();
+            let parallel = SolvabilityChecker::with_config(
+                GeneralMA::oblivious(pool.clone()),
+                crate::config::AnalysisConfig::new().max_depth(3),
+                crate::config::ExpandConfig::new().threads(8),
+            )
+            .check();
             match (&serial, &parallel) {
                 (Verdict::Solvable(a), Verdict::Solvable(b)) => {
                     assert_eq!(a.depth, b.depth);
@@ -579,7 +604,8 @@ mod tests {
     #[test]
     fn space_stats_are_cheap_reads() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let space =
+            PrefixSpace::expand(&ma, &[0, 1], 2, &crate::config::ExpandConfig::default()).unwrap();
         let stats = space.stats();
         assert_eq!(stats.depth, 2);
         assert_eq!(stats.runs, space.runs().len());

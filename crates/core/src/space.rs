@@ -15,10 +15,13 @@ use dyngraph::Pid;
 use ptgraph::{PrefixRun, Value, ViewId};
 use topology::{components_by_dense_buckets, separation, Components};
 
+use crate::config::ExpandConfig;
+use crate::error::Error;
+
 /// The expanded and component-decomposed prefix space at one depth.
 ///
 /// Cloning deep-copies the expansion and components; see
-/// [`PrefixSpace::extended_from`] for why callers want that.
+/// [`PrefixSpace::extend_from`] for why callers want that.
 #[derive(Debug, Clone)]
 pub struct PrefixSpace {
     expansion: enumerate::Expansion,
@@ -41,29 +44,105 @@ pub struct SpaceStats {
 
 impl PrefixSpace {
     /// Expand the adversary at `depth` over the input domain `values` and
-    /// compute the ε-approximation components (`ε = 2^{−depth}`).
+    /// compute the ε-approximation components (`ε = 2^{−depth}`), under
+    /// `cfg`'s worker-shard count and run budget. The space — runs, view
+    /// ids, components — is byte-identical for every
+    /// [`threads`](ExpandConfig::threads) value (see
+    /// [`enumerate::expand_with`]).
     ///
     /// # Errors
-    /// Returns [`enumerate::BudgetExceeded`] if the space exceeds
-    /// `max_runs`.
-    pub fn build(
+    /// Returns [`Error::Budget`] if the space exceeds
+    /// [`cfg.max_runs`](ExpandConfig::max_runs).
+    pub fn expand(
         ma: &dyn MessageAdversary,
         values: &[Value],
         depth: usize,
-        max_runs: usize,
-    ) -> Result<Self, enumerate::BudgetExceeded> {
-        Self::build_with(ma, values, depth, max_runs, 1)
+        cfg: &ExpandConfig,
+    ) -> Result<Self, Error> {
+        Self::build_impl(ma, values, depth, cfg.max_runs, cfg.effective_threads())
+            .map_err(Error::from)
     }
 
-    /// [`build`](Self::build) with the expansion sharded over `threads`
-    /// scoped workers (`≤ 1` = serial). The space — runs, view ids,
-    /// components — is byte-identical for every thread count
-    /// (see [`enumerate::expand_with`]).
+    /// Extend the space by one round incrementally: runs are extended in
+    /// place (views interned once across the sweep) and components are
+    /// recomputed at the new depth. On budget exhaustion the original space
+    /// is returned unchanged as the error payload.
+    ///
+    /// # Errors
+    /// Returns `(self, Error::Budget)` if the extension would exceed the
+    /// budget (the space rides along in the error so callers keep it).
+    #[allow(clippy::result_large_err)]
+    pub fn extend(
+        self,
+        ma: &dyn MessageAdversary,
+        cfg: &ExpandConfig,
+    ) -> Result<Self, (Self, Error)> {
+        self.extend_impl(ma, cfg.max_runs, cfg.effective_threads())
+            .map_err(|(space, e)| (space, Error::from(e)))
+    }
+
+    /// Extend *a copy of* this space by one round, leaving `self` intact —
+    /// the extension seam for caching [`SpaceSource`] implementations: a
+    /// source holding this space (e.g. behind an `Arc`) can serve a
+    /// depth-`t+1` request by laddering up from the cached depth-`t` space
+    /// instead of re-expanding from scratch, while the depth-`t` entry
+    /// stays live for other requesters. The runs/views/components produced
+    /// are identical to a from-scratch [`PrefixSpace::expand`] at the
+    /// deeper depth (runs are enumerated in the same input-major,
+    /// breadth-first sequence order either way).
+    ///
+    /// # Errors
+    /// Returns [`Error::Budget`] if the extension would exceed the budget;
+    /// `self` is untouched either way.
+    ///
+    /// [`SpaceSource`]: crate::solvability::SpaceSource
+    pub fn extend_from(
+        &self,
+        ma: &dyn MessageAdversary,
+        cfg: &ExpandConfig,
+    ) -> Result<Self, Error> {
+        self.extend_from_impl(ma, cfg.max_runs, cfg.effective_threads())
+            .map_err(Error::from)
+    }
+
+    /// [`expand`](Self::expand) with the budget-typed error of the
+    /// [`SpaceSource`] seam: memoizing sources record failures, so they
+    /// need a `Clone`-able error, which the crate-wide [`Error`] (it can
+    /// hold an `io::Error`) is not. Prefer [`expand`](Self::expand)
+    /// everywhere else.
     ///
     /// # Errors
     /// Returns [`enumerate::BudgetExceeded`] if the space exceeds
-    /// `max_runs`.
-    pub fn build_with(
+    /// [`cfg.max_runs`](ExpandConfig::max_runs).
+    ///
+    /// [`SpaceSource`]: crate::solvability::SpaceSource
+    pub fn expand_budgeted(
+        ma: &dyn MessageAdversary,
+        values: &[Value],
+        depth: usize,
+        cfg: &ExpandConfig,
+    ) -> Result<Self, enumerate::BudgetExceeded> {
+        Self::build_impl(ma, values, depth, cfg.max_runs, cfg.effective_threads())
+    }
+
+    /// [`extend_from`](Self::extend_from) with the budget-typed error of
+    /// the [`SpaceSource`] seam (see
+    /// [`expand_budgeted`](Self::expand_budgeted)).
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the extension would exceed
+    /// the budget; `self` is untouched either way.
+    ///
+    /// [`SpaceSource`]: crate::solvability::SpaceSource
+    pub fn extend_from_budgeted(
+        &self,
+        ma: &dyn MessageAdversary,
+        cfg: &ExpandConfig,
+    ) -> Result<Self, enumerate::BudgetExceeded> {
+        self.extend_from_impl(ma, cfg.max_runs, cfg.effective_threads())
+    }
+
+    pub(crate) fn build_impl(
         ma: &dyn MessageAdversary,
         values: &[Value],
         depth: usize,
@@ -74,31 +153,8 @@ impl PrefixSpace {
         Ok(Self::from_expansion(expansion))
     }
 
-    /// Extend the space by one round incrementally: runs are extended in
-    /// place (views interned once across the sweep) and components are
-    /// recomputed at the new depth. On budget exhaustion the original space
-    /// is returned unchanged as the error payload.
-    ///
-    /// # Errors
-    /// Returns `(self, BudgetExceeded)` if the extension would exceed
-    /// `max_runs` (the space rides along in the error so callers keep it).
     #[allow(clippy::result_large_err)]
-    pub fn extended(
-        self,
-        ma: &dyn MessageAdversary,
-        max_runs: usize,
-    ) -> Result<Self, (Self, enumerate::BudgetExceeded)> {
-        self.extended_with(ma, max_runs, 1)
-    }
-
-    /// [`extended`](Self::extended) with the run extension sharded over
-    /// `threads` scoped workers; byte-identical output for every count.
-    ///
-    /// # Errors
-    /// Returns `(self, BudgetExceeded)` if the extension would exceed
-    /// `max_runs` (the space rides along in the error so callers keep it).
-    #[allow(clippy::result_large_err)]
-    pub fn extended_with(
+    pub(crate) fn extend_impl(
         self,
         ma: &dyn MessageAdversary,
         max_runs: usize,
@@ -107,44 +163,11 @@ impl PrefixSpace {
         let mut expansion = self.expansion;
         match expansion.extend_with(ma, max_runs, threads) {
             Ok(()) => Ok(Self::from_expansion(expansion)),
-            Err(e) => Err((Self::from_expansion_keep_depth(expansion), e)),
+            Err(e) => Err((Self::from_expansion(expansion), e)),
         }
     }
 
-    fn from_expansion_keep_depth(expansion: enumerate::Expansion) -> Self {
-        Self::from_expansion(expansion)
-    }
-
-    /// Extend *a copy of* this space by one round, leaving `self` intact —
-    /// the extension seam for caching [`SpaceSource`] implementations: a
-    /// source holding this space (e.g. behind an `Arc`) can serve a
-    /// depth-`t+1` request by laddering up from the cached depth-`t` space
-    /// instead of re-expanding from scratch, while the depth-`t` entry
-    /// stays live for other requesters. The runs/views/components produced
-    /// are identical to a from-scratch [`PrefixSpace::build`] at the deeper
-    /// depth (runs are enumerated in the same input-major, breadth-first
-    /// sequence order either way).
-    ///
-    /// # Errors
-    /// Returns [`enumerate::BudgetExceeded`] if the extension would exceed
-    /// `max_runs`; `self` is untouched either way.
-    ///
-    /// [`SpaceSource`]: crate::solvability::SpaceSource
-    pub fn extended_from(
-        &self,
-        ma: &dyn MessageAdversary,
-        max_runs: usize,
-    ) -> Result<Self, enumerate::BudgetExceeded> {
-        self.extended_from_with(ma, max_runs, 1)
-    }
-
-    /// [`extended_from`](Self::extended_from) with the run extension
-    /// sharded over `threads` scoped workers; byte-identical output.
-    ///
-    /// # Errors
-    /// Returns [`enumerate::BudgetExceeded`] if the extension would exceed
-    /// `max_runs`; `self` is untouched either way.
-    pub fn extended_from_with(
+    pub(crate) fn extend_from_impl(
         &self,
         ma: &dyn MessageAdversary,
         max_runs: usize,
@@ -153,6 +176,118 @@ impl PrefixSpace {
         let mut expansion = self.expansion.clone();
         expansion.extend_with(ma, max_runs, threads)?;
         Ok(Self::from_expansion(expansion))
+    }
+
+    /// Legacy positional form of [`expand`](Self::expand).
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the space exceeds
+    /// `max_runs`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PrefixSpace::expand` with an `ExpandConfig`"
+    )]
+    pub fn build(
+        ma: &dyn MessageAdversary,
+        values: &[Value],
+        depth: usize,
+        max_runs: usize,
+    ) -> Result<Self, enumerate::BudgetExceeded> {
+        Self::build_impl(ma, values, depth, max_runs, 1)
+    }
+
+    /// Legacy positional form of [`expand`](Self::expand) with a thread
+    /// count.
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the space exceeds
+    /// `max_runs`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PrefixSpace::expand` with an `ExpandConfig`"
+    )]
+    pub fn build_with(
+        ma: &dyn MessageAdversary,
+        values: &[Value],
+        depth: usize,
+        max_runs: usize,
+        threads: usize,
+    ) -> Result<Self, enumerate::BudgetExceeded> {
+        Self::build_impl(ma, values, depth, max_runs, threads)
+    }
+
+    /// Legacy positional form of [`extend`](Self::extend).
+    ///
+    /// # Errors
+    /// Returns `(self, BudgetExceeded)` if the extension would exceed
+    /// `max_runs`.
+    #[allow(clippy::result_large_err)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PrefixSpace::extend` with an `ExpandConfig`"
+    )]
+    pub fn extended(
+        self,
+        ma: &dyn MessageAdversary,
+        max_runs: usize,
+    ) -> Result<Self, (Self, enumerate::BudgetExceeded)> {
+        self.extend_impl(ma, max_runs, 1)
+    }
+
+    /// Legacy positional form of [`extend`](Self::extend) with a thread
+    /// count.
+    ///
+    /// # Errors
+    /// Returns `(self, BudgetExceeded)` if the extension would exceed
+    /// `max_runs`.
+    #[allow(clippy::result_large_err)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PrefixSpace::extend` with an `ExpandConfig`"
+    )]
+    pub fn extended_with(
+        self,
+        ma: &dyn MessageAdversary,
+        max_runs: usize,
+        threads: usize,
+    ) -> Result<Self, (Self, enumerate::BudgetExceeded)> {
+        self.extend_impl(ma, max_runs, threads)
+    }
+
+    /// Legacy positional form of [`extend_from`](Self::extend_from).
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the extension would exceed
+    /// `max_runs`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PrefixSpace::extend_from` with an `ExpandConfig`"
+    )]
+    pub fn extended_from(
+        &self,
+        ma: &dyn MessageAdversary,
+        max_runs: usize,
+    ) -> Result<Self, enumerate::BudgetExceeded> {
+        self.extend_from_impl(ma, max_runs, 1)
+    }
+
+    /// Legacy positional form of [`extend_from`](Self::extend_from) with a
+    /// thread count.
+    ///
+    /// # Errors
+    /// Returns [`enumerate::BudgetExceeded`] if the extension would exceed
+    /// `max_runs`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PrefixSpace::extend_from` with an `ExpandConfig`"
+    )]
+    pub fn extended_from_with(
+        &self,
+        ma: &dyn MessageAdversary,
+        max_runs: usize,
+        threads: usize,
+    ) -> Result<Self, enumerate::BudgetExceeded> {
+        self.extend_from_impl(ma, max_runs, threads)
     }
 
     /// Component-decompose an existing expansion.
@@ -359,14 +494,16 @@ mod tests {
     use adversary::GeneralMA;
     use dyngraph::generators;
 
+    const CFG: ExpandConfig = ExpandConfig { threads: 1, max_runs: 1_000_000 };
+
     fn reduced(depth: usize) -> PrefixSpace {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap()
+        PrefixSpace::expand(&ma, &[0, 1], depth, &CFG).unwrap()
     }
 
     fn full(depth: usize) -> PrefixSpace {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap()
+        PrefixSpace::expand(&ma, &[0, 1], depth, &CFG).unwrap()
     }
 
     #[test]
@@ -472,10 +609,10 @@ mod tests {
     #[test]
     fn incremental_extension_matches_rebuild() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let mut inc = PrefixSpace::build(&ma, &[0, 1], 0, 1_000_000).unwrap();
+        let mut inc = PrefixSpace::expand(&ma, &[0, 1], 0, &CFG).unwrap();
         for depth in 1..=3 {
-            inc = inc.extended(&ma, 1_000_000).unwrap();
-            let direct = PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap();
+            inc = inc.extend(&ma, &CFG).unwrap();
+            let direct = PrefixSpace::expand(&ma, &[0, 1], depth, &CFG).unwrap();
             assert_eq!(inc.depth(), direct.depth());
             assert_eq!(inc.runs().len(), direct.runs().len());
             assert_eq!(inc.components().count(), direct.components().count());
@@ -493,12 +630,12 @@ mod tests {
     #[test]
     fn extended_from_leaves_base_intact_and_matches_rebuild() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let base = PrefixSpace::build(&ma, &[0, 1], 1, 1_000_000).unwrap();
-        let deeper = base.extended_from(&ma, 1_000_000).unwrap();
+        let base = PrefixSpace::expand(&ma, &[0, 1], 1, &CFG).unwrap();
+        let deeper = base.extend_from(&ma, &CFG).unwrap();
         // The base is untouched and still usable.
         assert_eq!(base.depth(), 1);
         assert_eq!(deeper.depth(), 2);
-        let direct = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let direct = PrefixSpace::expand(&ma, &[0, 1], 2, &CFG).unwrap();
         assert_eq!(deeper.runs().len(), direct.runs().len());
         assert_eq!(deeper.stats(), direct.stats());
         assert_eq!(deeper.separation().is_separated(), direct.separation().is_separated());
@@ -508,28 +645,28 @@ mod tests {
             assert_eq!(a.seq(), b.seq());
         }
         // Budget failure leaves the base intact too.
-        assert!(base.extended_from(&ma, 10).is_err());
+        assert!(base.extend_from(&ma, &ExpandConfig::with_budget(10)).is_err());
         assert_eq!(base.depth(), 1);
     }
 
     #[test]
     fn incremental_extension_budget_error_preserves_space() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 2, &CFG).unwrap();
         let runs_before = space.runs().len();
-        let (space, err) = space.extended(&ma, 10).unwrap_err();
+        let (space, err) = space.extend(&ma, &ExpandConfig::with_budget(10)).unwrap_err();
         assert_eq!(space.runs().len(), runs_before);
         assert_eq!(space.depth(), 2);
-        assert!(err.needed > 10);
+        assert!(err.into_budget().unwrap().needed > 10);
     }
 
     #[test]
     fn parallel_build_identical_components_and_views() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
         for depth in 0..4 {
-            let serial = PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap();
+            let serial = PrefixSpace::expand(&ma, &[0, 1], depth, &CFG).unwrap();
             for threads in [2, 8] {
-                let par = PrefixSpace::build_with(&ma, &[0, 1], depth, 1_000_000, threads).unwrap();
+                let par = PrefixSpace::expand(&ma, &[0, 1], depth, &CFG.threads(threads)).unwrap();
                 assert_eq!(par.runs(), serial.runs(), "depth {depth}, threads {threads}");
                 assert_eq!(par.table(), serial.table(), "depth {depth}, threads {threads}");
                 assert_eq!(
@@ -544,9 +681,9 @@ mod tests {
     #[test]
     fn parallel_ladder_identical_to_serial_ladder() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let base = PrefixSpace::build(&ma, &[0, 1], 1, 1_000_000).unwrap();
-        let serial = base.extended_from(&ma, 1_000_000).unwrap();
-        let par = base.extended_from_with(&ma, 1_000_000, 8).unwrap();
+        let base = PrefixSpace::expand(&ma, &[0, 1], 1, &CFG).unwrap();
+        let serial = base.extend_from(&ma, &CFG).unwrap();
+        let par = base.extend_from(&ma, &CFG.threads(8)).unwrap();
         assert_eq!(par.runs(), serial.runs());
         assert_eq!(par.table(), serial.table());
         assert_eq!(par.components(), serial.components());

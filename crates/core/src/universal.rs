@@ -144,15 +144,19 @@ mod tests {
     use dyngraph::{generators, GraphSeq};
     use simulator::{checker, engine};
 
+    use crate::config::ExpandConfig;
+
+    const CFG: ExpandConfig = ExpandConfig { threads: 1, max_runs: 1_000_000 };
+
     fn reduced_space(depth: usize) -> PrefixSpace {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        PrefixSpace::build(&ma, &[0, 1], depth, 1_000_000).unwrap()
+        PrefixSpace::expand(&ma, &[0, 1], depth, &CFG).unwrap()
     }
 
     #[test]
     fn synthesis_fails_on_mixed_space() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 2, &CFG).unwrap();
         assert!(UniversalAlgorithm::synthesize(&space).is_none());
     }
 
@@ -161,7 +165,13 @@ mod tests {
         let space = reduced_space(2);
         let alg = UniversalAlgorithm::synthesize(&space).unwrap();
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let report = checker::check_consensus(&alg, &ma, &[0, 1], 2, 100_000, true).unwrap();
+        let report = checker::check(
+            &alg,
+            &ma,
+            &[0, 1],
+            &checker::CheckConfig::at_depth(2).max_runs(100_000),
+        )
+        .unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert_eq!(report.undecided_runs, 0);
     }
@@ -257,19 +267,18 @@ mod tests {
         // an unlabeled component; the strong synthesis picks from the
         // intersection instead, and passes the strong-validity checker.
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let space = PrefixSpace::build(&ma, &[0, 1, 2], 2, 4_000_000).unwrap();
+        let space =
+            PrefixSpace::expand(&ma, &[0, 1, 2], 2, &ExpandConfig::with_budget(4_000_000)).unwrap();
+        let strong_cfg =
+            checker::CheckConfig::at_depth(2).max_runs(4_000_000).strong_validity(true);
         let strong = UniversalAlgorithm::synthesize_strong(&space).unwrap();
-        let report =
-            checker::check_consensus_with(&strong, &ma, &[0, 1, 2], 2, 4_000_000, true, true)
-                .unwrap();
+        let report = checker::check(&strong, &ma, &[0, 1, 2], &strong_cfg).unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
 
         // The weak synthesis, by contrast, violates strong validity on some
         // mixed-input run (it defaults unlabeled components to value 0).
         let weak = UniversalAlgorithm::synthesize(&space).unwrap();
-        let report =
-            checker::check_consensus_with(&weak, &ma, &[0, 1, 2], 2, 4_000_000, true, true)
-                .unwrap();
+        let report = checker::check(&weak, &ma, &[0, 1, 2], &strong_cfg).unwrap();
         assert!(
             report
                 .violations
@@ -303,10 +312,11 @@ mod tests {
         // Oblivious out-stars on 3 processes: round-1 center is common
         // knowledge → solvable; universal algorithm verifies exhaustively.
         let ma = GeneralMA::oblivious(generators::all_out_stars(3));
-        let space = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+        let space = PrefixSpace::expand(&ma, &[0, 1], 2, &CFG).unwrap();
         assert!(space.separation().is_separated());
         let alg = UniversalAlgorithm::synthesize(&space).unwrap();
-        let report = checker::check_consensus(&alg, &ma, &[0, 1], 2, 1_000_000, true).unwrap();
+        let report =
+            checker::check(&alg, &ma, &[0, 1], &checker::CheckConfig::at_depth(2)).unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
     }
 }

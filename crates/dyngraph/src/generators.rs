@@ -45,7 +45,7 @@ pub fn strongly_connected_graphs(n: usize) -> impl Iterator<Item = Digraph> {
     all_graphs(n).filter(Digraph::is_strongly_connected)
 }
 
-/// The full lossy-link graph set for `n = 2`: `{←, ↔, →}` (paper §1, [21]).
+/// The full lossy-link graph set for `n = 2`: `{←, ↔, →}` (paper §1, \[21\]).
 ///
 /// Under the oblivious adversary over this set, consensus is **impossible**
 /// (Santoro–Widmayer); the reproduction's experiment T1.
@@ -56,7 +56,7 @@ pub fn lossy_link_full() -> Vec<Digraph> {
         .collect()
 }
 
-/// The reduced lossy-link set `{←, →}` (paper §1, [8]).
+/// The reduced lossy-link set `{←, →}` (paper §1, \[8\]).
 ///
 /// Under the oblivious adversary over this set, consensus **is** solvable;
 /// the reproduction's experiment T2.
@@ -139,7 +139,7 @@ pub fn random_rooted_graph<R: Rng + ?Sized>(rng: &mut R, n: usize, p_edge: f64) 
 
 /// Graphs obtained from the complete graph by removing the out-edges of at
 /// most `k` processes towards a single target each — the “up to `k` lost
-/// messages per round” family of Santoro–Widmayer [21] restricted to losses
+/// messages per round” family of Santoro–Widmayer \[21\] restricted to losses
 /// targeting distinct receivers.
 ///
 /// For `k = n − 1` this family makes consensus impossible (paper §1).

@@ -316,7 +316,7 @@ impl Digraph {
     /// Kernel members are exactly the potential broadcasters of a round
     /// (paper Theorem 5.11 characterizes consensus via broadcastability of
     /// connected components; for oblivious adversaries kernel intersections
-    /// drive the Coulouma–Godard–Peters criterion [8]).
+    /// drive the Coulouma–Godard–Peters criterion \[8\]).
     pub fn kernel(&self) -> Vec<Pid> {
         mask::to_vec(self.kernel_mask())
     }

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use adversary::{enumerate, MessageAdversary};
+use consensus_core::config::ExpandConfig;
 use consensus_core::solvability::SpaceSource;
 use consensus_core::PrefixSpace;
 use ptgraph::Value;
@@ -102,9 +103,19 @@ impl SpaceCache {
         Self::default()
     }
 
-    /// An empty cache whose misses expand with `threads` workers
-    /// (`≤ 1` = serial). Spaces are byte-identical either way — the knob
-    /// trades CPU for wall clock, never results.
+    /// An empty cache whose misses expand under `cfg`'s worker count
+    /// (`1` = serial, `0` = all cores; the budget stays per-request).
+    /// Spaces are byte-identical for every worker count — the knob trades
+    /// CPU for wall clock, never results.
+    pub fn with_config(cfg: &ExpandConfig) -> Self {
+        SpaceCache { threads: cfg.effective_threads(), ..Self::default() }
+    }
+
+    /// Legacy positional form of [`with_config`](Self::with_config).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SpaceCache::with_config` with an `ExpandConfig`"
+    )]
     pub fn with_threads(threads: usize) -> Self {
         SpaceCache { threads, ..Self::default() }
     }
@@ -112,6 +123,12 @@ impl SpaceCache {
     /// The configured expansion worker count (`≤ 1` = serial).
     pub fn threads(&self) -> usize {
         self.threads.max(1)
+    }
+
+    /// The expansion config for one request: the cache's worker count, the
+    /// request's budget.
+    fn expand_cfg(&self, max_runs: usize) -> ExpandConfig {
+        ExpandConfig { threads: self.threads(), max_runs }
     }
 
     fn record_expand(&self, stats: enumerate::ExpandStats) {
@@ -210,24 +227,26 @@ impl SpaceCache {
                 self.ladder_hits.fetch_add(1, Ordering::Relaxed);
                 Ok((space, false))
             }
-            None => match PrefixSpace::build_with(ma, values, depth, max_runs, self.threads()) {
-                Ok(space) => {
-                    self.builds.fetch_add(1, Ordering::Relaxed);
-                    self.record_expand(space.expand_stats());
-                    let space = Arc::new(space);
-                    let mut cached = self.spaces.lock().expect("cache lock poisoned");
-                    let entry = cached.entry(key).or_insert_with(|| Arc::clone(&space));
-                    Ok((Arc::clone(entry), false))
+            None => {
+                match PrefixSpace::expand_budgeted(ma, values, depth, &self.expand_cfg(max_runs)) {
+                    Ok(space) => {
+                        self.builds.fetch_add(1, Ordering::Relaxed);
+                        self.record_expand(space.expand_stats());
+                        let space = Arc::new(space);
+                        let mut cached = self.spaces.lock().expect("cache lock poisoned");
+                        let entry = cached.entry(key).or_insert_with(|| Arc::clone(&space));
+                        Ok((Arc::clone(entry), false))
+                    }
+                    Err(err) => {
+                        self.budget_misses.fetch_add(1, Ordering::Relaxed);
+                        self.failures
+                            .lock()
+                            .expect("cache lock poisoned")
+                            .insert(fail_key, err.clone());
+                        Err(err)
+                    }
                 }
-                Err(err) => {
-                    self.budget_misses.fetch_add(1, Ordering::Relaxed);
-                    self.failures
-                        .lock()
-                        .expect("cache lock poisoned")
-                        .insert(fail_key, err.clone());
-                    Err(err)
-                }
-            },
+            }
         }
     }
 
@@ -248,7 +267,7 @@ impl SpaceCache {
         debug_assert!(base.depth() < depth);
         let mut current = base;
         while current.depth() < depth {
-            let next = Arc::new(current.extended_from_with(ma, max_runs, self.threads())?);
+            let next = Arc::new(current.extend_from_budgeted(ma, &self.expand_cfg(max_runs))?);
             self.record_expand(next.expand_stats());
             let rung: Key = (ma.fingerprint(), values.to_vec(), next.depth());
             let mut cached = self.spaces.lock().expect("cache lock poisoned");
@@ -332,7 +351,8 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.builds, stats.ladder_hits), (1, 1));
         // The laddered space is exact: identical stats to a scratch build.
-        let direct = PrefixSpace::build(&ma, &[0, 1], 3, 1_000_000).unwrap();
+        let direct =
+            PrefixSpace::expand(&ma, &[0, 1], 3, &ExpandConfig::with_budget(1_000_000)).unwrap();
         assert_eq!(s3.stats(), direct.stats());
         // Depth 5 ladders two rounds off the cached depth 3 — still one
         // ladder hit, and the ancestor entry survives.
@@ -382,7 +402,7 @@ mod tests {
     fn threaded_cache_serves_identical_spaces_and_counts_shards() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
         let serial = SpaceCache::new();
-        let threaded = SpaceCache::with_threads(8);
+        let threaded = SpaceCache::with_config(&ExpandConfig::new().threads(8));
         for depth in [2, 3] {
             let (a, _) = serial.space_with_meta(&ma, &[0, 1], depth, 1_000_000).unwrap();
             let (b, _) = threaded.space_with_meta(&ma, &[0, 1], depth, 1_000_000).unwrap();

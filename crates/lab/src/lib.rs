@@ -8,6 +8,11 @@
 //! depth with one analysis" as a unit of traffic — a [`scenario::Scenario`]
 //! — and provides:
 //!
+//! * [`session`] — the **unified facade**: a [`session::Session`] owning
+//!   the caches and worker pools once (built from typed
+//!   [`consensus_core::config`] structs), answering single
+//!   [`session::Query`]s and million-scenario batches through one code
+//!   path;
 //! * [`scenario`] — scenario specs (catalog entries or parsed pools ×
 //!   depth × analysis kind) and deterministic grid builders;
 //! * [`runner`] — the parallel [`runner::SweepRunner`]: scoped worker
@@ -39,16 +44,17 @@
 //! # Quickstart
 //!
 //! ```
-//! use consensus_lab::cache::SpaceCache;
-//! use consensus_lab::runner::SweepRunner;
-//! use consensus_lab::scenario::{AdversarySpec, AnalysisKind, GridBuilder};
+//! use consensus_lab::scenario::{AdversarySpec, AnalysisKind};
+//! use consensus_lab::session::{Query, Session};
 //!
 //! // Solvability × bivalence over one adversary at depths 1..=2.
-//! let grid = GridBuilder::new(2, 100_000)
-//!     .analyses(&[AnalysisKind::Solvability, AnalysisKind::Bivalence])
-//!     .over_specs(&[AdversarySpec::Catalog("cgp-reduced-lossy-link".into())]);
-//! let cache = SpaceCache::new();
-//! let report = SweepRunner::new().threads(2).run(&grid, &cache);
+//! let queries = Query::grid(
+//!     &[AdversarySpec::Catalog("cgp-reduced-lossy-link".into())],
+//!     2,
+//!     &[AnalysisKind::Solvability, AnalysisKind::Bivalence],
+//! );
+//! let session = Session::new().workers(2);
+//! let report = session.check_many(&queries);
 //! assert_eq!(report.store.records().len(), 4);
 //! // The memoization cache built strictly fewer spaces than scenarios ran.
 //! assert!(report.cache.builds < report.scenarios);
@@ -64,10 +70,14 @@ pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod session;
 pub mod store;
 
 pub use cache::SpaceCache;
+pub use consensus_core::config::{AnalysisConfig, CacheConfig, ExpandConfig};
+pub use consensus_core::error::{Error, SpecError};
 pub use persist::DiskCache;
 pub use runner::{SweepReport, SweepRunner};
 pub use scenario::{AdversarySpec, AnalysisKind, GridBuilder, Scenario, Shard};
+pub use session::{Query, QueryResult, Session};
 pub use store::{ResultStore, ScenarioRecord};

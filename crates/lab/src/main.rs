@@ -14,14 +14,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use consensus_lab::cache::SpaceCache;
-use consensus_lab::persist::DiskCache;
 use consensus_lab::report::{Aggregate, SweepMeta, SWEEP_META_FILE};
-use consensus_lab::runner::{execute_scenario, solvability_matches, SweepRunner};
-use consensus_lab::scenario::{AdversarySpec, AnalysisKind, GridBuilder, Scenario, Shard};
+use consensus_lab::runner::solvability_matches;
+use consensus_lab::scenario::{AdversarySpec, AnalysisKind, Shard};
+use consensus_lab::session::{Query, Session};
 use consensus_lab::store::{
     parse_jsonl, parse_records, ResultStore, ScenarioRecord, TIMING_FIELDS,
 };
+use consensus_lab::{AnalysisConfig, CacheConfig, Error, ExpandConfig};
 
 const USAGE: &str = "\
 consensus-lab — batch experiments over message adversaries (PODC'19 Nowak–Schmid–Winkler)
@@ -239,14 +239,10 @@ fn parse_spec(flags: &Flags) -> Result<AdversarySpec, String> {
 
 /// Resolve `--expand-threads`: an explicit 0 = all available cores,
 /// 1 = serial, N = that many expansion workers; absent = `default`
-/// (both subcommands default to serial).
+/// (both subcommands default to serial). The 0-means-auto resolution is
+/// `ExpandConfig`'s own convention, so the flag value passes through.
 fn expand_threads(flags: &Flags, default: usize) -> Result<usize, String> {
-    let n = flags.get_usize("expand-threads", default)?;
-    Ok(if n == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        n
-    })
+    flags.get_usize("expand-threads", default)
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
@@ -284,23 +280,33 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let analyses: Vec<AnalysisKind> = match flags.get("analysis") {
         None => AnalysisKind::ALL.to_vec(),
         Some(name) => match AnalysisKind::parse(name) {
-            Some(kind) => vec![kind],
-            None => return fail(&format!("unknown analysis {name:?}")),
+            Ok(kind) => vec![kind],
+            Err(e) => return fail(&e.to_string()),
         },
     };
     let threads = match expand_threads(&flags, 1) {
         Ok(t) => t,
         Err(e) => return fail(&e),
     };
-    let cache = SpaceCache::with_threads(threads);
+    let session = match Session::with_configs(
+        ExpandConfig { threads, max_runs: budget },
+        AnalysisConfig::default(),
+        CacheConfig::default(),
+    ) {
+        Ok(session) => session,
+        Err(e) => return fail(&e.to_string()),
+    };
     let mut errored = false;
     for analysis in analyses {
-        let scenario = Scenario { spec: spec.clone(), depth, analysis, max_runs: budget };
-        let record = execute_scenario(0, &scenario, &cache, None);
-        errored |= record.outcome.verdict == "error";
-        emit(format_args!("{}", record.to_json()));
+        // One single-query batch per analysis: records stream as each
+        // analysis completes, each with index 0 (the `check` contract).
+        let query = Query::new(spec.clone(), depth, analysis);
+        for record in session.check_many(std::slice::from_ref(&query)).store.records() {
+            errored |= record.outcome.verdict == "error";
+            emit(format_args!("{}", record.to_json()));
+        }
     }
-    let stats = cache.stats();
+    let stats = session.space_cache().stats();
     eprintln!(
         "[cache] constructions: {}, hits: {}, ladder extensions: {}, budget misses: {}",
         stats.builds, stats.hits, stats.ladder_hits, stats.budget_misses
@@ -359,7 +365,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         None => None,
         Some(spec) => match Shard::parse(spec) {
             Ok(s) => Some(s),
-            Err(e) => return fail(&e),
+            Err(e) => return fail(&e.to_string()),
         },
     };
     let resume = match flags.get("resume") {
@@ -377,32 +383,24 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     let out = resume
         .clone()
         .unwrap_or_else(|| PathBuf::from(flags.get("out").unwrap_or("lab-results")));
-    let disk = match flags.get("cache-dir") {
+    let cache_dir = match flags.get("cache-dir") {
         None if flags.has("cache-dir") => return fail("--cache-dir expects a directory"),
-        None => None,
-        Some(dir) => match DiskCache::open(dir) {
-            Ok(cache) => Some(cache),
-            Err(e) => return fail(&format!("opening cache dir {dir}: {e}")),
-        },
+        other => other.map(PathBuf::from),
     };
     if flags.has("analyses") && flags.get("analyses").is_none() {
         return fail("--analyses expects a comma-separated list (e.g. solvability,bivalence)");
     }
-    let mut builder = GridBuilder::new(max_depth, budget);
+    let mut kinds = AnalysisKind::ALL.to_vec();
     if let Some(list) = flags.get("analyses") {
-        let kinds: Result<Vec<AnalysisKind>, String> = list
-            .split(',')
-            .map(|name| {
-                AnalysisKind::parse(name.trim()).ok_or_else(|| format!("unknown analysis {name:?}"))
-            })
-            .collect();
-        match kinds {
-            Ok(kinds) => builder = builder.analyses(&kinds),
-            Err(e) => return fail(&e),
+        let parsed: Result<Vec<AnalysisKind>, Error> =
+            list.split(',').map(|name| AnalysisKind::parse(name.trim())).collect();
+        match parsed {
+            Ok(parsed) => kinds = parsed,
+            Err(e) => return fail(&e.to_string()),
         }
     }
-    let grid = builder.over_catalog();
-    let indexed: Vec<(usize, Scenario)> = grid.into_iter().enumerate().collect();
+    let grid = Query::catalog_grid(max_depth, &kinds);
+    let indexed: Vec<(usize, Query)> = grid.into_iter().enumerate().collect();
     let selected = match shard {
         Some(shard) => {
             let slice = shard.select(&indexed);
@@ -413,7 +411,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     };
 
     let scenario_identity =
-        |s: &Scenario| -> (String, usize, AnalysisKind) { (s.spec.label(), s.depth, s.analysis) };
+        |q: &Query| -> (String, usize, AnalysisKind) { (q.spec.label(), q.depth, q.analysis) };
     let grid_by_identity: HashMap<(String, usize, AnalysisKind), usize> =
         indexed.iter().map(|(i, s)| (scenario_identity(s), *i)).collect();
 
@@ -443,16 +441,16 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                             unknown += 1;
                             continue;
                         };
-                        let scenario = &indexed[index].1;
+                        let query = &indexed[index].1;
                         if !consensus_lab::persist::persistable(&r) {
                             leftover.insert(identity, r);
                             continue;
                         }
-                        match scenario.spec.build() {
+                        match query.spec.build() {
                             Ok(ma) if ma.fingerprint() == r.fingerprint => {
-                                r.expected = scenario.spec.expected();
+                                r.expected = query.spec.expected();
                                 r.matches_expected = None;
-                                if scenario.analysis == AnalysisKind::Solvability {
+                                if query.analysis == AnalysisKind::Solvability {
                                     if let Some(expected) = r.expected {
                                         r.matches_expected =
                                             solvability_matches(expected, &r.outcome, r.budget_hit);
@@ -472,14 +470,17 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
                         // current grid cannot re-create (e.g. depth-4
                         // records under a --max-depth 3 resume). Refuse
                         // rather than lose data.
-                        return fail(&format!(
-                            "{} of {total} record(s) in {} fall outside the current grid \
-                             (different --max-depth or --analyses than the original run?); \
-                             refusing to rewrite and lose them — rerun with matching grid \
-                             flags or a fresh --out",
-                            unknown,
-                            path.display()
-                        ));
+                        let conflict = Error::CacheConflict {
+                            reason: format!(
+                                "{} of {total} record(s) in {} fall outside the current grid \
+                                 (different --max-depth or --analyses than the original run?); \
+                                 refusing to rewrite and lose them — rerun with matching grid \
+                                 flags or a fresh --out",
+                                unknown,
+                                path.display()
+                            ),
+                        };
+                        return fail(&conflict.to_string());
                     }
                     emit(format_args!(
                         "[resume] {} scenario(s) done in {}, {} to re-execute when selected \
@@ -497,33 +498,42 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             Err(e) => return fail(&format!("reading {}: {e}", path.display())),
         }
     }
-    let pending: Vec<(usize, Scenario)> = selected
+    let pending: Vec<(usize, Query)> = selected
         .iter()
-        .filter(|(_, s)| !done.contains_key(&scenario_identity(s)))
+        .filter(|(_, q)| !done.contains_key(&scenario_identity(q)))
         .cloned()
         .collect();
-
-    let mut runner = SweepRunner::new();
-    if threads > 0 {
-        runner = runner.threads(threads);
-    }
-    if flags.has("time-limit-ms") {
-        match flags.get("time-limit-ms").map(str::parse::<u64>) {
-            Some(Ok(ms)) => runner = runner.time_limit(Duration::from_millis(ms)),
-            Some(Err(_)) | None => return fail("--time-limit-ms expects a number"),
-        }
-    }
 
     let expand_workers = match expand_threads(&flags, 1) {
         Ok(t) => t,
         Err(e) => return fail(&e),
     };
-    // One shared cache across repeats: pass 2+ runs warm and demonstrates
-    // constructions ≪ scenarios.
-    let cache = SpaceCache::with_threads(expand_workers);
+    // One session across repeats: its space cache persists, so pass 2+
+    // runs warm and demonstrates constructions ≪ scenarios.
+    let mut cache_cfg = CacheConfig::default();
+    if let Some(dir) = cache_dir {
+        cache_cfg = cache_cfg.disk_dir(dir);
+    }
+    let mut session = match Session::with_configs(
+        ExpandConfig { threads: expand_workers, max_runs: budget },
+        AnalysisConfig::default(),
+        cache_cfg,
+    ) {
+        Ok(session) => session,
+        Err(e) => return fail(&e.to_string()),
+    };
+    if threads > 0 {
+        session = session.workers(threads);
+    }
+    if flags.has("time-limit-ms") {
+        match flags.get("time-limit-ms").map(str::parse::<u64>) {
+            Some(Ok(ms)) => session = session.time_limit(Duration::from_millis(ms)),
+            Some(Err(_)) | None => return fail("--time-limit-ms expects a number"),
+        }
+    }
     let mut last = None;
     for pass in 1..=repeat {
-        let report = runner.run_indexed(&pending, &cache, disk.as_ref());
+        let report = session.check_many_indexed(&pending);
         emit(format_args!("[pass {pass}/{repeat}] {}", report.summary()));
         last = Some(report);
     }

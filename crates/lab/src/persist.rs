@@ -40,6 +40,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use consensus_core::config::CacheConfig;
+use consensus_core::error::Error;
 use consensus_core::space::SpaceStats;
 use ptgraph::Value as InputValue;
 
@@ -54,7 +56,10 @@ pub const META_FILE: &str = "cache-meta.json";
 
 /// Bump this when an analysis change invalidates previously journaled
 /// verdicts without a crate-version bump.
-const SALT_REVISION: &str = "r1";
+/// `r2`: journal keys gained the analysis-params component (the
+/// `Session`-level `AnalysisConfig` can now change solvability verdicts,
+/// so differently configured sessions must not share entries).
+const SALT_REVISION: &str = "r2";
 
 /// The cache-invalidation salt: crate version × salt revision. Journals
 /// written under a different salt are discarded on open.
@@ -63,9 +68,14 @@ pub fn cache_salt() -> String {
 }
 
 /// Cache key: adversary fingerprint × input-domain code × depth ×
-/// analysis name. The step budget is deliberately absent — persisted
-/// outcomes are exact, so they hold under any budget.
-type Key = (u64, String, usize, String);
+/// analysis name × analysis-params code. The step budget is deliberately
+/// absent — persisted outcomes are exact, so they hold under any budget.
+/// The params code (see [`crate::runner::scenario_params`]) captures the
+/// configuration dimensions that *do* change answers (validity flavor,
+/// exact-chain search depth), so sessions with different
+/// `AnalysisConfig`s can share a cache directory without poisoning each
+/// other's verdicts.
+type Key = (u64, String, usize, String, String);
 
 fn domain_code(values: &[InputValue]) -> String {
     values.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
@@ -89,6 +99,7 @@ impl DiskEntry {
             ("domain".into(), Value::Str(key.1.clone())),
             ("depth".into(), Value::Int(key.2 as i64)),
             ("analysis".into(), Value::Str(key.3.clone())),
+            ("params".into(), Value::Str(key.4.clone())),
             ("verdict".into(), Value::Str(self.outcome.verdict.clone())),
             (
                 "details".into(),
@@ -116,6 +127,7 @@ impl DiskEntry {
         let domain = v.get("domain")?.as_str()?.to_string();
         let depth = v.get_usize("depth")?;
         let analysis = v.get("analysis")?.as_str()?.to_string();
+        let params = v.get("params")?.as_str()?.to_string();
         let verdict = v.get("verdict")?.as_str()?.to_string();
         let Value::Obj(detail_fields) = v.get("details")? else {
             return None;
@@ -130,7 +142,7 @@ impl DiskEntry {
             }),
         };
         Some((
-            (fingerprint, domain, depth, analysis),
+            (fingerprint, domain, depth, analysis, params),
             DiskEntry { outcome: Outcome { verdict, details: detail_fields.clone() }, space },
         ))
     }
@@ -223,6 +235,21 @@ impl DiskCache {
         })
     }
 
+    /// Open the cache named by a [`CacheConfig`], if it names one:
+    /// `Ok(None)` when `disk_dir` is unset.
+    ///
+    /// # Errors
+    /// Returns [`Error::Io`] (with the directory in the context) on
+    /// filesystem failure.
+    pub fn from_config(cfg: &CacheConfig) -> Result<Option<DiskCache>, Error> {
+        match &cfg.disk_dir {
+            None => Ok(None),
+            Some(dir) => Self::open(dir)
+                .map(Some)
+                .map_err(|e| Error::io(format!("opening cache dir {}", dir.display()), e)),
+        }
+    }
+
     /// The cache directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -253,15 +280,20 @@ impl DiskCache {
         self.stores.load(Ordering::Relaxed)
     }
 
-    /// The journaled outcome for a scenario cell, if present.
+    /// The journaled outcome for a scenario cell, if present. `params` is
+    /// the analysis-params code of the requesting configuration (see
+    /// [`crate::runner::scenario_params`]); entries journaled under
+    /// different params never answer.
     pub fn lookup(
         &self,
         fingerprint: u64,
         values: &[InputValue],
         depth: usize,
         analysis: AnalysisKind,
+        params: &str,
     ) -> Option<DiskEntry> {
-        let key: Key = (fingerprint, domain_code(values), depth, analysis.name().to_string());
+        let key: Key =
+            (fingerprint, domain_code(values), depth, analysis.name().to_string(), params.into());
         let entry = self.entries.lock().expect("disk cache lock poisoned").get(&key).cloned();
         if entry.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -281,9 +313,11 @@ impl DiskCache {
         values: &[InputValue],
         depth: usize,
         analysis: AnalysisKind,
+        params: &str,
         entry: DiskEntry,
     ) -> io::Result<()> {
-        let key: Key = (fingerprint, domain_code(values), depth, analysis.name().to_string());
+        let key: Key =
+            (fingerprint, domain_code(values), depth, analysis.name().to_string(), params.into());
         // The entries lock is held across the journal append so two workers
         // finishing structurally aliased scenarios cannot both claim the
         // key: exactly one journal line per key, and reload order agrees
@@ -333,21 +367,21 @@ mod tests {
         {
             let cache = DiskCache::open(&dir).unwrap();
             assert!(cache.is_empty());
-            assert!(cache.lookup(7, values, 2, AnalysisKind::Bivalence).is_none());
-            cache.store(7, values, 2, AnalysisKind::Bivalence, entry()).unwrap();
+            assert!(cache.lookup(7, values, 2, AnalysisKind::Bivalence, "").is_none());
+            cache.store(7, values, 2, AnalysisKind::Bivalence, "", entry()).unwrap();
             assert_eq!(cache.stores(), 1);
-            assert_eq!(cache.lookup(7, values, 2, AnalysisKind::Bivalence).unwrap(), entry());
+            assert_eq!(cache.lookup(7, values, 2, AnalysisKind::Bivalence, "").unwrap(), entry());
         }
         // A second instance (≈ a second process) loads the journal.
         let warm = DiskCache::open(&dir).unwrap();
         assert_eq!(warm.loaded(), 1);
-        assert_eq!(warm.lookup(7, values, 2, AnalysisKind::Bivalence).unwrap(), entry());
+        assert_eq!(warm.lookup(7, values, 2, AnalysisKind::Bivalence, "").unwrap(), entry());
         assert_eq!(warm.hits(), 1);
         // Distinct key coordinates do not collide.
-        assert!(warm.lookup(7, values, 3, AnalysisKind::Bivalence).is_none());
-        assert!(warm.lookup(7, values, 2, AnalysisKind::ComponentStats).is_none());
-        assert!(warm.lookup(8, values, 2, AnalysisKind::Bivalence).is_none());
-        assert!(warm.lookup(7, &[0, 1, 2], 2, AnalysisKind::Bivalence).is_none());
+        assert!(warm.lookup(7, values, 3, AnalysisKind::Bivalence, "").is_none());
+        assert!(warm.lookup(7, values, 2, AnalysisKind::ComponentStats, "").is_none());
+        assert!(warm.lookup(8, values, 2, AnalysisKind::Bivalence, "").is_none());
+        assert!(warm.lookup(7, &[0, 1, 2], 2, AnalysisKind::Bivalence, "").is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -356,13 +390,13 @@ mod tests {
         let dir = tmp_dir("salt");
         {
             let cache = DiskCache::open(&dir).unwrap();
-            cache.store(1, &[0, 1], 1, AnalysisKind::Solvability, entry()).unwrap();
+            cache.store(1, &[0, 1], 1, AnalysisKind::Solvability, "wc3", entry()).unwrap();
         }
         // Forge a meta from an older code version.
         fs::write(dir.join(META_FILE), "{\"salt\":\"0.0.0+r0\"}\n").unwrap();
         let reopened = DiskCache::open(&dir).unwrap();
         assert_eq!(reopened.loaded(), 0, "stale journal must be discarded");
-        assert!(reopened.lookup(1, &[0, 1], 1, AnalysisKind::Solvability).is_none());
+        assert!(reopened.lookup(1, &[0, 1], 1, AnalysisKind::Solvability, "wc3").is_none());
         // The directory is re-stamped with the current salt.
         let meta = fs::read_to_string(dir.join(META_FILE)).unwrap();
         assert!(meta.contains(&cache_salt()));
@@ -374,7 +408,7 @@ mod tests {
         let dir = tmp_dir("torn");
         {
             let cache = DiskCache::open(&dir).unwrap();
-            cache.store(1, &[0, 1], 1, AnalysisKind::Bivalence, entry()).unwrap();
+            cache.store(1, &[0, 1], 1, AnalysisKind::Bivalence, "", entry()).unwrap();
         }
         // Simulate a crash mid-append.
         let mut journal = fs::OpenOptions::new().append(true).open(dir.join(JOURNAL_FILE)).unwrap();
@@ -420,15 +454,52 @@ mod tests {
     }
 
     #[test]
+    fn params_are_a_key_dimension() {
+        let dir = tmp_dir("params");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store(9, &[0, 1], 1, AnalysisKind::Solvability, "wc3", entry()).unwrap();
+        // A differently-configured requester must not be answered.
+        assert!(cache.lookup(9, &[0, 1], 1, AnalysisKind::Solvability, "sc3").is_none());
+        assert!(cache.lookup(9, &[0, 1], 1, AnalysisKind::Solvability, "wc0").is_none());
+        assert!(cache.lookup(9, &[0, 1], 1, AnalysisKind::Solvability, "wc3").is_some());
+        // Both configurations coexist in one journal.
+        let other = DiskEntry { outcome: Outcome::tag("undecided"), space: None };
+        cache.store(9, &[0, 1], 1, AnalysisKind::Solvability, "sc3", other).unwrap();
+        assert_eq!(cache.stores(), 2);
+        let reopened = DiskCache::open(&dir).unwrap();
+        assert_eq!(
+            reopened
+                .lookup(9, &[0, 1], 1, AnalysisKind::Solvability, "wc3")
+                .unwrap()
+                .outcome
+                .verdict,
+            "separated"
+        );
+        assert_eq!(
+            reopened
+                .lookup(9, &[0, 1], 1, AnalysisKind::Solvability, "sc3")
+                .unwrap()
+                .outcome
+                .verdict,
+            "undecided"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn first_writer_wins_on_duplicate_store() {
         let dir = tmp_dir("dup");
         let cache = DiskCache::open(&dir).unwrap();
-        cache.store(5, &[0, 1], 1, AnalysisKind::Bivalence, entry()).unwrap();
+        cache.store(5, &[0, 1], 1, AnalysisKind::Bivalence, "", entry()).unwrap();
         let other = DiskEntry { outcome: Outcome::tag("mixed"), space: None };
-        cache.store(5, &[0, 1], 1, AnalysisKind::Bivalence, other).unwrap();
+        cache.store(5, &[0, 1], 1, AnalysisKind::Bivalence, "", other).unwrap();
         assert_eq!(cache.stores(), 1);
         assert_eq!(
-            cache.lookup(5, &[0, 1], 1, AnalysisKind::Bivalence).unwrap().outcome.verdict,
+            cache
+                .lookup(5, &[0, 1], 1, AnalysisKind::Bivalence, "")
+                .unwrap()
+                .outcome
+                .verdict,
             "separated"
         );
         let _ = fs::remove_dir_all(&dir);

@@ -8,7 +8,8 @@
 //! how the scheduling interleaves: identical grids produce identical result
 //! files (modulo wall-clock fields).
 //!
-//! All space-hungry analyses pull their [`PrefixSpace`]s through the shared
+//! All space-hungry analyses pull their [`consensus_core::PrefixSpace`]s
+//! through the shared
 //! [`SpaceCache`], so one *(adversary, depth)* expansion serves every
 //! analysis that needs it.
 
@@ -16,6 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use consensus_core::config::{AnalysisConfig, ExpandConfig};
 use consensus_core::solvability::{SolvabilityChecker, Verdict};
 use consensus_core::{analysis, broadcast, fair, UniversalAlgorithm};
 use ptgraph::Value;
@@ -35,10 +37,17 @@ pub const SWEEP_VALUES: &[Value] = &[0, 1];
 /// Sweep configuration.
 #[derive(Debug, Clone)]
 pub struct SweepRunner {
-    threads: usize,
+    pub(crate) threads: usize,
     /// Soft per-scenario wall-clock limit; exceeding it flags the record
     /// (step budgets, not preemption, bound the actual work).
-    time_limit: Option<Duration>,
+    pub(crate) time_limit: Option<Duration>,
+    /// Analysis configuration applied to every solvability scenario
+    /// (validity flavor, exact-chain search depth; the depth ladder ceiling
+    /// comes from each scenario's own depth).
+    pub(crate) analysis: AnalysisConfig,
+    /// Whether a supplied disk cache may *answer* scenarios (it is always
+    /// journaled to); the `Session` resume knob.
+    pub(crate) consult_disk: bool,
 }
 
 /// A finished sweep: records in grid order plus engine telemetry.
@@ -92,7 +101,12 @@ impl SweepReport {
 
 impl Default for SweepRunner {
     fn default() -> Self {
-        SweepRunner { threads: default_threads(), time_limit: None }
+        SweepRunner {
+            threads: default_threads(),
+            time_limit: None,
+            analysis: AnalysisConfig::default(),
+            consult_disk: true,
+        }
     }
 }
 
@@ -106,8 +120,18 @@ impl SweepRunner {
         Self::default()
     }
 
-    /// Set the worker-thread count (≥ 1).
+    /// Legacy knob for the worker-thread count; prefer driving sweeps
+    /// through a `Session` (its `workers` knob).
+    #[deprecated(
+        since = "0.1.0",
+        note = "drive sweeps through `Session` (see `session::Session`)"
+    )]
     pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub(crate) fn workers(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
     }
@@ -149,8 +173,15 @@ impl SweepRunner {
                     let Some((index, scenario)) = entries.get(i) else {
                         break;
                     };
-                    let record =
-                        execute_scenario_with(*index, scenario, cache, disk, self.time_limit);
+                    let record = execute_scenario_cfg(
+                        *index,
+                        scenario,
+                        cache,
+                        disk,
+                        self.consult_disk,
+                        self.time_limit,
+                        &self.analysis,
+                    );
                     *slots[i].lock().expect("slot lock poisoned") = Some(record);
                 });
             }
@@ -219,6 +250,21 @@ pub fn solvability_matches(
     }
 }
 
+/// The analysis-params code journaled with (and required from) each
+/// persisted verdict: the `AnalysisConfig` dimensions that change
+/// answers. Only solvability depends on the config — validity flavor and
+/// the exact-chain cycle bound; every other analysis is
+/// config-independent and codes as the empty string. Sessions whose
+/// params differ never answer each other's journal entries.
+pub fn scenario_params(analysis: AnalysisKind, cfg: &AnalysisConfig) -> String {
+    match analysis {
+        AnalysisKind::Solvability => {
+            format!("{}c{}", if cfg.strong_validity { "s" } else { "w" }, cfg.max_chain_cycle)
+        }
+        _ => String::new(),
+    }
+}
+
 /// Execute one scenario (also the `check` CLI path, with `index` 0).
 pub fn execute_scenario(
     index: usize,
@@ -239,6 +285,21 @@ pub fn execute_scenario_with(
     cache: &SpaceCache,
     disk: Option<&DiskCache>,
     time_limit: Option<Duration>,
+) -> ScenarioRecord {
+    execute_scenario_cfg(index, scenario, cache, disk, true, time_limit, &AnalysisConfig::default())
+}
+
+/// The full execution seam used by the `Session` facade and the runner:
+/// `consult_disk` gates *answering* from the journal (stores always
+/// happen), and `analysis` configures every solvability checker spawned.
+pub(crate) fn execute_scenario_cfg(
+    index: usize,
+    scenario: &Scenario,
+    cache: &SpaceCache,
+    disk: Option<&DiskCache>,
+    consult_disk: bool,
+    time_limit: Option<Duration>,
+    analysis_cfg: &AnalysisConfig,
 ) -> ScenarioRecord {
     let start = Instant::now();
     let ma = match scenario.spec.build() {
@@ -282,10 +343,15 @@ pub fn execute_scenario_with(
         wall_ms: 0.0,
     };
 
-    if let Some(disk) = disk {
-        if let Some(entry) =
-            disk.lookup(record.fingerprint, SWEEP_VALUES, scenario.depth, scenario.analysis)
-        {
+    let params = scenario_params(scenario.analysis, analysis_cfg);
+    if let Some(disk) = disk.filter(|_| consult_disk) {
+        if let Some(entry) = disk.lookup(
+            record.fingerprint,
+            SWEEP_VALUES,
+            scenario.depth,
+            scenario.analysis,
+            &params,
+        ) {
             record.outcome = entry.outcome;
             record.space = entry.space;
             record.cached_space = entry.space.map(|_| true);
@@ -302,9 +368,11 @@ pub fn execute_scenario_with(
 
     match scenario.analysis {
         AnalysisKind::Solvability => {
-            let checker = SolvabilityChecker::new(ma)
-                .max_depth(scenario.depth)
-                .max_runs(scenario.max_runs);
+            let checker = SolvabilityChecker::with_config(
+                ma,
+                analysis_cfg.max_depth(scenario.depth),
+                ExpandConfig::with_budget(scenario.max_runs),
+            );
             let verdict = checker.check_via(cache);
             record.outcome = solvability_outcome(&verdict);
             record.budget_hit = matches!(&verdict, Verdict::Undecided(rep) if rep.budget_hit);
@@ -351,6 +419,7 @@ pub fn execute_scenario_with(
                 SWEEP_VALUES,
                 scenario.depth,
                 scenario.analysis,
+                &params,
                 DiskEntry { outcome: record.outcome.clone(), space: record.space },
             );
         }
@@ -448,19 +517,12 @@ fn sim_check_outcome(
     ma: &adversary::DynMA,
     max_runs: usize,
 ) -> Outcome {
+    let cfg = checker::CheckConfig::at_depth(space.depth()).max_runs(max_runs);
     if space.separation().is_separated() {
         // Synthesize the universal algorithm from the (shared) space and
         // verify it exhaustively at the space's depth.
         let alg = UniversalAlgorithm::synthesize(space).expect("separated space must synthesize");
-        match checker::check_consensus_with(
-            &alg,
-            ma,
-            SWEEP_VALUES,
-            space.depth(),
-            max_runs,
-            true,
-            false,
-        ) {
+        match checker::check(&alg, ma, SWEEP_VALUES, &cfg) {
             Ok(rep) => Outcome::tag(if rep.passed() { "passed" } else { "failed" })
                 .with("algorithm", Json::Str("universal".into()))
                 .with("runs_checked", Json::Int(rep.runs_checked as i64))
@@ -474,15 +536,7 @@ fn sim_check_outcome(
         // No algorithm can exist on a mixed space (Corollary 5.6); exhibit
         // the obstruction on the reference flooding algorithm instead.
         let alg = FloodMin::new(space.depth());
-        match checker::check_consensus_with(
-            &alg,
-            ma,
-            SWEEP_VALUES,
-            space.depth(),
-            max_runs,
-            true,
-            false,
-        ) {
+        match checker::check(&alg, ma, SWEEP_VALUES, &cfg) {
             Ok(rep) => Outcome::tag(if rep.passed() { "passed" } else { "failed" })
                 .with("algorithm", Json::Str("floodmin".into()))
                 .with("runs_checked", Json::Int(rep.runs_checked as i64))
@@ -578,8 +632,8 @@ mod tests {
             AdversarySpec::Catalog("cgp-reduced-lossy-link".into()),
             AdversarySpec::Catalog("sw-lossy-link".into()),
         ]);
-        let single = SweepRunner::new().threads(1).run(&grid, &SpaceCache::new());
-        let multi = SweepRunner::new().threads(8).run(&grid, &SpaceCache::new());
+        let single = SweepRunner::new().workers(1).run(&grid, &SpaceCache::new());
+        let multi = SweepRunner::new().workers(8).run(&grid, &SpaceCache::new());
         let strip = |r: &SweepReport| {
             r.store
                 .records()

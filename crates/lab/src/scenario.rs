@@ -8,6 +8,7 @@
 use std::fmt;
 
 use adversary::{catalog, DynMA, GeneralMA};
+use consensus_core::error::{Error, SpecError};
 use dyngraph::Digraph;
 
 /// Which analysis to run on the scenario's `(adversary, depth)` cell.
@@ -50,9 +51,19 @@ impl AnalysisKind {
         }
     }
 
+    /// The valid machine names, in stable grid order.
+    pub const NAMES: [&'static str; 5] =
+        ["solvability", "bivalence", "broadcastability", "component-stats", "sim-check"];
+
     /// Parse a machine name.
-    pub fn parse(name: &str) -> Option<Self> {
-        Self::ALL.into_iter().find(|k| k.name() == name)
+    ///
+    /// # Errors
+    /// Returns [`Error::UnknownAnalysis`] naming the valid set.
+    pub fn parse(name: &str) -> Result<Self, Error> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| Error::UnknownAnalysis { name: name.to_string(), valid: &Self::NAMES })
     }
 }
 
@@ -78,28 +89,17 @@ pub enum AdversarySpec {
     },
 }
 
-/// A spec that names nothing buildable.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpecError(pub String);
-
-impl fmt::Display for SpecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bad adversary spec: {}", self.0)
-    }
-}
-
-impl std::error::Error for SpecError {}
-
 impl AdversarySpec {
     /// Construct the adversary.
     ///
     /// # Errors
-    /// Returns [`SpecError`] for unknown catalog names or unparsable pools.
-    pub fn build(&self) -> Result<DynMA, SpecError> {
+    /// Returns [`Error::Spec`] for unknown catalog names or unparsable
+    /// pools.
+    pub fn build(&self) -> Result<DynMA, Error> {
         match self {
             AdversarySpec::Catalog(name) => catalog::by_name(name)
                 .map(|e| e.build())
-                .ok_or_else(|| SpecError(format!("unknown catalog entry {name:?}"))),
+                .ok_or_else(|| Error::Spec(SpecError::UnknownCatalog { name: name.clone() })),
             AdversarySpec::Pool { word, eventually } => {
                 let pool = parse_pool(word)?;
                 match eventually {
@@ -136,17 +136,17 @@ impl AdversarySpec {
     }
 }
 
-fn parse_graph(token: &str) -> Result<Digraph, SpecError> {
-    Digraph::parse2(token)
-        .map_err(|e| SpecError(format!("unparsable 2-process graph token {token:?}: {e}")))
+fn parse_graph(token: &str) -> Result<Digraph, Error> {
+    Digraph::parse2(token).map_err(|e| {
+        Error::Spec(SpecError::BadGraph { token: token.to_string(), reason: e.to_string() })
+    })
 }
 
-fn parse_pool(word: &str) -> Result<Vec<Digraph>, SpecError> {
-    let graphs: Result<Vec<Digraph>, SpecError> =
-        word.split_whitespace().map(parse_graph).collect();
+fn parse_pool(word: &str) -> Result<Vec<Digraph>, Error> {
+    let graphs: Result<Vec<Digraph>, Error> = word.split_whitespace().map(parse_graph).collect();
     let graphs = graphs?;
     if graphs.is_empty() {
-        return Err(SpecError("empty pool".to_string()));
+        return Err(Error::Spec(SpecError::EmptyPool));
     }
     Ok(graphs)
 }
@@ -188,18 +188,22 @@ impl Shard {
     /// Parse the CLI form `"i/n"`.
     ///
     /// # Errors
-    /// Rejects malformed input, `n = 0`, and `i ≥ n`.
-    pub fn parse(s: &str) -> Result<Shard, String> {
+    /// Returns [`Error::BadShard`] for malformed input, `n = 0`, and
+    /// `i ≥ n`.
+    pub fn parse(s: &str) -> Result<Shard, Error> {
+        let bad = |reason: String| Error::BadShard { spec: s.to_string(), reason };
         let (i, n) = s
             .split_once('/')
-            .ok_or_else(|| format!("shard spec {s:?} is not of the form i/n"))?;
-        let index: usize = i.trim().parse().map_err(|_| format!("bad shard index in {s:?}"))?;
-        let count: usize = n.trim().parse().map_err(|_| format!("bad shard count in {s:?}"))?;
+            .ok_or_else(|| bad(format!("shard spec {s:?} is not of the form i/n")))?;
+        let index: usize =
+            i.trim().parse().map_err(|_| bad(format!("bad shard index in {s:?}")))?;
+        let count: usize =
+            n.trim().parse().map_err(|_| bad(format!("bad shard count in {s:?}")))?;
         if count == 0 {
-            return Err("shard count must be at least 1".to_string());
+            return Err(bad("shard count must be at least 1".to_string()));
         }
         if index >= count {
-            return Err(format!("shard index {index} out of range for {count} shards"));
+            return Err(bad(format!("shard index {index} out of range for {count} shards")));
         }
         Ok(Shard { index, count })
     }
@@ -280,10 +284,14 @@ mod tests {
 
     #[test]
     fn analysis_names_roundtrip() {
-        for kind in AnalysisKind::ALL {
-            assert_eq!(AnalysisKind::parse(kind.name()), Some(kind));
+        for (kind, name) in AnalysisKind::ALL.into_iter().zip(AnalysisKind::NAMES) {
+            assert_eq!(kind.name(), name);
+            assert_eq!(AnalysisKind::parse(kind.name()).unwrap(), kind);
         }
-        assert_eq!(AnalysisKind::parse("nope"), None);
+        // The error names the valid set, so a typo is self-explaining.
+        let err = AnalysisKind::parse("nope").unwrap_err();
+        assert!(matches!(err, Error::UnknownAnalysis { .. }));
+        assert!(err.to_string().contains("solvability, bivalence"), "{err}");
     }
 
     #[test]
@@ -337,10 +345,11 @@ mod tests {
 
     #[test]
     fn shard_parse_and_partition() {
-        assert_eq!(Shard::parse("0/2"), Ok(Shard { index: 0, count: 2 }));
+        assert_eq!(Shard::parse("0/2").unwrap(), Shard { index: 0, count: 2 });
         assert_eq!(Shard::parse("2/3").unwrap().to_string(), "2/3");
         for bad in ["", "1", "2/2", "3/2", "a/2", "1/b", "1/0", "-1/2"] {
-            assert!(Shard::parse(bad).is_err(), "{bad:?} should be rejected");
+            let err = Shard::parse(bad).expect_err(bad);
+            assert!(matches!(err, Error::BadShard { .. }), "{bad:?}: {err}");
         }
         // Every index lands in exactly one shard; union is the whole grid.
         let entries: Vec<(usize, char)> = ('a'..='j').enumerate().collect();

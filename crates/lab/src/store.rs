@@ -162,8 +162,7 @@ impl ScenarioRecord {
         let fingerprint = u64::from_str_radix(&fingerprint_hex, 16)
             .map_err(|_| format!("bad fingerprint {fingerprint_hex:?}"))?;
         let analysis_name = str_field("analysis")?;
-        let analysis = AnalysisKind::parse(&analysis_name)
-            .ok_or_else(|| format!("unknown analysis {analysis_name:?}"))?;
+        let analysis = AnalysisKind::parse(&analysis_name).map_err(|e| e.to_string())?;
         let depth = int_field("depth")?;
 
         let verdict_at = fields
@@ -291,6 +290,12 @@ impl ResultStore {
     /// The records.
     pub fn records(&self) -> &[ScenarioRecord] {
         &self.records
+    }
+
+    /// Consume the store, yielding the records (the single-query path of
+    /// `Session::check` pops its one record this way).
+    pub fn into_records(self) -> Vec<ScenarioRecord> {
+        self.records
     }
 
     /// One JSON object per line, in grid order.

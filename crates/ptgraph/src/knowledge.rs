@@ -1,7 +1,7 @@
 //! Epistemic queries over views.
 //!
 //! Process-time graphs were introduced for reasoning about knowledge in
-//! distributed systems (Ben-Zvi–Moses [3], cited by the paper §3): `p`
+//! distributed systems (Ben-Zvi–Moses \[3\], cited by the paper §3): `p`
 //! knows a fact at time `t` iff the fact holds in every run compatible with
 //! `p`'s view. For facts about *initial values* and *other processes'
 //! views*, the structural view representation answers such queries

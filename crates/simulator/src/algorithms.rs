@@ -72,7 +72,7 @@ impl Algorithm for FloodMin {
 }
 
 /// The one-round algorithm for the reduced lossy link `{←, →}` on `n = 2`
-/// (paper §6.1, [8]): in every round exactly one direction is delivered, so
+/// (paper §6.1, \[8\]): in every round exactly one direction is delivered, so
 /// after round 1 **both** processes know the direction — the receiver got a
 /// message, the sender did not. Decide the round-1 sender's input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

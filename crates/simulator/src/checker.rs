@@ -1,13 +1,13 @@
 //! Exhaustive consensus verification over an adversary's prefix space.
 //!
-//! [`check_consensus`] runs an algorithm on **every** admissible run of a
-//! message adversary at a fixed depth and checks the consensus properties of
-//! the paper's Definition 5.1:
+//! [`check`] runs an algorithm on **every** admissible run of a message
+//! adversary at a fixed depth (per a typed [`CheckConfig`]) and checks the
+//! consensus properties of the paper's Definition 5.1:
 //!
 //! * **Termination** (within the horizon — for compact adversaries where the
 //!   universal algorithm decides by a fixed round this is exact; for
 //!   non-compact ones undecided runs are reported, not failed, unless
-//!   `require_termination` is set);
+//!   [`CheckConfig::require_termination`] is set);
 //! * **Agreement** — all decided processes agree;
 //! * **Validity** — if all inputs are `v`, the only decision is `v`;
 //! * **Irrevocability** — decisions never change.
@@ -93,6 +93,63 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Typed configuration of an exhaustive consensus check — the replacement
+/// for the positional `(depth, max_runs, require_termination,
+/// strong_validity)` tail of the legacy `check_consensus*` family.
+///
+/// ```
+/// use simulator::checker::CheckConfig;
+///
+/// let cfg = CheckConfig::at_depth(3).strong_validity(true);
+/// assert_eq!(cfg.depth, 3);
+/// assert!(cfg.require_termination && cfg.strong_validity);
+/// assert_eq!(cfg.max_runs, 2_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// The horizon: every admissible depth-`depth` run is executed.
+    pub depth: usize,
+    /// Budget on `inputs × sequences`.
+    pub max_runs: usize,
+    /// Fail runs in which some process has not decided by the horizon
+    /// (exact for compact adversaries; report-only otherwise).
+    pub require_termination: bool,
+    /// Additionally require *strong validity*: every decided value is some
+    /// process's input in the run.
+    pub strong_validity: bool,
+}
+
+impl CheckConfig {
+    /// A check at `depth` with the default 2·10⁶-run budget, required
+    /// termination, and weak validity.
+    pub fn at_depth(depth: usize) -> Self {
+        CheckConfig {
+            depth,
+            max_runs: 2_000_000,
+            require_termination: true,
+            strong_validity: false,
+        }
+    }
+
+    /// Set the run budget.
+    pub fn max_runs(mut self, max_runs: usize) -> Self {
+        self.max_runs = max_runs;
+        self
+    }
+
+    /// Require (or stop requiring) termination within the horizon.
+    pub fn require_termination(mut self, enable: bool) -> Self {
+        self.require_termination = enable;
+        self
+    }
+
+    /// Additionally check strong validity.
+    pub fn strong_validity(mut self, enable: bool) -> Self {
+        self.strong_validity = enable;
+        self
+    }
+}
+
 /// Summary of an exhaustive check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckReport {
@@ -113,45 +170,40 @@ impl CheckReport {
     }
 }
 
-/// Exhaustively check `alg` against every admissible depth-`depth` run of
-/// `ma` over the input domain `values`.
+/// Exhaustively check `alg` against every admissible run of `ma` over the
+/// input domain `values`, per `cfg` (depth, budget, validity flavor) —
+/// the typed entry point of the checker.
+///
+/// ```
+/// use simulator::algorithms::FloodMin;
+/// use simulator::checker::{check, CheckConfig};
+/// use adversary::GeneralMA;
+/// use dyngraph::Digraph;
+///
+/// // Full exchange every round: flooding decides min correctly.
+/// let ma = GeneralMA::oblivious(vec![Digraph::parse2("<->").unwrap()]);
+/// let report = check(&FloodMin::new(1), &ma, &[0, 1], &CheckConfig::at_depth(1)).unwrap();
+/// assert!(report.passed());
+/// ```
 ///
 /// # Errors
 /// Returns [`enumerate::BudgetExceeded`] if the prefix space exceeds
-/// `max_runs`.
-pub fn check_consensus<A: Algorithm>(
+/// `cfg.max_runs`.
+pub fn check<A: Algorithm>(
     alg: &A,
     ma: &dyn MessageAdversary,
     values: &[Value],
-    depth: usize,
-    max_runs: usize,
-    require_termination: bool,
-) -> Result<CheckReport, enumerate::BudgetExceeded> {
-    check_consensus_with(alg, ma, values, depth, max_runs, require_termination, false)
-}
-
-/// [`check_consensus`] with an additional *strong validity* check: every
-/// decided value must be some process's input in the run (the variant the
-/// paper mentions after Definition 5.1).
-///
-/// # Errors
-/// Returns [`enumerate::BudgetExceeded`] as for [`check_consensus`].
-#[allow(clippy::too_many_arguments)]
-pub fn check_consensus_with<A: Algorithm>(
-    alg: &A,
-    ma: &dyn MessageAdversary,
-    values: &[Value],
-    depth: usize,
-    max_runs: usize,
-    require_termination: bool,
-    strong_validity: bool,
+    cfg: &CheckConfig,
 ) -> Result<CheckReport, enumerate::BudgetExceeded> {
     let seqs = {
         // Reuse the enumeration (budget applies to inputs × sequences).
         let inputs_count = values.len().pow(ma.n() as u32);
-        let seqs = enumerate::admissible_sequences(ma, depth);
-        if seqs.len() * inputs_count > max_runs {
-            return Err(enumerate::BudgetExceeded { max_runs, needed: seqs.len() * inputs_count });
+        let seqs = enumerate::admissible_sequences(ma, cfg.depth);
+        if seqs.len() * inputs_count > cfg.max_runs {
+            return Err(enumerate::BudgetExceeded {
+                max_runs: cfg.max_runs,
+                needed: seqs.len() * inputs_count,
+            });
         }
         seqs
     };
@@ -164,40 +216,83 @@ pub fn check_consensus_with<A: Algorithm>(
     };
     for x in &inputs {
         for seq in &seqs {
-            check_one_run(alg, x, seq, require_termination, strong_validity, &mut report);
+            check_one_run(alg, x, seq, cfg.require_termination, cfg.strong_validity, &mut report);
         }
     }
     Ok(report)
 }
 
-/// Parallel variant of [`check_consensus_with`]: the `(inputs, sequence)`
-/// grid is split across `threads` scoped workers. Requires the
-/// algorithm to be [`Sync`] (the synthesized universal algorithm is: its
-/// interner sits behind a lock). The report is deterministic up to
-/// violation order (violations are sorted for stability).
+/// Legacy positional form of [`check`].
 ///
 /// # Errors
-/// Returns [`enumerate::BudgetExceeded`] as for [`check_consensus`].
-#[allow(clippy::too_many_arguments)]
-pub fn check_consensus_parallel<A>(
+/// Returns [`enumerate::BudgetExceeded`] if the prefix space exceeds
+/// `max_runs`.
+#[deprecated(since = "0.1.0", note = "use `checker::check` with a `CheckConfig`")]
+pub fn check_consensus<A: Algorithm>(
     alg: &A,
-    ma: &(dyn MessageAdversary + Sync),
+    ma: &dyn MessageAdversary,
+    values: &[Value],
+    depth: usize,
+    max_runs: usize,
+    require_termination: bool,
+) -> Result<CheckReport, enumerate::BudgetExceeded> {
+    check(
+        alg,
+        ma,
+        values,
+        &CheckConfig::at_depth(depth)
+            .max_runs(max_runs)
+            .require_termination(require_termination),
+    )
+}
+
+/// Legacy positional form of [`check`] with a strong-validity flag.
+///
+/// # Errors
+/// Returns [`enumerate::BudgetExceeded`] if the prefix space exceeds
+/// `max_runs`.
+#[allow(clippy::too_many_arguments)]
+#[deprecated(since = "0.1.0", note = "use `checker::check` with a `CheckConfig`")]
+pub fn check_consensus_with<A: Algorithm>(
+    alg: &A,
+    ma: &dyn MessageAdversary,
     values: &[Value],
     depth: usize,
     max_runs: usize,
     require_termination: bool,
     strong_validity: bool,
+) -> Result<CheckReport, enumerate::BudgetExceeded> {
+    check(alg, ma, values, &CheckConfig { depth, max_runs, require_termination, strong_validity })
+}
+
+/// Parallel variant of [`check`]: the `(inputs, sequence)` grid is split
+/// across `threads` scoped workers. Requires the algorithm to be [`Sync`]
+/// (the synthesized universal algorithm is: its interner sits behind a
+/// lock). The report is deterministic up to violation order (violations
+/// are sorted for stability).
+///
+/// # Errors
+/// Returns [`enumerate::BudgetExceeded`] as for [`check`].
+pub fn check_parallel<A>(
+    alg: &A,
+    ma: &(dyn MessageAdversary + Sync),
+    values: &[Value],
+    cfg: &CheckConfig,
     threads: usize,
 ) -> Result<CheckReport, enumerate::BudgetExceeded>
 where
     A: Algorithm + Sync,
 {
     assert!(threads >= 1, "need at least one worker");
+    let (require_termination, strong_validity) = (cfg.require_termination, cfg.strong_validity);
     let seqs = {
         let inputs_count = values.len().pow(ma.n() as u32);
-        let seqs = enumerate::admissible_sequences(ma, depth);
-        if seqs.len() * inputs_count > max_runs {
-            return Err(enumerate::BudgetExceeded { max_runs, needed: seqs.len() * inputs_count });
+        let seqs = enumerate::admissible_sequences(ma, cfg.depth);
+        if seqs.len() * inputs_count > cfg.max_runs {
+            return Err(enumerate::BudgetExceeded {
+                max_runs: cfg.max_runs,
+                needed: seqs.len() * inputs_count,
+            });
         }
         seqs
     };
@@ -248,6 +343,37 @@ where
     }
     report.violations.sort_by_key(|v| format!("{v}"));
     Ok(report)
+}
+
+/// Legacy positional form of [`check_parallel`].
+///
+/// # Errors
+/// Returns [`enumerate::BudgetExceeded`] as for [`check`].
+#[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `checker::check_parallel` with a `CheckConfig`"
+)]
+pub fn check_consensus_parallel<A>(
+    alg: &A,
+    ma: &(dyn MessageAdversary + Sync),
+    values: &[Value],
+    depth: usize,
+    max_runs: usize,
+    require_termination: bool,
+    strong_validity: bool,
+    threads: usize,
+) -> Result<CheckReport, enumerate::BudgetExceeded>
+where
+    A: Algorithm + Sync,
+{
+    check_parallel(
+        alg,
+        ma,
+        values,
+        &CheckConfig { depth, max_runs, require_termination, strong_validity },
+        threads,
+    )
 }
 
 /// Check one `(inputs, sequence)` cell; shared by the sequential and
@@ -325,7 +451,7 @@ fn check_one_run<A: Algorithm>(
 /// `values`) and check agreement, validity, and irrevocability. Termination
 /// is required when `require_termination` is set.
 ///
-/// Complements [`check_consensus`]: exhaustive checking is exact but bounded
+/// Complements [`check`]: exhaustive checking is exact but bounded
 /// by the exponential prefix space; sampling probes much deeper horizons.
 pub fn check_consensus_sampled<A: Algorithm, R: rand::Rng + ?Sized>(
     alg: &A,
@@ -405,7 +531,8 @@ mod tests {
     #[test]
     fn direction_rule_passes_reduced_lossy_link() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let report = check_consensus(&DirectionRule, &ma, &[0, 1], 3, 100_000, true).unwrap();
+        let cfg = CheckConfig::at_depth(3).max_runs(100_000);
+        let report = check(&DirectionRule, &ma, &[0, 1], &cfg).unwrap();
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert_eq!(report.undecided_runs, 0);
         assert_eq!(report.max_decision_round, 1);
@@ -417,7 +544,9 @@ mod tests {
         // With ↔ in the pool the direction inference is wrong: both
         // processes receive and decide the other's input.
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let report = check_consensus(&DirectionRule, &ma, &[0, 1], 2, 100_000, true).unwrap();
+        let report =
+            check(&DirectionRule, &ma, &[0, 1], &CheckConfig::at_depth(2).max_runs(100_000))
+                .unwrap();
         assert!(!report.passed());
         assert!(report.violations.iter().any(|v| matches!(v, Violation::Agreement { .. })));
     }
@@ -427,8 +556,8 @@ mod tests {
         // Santoro–Widmayer: no fixed-round flooding works under {←, ↔, →}.
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
         for round in 1..4 {
-            let report =
-                check_consensus(&FloodMin::new(round), &ma, &[0, 1], round, 100_000, true).unwrap();
+            let cfg = CheckConfig::at_depth(round).max_runs(100_000);
+            let report = check(&FloodMin::new(round), &ma, &[0, 1], &cfg).unwrap();
             assert!(!report.passed(), "FloodMin({round}) should fail");
         }
     }
@@ -436,14 +565,17 @@ mod tests {
     #[test]
     fn floodmin_passes_all_to_all() {
         let ma = GeneralMA::oblivious(vec![dyngraph::Digraph::complete(3)]);
-        let report = check_consensus(&FloodMin::new(1), &ma, &[0, 1], 2, 100_000, true).unwrap();
+        let report =
+            check(&FloodMin::new(1), &ma, &[0, 1], &CheckConfig::at_depth(2).max_runs(100_000))
+                .unwrap();
         assert!(report.passed());
     }
 
     #[test]
     fn budget_respected() {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
-        let err = check_consensus(&DirectionRule, &ma, &[0, 1], 10, 10, true).unwrap_err();
+        let err = check(&DirectionRule, &ma, &[0, 1], &CheckConfig::at_depth(10).max_runs(10))
+            .unwrap_err();
         assert!(err.needed > 10);
     }
 
@@ -452,9 +584,9 @@ mod tests {
         let ma = GeneralMA::oblivious(generators::lossy_link_full());
         for alg_round in [1usize, 2] {
             let alg = FloodMin::new(alg_round);
-            let seq_report = check_consensus(&alg, &ma, &[0, 1], 3, 100_000, true).unwrap();
-            let par_report =
-                check_consensus_parallel(&alg, &ma, &[0, 1], 3, 100_000, true, false, 4).unwrap();
+            let cfg = CheckConfig::at_depth(3).max_runs(100_000);
+            let seq_report = check(&alg, &ma, &[0, 1], &cfg).unwrap();
+            let par_report = check_parallel(&alg, &ma, &[0, 1], &cfg, 4).unwrap();
             assert_eq!(seq_report.runs_checked, par_report.runs_checked);
             assert_eq!(seq_report.undecided_runs, par_report.undecided_runs);
             assert_eq!(seq_report.max_decision_round, par_report.max_decision_round);
@@ -466,9 +598,8 @@ mod tests {
     #[test]
     fn parallel_checker_single_thread() {
         let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-        let report =
-            check_consensus_parallel(&DirectionRule, &ma, &[0, 1], 3, 100_000, true, false, 1)
-                .unwrap();
+        let cfg = CheckConfig::at_depth(3).max_runs(100_000);
+        let report = check_parallel(&DirectionRule, &ma, &[0, 1], &cfg, 1).unwrap();
         assert!(report.passed());
         assert_eq!(report.runs_checked, 4 * 8);
     }

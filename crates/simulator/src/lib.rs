@@ -47,7 +47,7 @@ use ptgraph::Value;
 /// is the entire previous state. Decisions are read off states by
 /// [`Algorithm::decision`] and must be *irrevocable*: once a state decides
 /// `v`, every successor state must decide `v` (checked by
-/// [`checker::check_consensus`]).
+/// [`checker::check`]).
 pub trait Algorithm {
     /// Per-process local state.
     type State: Clone + std::fmt::Debug;

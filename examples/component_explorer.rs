@@ -7,7 +7,7 @@
 //! ```
 
 use adversary::GeneralMA;
-use consensus_core::{analysis, space::PrefixSpace};
+use consensus_core::{analysis, space::PrefixSpace, ExpandConfig};
 use dyngraph::generators;
 use examples_support::section;
 use ptgraph::{distance, fig2_example};
@@ -35,7 +35,8 @@ fn main() {
 
     section("Figure 4: compact adversary {←, →} — separated decision sets");
     let compact = GeneralMA::oblivious(generators::lossy_link_reduced());
-    let space = PrefixSpace::build(&compact, &[0, 1], 3, 2_000_000).expect("budget");
+    let space =
+        PrefixSpace::expand(&compact, &[0, 1], 3, &ExpandConfig::default()).expect("budget");
     print!("{}", analysis::report(&space));
 
     section("Figure 5: non-compact ◇stable(2) — classes touch at every depth");

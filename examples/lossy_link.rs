@@ -14,7 +14,7 @@
 //! ```
 
 use adversary::{GeneralMA, MessageAdversary};
-use consensus_core::{analysis, bivalence, fair, space::PrefixSpace};
+use consensus_core::{analysis, bivalence, fair, space::PrefixSpace, ExpandConfig};
 use dyngraph::generators;
 use examples_support::section;
 use simulator::algorithms::FloodMin;
@@ -37,7 +37,8 @@ fn main() {
 
     section("The fair-sequence shadow: valence-connecting chains per depth");
     for depth in 1..=4 {
-        let space = PrefixSpace::build(&ma, &[0, 1], depth, 2_000_000).expect("within budget");
+        let space = PrefixSpace::expand(&ma, &[0, 1], depth, &ExpandConfig::default())
+            .expect("within budget");
         let chain = fair::valence_chain(&space, 0, 1).expect("mixed component chains");
         assert!(fair::validate_epsilon_chain(&space, &chain));
         println!("depth {depth}: chain of {} links:", chain.links.len());

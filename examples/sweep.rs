@@ -1,14 +1,13 @@
 //! Sweep: drive the lab's parallel scenario engine over a slice of the
-//! built-in adversary catalog and show the shared prefix-space cache at
-//! work.
+//! built-in adversary catalog through a `Session`, and show the shared
+//! prefix-space cache at work.
 //!
 //! ```text
 //! cargo run -p examples-support --example sweep
 //! ```
 
-use consensus_lab::cache::SpaceCache;
-use consensus_lab::runner::SweepRunner;
-use consensus_lab::scenario::{AdversarySpec, AnalysisKind, GridBuilder};
+use consensus_lab::scenario::{AdversarySpec, AnalysisKind};
+use consensus_lab::session::{Query, Session};
 use examples_support::section;
 
 fn main() {
@@ -18,17 +17,19 @@ fn main() {
         AdversarySpec::Catalog("cgp-reduced-lossy-link".into()),
         AdversarySpec::Catalog("forever-directional".into()),
     ];
-    let grid = GridBuilder::new(3, 2_000_000)
-        .analyses(&[
+    let queries = Query::grid(
+        &specs,
+        3,
+        &[
             AnalysisKind::Solvability,
             AnalysisKind::Broadcastability,
             AnalysisKind::SimCheck,
-        ])
-        .over_specs(&specs);
-    println!("grid: {} scenarios", grid.len());
+        ],
+    );
+    println!("grid: {} scenarios", queries.len());
 
-    let cache = SpaceCache::new();
-    let report = SweepRunner::new().run(&grid, &cache);
+    let session = Session::new();
+    let report = session.check_many(&queries);
 
     for record in report.store.records() {
         let space = record
@@ -52,9 +53,9 @@ fn main() {
         "the memoization cache must undercut one-expansion-per-scenario"
     );
 
-    section("Warm re-sweep (same cache): zero new constructions");
-    let before = cache.stats().builds;
-    let again = SweepRunner::new().run(&grid, &cache);
+    section("Warm re-sweep (same session): zero new constructions");
+    let before = session.space_cache().stats().builds;
+    let again = session.check_many(&queries);
     println!("{}", again.summary());
-    assert_eq!(cache.stats().builds, before);
+    assert_eq!(session.space_cache().stats().builds, before);
 }

@@ -115,7 +115,13 @@ fn sampled_deep_verification_of_synthesized_algorithms() {
 #[test]
 fn forever_directional_union_catalog() {
     let ma = catalog::forever_directional();
-    let space = consensus_core::PrefixSpace::build(&ma, &[0, 1], 2, 10_000).unwrap();
+    let space = consensus_core::PrefixSpace::expand(
+        &ma,
+        &[0, 1],
+        2,
+        &consensus_core::ExpandConfig::with_budget(10_000),
+    )
+    .unwrap();
     assert!(space.separation().is_separated());
     assert!(space.all_components_broadcastable());
 }

@@ -1,0 +1,183 @@
+//! Config-equivalence of the deprecated `_with` shims (ISSUE 4): every
+//! legacy positional path must be **byte-identical** — runs, view tables,
+//! components, verdicts, JSONL rows — to the same call expressed through
+//! the typed `ExpandConfig`/`Session` facade, across the catalog at depths
+//! 1..=3. The shims may then be deleted in the next release without any
+//! observable change.
+#![allow(deprecated)]
+
+use adversary::catalog;
+use consensus_core::config::ExpandConfig;
+use consensus_core::solvability::{SolvabilityChecker, Verdict};
+use consensus_core::{AnalysisConfig, PrefixSpace};
+use consensus_lab::cache::SpaceCache;
+use consensus_lab::runner::SweepRunner;
+use consensus_lab::scenario::{AnalysisKind, GridBuilder};
+use consensus_lab::session::{Query, Session};
+use consensus_lab::store::TIMING_FIELDS;
+
+const BUDGET: usize = 2_000_000;
+const VALUES: &[u32] = &[0, 1];
+const DEPTHS: std::ops::RangeInclusive<usize> = 1..=3;
+const CFG: ExpandConfig = ExpandConfig { threads: 1, max_runs: BUDGET };
+
+fn assert_same_space(a: &PrefixSpace, b: &PrefixSpace, what: &str) {
+    assert_eq!(a.runs(), b.runs(), "{what}: run list diverged");
+    assert_eq!(a.table(), b.table(), "{what}: view table diverged");
+    assert_eq!(a.components(), b.components(), "{what}: components diverged");
+    assert_eq!(a.stats(), b.stats(), "{what}: stats diverged");
+}
+
+/// `build`/`build_with` ≡ `expand`, serial and sharded, over the catalog.
+#[test]
+fn deprecated_builders_match_expand() {
+    for entry in catalog::entries() {
+        let ma = entry.build();
+        for depth in DEPTHS {
+            let Ok(new) = PrefixSpace::expand(&ma, VALUES, depth, &CFG) else {
+                continue;
+            };
+            let legacy = PrefixSpace::build(&ma, VALUES, depth, BUDGET).unwrap();
+            assert_same_space(&legacy, &new, &format!("{}@{depth} build", entry.name));
+            for threads in [2, 8] {
+                let legacy_threaded =
+                    PrefixSpace::build_with(&ma, VALUES, depth, BUDGET, threads).unwrap();
+                let new_threaded =
+                    PrefixSpace::expand(&ma, VALUES, depth, &CFG.threads(threads)).unwrap();
+                assert_same_space(
+                    &legacy_threaded,
+                    &new_threaded,
+                    &format!("{}@{depth} build_with({threads})", entry.name),
+                );
+            }
+        }
+    }
+}
+
+/// `extended`/`extended_with`/`extended_from`/`extended_from_with` ≡
+/// `extend`/`extend_from` rung by rung.
+#[test]
+fn deprecated_extensions_match_extend() {
+    for entry in catalog::entries() {
+        let ma = entry.build();
+        let Ok(base) = PrefixSpace::expand(&ma, VALUES, 1, &CFG) else {
+            continue;
+        };
+        let mut legacy_owned = base.clone();
+        let mut new_owned = base.clone();
+        let mut rung = base;
+        for depth in DEPTHS.skip(1) {
+            let Ok(new_borrowed) = rung.extend_from(&ma, &CFG) else {
+                break;
+            };
+            let legacy_borrowed = rung.extended_from(&ma, BUDGET).unwrap();
+            assert_same_space(
+                &legacy_borrowed,
+                &new_borrowed,
+                &format!("{}@{depth} extended_from", entry.name),
+            );
+            let legacy_sharded = rung.extended_from_with(&ma, BUDGET, 4).unwrap();
+            assert_same_space(
+                &legacy_sharded,
+                &new_borrowed,
+                &format!("{}@{depth} extended_from_with", entry.name),
+            );
+            legacy_owned = legacy_owned.extended(&ma, BUDGET).unwrap();
+            new_owned = new_owned.extend(&ma, &CFG).unwrap();
+            assert_same_space(
+                &legacy_owned,
+                &new_owned,
+                &format!("{}@{depth} extended", entry.name),
+            );
+            let legacy_owned_sharded = legacy_owned.clone().extended_with(&ma, BUDGET, 4).unwrap();
+            if let Ok(one_deeper) = new_owned.clone().extend(&ma, &CFG) {
+                assert_same_space(
+                    &legacy_owned_sharded,
+                    &one_deeper,
+                    &format!("{}@{depth} extended_with", entry.name),
+                );
+            }
+            rung = new_borrowed;
+        }
+    }
+}
+
+/// The deprecated `expand_threads` checker knob ≡ an `ExpandConfig` passed
+/// to `with_config`: identical verdict shapes over the catalog.
+#[test]
+fn deprecated_checker_knob_matches_config() {
+    for entry in catalog::entries() {
+        let legacy = SolvabilityChecker::new(entry.build())
+            .max_depth(3)
+            .max_runs(BUDGET)
+            .expand_threads(4)
+            .check();
+        let configured = SolvabilityChecker::with_config(
+            entry.build(),
+            AnalysisConfig::new().max_depth(3),
+            ExpandConfig { threads: 4, max_runs: BUDGET },
+        )
+        .check();
+        match (&legacy, &configured) {
+            (Verdict::Solvable(a), Verdict::Solvable(b)) => {
+                assert_eq!(a.depth, b.depth, "{}", entry.name);
+                assert_eq!(a.component_count, b.component_count, "{}", entry.name);
+            }
+            (Verdict::Unsolvable(_), Verdict::Unsolvable(_)) => {}
+            (Verdict::Undecided(a), Verdict::Undecided(b)) => {
+                assert_eq!(a.max_depth, b.max_depth, "{}", entry.name);
+                assert_eq!(a.mixed_components, b.mixed_components, "{}", entry.name);
+                assert_eq!(a.chain.is_some(), b.chain.is_some(), "{}", entry.name);
+            }
+            (a, b) => panic!("{}: verdicts diverged: {a:?} vs {b:?}", entry.name),
+        }
+    }
+}
+
+/// `SpaceCache::with_threads` ≡ `SpaceCache::with_config`: same spaces,
+/// same hit/build/ladder trajectory.
+#[test]
+fn deprecated_cache_constructor_matches_config() {
+    let legacy = SpaceCache::with_threads(4);
+    let configured = SpaceCache::with_config(&ExpandConfig::new().threads(4));
+    for entry in catalog::entries() {
+        let ma = entry.build();
+        for depth in DEPTHS {
+            let a = legacy.space_with_meta(&ma, VALUES, depth, BUDGET);
+            let b = configured.space_with_meta(&ma, VALUES, depth, BUDGET);
+            match (a, b) {
+                (Ok((a, ca)), Ok((b, cb))) => {
+                    assert_eq!(ca, cb, "{}@{depth}", entry.name);
+                    assert_same_space(&a, &b, &format!("{}@{depth} cache", entry.name));
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{}@{depth}", entry.name),
+                (a, b) => panic!("{}@{depth}: {a:?} vs {b:?}", entry.name),
+            }
+        }
+    }
+    assert_eq!(legacy.stats(), configured.stats(), "cache trajectories diverged");
+}
+
+/// The deprecated runner path (`SweepRunner::threads` over a scenario
+/// grid) produces byte-identical JSONL rows, modulo timing fields, to the
+/// same grid answered through `Session::check_many`.
+#[test]
+fn deprecated_runner_path_matches_session() {
+    let grid = GridBuilder::new(*DEPTHS.end(), BUDGET).over_catalog();
+    let legacy = SweepRunner::new().threads(2).run(&grid, &SpaceCache::new());
+
+    let queries = Query::catalog_grid(*DEPTHS.end(), &AnalysisKind::ALL);
+    let session = Session::new().workers(2);
+    let modern = session.check_many(&queries);
+
+    let strip = |report: &consensus_lab::SweepReport| -> Vec<String> {
+        report
+            .store
+            .records()
+            .iter()
+            .map(|r| r.to_json().without_keys(TIMING_FIELDS).to_string())
+            .collect()
+    };
+    assert_eq!(strip(&legacy), strip(&modern), "legacy and Session sweeps diverged");
+    assert_eq!(legacy.cache.requests(), modern.cache.requests());
+}

@@ -3,8 +3,11 @@
 //! verifying, incremental and direct expansions agree at depth).
 
 use adversary::{GeneralMA, MessageAdversary};
+use consensus_core::config::ExpandConfig;
 use consensus_core::{fair, PrefixSpace};
 use dyngraph::generators;
+
+const CFG: ExpandConfig = ExpandConfig { threads: 1, max_runs: 5_000_000 };
 
 /// Separation is monotone once reached: if the valence classes are
 /// separated at depth `t`, they stay separated at `t + 1` (components
@@ -12,10 +15,10 @@ use dyngraph::generators;
 #[test]
 fn separation_persists_under_refinement() {
     let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-    let mut space = PrefixSpace::build(&ma, &[0, 1], 0, 5_000_000).unwrap();
+    let mut space = PrefixSpace::expand(&ma, &[0, 1], 0, &CFG).unwrap();
     let mut separated_since = None;
     for depth in 1..=7 {
-        space = space.extended(&ma, 5_000_000).unwrap();
+        space = space.extend(&ma, &CFG).unwrap();
         let sep = space.separation().is_separated();
         if sep && separated_since.is_none() {
             separated_since = Some(depth);
@@ -32,9 +35,9 @@ fn separation_persists_under_refinement() {
 #[test]
 fn lossy_link_mixing_persists_deep() {
     let ma = GeneralMA::oblivious(generators::lossy_link_full());
-    let mut space = PrefixSpace::build(&ma, &[0, 1], 0, 5_000_000).unwrap();
+    let mut space = PrefixSpace::expand(&ma, &[0, 1], 0, &CFG).unwrap();
     for depth in 1..=6 {
-        space = space.extended(&ma, 5_000_000).unwrap();
+        space = space.extend(&ma, &CFG).unwrap();
         assert!(!space.separation().is_separated(), "separated at depth {depth}?!");
         let chain = fair::valence_chain(&space, 0, 1).expect("chain at every depth");
         assert!(fair::validate_epsilon_chain(&space, &chain));
@@ -48,7 +51,7 @@ fn lossy_link_mixing_persists_deep() {
 #[test]
 fn interner_sharing_is_effective() {
     let ma = GeneralMA::oblivious(generators::lossy_link_full());
-    let space = PrefixSpace::build(&ma, &[0, 1], 5, 5_000_000).unwrap();
+    let space = PrefixSpace::expand(&ma, &[0, 1], 5, &CFG).unwrap();
     let naive = space.runs().len() * space.n() * (space.depth() + 1);
     let interned = space.table().len();
     assert!(
@@ -66,20 +69,10 @@ fn parallel_verifier_deep_agreement() {
         Verdict::Solvable(cert) => cert,
         other => panic!("expected solvable: {other:?}"),
     };
-    let seq_report =
-        simulator::checker::check_consensus(&cert.algorithm, &ma, &[0, 1], 6, 5_000_000, true)
-            .unwrap();
-    let par_report = simulator::checker::check_consensus_parallel(
-        &cert.algorithm,
-        &ma,
-        &[0, 1],
-        6,
-        5_000_000,
-        true,
-        false,
-        4,
-    )
-    .unwrap();
+    let check_cfg = simulator::checker::CheckConfig::at_depth(6).max_runs(5_000_000);
+    let seq_report = simulator::checker::check(&cert.algorithm, &ma, &[0, 1], &check_cfg).unwrap();
+    let par_report =
+        simulator::checker::check_parallel(&cert.algorithm, &ma, &[0, 1], &check_cfg, 4).unwrap();
     assert!(seq_report.passed() && par_report.passed());
     assert_eq!(seq_report.runs_checked, par_report.runs_checked);
     assert_eq!(seq_report.max_decision_round, par_report.max_decision_round);

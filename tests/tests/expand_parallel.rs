@@ -11,15 +11,17 @@
 
 use adversary::catalog;
 use adversary::enumerate::{expand, expand_with};
+use consensus_core::config::ExpandConfig;
 use consensus_core::PrefixSpace;
 use consensus_lab::cache::SpaceCache;
-use consensus_lab::runner::SweepRunner;
-use consensus_lab::scenario::{AnalysisKind, GridBuilder};
+use consensus_lab::scenario::AnalysisKind;
+use consensus_lab::session::{Query, Session};
 use consensus_lab::store::TIMING_FIELDS;
 
 const BUDGET: usize = 2_000_000;
 const VALUES: &[u32] = &[0, 1];
 const DEPTHS: std::ops::RangeInclusive<usize> = 1..=4;
+const CFG: ExpandConfig = ExpandConfig { threads: 1, max_runs: BUDGET };
 
 /// Worker counts under test: `EXPAND_THREADS` (comma-separated) or 1, 2, 8.
 fn thread_counts() -> Vec<usize> {
@@ -74,11 +76,11 @@ fn spaces_and_components_identical_across_worker_counts() {
     for entry in catalog::entries() {
         let ma = entry.build();
         for depth in DEPTHS {
-            let Ok(serial) = PrefixSpace::build(&ma, VALUES, depth, BUDGET) else {
+            let Ok(serial) = PrefixSpace::expand(&ma, VALUES, depth, &CFG) else {
                 continue;
             };
             for threads in thread_counts() {
-                let par = PrefixSpace::build_with(&ma, VALUES, depth, BUDGET, threads)
+                let par = PrefixSpace::expand(&ma, VALUES, depth, &CFG.threads(threads))
                     .expect("serial fit the budget");
                 assert_eq!(par.runs(), serial.runs(), "{}@{depth}", entry.name);
                 assert_eq!(par.table(), serial.table(), "{}@{depth}", entry.name);
@@ -93,19 +95,19 @@ fn spaces_and_components_identical_across_worker_counts() {
 fn ladder_rungs_identical_across_worker_counts() {
     for entry in catalog::entries() {
         let ma = entry.build();
-        let Ok(mut serial) = PrefixSpace::build(&ma, VALUES, 1, BUDGET) else {
+        let Ok(mut serial) = PrefixSpace::expand(&ma, VALUES, 1, &CFG) else {
             continue;
         };
         let mut parallel: Vec<(usize, PrefixSpace)> =
             thread_counts().into_iter().map(|t| (t, serial.clone())).collect();
         for depth in 2..=4 {
-            let Ok(next) = serial.extended_from(&ma, BUDGET) else {
+            let Ok(next) = serial.extend_from(&ma, &CFG) else {
                 break;
             };
             serial = next;
             for (threads, space) in &mut parallel {
                 *space = space
-                    .extended_from_with(&ma, BUDGET, *threads)
+                    .extend_from(&ma, &CFG.threads(*threads))
                     .expect("serial extension fit the budget");
                 assert_eq!(space.runs(), serial.runs(), "{}@{depth} t={threads}", entry.name);
                 assert_eq!(space.table(), serial.table(), "{}@{depth} t={threads}", entry.name);
@@ -144,7 +146,7 @@ fn fingerprint_cache_trajectory_identical_across_worker_counts() {
     assert!(serial_stats.ladder_hits > 0, "ascending depths must ladder");
 
     for threads in thread_counts() {
-        let cache = SpaceCache::with_threads(threads);
+        let cache = SpaceCache::with_config(&ExpandConfig::new().threads(threads));
         let spaces = request(&cache);
         assert_eq!(cache.stats(), serial_stats, "threads={threads}: cache trajectory diverged");
         assert_eq!(spaces.len(), baseline.len());
@@ -162,9 +164,8 @@ fn sweep_records_byte_identical_across_worker_counts() {
     // End-to-end: full-catalog sweep records (verdicts, fingerprints,
     // space stats) are byte-identical modulo wall-clock fields whichever
     // expansion engine the shared cache uses.
-    let grid = GridBuilder::new(3, BUDGET)
-        .analyses(&[AnalysisKind::Solvability, AnalysisKind::ComponentStats])
-        .over_catalog();
+    let queries =
+        Query::catalog_grid(3, &[AnalysisKind::Solvability, AnalysisKind::ComponentStats]);
     let strip = |report: &consensus_lab::SweepReport| -> Vec<String> {
         report
             .store
@@ -173,11 +174,17 @@ fn sweep_records_byte_identical_across_worker_counts() {
             .map(|r| r.to_json().without_keys(TIMING_FIELDS).to_string())
             .collect()
     };
-    let serial = SweepRunner::new().threads(2).run(&grid, &SpaceCache::new());
+    let serial = Session::new().workers(2).check_many(&queries);
     let baseline = strip(&serial);
     for threads in thread_counts() {
-        let cache = SpaceCache::with_threads(threads);
-        let report = SweepRunner::new().threads(2).run(&grid, &cache);
+        let session = Session::with_configs(
+            ExpandConfig::new().threads(threads),
+            consensus_lab::AnalysisConfig::default(),
+            consensus_lab::CacheConfig::default(),
+        )
+        .unwrap()
+        .workers(2);
+        let report = session.check_many(&queries);
         assert_eq!(strip(&report), baseline, "threads={threads}: sweep records diverged");
         // Raw hit/build splits are scheduling-dependent (two sweep workers
         // racing one key both build; the loser's space is dropped), but

@@ -1,18 +1,21 @@
 //! Incremental-equivalence properties of the depth ladder (ISSUE 2): a
-//! space reached by `extended()`/`extended_from()` laddering is
+//! space reached by `extend()`/`extend_from()` laddering is
 //! indistinguishable — stats, verdicts, JSONL rows — from one built from
 //! scratch at the target depth, across the full catalog at depths 1..=4.
 
 use adversary::catalog;
+use consensus_core::config::ExpandConfig;
 use consensus_core::PrefixSpace;
 use consensus_lab::cache::SpaceCache;
-use consensus_lab::runner::{execute_scenario, SweepRunner};
-use consensus_lab::scenario::GridBuilder;
+use consensus_lab::runner::execute_scenario;
+use consensus_lab::scenario::{AnalysisKind, GridBuilder};
+use consensus_lab::session::{Query, Session};
 use consensus_lab::store::TIMING_FIELDS;
 
 const MAX_DEPTH: usize = 4;
 const BUDGET: usize = 2_000_000;
 const VALUES: &[ptgraph::Value] = &[0, 1];
+const CFG: ExpandConfig = ExpandConfig { threads: 1, max_runs: BUDGET };
 
 /// Laddered spaces match from-scratch builds exactly: same stats, same
 /// separation verdict, same run enumeration order, for every catalog entry
@@ -21,15 +24,15 @@ const VALUES: &[ptgraph::Value] = &[0, 1];
 fn laddered_spaces_match_scratch_builds_across_catalog() {
     for entry in catalog::entries() {
         let ma = entry.build();
-        let mut laddered = PrefixSpace::build(&ma, VALUES, 0, BUDGET)
+        let mut laddered = PrefixSpace::expand(&ma, VALUES, 0, &CFG)
             .unwrap_or_else(|e| panic!("{}: depth-0 build failed: {e}", entry.name));
         for depth in 1..=MAX_DEPTH {
             // `extended_from` leaves the ancestor intact (the cache's leg);
             // use it for the step so both seams are exercised.
             laddered = laddered
-                .extended_from(&ma, BUDGET)
+                .extend_from(&ma, &CFG)
                 .unwrap_or_else(|e| panic!("{}@{depth}: extension failed: {e}", entry.name));
-            let scratch = PrefixSpace::build(&ma, VALUES, depth, BUDGET)
+            let scratch = PrefixSpace::expand(&ma, VALUES, depth, &CFG)
                 .unwrap_or_else(|e| panic!("{}@{depth}: build failed: {e}", entry.name));
             assert_eq!(
                 laddered.stats(),
@@ -81,9 +84,10 @@ fn laddered_sweep_rows_match_scratch_sweep_rows() {
         })
         .collect();
 
-    // Laddered: one shared cache across the whole grid.
-    let cache = SpaceCache::new();
-    let report = SweepRunner::new().threads(2).run(&grid, &cache);
+    // Laddered: one session (one shared cache) across the whole grid.
+    let session = Session::new().workers(2);
+    let queries = Query::catalog_grid(MAX_DEPTH, &AnalysisKind::ALL);
+    let report = session.check_many(&queries);
     let ladder_rows: Vec<String> = report
         .store
         .records()
@@ -92,7 +96,7 @@ fn laddered_sweep_rows_match_scratch_sweep_rows() {
         .collect();
 
     assert_eq!(scratch_rows, ladder_rows, "ladder must be invisible in the results");
-    let stats = cache.stats();
+    let stats = session.space_cache().stats();
     assert!(stats.ladder_hits > 0, "a catalog sweep must exercise the ladder: {stats:?}");
     assert!(
         stats.builds < grid.len() / 2,

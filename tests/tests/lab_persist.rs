@@ -1,17 +1,16 @@
 //! The persistent-cache and shard/merge acceptance properties (ISSUE 2):
-//! a warm-disk sweep in a "new process" (a fresh `DiskCache` instance over
-//! the same directory and a cold `SpaceCache`) performs **zero** full
+//! a warm-disk sweep in a "new process" (a fresh `Session` over the same
+//! cache directory, with a cold space cache) performs **zero** full
 //! expansions; shard slices merge back into the unsharded report; resume
 //! re-executes only what is missing.
 
 use std::fs;
 use std::path::PathBuf;
 
-use consensus_lab::cache::SpaceCache;
-use consensus_lab::persist::DiskCache;
-use consensus_lab::runner::SweepRunner;
-use consensus_lab::scenario::{GridBuilder, Scenario, Shard};
+use consensus_lab::scenario::{AnalysisKind, Shard};
+use consensus_lab::session::{Query, Session};
 use consensus_lab::store::{parse_records, ScenarioRecord, TIMING_FIELDS};
+use consensus_lab::{AnalysisConfig, CacheConfig, ExpandConfig};
 
 const MAX_DEPTH: usize = 3;
 const BUDGET: usize = 2_000_000;
@@ -22,8 +21,14 @@ fn tmp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn indexed(grid: &[Scenario]) -> Vec<(usize, Scenario)> {
-    grid.iter().cloned().enumerate().collect()
+fn session(cache: CacheConfig) -> Session {
+    Session::with_configs(ExpandConfig::with_budget(BUDGET), AnalysisConfig::default(), cache)
+        .expect("cache dir must open")
+        .workers(2)
+}
+
+fn indexed(queries: &[Query]) -> Vec<(usize, Query)> {
+    queries.iter().cloned().enumerate().collect()
 }
 
 fn rows(records: &[ScenarioRecord]) -> Vec<String> {
@@ -34,38 +39,31 @@ fn rows(records: &[ScenarioRecord]) -> Vec<String> {
 }
 
 /// The headline acceptance criterion: a second sweep over the same cache
-/// directory, in a fresh process (modeled by a fresh `DiskCache` instance
-/// and a cold `SpaceCache`), answers every scenario from disk — zero full
+/// directory, in a fresh process (modeled by a fresh `Session` instance
+/// with a cold space cache), answers every scenario from disk — zero full
 /// expansions, zero ladder extensions — with identical results.
 #[test]
 fn warm_disk_sweep_performs_zero_expansions() {
     let dir = tmp_dir("warm-disk");
-    let grid = GridBuilder::new(MAX_DEPTH, BUDGET).over_catalog();
+    let queries = Query::catalog_grid(MAX_DEPTH, &AnalysisKind::ALL);
 
-    let cold_disk = DiskCache::open(&dir).expect("open cache dir");
-    let cold_cache = SpaceCache::new();
-    let cold =
-        SweepRunner::new()
-            .threads(2)
-            .run_indexed(&indexed(&grid), &cold_cache, Some(&cold_disk));
+    let cold_session = session(CacheConfig::new().disk_dir(&dir));
+    let cold = cold_session.check_many(&queries);
     assert!(cold.cache.builds > 0, "cold pass must expand something");
-    assert!(cold_disk.stores() > 0, "cold pass must journal outcomes");
-    drop(cold_disk);
+    assert!(cold_session.disk_cache().expect("configured").stores() > 0, "must journal");
+    drop(cold_session);
 
     // "Second process": everything in-memory is gone; only the directory
     // survives.
-    let warm_disk = DiskCache::open(&dir).expect("reopen cache dir");
+    let warm_session = session(CacheConfig::new().disk_dir(&dir));
+    let warm_disk = warm_session.disk_cache().expect("configured");
     assert_eq!(warm_disk.loaded(), warm_disk.len(), "journal reloads completely");
-    let warm_cache = SpaceCache::new();
-    let warm =
-        SweepRunner::new()
-            .threads(2)
-            .run_indexed(&indexed(&grid), &warm_cache, Some(&warm_disk));
+    let warm = warm_session.check_many(&queries);
 
     let stats = warm.cache;
     assert_eq!(stats.builds, 0, "warm-disk sweep must perform 0 full expansions: {stats:?}");
     assert_eq!(stats.ladder_hits, 0, "warm-disk sweep must not even ladder: {stats:?}");
-    assert_eq!(stats.disk_hits, grid.len(), "every scenario answered from disk: {stats:?}");
+    assert_eq!(stats.disk_hits, queries.len(), "every scenario answered from disk: {stats:?}");
     assert_eq!(
         rows(cold.store.records()),
         rows(warm.store.records()),
@@ -78,16 +76,16 @@ fn warm_disk_sweep_performs_zero_expansions() {
 /// unsharded sweep's records exactly (modulo timing fields).
 #[test]
 fn sharded_sweeps_merge_into_the_unsharded_report() {
-    let grid = GridBuilder::new(MAX_DEPTH, BUDGET).over_catalog();
-    let entries = indexed(&grid);
-    let full = SweepRunner::new().threads(2).run(&grid, &SpaceCache::new());
+    let queries = Query::catalog_grid(MAX_DEPTH, &AnalysisKind::ALL);
+    let entries = indexed(&queries);
+    let full = session(CacheConfig::default()).check_many(&queries);
 
     let mut merged: Vec<ScenarioRecord> = Vec::new();
     for i in 0..2 {
         let shard = Shard { index: i, count: 2 };
         let slice = shard.select(&entries);
         assert!(!slice.is_empty());
-        let report = SweepRunner::new().threads(2).run_indexed(&slice, &SpaceCache::new(), None);
+        let report = session(CacheConfig::default()).check_many_indexed(&slice);
         // Records carry their global grid indices.
         for (record, (global, _)) in report.store.records().iter().zip(&slice) {
             assert_eq!(record.index, *global);
@@ -107,8 +105,8 @@ fn sharded_sweeps_merge_into_the_unsharded_report() {
 /// place of re-execution.
 #[test]
 fn results_jsonl_roundtrips_for_resume() {
-    let grid = GridBuilder::new(2, BUDGET).over_catalog();
-    let report = SweepRunner::new().threads(2).run(&grid, &SpaceCache::new());
+    let queries = Query::catalog_grid(2, &AnalysisKind::ALL);
+    let report = session(CacheConfig::default()).check_many(&queries);
     let jsonl = report.store.to_jsonl();
     let parsed = parse_records(&jsonl).expect("store output must parse back");
     assert_eq!(parsed.len(), report.store.records().len());
@@ -127,21 +125,13 @@ fn results_jsonl_roundtrips_for_resume() {
 #[test]
 fn disk_cache_composes_with_sharding() {
     let dir = tmp_dir("shard-disk");
-    let grid = GridBuilder::new(2, BUDGET).over_catalog();
-    let entries = indexed(&grid);
+    let queries = Query::catalog_grid(2, &AnalysisKind::ALL);
+    let entries = indexed(&queries);
     let half = Shard { index: 0, count: 2 }.select(&entries);
 
-    {
-        let disk = DiskCache::open(&dir).expect("open cache dir");
-        SweepRunner::new()
-            .threads(2)
-            .run_indexed(&half, &SpaceCache::new(), Some(&disk));
-    }
-    let disk = DiskCache::open(&dir).expect("reopen cache dir");
-    let report =
-        SweepRunner::new()
-            .threads(2)
-            .run_indexed(&entries, &SpaceCache::new(), Some(&disk));
+    session(CacheConfig::new().disk_dir(&dir)).check_many_indexed(&half);
+    // A fresh session over the same directory reloads the journal.
+    let report = session(CacheConfig::new().disk_dir(&dir)).check_many_indexed(&entries);
     // The warmed half hits disk; structural aliases can push hits above
     // the strict shard size, never below.
     assert!(

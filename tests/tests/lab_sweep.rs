@@ -1,24 +1,22 @@
 //! Property tests for the lab subsystem: sweep determinism and
 //! cache-transparency (ISSUE 1 acceptance criteria).
 
-use consensus_lab::cache::SpaceCache;
 use consensus_lab::json::Value;
-use consensus_lab::runner::SweepRunner;
-use consensus_lab::scenario::{AnalysisKind, GridBuilder};
+use consensus_lab::scenario::AnalysisKind;
+use consensus_lab::session::{Query, Session};
 use consensus_lab::store::TIMING_FIELDS;
 
 const MAX_DEPTH: usize = 3;
-const BUDGET: usize = 2_000_000;
 
 /// Same scenario grid ⇒ byte-identical JSONL modulo timing fields, across
 /// runs and across thread counts.
 #[test]
 fn sweep_is_deterministic_modulo_timing() {
-    let grid = GridBuilder::new(MAX_DEPTH, BUDGET).over_catalog();
+    let queries = Query::catalog_grid(MAX_DEPTH, &AnalysisKind::ALL);
     let runs: Vec<String> = [1usize, 4, 1]
         .into_iter()
         .map(|threads| {
-            let report = SweepRunner::new().threads(threads).run(&grid, &SpaceCache::new());
+            let report = Session::new().workers(threads).check_many(&queries);
             report
                 .store
                 .records()
@@ -31,7 +29,7 @@ fn sweep_is_deterministic_modulo_timing() {
     assert_eq!(runs[0], runs[1], "1-thread vs 4-thread sweeps must agree");
     assert_eq!(runs[0], runs[2], "repeated sweeps must agree");
     // The raw JSONL differs only in the timing fields.
-    let report = SweepRunner::new().threads(2).run(&grid, &SpaceCache::new());
+    let report = Session::new().workers(2).check_many(&queries);
     for line in report.store.to_jsonl().lines() {
         let v = consensus_lab::json::parse(line).expect("store emits valid JSON");
         assert!(v.get("wall_ms").is_some(), "every record carries timing");
@@ -42,12 +40,12 @@ fn sweep_is_deterministic_modulo_timing() {
 /// construction counts, never results.
 #[test]
 fn cached_and_uncached_sweeps_agree_on_every_verdict() {
-    let grid = GridBuilder::new(MAX_DEPTH, BUDGET).over_catalog();
+    let queries = Query::catalog_grid(MAX_DEPTH, &AnalysisKind::ALL);
 
-    let cache = SpaceCache::new();
-    let cold = SweepRunner::new().threads(2).run(&grid, &cache);
-    // Re-run on the same (now warm) cache: every space request hits.
-    let warm = SweepRunner::new().threads(2).run(&grid, &cache);
+    let session = Session::new().workers(2);
+    let cold = session.check_many(&queries);
+    // Re-run on the same (now warm) session: every space request hits.
+    let warm = session.check_many(&queries);
 
     let strip = |records: &[consensus_lab::ScenarioRecord]| -> Vec<Value> {
         records
@@ -61,14 +59,14 @@ fn cached_and_uncached_sweeps_agree_on_every_verdict() {
         "verdicts must not depend on cache temperature"
     );
 
-    let stats = cache.stats();
+    let stats = session.space_cache().stats();
     assert_eq!(stats.builds, cold.cache.builds, "the warm pass must not build a single new space");
     // The acceptance telemetry: strictly fewer constructions than scenarios.
     assert!(
-        stats.builds < grid.len(),
+        stats.builds < queries.len(),
         "constructions ({}) must undercut scenarios ({})",
         stats.builds,
-        grid.len()
+        queries.len()
     );
 }
 
@@ -78,14 +76,16 @@ fn cached_and_uncached_sweeps_agree_on_every_verdict() {
 #[test]
 fn structural_aliases_share_results_and_cache_slots() {
     use consensus_lab::scenario::AdversarySpec;
-    let grid = GridBuilder::new(2, BUDGET)
-        .analyses(&[AnalysisKind::Bivalence, AnalysisKind::ComponentStats])
-        .over_specs(&[
+    let queries = Query::grid(
+        &[
             AdversarySpec::Catalog("sw-lossy-link".into()),
             AdversarySpec::Catalog("all-rooted-2".into()),
-        ]);
-    let cache = SpaceCache::new();
-    let report = SweepRunner::new().threads(1).run(&grid, &cache);
+        ],
+        2,
+        &[AnalysisKind::Bivalence, AnalysisKind::ComponentStats],
+    );
+    let session = Session::new().workers(1);
+    let report = session.check_many(&queries);
     let records = report.store.records();
     let half = records.len() / 2;
     for (a, b) in records[..half].iter().zip(&records[half..]) {
@@ -98,7 +98,7 @@ fn structural_aliases_share_results_and_cache_slots() {
     }
     // 2 depths for the first entry — one from-scratch build at depth 1,
     // one ladder extension up to depth 2; the alias's requests all hit.
-    let stats = cache.stats();
+    let stats = session.space_cache().stats();
     assert_eq!((stats.builds, stats.ladder_hits), (1, 1), "{stats:?}");
 }
 
@@ -106,10 +106,8 @@ fn structural_aliases_share_results_and_cache_slots() {
 /// truth at the sweep's deepest resolution.
 #[test]
 fn sweep_verdicts_match_catalog_ground_truth_at_max_depth() {
-    let grid = GridBuilder::new(4, BUDGET)
-        .analyses(&[AnalysisKind::Solvability])
-        .over_catalog();
-    let report = SweepRunner::new().threads(2).run(&grid, &SpaceCache::new());
+    let queries = Query::catalog_grid(4, &[AnalysisKind::Solvability]);
+    let report = Session::new().workers(2).check_many(&queries);
     for record in report.store.records() {
         assert_ne!(record.matches_expected, Some(false), "{}", record.adversary);
         if record.depth == 4 {

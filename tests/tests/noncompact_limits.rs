@@ -20,7 +20,8 @@ fn compact_vs_noncompact_class_distance() {
     // Compact approximation with deadline 2: separated at depth ≥ 2 with a
     // positive class distance.
     let compact = nc.with_deadline(2);
-    let space = PrefixSpace::build(&compact, &[0, 1], 3, 2_000_000).unwrap();
+    let space = PrefixSpace::expand(&compact, &[0, 1], 3, &consensus_core::ExpandConfig::default())
+        .unwrap();
     let rep = analysis::report(&space);
     assert!(rep.separated);
     assert!(matches!(rep.min_class_distance.unwrap(), Distance::Finite(_)));
@@ -111,7 +112,9 @@ fn union_forever_directional_solvable() {
     let left = GeneralMA::oblivious(vec![Digraph::parse2("<-").unwrap()]);
     let ma = UnionMA::new(vec![Box::new(right), Box::new(left)]);
     assert!(ma.is_compact());
-    let space = PrefixSpace::build(&ma, &[0, 1], 2, 10_000).unwrap();
+    let space =
+        PrefixSpace::expand(&ma, &[0, 1], 2, &consensus_core::ExpandConfig::with_budget(10_000))
+            .unwrap();
     assert!(space.separation().is_separated());
 }
 

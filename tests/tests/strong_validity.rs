@@ -37,16 +37,10 @@ fn ternary_strong_validity_solvable() {
         other => panic!("expected solvable: {other:?}"),
     };
     // Re-verify with the strong flag at a deeper horizon.
-    let report = checker::check_consensus_with(
-        &cert.algorithm,
-        &ma,
-        &[0, 1, 2],
-        cert.depth + 1,
-        4_000_000,
-        true,
-        true,
-    )
-    .unwrap();
+    let cfg = checker::CheckConfig::at_depth(cert.depth + 1)
+        .max_runs(4_000_000)
+        .strong_validity(true);
+    let report = checker::check(&cert.algorithm, &ma, &[0, 1, 2], &cfg).unwrap();
     assert!(report.passed(), "violations: {:?}", report.violations);
 }
 
@@ -59,10 +53,21 @@ fn ternary_weak_certificate_can_violate_strong() {
     // input, so weak and strong coincide; at depth 2 the refinement creates
     // unlabeled components whose weak default (0) is nobody's input.
     let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-    let space = consensus_core::PrefixSpace::build(&ma, &[0, 1, 2], 2, 4_000_000).unwrap();
+    let space = consensus_core::PrefixSpace::expand(
+        &ma,
+        &[0, 1, 2],
+        2,
+        &consensus_core::ExpandConfig::with_budget(4_000_000),
+    )
+    .unwrap();
     let weak = consensus_core::UniversalAlgorithm::synthesize(&space).unwrap();
-    let report =
-        checker::check_consensus_with(&weak, &ma, &[0, 1, 2], 2, 4_000_000, true, true).unwrap();
+    let report = checker::check(
+        &weak,
+        &ma,
+        &[0, 1, 2],
+        &checker::CheckConfig::at_depth(2).max_runs(4_000_000).strong_validity(true),
+    )
+    .unwrap();
     assert!(
         report
             .violations
@@ -78,7 +83,12 @@ fn ternary_weak_certificate_can_violate_strong() {
 
     // The strong synthesis on the same space is clean.
     let strong = consensus_core::UniversalAlgorithm::synthesize_strong(&space).unwrap();
-    let report =
-        checker::check_consensus_with(&strong, &ma, &[0, 1, 2], 2, 4_000_000, true, true).unwrap();
+    let report = checker::check(
+        &strong,
+        &ma,
+        &[0, 1, 2],
+        &checker::CheckConfig::at_depth(2).max_runs(4_000_000).strong_validity(true),
+    )
+    .unwrap();
     assert!(report.passed(), "violations: {:?}", report.violations);
 }

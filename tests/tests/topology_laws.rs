@@ -148,7 +148,8 @@ fn broadcastable_components_have_constant_broadcaster_input() {
     ];
     for pool in pools {
         let ma = GeneralMA::oblivious(pool);
-        let space = PrefixSpace::build(&ma, &[0, 1], 2, 2_000_000).unwrap();
+        let space =
+            PrefixSpace::expand(&ma, &[0, 1], 2, &consensus_core::ExpandConfig::default()).unwrap();
         for c in 0..space.components().count() {
             for &p in &space.component_broadcasters(c) {
                 let members = space.components().members(c);
@@ -171,7 +172,13 @@ fn class_distances_match_separation() {
         [(generators::lossy_link_reduced(), true), (generators::lossy_link_full(), false)]
     {
         let ma = GeneralMA::oblivious(pool);
-        let space = consensus_core::space::PrefixSpace::build(&ma, &[0, 1], 3, 2_000_000).unwrap();
+        let space = consensus_core::space::PrefixSpace::expand(
+            &ma,
+            &[0, 1],
+            3,
+            &consensus_core::ExpandConfig::default(),
+        )
+        .unwrap();
         let rep = analysis::report(&space);
         assert_eq!(rep.separated, expect_separated);
         match (expect_separated, rep.min_class_distance.unwrap()) {

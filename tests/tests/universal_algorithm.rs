@@ -3,6 +3,7 @@
 
 use adversary::{GeneralMA, MessageAdversary};
 use consensus_core::{
+    config::ExpandConfig,
     solvability::{SolvabilityChecker, Verdict},
     space::PrefixSpace,
     universal::UniversalAlgorithm,
@@ -24,9 +25,8 @@ fn solvable_cert(ma: GeneralMA, depth: usize) -> consensus_core::solvability::So
 fn decisions_persist_beyond_synthesis_depth() {
     let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
     let cert = solvable_cert(ma.clone(), 3);
-    let report =
-        checker::check_consensus(&cert.algorithm, &ma, &[0, 1], cert.depth + 3, 4_000_000, true)
-            .unwrap();
+    let cfg = checker::CheckConfig::at_depth(cert.depth + 3).max_runs(4_000_000);
+    let report = checker::check(&cert.algorithm, &ma, &[0, 1], &cfg).unwrap();
     assert!(report.passed(), "violations: {:?}", report.violations);
     assert_eq!(report.undecided_runs, 0);
 }
@@ -35,10 +35,17 @@ fn decisions_persist_beyond_synthesis_depth() {
 #[test]
 fn ternary_universal_algorithm() {
     let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-    let space = PrefixSpace::build(&ma, &[0, 1, 2], 2, 4_000_000).unwrap();
+    let space =
+        PrefixSpace::expand(&ma, &[0, 1, 2], 2, &ExpandConfig::with_budget(4_000_000)).unwrap();
     assert!(space.separation().is_separated());
     let alg = UniversalAlgorithm::synthesize(&space).unwrap();
-    let report = checker::check_consensus(&alg, &ma, &[0, 1, 2], 2, 4_000_000, true).unwrap();
+    let report = checker::check(
+        &alg,
+        &ma,
+        &[0, 1, 2],
+        &checker::CheckConfig::at_depth(2).max_runs(4_000_000),
+    )
+    .unwrap();
     assert!(report.passed(), "violations: {:?}", report.violations);
     // Validity specifically for value 2.
     let exec = engine::run(&alg, &[2, 2], &GraphSeq::parse2("-> <-").unwrap());
@@ -112,8 +119,8 @@ fn eventually_swap_decisions_after_exchange() {
 #[test]
 fn synthesis_deterministic() {
     let ma = GeneralMA::oblivious(generators::lossy_link_reduced());
-    let s1 = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
-    let s2 = PrefixSpace::build(&ma, &[0, 1], 2, 1_000_000).unwrap();
+    let s1 = PrefixSpace::expand(&ma, &[0, 1], 2, &ExpandConfig::default()).unwrap();
+    let s2 = PrefixSpace::expand(&ma, &[0, 1], 2, &ExpandConfig::default()).unwrap();
     let a1 = UniversalAlgorithm::synthesize(&s1).unwrap();
     let a2 = UniversalAlgorithm::synthesize(&s2).unwrap();
     assert_eq!(a1.table_size(), a2.table_size());
