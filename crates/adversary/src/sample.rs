@@ -94,6 +94,64 @@ mod tests {
     }
 
     #[test]
+    fn random_prefix_is_seed_deterministic() {
+        let ma = GeneralMA::oblivious(generators::lossy_link_full());
+        let draw = |seed: u64| -> Vec<GraphSeq> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..10).map(|_| random_prefix(&ma, &mut rng, 5).unwrap()).collect()
+        };
+        assert_eq!(draw(7), draw(7), "same seed must replay the same prefixes");
+        assert_ne!(draw(7), draw(8), "distinct seeds must explore distinct prefixes");
+    }
+
+    #[test]
+    fn every_sampled_round_is_an_admissible_extension() {
+        // Stronger than `admits_prefix` on the final sequence: replay the
+        // prefix round by round and require each sampled graph to be among
+        // the adversary's admissible extensions of what preceded it — the
+        // invariant `random_prefix` is built on.
+        let adversaries: Vec<(crate::DynMA, u64)> = vec![
+            (Box::new(GeneralMA::oblivious(generators::lossy_link_full())), 11),
+            (
+                Box::new(GeneralMA::eventually_graph(
+                    generators::lossy_link_full(),
+                    Digraph::parse2("<->").unwrap(),
+                    Some(3),
+                )),
+                12,
+            ),
+            (Box::new(GeneralMA::stabilizing(generators::lossy_link_full(), 2, None)), 13),
+        ];
+        for (ma, seed) in &adversaries {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
+            for _ in 0..10 {
+                let sampled = random_prefix(ma.as_ref(), &mut rng, 6).unwrap();
+                let mut replay = GraphSeq::new();
+                for t in 1..=sampled.rounds() {
+                    let graph = sampled.graph(t);
+                    let extensions = ma.extensions(&replay);
+                    assert!(
+                        extensions.contains(graph),
+                        "{}: round {t} of {sampled:?} is not an admissible extension",
+                        ma.describe()
+                    );
+                    replay.push(graph.clone());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_lasso_is_seed_deterministic() {
+        let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 2, None);
+        let draw = |seed: u64| -> Vec<Option<Lasso>> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..5).map(|_| random_lasso(&ma, &mut rng, 2, 2, 50)).collect()
+        };
+        assert_eq!(draw(21), draw(21), "same seed must replay the same lassos");
+    }
+
+    #[test]
     fn random_lasso_admissible() {
         let ma = GeneralMA::stabilizing(generators::lossy_link_full(), 2, None);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);

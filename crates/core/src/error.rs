@@ -112,6 +112,33 @@ impl Error {
         Error::Io { context: context.into(), source }
     }
 
+    /// A stable machine-readable class name, used as the `kind` field of
+    /// structured error payloads (the `consensus-serve` HTTP API).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Spec(_) => "spec",
+            Error::Budget(_) => "budget",
+            Error::Io { .. } => "io",
+            Error::CacheConflict { .. } => "cache-conflict",
+            Error::UnknownAnalysis { .. } => "unknown-analysis",
+            Error::BadShard { .. } => "bad-shard",
+        }
+    }
+
+    /// The HTTP status code this failure class maps to: `4xx` when the
+    /// request itself is at fault (bad spec, unknown analysis, malformed
+    /// shard), `409` when it conflicts with persisted state, `422` when
+    /// the request is well-formed but exceeds the configured work budget,
+    /// and `500` for engine-side I/O failures.
+    pub fn status_code(&self) -> u16 {
+        match self {
+            Error::Spec(_) | Error::UnknownAnalysis { .. } | Error::BadShard { .. } => 400,
+            Error::CacheConflict { .. } => 409,
+            Error::Budget(_) => 422,
+            Error::Io { .. } => 500,
+        }
+    }
+
     /// The budget payload, if this is a budget error — the inverse of the
     /// `From<BudgetExceeded>` conversion, used where a legacy seam still
     /// speaks [`BudgetExceeded`].
@@ -182,6 +209,24 @@ mod tests {
         assert_eq!(shard.to_string(), "index out of range");
         let analysis = Error::UnknownAnalysis { name: "nope".into(), valid: &["a", "b"] };
         assert_eq!(analysis.to_string(), "unknown analysis \"nope\" (expected one of: a, b)");
+    }
+
+    #[test]
+    fn kinds_and_status_codes_are_stable() {
+        // The HTTP layer serializes these into responses; they are part of
+        // the service contract, not free to drift.
+        let cases: [(Error, &str, u16); 6] = [
+            (Error::from(SpecError::EmptyPool), "spec", 400),
+            (Error::UnknownAnalysis { name: "x".into(), valid: &["a"] }, "unknown-analysis", 400),
+            (Error::BadShard { spec: "x".into(), reason: "r".into() }, "bad-shard", 400),
+            (Error::CacheConflict { reason: "r".into() }, "cache-conflict", 409),
+            (Error::Budget(BudgetExceeded { max_runs: 1, needed: 2 }), "budget", 422),
+            (Error::io("ctx", io::Error::other("x")), "io", 500),
+        ];
+        for (err, kind, status) in cases {
+            assert_eq!(err.kind(), kind, "{err}");
+            assert_eq!(err.status_code(), status, "{err}");
+        }
     }
 
     #[test]

@@ -1,12 +1,20 @@
-//! A small, dependency-free JSON encoder/decoder for the result store.
+//! A small, dependency-free JSON encoder/decoder shared by the lab result
+//! store and the serve HTTP API.
 //!
-//! The store needs three properties the offline serde stand-in cannot give:
-//! key-order-preserving objects (so repeated sweeps emit *byte-identical*
-//! JSONL, which the determinism tests compare directly), exact `u64`
-//! round-trips for fingerprints (emitted as decimal strings), and a parser
-//! for `report` to read result files back. The subset implemented is exactly
-//! what the store emits: objects, arrays, strings, integers, floats, bools,
-//! and null — no exponent-notation output, `\uXXXX` escapes on input only.
+//! Grown inside `consensus-lab` for its result store, extracted here once
+//! the `consensus-serve` service needed to parse request bodies with the
+//! same codec (the lab re-exports this crate as `consensus_lab::json`, so
+//! existing paths keep working). The consumers need three properties the
+//! offline serde stand-in cannot give: key-order-preserving objects (so
+//! repeated sweeps emit *byte-identical* JSONL, which the determinism tests
+//! compare directly), exact `u64` round-trips for fingerprints (emitted as
+//! hex strings), and a parser to read result files and request bodies back.
+//! The subset implemented is exactly what the store emits: objects, arrays,
+//! strings, integers, floats, bools, and null — no exponent-notation
+//! output, `\uXXXX` escapes on input only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -160,14 +168,22 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container-nesting depth accepted by [`parse`]. The parser
+/// recurses per nesting level, and `consensus-serve` feeds it untrusted
+/// request bodies — without a cap, a kilobyte of `[`s would overflow the
+/// parsing thread's stack and abort the process. Everything this
+/// workspace emits nests single-digit deep.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 /// Parse one JSON value from `input` (trailing whitespace allowed).
 ///
 /// # Errors
-/// Returns [`ParseError`] on malformed input or trailing garbage.
+/// Returns [`ParseError`] on malformed input, trailing garbage, or
+/// nesting beyond [`MAX_PARSE_DEPTH`].
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, MAX_PARSE_DEPTH)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(err(pos, "trailing characters"));
@@ -194,7 +210,7 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), ParseError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, ParseError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(err(*pos, "unexpected end of input")),
@@ -202,6 +218,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
         Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
         Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[' | b'{') if depth == 0 => Err(err(*pos, "nesting too deep")),
         Some(b'[') => {
             *pos += 1;
             let mut items = Vec::new();
@@ -211,7 +228,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
                 return Ok(Value::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth - 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -240,7 +257,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
                 }
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth - 1)?;
                 fields.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -402,5 +419,20 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("12 34").is_err());
         assert!(parse(r#"{"a":1,"a":2}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_excessive_nesting_instead_of_overflowing() {
+        // The serve API parses untrusted bodies with this function; a
+        // nesting bomb must be a parse error, not a stack overflow.
+        let bomb = "[".repeat(500_000);
+        let error = parse(&bomb).unwrap_err();
+        assert!(error.message.contains("nesting too deep"), "{error}");
+        let object_bomb = "{\"k\":".repeat(MAX_PARSE_DEPTH + 1);
+        let error = parse(&object_bomb).unwrap_err();
+        assert!(error.message.contains("nesting too deep"), "{error}");
+        // Depths at the cap still parse.
+        let deep = format!("{}1{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(parse(&deep).is_ok());
     }
 }

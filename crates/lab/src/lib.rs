@@ -65,7 +65,11 @@
 
 pub mod cache;
 pub mod gate;
-pub mod json;
+/// The dependency-free JSON codec backing the store — extracted to the
+/// shared `consensus-json` crate (so `consensus-serve` parses request
+/// bodies with the same codec) and re-exported here under its long-time
+/// path.
+pub use json;
 pub mod persist;
 pub mod report;
 pub mod runner;

@@ -127,6 +127,16 @@ pub struct Session {
     disk: Option<DiskCache>,
 }
 
+// The `consensus-serve` HTTP server shares one `Session` across its worker
+// threads behind an `Arc`, calling `check`/`check_many` through `&self`
+// concurrently. Guard that contract at compile time: losing `Send + Sync`
+// (say, by an `Rc` or `RefCell` slipping into the cache layer) must fail
+// the build here, not at the server's use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>()
+};
+
 impl Default for Session {
     fn default() -> Self {
         Self::new()
@@ -319,6 +329,45 @@ mod tests {
             single.to_json().without_keys(TIMING_FIELDS),
             batch.store.records()[0].to_json().without_keys(TIMING_FIELDS)
         );
+    }
+
+    #[test]
+    fn concurrent_checks_on_one_session_match_serial() {
+        // The serving contract: worker threads hammering one shared
+        // `Session` through `&self` — racing on cold cache slots included —
+        // must answer every query exactly as a serial session does.
+        let queries = Query::catalog_grid(2, &AnalysisKind::ALL);
+        let serial_session = Session::new();
+        let serial: Vec<String> = queries
+            .iter()
+            .map(|q| {
+                let record = serial_session.check(q).unwrap();
+                record.to_json().without_keys(TIMING_FIELDS).to_string()
+            })
+            .collect();
+        let shared = Session::new();
+        std::thread::scope(|scope| {
+            for offset in 0..4usize {
+                let (shared, queries, serial) = (&shared, &queries, &serial);
+                scope.spawn(move || {
+                    // Each worker walks the whole grid from its own offset,
+                    // so cold cells are contended from the start.
+                    for k in 0..queries.len() {
+                        let i = (offset + k) % queries.len();
+                        let record = shared.check(&queries[i]).unwrap();
+                        assert_eq!(
+                            record.to_json().without_keys(TIMING_FIELDS).to_string(),
+                            serial[i],
+                            "{}",
+                            queries[i].label()
+                        );
+                    }
+                });
+            }
+        });
+        // All four workers were answered from one shared cache: the space
+        // census matches the serial session's, not four times it.
+        assert_eq!(shared.space_cache().len(), serial_session.space_cache().len());
     }
 
     #[test]

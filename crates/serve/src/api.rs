@@ -1,0 +1,570 @@
+//! The service API: routing and JSON request/response shapes over one
+//! shared [`Session`].
+//!
+//! Every data-plane request is answered by the *same* long-lived
+//! [`Session`] — that is the point of the service: the first query warms
+//! the in-memory [`SpaceCache`](consensus_lab::cache::SpaceCache) (and the
+//! verdict journal, when configured), and every request after it is a
+//! cache hit. [`App`] is [`Sync`]; the server's worker threads share one
+//! instance behind an [`std::sync::Arc`].
+//!
+//! | Method | Path          | Body                                   | Answer |
+//! |--------|---------------|----------------------------------------|--------|
+//! | POST   | `/v1/check`   | one query object                       | the [`ScenarioRecord`] JSON |
+//! | POST   | `/v1/sweep`   | a grid (`catalog`+`max_depth` or `queries`) | `records` + `meta` |
+//! | GET    | `/v1/catalog` | —                                      | the built-in adversary registry |
+//! | GET    | `/healthz`    | —                                      | liveness |
+//! | GET    | `/metrics`    | —                                      | request/latency/cache counters |
+//!
+//! Failures are structured: `{"error":{"status":…,"kind":…,"message":…}}`,
+//! with the status class decided by [`Error::status_code`].
+
+use std::time::Instant;
+
+use consensus_core::error::Error;
+use consensus_lab::report::SweepMeta;
+use consensus_lab::scenario::{AdversarySpec, AnalysisKind};
+use consensus_lab::session::{Query, Session};
+use consensus_lab::store::ScenarioRecord;
+use json::Value;
+
+use crate::http::Request;
+use crate::metrics::{Endpoint, Metrics};
+
+/// Refuse `/v1/sweep` grids larger than this many scenarios — a bound on
+/// per-request work, not a scalability limit (shard bigger grids across
+/// requests, exactly as the CLI shards them across processes).
+pub const MAX_SWEEP_SCENARIOS: usize = 65_536;
+
+/// One HTTP answer: a status and a JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200` with the given JSON body.
+    pub fn ok(body: String) -> Self {
+        Response { status: 200, body }
+    }
+
+    /// A structured error payload; see the module docs.
+    pub fn error(status: u16, kind: &str, message: &str) -> Self {
+        let body = Value::Obj(vec![(
+            "error".into(),
+            Value::Obj(vec![
+                ("status".into(), Value::Int(i64::from(status))),
+                ("kind".into(), Value::Str(kind.to_string())),
+                ("message".into(), Value::Str(message.to_string())),
+            ]),
+        )]);
+        Response { status, body: body.to_string() }
+    }
+
+    /// The structured form of a typed facade [`Error`], via its
+    /// [`status_code`](Error::status_code)/[`kind`](Error::kind) mapping.
+    pub fn from_error(err: &Error) -> Self {
+        Response::error(err.status_code(), err.kind(), &err.to_string())
+    }
+}
+
+/// The routable application: one shared warm [`Session`] plus telemetry.
+#[derive(Debug)]
+pub struct App {
+    session: Session,
+    metrics: Metrics,
+    /// The `/v1/catalog` payload, rendered once — the registry is static
+    /// for the process lifetime, so requests must not rebuild every
+    /// adversary just to re-serialize an identical body.
+    catalog_body: String,
+}
+
+impl App {
+    /// An app answering from `session`.
+    pub fn new(session: Session) -> Self {
+        App { session, metrics: Metrics::new(), catalog_body: render_catalog() }
+    }
+
+    /// The shared session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The service telemetry (the server layer records connections here).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Route and answer one request, recording telemetry.
+    pub fn handle(&self, request: &Request) -> Response {
+        let start = Instant::now();
+        let (endpoint, response) = self.route(request);
+        self.metrics.record(endpoint, response.status, start.elapsed());
+        response
+    }
+
+    fn route(&self, request: &Request) -> (Option<Endpoint>, Response) {
+        let method = request.method.as_str();
+        match request.target.as_str() {
+            "/v1/check" => {
+                (Some(Endpoint::Check), self.expect_post(method, request, |body| self.check(body)))
+            }
+            "/v1/sweep" => {
+                (Some(Endpoint::Sweep), self.expect_post(method, request, |body| self.sweep(body)))
+            }
+            "/v1/catalog" => (Some(Endpoint::Catalog), self.expect_get(method, Self::catalog)),
+            "/healthz" => (Some(Endpoint::Healthz), self.expect_get(method, Self::healthz)),
+            "/metrics" => (Some(Endpoint::Metrics), self.expect_get(method, Self::metrics_body)),
+            other => (None, Response::error(404, "not-found", &format!("no route for {other:?}"))),
+        }
+    }
+
+    fn expect_post(
+        &self,
+        method: &str,
+        request: &Request,
+        handler: impl FnOnce(&Value) -> Response,
+    ) -> Response {
+        if method != "POST" {
+            return Response::error(405, "method-not-allowed", "use POST");
+        }
+        let text = match request.body_str() {
+            Ok(text) => text,
+            Err(e) => return Response::error(400, "bad-body", &e.to_string()),
+        };
+        match json::parse(text) {
+            Ok(value) => handler(&value),
+            Err(e) => Response::error(400, "bad-body", &e.to_string()),
+        }
+    }
+
+    fn expect_get(&self, method: &str, handler: impl FnOnce(&Self) -> Response) -> Response {
+        if method != "GET" {
+            return Response::error(405, "method-not-allowed", "use GET");
+        }
+        handler(self)
+    }
+
+    fn check(&self, body: &Value) -> Response {
+        let query = match parse_query(body) {
+            Ok(query) => query,
+            Err(response) => return response,
+        };
+        match self.session.check(&query) {
+            Ok(record) => Response::ok(record.to_json().to_string()),
+            Err(err) => Response::from_error(&err),
+        }
+    }
+
+    fn sweep(&self, body: &Value) -> Response {
+        let entries = match parse_sweep(body) {
+            Ok(entries) => entries,
+            Err(response) => return response,
+        };
+        let report = self.session.check_many_indexed(&entries);
+        // The same counters a CLI sweep writes to sweep-meta.json — note
+        // the cache block (disk hits included, filled in by the runner) is
+        // the session-cumulative view, matching `/metrics`.
+        let meta = SweepMeta {
+            scenarios: entries.len(),
+            threads: report.threads,
+            cache: report.cache,
+            expand: report.expand,
+        };
+        let records: Vec<Value> =
+            report.store.records().iter().map(ScenarioRecord::to_json).collect();
+        Response::ok(
+            Value::Obj(vec![
+                ("records".into(), Value::Arr(records)),
+                ("meta".into(), meta.to_json()),
+            ])
+            .to_string(),
+        )
+    }
+
+    fn catalog(&self) -> Response {
+        Response::ok(self.catalog_body.clone())
+    }
+
+    fn healthz(&self) -> Response {
+        Response::ok(
+            Value::Obj(vec![
+                ("status".into(), Value::Str("ok".into())),
+                (
+                    "uptime_ms".into(),
+                    Value::Float(crate::metrics::round3(self.metrics.uptime_ms())),
+                ),
+            ])
+            .to_string(),
+        )
+    }
+
+    fn metrics_body(&self) -> Response {
+        let mut fields = self.metrics.to_json();
+        // The cache hierarchy, exactly as a SweepReport accounts it: space
+        // counters from the shared SpaceCache, scenario-level disk hits
+        // from the journal.
+        let mut stats = self.session.space_cache().stats();
+        if let Some(disk) = self.session.disk_cache() {
+            stats.disk_hits = disk.hits();
+        }
+        fields.push((
+            "cache".into(),
+            Value::Obj(vec![
+                ("hits".into(), Value::Int(stats.hits as i64)),
+                ("builds".into(), Value::Int(stats.builds as i64)),
+                ("ladder_hits".into(), Value::Int(stats.ladder_hits as i64)),
+                ("disk_hits".into(), Value::Int(stats.disk_hits as i64)),
+                ("budget_misses".into(), Value::Int(stats.budget_misses as i64)),
+            ]),
+        ));
+        let disk = match self.session.disk_cache() {
+            None => Value::Obj(vec![("enabled".into(), Value::Bool(false))]),
+            Some(disk) => Value::Obj(vec![
+                ("enabled".into(), Value::Bool(true)),
+                ("loaded".into(), Value::Int(disk.loaded() as i64)),
+                ("hits".into(), Value::Int(disk.hits() as i64)),
+                ("stores".into(), Value::Int(disk.stores() as i64)),
+            ]),
+        };
+        fields.push(("disk".into(), disk));
+        Response::ok(Value::Obj(fields).to_string())
+    }
+}
+
+fn render_catalog() -> String {
+    let entries: Vec<Value> = adversary::catalog::entries()
+        .iter()
+        .map(|entry| {
+            let ma = entry.build();
+            Value::Obj(vec![
+                ("name".into(), Value::Str(entry.name.to_string())),
+                ("n".into(), Value::Int(ma.n() as i64)),
+                ("compact".into(), Value::Bool(ma.is_compact())),
+                (
+                    "expected".into(),
+                    Value::Str(
+                        match entry.expected {
+                            Some(true) => "solvable",
+                            Some(false) => "unsolvable",
+                            None => "mixed",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                ("summary".into(), Value::Str(entry.summary.to_string())),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![("entries".into(), Value::Arr(entries))]).to_string()
+}
+
+fn bad_request(message: &str) -> Response {
+    Response::error(400, "bad-request", message)
+}
+
+fn object_keys<'a>(value: &'a Value, allowed: &[&str]) -> Result<&'a [(String, Value)], Response> {
+    let Value::Obj(fields) = value else {
+        return Err(bad_request("request body must be a JSON object"));
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(bad_request(&format!(
+                "unknown field {key:?} (expected one of: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(fields)
+}
+
+/// Parse one query object: `{"adversary": name | "pool": word, depth,
+/// [analysis], [eventually], [by]}` — the same vocabulary as
+/// `consensus-lab check`.
+fn parse_query(value: &Value) -> Result<Query, Response> {
+    object_keys(value, &["adversary", "pool", "eventually", "by", "depth", "analysis"])?;
+    let spec = match (value.get("adversary"), value.get("pool")) {
+        (Some(_), Some(_)) => {
+            return Err(bad_request("\"adversary\" and \"pool\" are mutually exclusive"));
+        }
+        (Some(name), None) => {
+            if value.get("eventually").is_some() || value.get("by").is_some() {
+                return Err(bad_request("\"eventually\"/\"by\" only apply to \"pool\" queries"));
+            }
+            match name.as_str() {
+                Some(name) => AdversarySpec::Catalog(name.to_string()),
+                None => return Err(bad_request("\"adversary\" must be a catalog name string")),
+            }
+        }
+        (None, Some(word)) => {
+            let Some(word) = word.as_str() else {
+                return Err(bad_request("\"pool\" must be a graph-word string"));
+            };
+            let eventually = match value.get("eventually") {
+                None => {
+                    if value.get("by").is_some() {
+                        return Err(bad_request("\"by\" requires \"eventually\""));
+                    }
+                    None
+                }
+                Some(target) => {
+                    let Some(target) = target.as_str() else {
+                        return Err(bad_request("\"eventually\" must be a graph-token string"));
+                    };
+                    let deadline = match value.get("by") {
+                        None => None,
+                        Some(_) => Some(value.get_usize("by").ok_or_else(|| {
+                            bad_request("\"by\" must be a non-negative round number")
+                        })?),
+                    };
+                    Some((target.to_string(), deadline))
+                }
+            };
+            AdversarySpec::Pool { word: word.to_string(), eventually }
+        }
+        (None, None) => {
+            return Err(bad_request("query needs \"adversary\" (catalog name) or \"pool\""));
+        }
+    };
+    let depth = value
+        .get_usize("depth")
+        .ok_or_else(|| bad_request("query needs a non-negative integer \"depth\""))?;
+    let analysis = match value.get("analysis") {
+        None => AnalysisKind::Solvability,
+        Some(name) => {
+            let Some(name) = name.as_str() else {
+                return Err(bad_request("\"analysis\" must be an analysis-name string"));
+            };
+            AnalysisKind::parse(name).map_err(|e| Response::from_error(&e))?
+        }
+    };
+    Ok(Query::new(spec, depth, analysis))
+}
+
+/// Parse a sweep body into globally indexed queries: either an explicit
+/// `"queries"` array (indices are array positions) or the catalog grid
+/// (`"catalog": true` + `"max_depth"` + optional `"analyses"`), whose
+/// indices — and therefore whose records — match `consensus-lab sweep`
+/// exactly.
+fn parse_sweep(value: &Value) -> Result<Vec<(usize, Query)>, Response> {
+    let fields = object_keys(value, &["queries", "catalog", "max_depth", "analyses"])?;
+    let queries = if let Some(list) = value.get("queries") {
+        if fields.len() > 1 {
+            return Err(bad_request("\"queries\" excludes the catalog-grid fields"));
+        }
+        let Value::Arr(items) = list else {
+            return Err(bad_request("\"queries\" must be an array of query objects"));
+        };
+        let mut queries = Vec::with_capacity(items.len());
+        for item in items {
+            queries.push(parse_query(item)?);
+        }
+        queries
+    } else {
+        if value.get("catalog").and_then(Value::as_bool) != Some(true) {
+            return Err(bad_request("sweep needs \"queries\" or \"catalog\": true"));
+        }
+        let max_depth = value
+            .get_usize("max_depth")
+            .ok_or_else(|| bad_request("catalog sweep needs an integer \"max_depth\""))?;
+        let analyses = match value.get("analyses") {
+            None => AnalysisKind::ALL.to_vec(),
+            Some(Value::Arr(names)) => {
+                let mut kinds = Vec::with_capacity(names.len());
+                for name in names {
+                    let Some(name) = name.as_str() else {
+                        return Err(bad_request("\"analyses\" must be analysis-name strings"));
+                    };
+                    kinds.push(AnalysisKind::parse(name).map_err(|e| Response::from_error(&e))?);
+                }
+                kinds
+            }
+            Some(_) => return Err(bad_request("\"analyses\" must be an array")),
+        };
+        Query::catalog_grid(max_depth, &analyses)
+    };
+    if queries.is_empty() {
+        return Err(bad_request("sweep grid is empty"));
+    }
+    if queries.len() > MAX_SWEEP_SCENARIOS {
+        return Err(bad_request(&format!(
+            "sweep grid of {} scenarios exceeds the per-request bound of {MAX_SWEEP_SCENARIOS}; \
+             shard it across requests",
+            queries.len()
+        )));
+    }
+    Ok(queries.into_iter().enumerate().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, target: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn app() -> App {
+        App::new(Session::new())
+    }
+
+    #[test]
+    fn check_answers_a_record() {
+        let app = app();
+        let response = app.handle(&request(
+            "POST",
+            "/v1/check",
+            r#"{"adversary":"cgp-reduced-lossy-link","depth":3,"analysis":"solvability"}"#,
+        ));
+        assert_eq!(response.status, 200, "{}", response.body);
+        let record = json::parse(&response.body).unwrap();
+        assert_eq!(record.get("verdict").unwrap().as_str(), Some("solvable"));
+        assert_eq!(record.get_usize("index"), Some(0));
+    }
+
+    #[test]
+    fn check_defaults_to_solvability_and_accepts_pools() {
+        let app = app();
+        let response =
+            app.handle(&request("POST", "/v1/check", r#"{"pool":"-> <- <->","depth":2}"#));
+        assert_eq!(response.status, 200, "{}", response.body);
+        let record = json::parse(&response.body).unwrap();
+        assert_eq!(record.get("analysis").unwrap().as_str(), Some("solvability"));
+        assert_eq!(record.get("adversary").unwrap().as_str(), Some("pool(-> <- <->)"));
+    }
+
+    #[test]
+    fn typed_errors_map_to_status_codes() {
+        let app = app();
+        // Unknown catalog entry → Error::Spec → 400.
+        let response =
+            app.handle(&request("POST", "/v1/check", r#"{"adversary":"no-such","depth":2}"#));
+        assert_eq!(response.status, 400, "{}", response.body);
+        let err = json::parse(&response.body).unwrap();
+        assert_eq!(err.get("error").unwrap().get("kind").unwrap().as_str(), Some("spec"));
+        // Unknown analysis name → 400 with the valid set in the message.
+        let response = app.handle(&request(
+            "POST",
+            "/v1/check",
+            r#"{"adversary":"sw-lossy-link","depth":2,"analysis":"nope"}"#,
+        ));
+        assert_eq!(response.status, 400);
+        assert!(response.body.contains("unknown-analysis"), "{}", response.body);
+        // Malformed JSON → 400 bad-body.
+        let response = app.handle(&request("POST", "/v1/check", "{"));
+        assert_eq!(response.status, 400);
+        assert!(response.body.contains("bad-body"), "{}", response.body);
+        // Unknown body fields fail loudly, like unknown CLI flags.
+        let response = app.handle(&request(
+            "POST",
+            "/v1/check",
+            r#"{"adversary":"sw-lossy-link","depth":2,"depht":3}"#,
+        ));
+        assert_eq!(response.status, 400);
+        assert!(response.body.contains("depht"), "{}", response.body);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_422() {
+        use consensus_core::config::{AnalysisConfig, CacheConfig, ExpandConfig};
+        let app = App::new(
+            Session::with_configs(
+                ExpandConfig::with_budget(10),
+                AnalysisConfig::default(),
+                CacheConfig::default(),
+            )
+            .unwrap(),
+        );
+        let response = app.handle(&request(
+            "POST",
+            "/v1/check",
+            r#"{"adversary":"sw-lossy-link","depth":4,"analysis":"component-stats"}"#,
+        ));
+        assert_eq!(response.status, 422, "{}", response.body);
+        let err = json::parse(&response.body).unwrap();
+        assert_eq!(err.get("error").unwrap().get("kind").unwrap().as_str(), Some("budget"));
+    }
+
+    #[test]
+    fn sweep_matches_direct_session_records() {
+        use consensus_lab::store::TIMING_FIELDS;
+        let app = app();
+        let response = app.handle(&request(
+            "POST",
+            "/v1/sweep",
+            r#"{"catalog":true,"max_depth":2,"analyses":["solvability","bivalence"]}"#,
+        ));
+        assert_eq!(response.status, 200, "{}", response.body);
+        let payload = json::parse(&response.body).unwrap();
+        let Some(Value::Arr(records)) = payload.get("records") else {
+            panic!("records must be an array");
+        };
+        let queries = Query::catalog_grid(2, &[AnalysisKind::Solvability, AnalysisKind::Bivalence]);
+        assert_eq!(records.len(), queries.len());
+        let direct = Session::new().check_many(&queries);
+        for (served, direct) in records.iter().zip(direct.store.records()) {
+            assert_eq!(
+                served.without_keys(TIMING_FIELDS),
+                direct.to_json().without_keys(TIMING_FIELDS)
+            );
+        }
+        let meta = payload.get("meta").unwrap();
+        assert_eq!(meta.get_usize("scenarios"), Some(queries.len()));
+        assert!(meta.get("cache").unwrap().get_usize("builds").unwrap() > 0);
+    }
+
+    #[test]
+    fn sweep_validates_its_grid() {
+        let app = app();
+        for (body, fragment) in [
+            (r#"{"max_depth":2}"#, "catalog"),
+            (r#"{"catalog":true}"#, "max_depth"),
+            (r#"{"queries":[]}"#, "empty"),
+            (r#"{"queries":[{"depth":1}]}"#, "adversary"),
+            (r#"{"catalog":true,"max_depth":2,"queries":[]}"#, "excludes"),
+        ] {
+            let response = app.handle(&request("POST", "/v1/sweep", body));
+            assert_eq!(response.status, 400, "{body} → {}", response.body);
+            assert!(response.body.contains(fragment), "{body} → {}", response.body);
+        }
+    }
+
+    #[test]
+    fn catalog_health_metrics_and_routing() {
+        let app = app();
+        let response = app.handle(&request("GET", "/v1/catalog", ""));
+        assert_eq!(response.status, 200);
+        let catalog = json::parse(&response.body).unwrap();
+        let Some(Value::Arr(entries)) = catalog.get("entries") else {
+            panic!("entries must be an array");
+        };
+        assert_eq!(entries.len(), adversary::catalog::entries().len());
+
+        assert_eq!(app.handle(&request("GET", "/healthz", "")).status, 200);
+        assert_eq!(app.handle(&request("GET", "/nope", "")).status, 404);
+        assert_eq!(app.handle(&request("GET", "/v1/check", "")).status, 405);
+        assert_eq!(app.handle(&request("POST", "/metrics", "")).status, 405);
+
+        let response = app.handle(&request("GET", "/metrics", ""));
+        assert_eq!(response.status, 200);
+        let metrics = json::parse(&response.body).unwrap();
+        let requests = metrics.get("requests").unwrap();
+        // catalog + healthz + not-found + 405 check + 405 metrics.
+        assert_eq!(requests.get_usize("catalog"), Some(1));
+        assert_eq!(requests.get_usize("healthz"), Some(1));
+        assert_eq!(requests.get_usize("not_found"), Some(1));
+        assert_eq!(requests.get_usize("errors"), Some(3));
+        assert_eq!(metrics.get("cache").unwrap().get_usize("builds"), Some(0));
+        let disk = metrics.get("disk").unwrap();
+        assert_eq!(disk.get("enabled").and_then(Value::as_bool), Some(false));
+    }
+}

@@ -1,0 +1,182 @@
+//! A minimal blocking HTTP/1.1 client — the other half of the hand-rolled
+//! protocol, used by the `serve-bench` load generator, the CI smoke job,
+//! and the integration tests.
+//!
+//! One [`Client`] is one (lazily re-established) keep-alive connection: a
+//! request rides the open socket when there is one, and a connection the
+//! server closed (idle timeout, `Connection: close`) is transparently
+//! re-dialed once before the request is reported as failed.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One HTTP exchange's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResult {
+    /// The response status code.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+impl HttpResult {
+    /// The parsed JSON body.
+    ///
+    /// # Errors
+    /// Returns the codec's parse error on a non-JSON body.
+    pub fn json(&self) -> Result<json::Value, json::ParseError> {
+        json::parse(&self.body)
+    }
+}
+
+/// A keep-alive HTTP/1.1 client for one server address.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    stream: Option<BufReader<TcpStream>>,
+    reconnects: usize,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `"127.0.0.1:7171"`).
+    ///
+    /// # Errors
+    /// Propagates the connection failure.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let mut client = Client {
+            addr: addr.to_string(),
+            stream: None,
+            reconnects: 0,
+            timeout: Duration::from_secs(30),
+        };
+        client.stream = Some(client.dial()?);
+        Ok(client)
+    }
+
+    /// How often an already-established connection had to be re-dialed.
+    pub fn reconnects(&self) -> usize {
+        self.reconnects
+    }
+
+    /// Close the current connection (the next request re-dials). An idle
+    /// keep-alive connection pins a server worker until the idle timeout;
+    /// a client that will pause for a while should let go of it.
+    pub fn close(&mut self) {
+        self.stream = None;
+    }
+
+    fn dial(&self) -> io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(BufReader::new(stream))
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    /// Propagates connection and framing failures.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResult> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    /// Propagates connection and framing failures.
+    pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<HttpResult> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<HttpResult> {
+        for attempt in 0..2 {
+            if self.stream.is_none() {
+                self.stream = Some(self.dial()?);
+                if attempt > 0 {
+                    self.reconnects += 1;
+                }
+            }
+            match self.try_request(method, path, body) {
+                Ok(result) => return Ok(result),
+                Err(e) => {
+                    // The server may have closed an idle keep-alive
+                    // connection between requests; re-dial exactly once.
+                    self.stream = None;
+                    if attempt > 0 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("attempt 1 either returned or errored")
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResult> {
+        let reader = self.stream.as_mut().expect("connected before request");
+        let head = match body {
+            None => format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n\r\n", self.addr),
+            Some(body) => format!(
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                self.addr,
+                body.len()
+            ),
+        };
+        reader.get_mut().write_all(head.as_bytes())?;
+
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        let status: u16 =
+            status_line.split(' ').nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed status line {status_line:?}"),
+                )
+            })?;
+
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated headers"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
+                match name.trim().to_ascii_lowercase().as_str() {
+                    "content-length" => {
+                        content_length = value.parse().map_err(|_| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("bad Content-Length {value:?}"),
+                            )
+                        })?;
+                    }
+                    "connection" if value.eq_ignore_ascii_case("close") => close = true,
+                    _ => {}
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        if close {
+            self.stream = None;
+        }
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        Ok(HttpResult { status, body })
+    }
+}

@@ -7,11 +7,14 @@
 //! consensus-lab sweep --catalog --max-depth 4 [--out lab-results] [--threads 8]
 //!                     [--analyses solvability,bivalence] [--budget 2000000] [--repeat 2]
 //! consensus-lab report --input lab-results/results.jsonl
+//! consensus-lab serve --addr 127.0.0.1:7171 [--threads 8] [--cache-dir DIR]
+//! consensus-lab serve-bench --connections 4 --out BENCH_serve.json
 //! ```
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use consensus_lab::report::{Aggregate, SweepMeta, SWEEP_META_FILE};
@@ -22,6 +25,9 @@ use consensus_lab::store::{
     parse_jsonl, parse_records, ResultStore, ScenarioRecord, TIMING_FIELDS,
 };
 use consensus_lab::{AnalysisConfig, CacheConfig, Error, ExpandConfig};
+use consensus_serve::api::App;
+use consensus_serve::loadgen::{self, LoadGenConfig};
+use consensus_serve::server::{ServeConfig, Server};
 
 const USAGE: &str = "\
 consensus-lab — batch experiments over message adversaries (PODC'19 Nowak–Schmid–Winkler)
@@ -76,6 +82,26 @@ USAGE:
         percent (default 25); --exact keys must match to the digit.
         Exit 1 on any regression.
 
+    consensus-lab serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR]
+                        [--expand-threads N] [--budget RUNS]
+        Serve the solvability query API over HTTP/1.1: POST /v1/check,
+        POST /v1/sweep, GET /v1/catalog, GET /healthz, GET /metrics.
+        One long-lived Session (shared space cache + optional persistent
+        verdict journal under --cache-dir) answers every request, so the
+        server warms up once and stays warm. Default address
+        127.0.0.1:7171; --threads 0 (default) = all available cores.
+
+    consensus-lab serve-bench [--addr HOST:PORT] [--connections N] [--requests M]
+                              [--max-depth D] [--analyses K1,K2] [--threads N]
+                              [--out FILE] [--records DIR] [--assert-warm]
+        Load-generate against a server (or a self-spawned in-process one
+        when --addr is absent): a sequential cold /v1/check pass over the
+        catalog × depth × analysis grid, one /v1/sweep, then N connections
+        × M requests warm. Prints the bench datum; --out writes it
+        (BENCH_serve.json), --records DIR writes the swept records as
+        DIR/results.jsonl for diffing against `consensus-lab sweep`,
+        --assert-warm exits nonzero if the warm pass expanded anything.
+
 ANALYSES: solvability, bivalence, broadcastability, component-stats, sim-check
 ";
 
@@ -89,6 +115,8 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("bench-gate") => cmd_bench_gate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("serve-bench") => cmd_serve_bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -387,18 +415,10 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         None if flags.has("cache-dir") => return fail("--cache-dir expects a directory"),
         other => other.map(PathBuf::from),
     };
-    if flags.has("analyses") && flags.get("analyses").is_none() {
-        return fail("--analyses expects a comma-separated list (e.g. solvability,bivalence)");
-    }
-    let mut kinds = AnalysisKind::ALL.to_vec();
-    if let Some(list) = flags.get("analyses") {
-        let parsed: Result<Vec<AnalysisKind>, Error> =
-            list.split(',').map(|name| AnalysisKind::parse(name.trim())).collect();
-        match parsed {
-            Ok(parsed) => kinds = parsed,
-            Err(e) => return fail(&e.to_string()),
-        }
-    }
+    let kinds = match parse_analyses(&flags) {
+        Ok(kinds) => kinds,
+        Err(e) => return fail(&e),
+    };
     let grid = Query::catalog_grid(max_depth, &kinds);
     let indexed: Vec<(usize, Query)> = grid.into_iter().enumerate().collect();
     let selected = match shard {
@@ -819,6 +839,149 @@ fn cmd_bench_gate(args: &[String]) -> ExitCode {
         }
         Err(e) => fail(&e),
     }
+}
+
+fn parse_analyses(flags: &Flags) -> Result<Vec<AnalysisKind>, String> {
+    if flags.has("analyses") && flags.get("analyses").is_none() {
+        return Err("--analyses expects a comma-separated list (e.g. solvability,bivalence)".into());
+    }
+    match flags.get("analyses") {
+        None => Ok(AnalysisKind::ALL.to_vec()),
+        Some(list) => list
+            .split(',')
+            .map(|name| AnalysisKind::parse(name.trim()).map_err(|e| e.to_string()))
+            .collect(),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) =
+        flags.reject_unknown(&["addr", "threads", "cache-dir", "expand-threads", "budget"])
+    {
+        return fail(&e);
+    }
+    if flags.has("addr") && flags.get("addr").is_none() {
+        return fail("--addr expects HOST:PORT");
+    }
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7171").to_string();
+    let threads = match flags.get_usize("threads", 0) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let budget = match flags.get_usize("budget", 2_000_000) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let expand_workers = match expand_threads(&flags, 1) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let mut cache_cfg = CacheConfig::default();
+    if flags.has("cache-dir") {
+        match flags.get("cache-dir") {
+            Some(dir) => cache_cfg = cache_cfg.disk_dir(PathBuf::from(dir)),
+            None => return fail("--cache-dir expects a directory"),
+        }
+    }
+    let journal = cache_cfg.disk_dir.clone();
+    let session = match Session::with_configs(
+        ExpandConfig { threads: expand_workers, max_runs: budget },
+        AnalysisConfig::default(),
+        cache_cfg,
+    ) {
+        Ok(session) => session,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let cfg = ServeConfig { addr, threads, ..ServeConfig::default() };
+    let server = match Server::bind(Arc::new(App::new(session)), &cfg) {
+        Ok(server) => server,
+        Err(e) => return fail(&e.to_string()),
+    };
+    emit(format_args!(
+        "serving on http://{} ({} worker threads); endpoints: POST /v1/check, \
+         POST /v1/sweep, GET /v1/catalog, GET /healthz, GET /metrics",
+        server.local_addr(),
+        cfg.effective_threads(),
+    ));
+    match journal {
+        Some(dir) => emit(format_args!("verdict journal: {}", dir.display())),
+        None => emit(format_args!("verdict journal: disabled (memory-only session)")),
+    }
+    server.wait();
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve_bench(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = flags.reject_unknown(&[
+        "addr",
+        "connections",
+        "requests",
+        "max-depth",
+        "analyses",
+        "threads",
+        "out",
+        "records",
+        "assert-warm",
+    ]) {
+        return fail(&e);
+    }
+    for needs_value in ["addr", "out", "records"] {
+        if flags.has(needs_value) && flags.get(needs_value).is_none() {
+            return fail(&format!("--{needs_value} expects a value"));
+        }
+    }
+    let mut cfg = LoadGenConfig {
+        addr: flags.get("addr").map(String::from),
+        assert_warm: flags.has("assert-warm"),
+        ..LoadGenConfig::default()
+    };
+    for (flag, slot) in [
+        ("connections", &mut cfg.connections as &mut usize),
+        ("requests", &mut cfg.requests),
+        ("max-depth", &mut cfg.max_depth),
+        ("threads", &mut cfg.server_threads),
+    ] {
+        match flags.get_usize(flag, *slot) {
+            Ok(value) => *slot = value,
+            Err(e) => return fail(&e),
+        }
+    }
+    match parse_analyses(&flags) {
+        Ok(kinds) => cfg.analyses = kinds,
+        Err(e) => return fail(&e),
+    }
+    let report = match loadgen::run(&cfg) {
+        Ok(report) => report,
+        Err(e) => return fail(&e),
+    };
+    emit(format_args!("[serve-bench] {}", report.summary));
+    emit(format_args!("{}", report.datum));
+    if let Some(dir) = flags.get("records") {
+        let dir = PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            return fail(&format!("creating {}: {e}", dir.display()));
+        }
+        let path = dir.join("results.jsonl");
+        if let Err(e) = std::fs::write(&path, &report.records_jsonl) {
+            return fail(&format!("writing {}: {e}", path.display()));
+        }
+        emit(format_args!("wrote {}", path.display()));
+    }
+    if let Some(out) = flags.get("out") {
+        if let Err(e) = std::fs::write(out, format!("{}\n", report.datum)) {
+            return fail(&format!("writing {out}: {e}"));
+        }
+        emit(format_args!("wrote {out}"));
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_report(args: &[String]) -> ExitCode {

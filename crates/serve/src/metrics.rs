@@ -1,0 +1,251 @@
+//! Per-process service telemetry: request counters, a fixed-bucket latency
+//! histogram, and connection counters — everything `GET /metrics` exposes
+//! beyond the cache counters it reads from the shared
+//! [`Session`](consensus_lab::session::Session).
+//!
+//! Lock-free: every datum is an atomic, so the hot path records a request
+//! with a handful of relaxed increments and readers never contend with
+//! workers.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use json::Value;
+
+/// The service's routed endpoints, in stable reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/check`.
+    Check,
+    /// `POST /v1/sweep`.
+    Sweep,
+    /// `GET /v1/catalog`.
+    Catalog,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+}
+
+impl Endpoint {
+    /// All endpoints, in reporting order.
+    pub const ALL: [Endpoint; 5] = [
+        Endpoint::Check,
+        Endpoint::Sweep,
+        Endpoint::Catalog,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+    ];
+
+    /// The stable key used in the metrics JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Check => "check",
+            Endpoint::Sweep => "sweep",
+            Endpoint::Catalog => "catalog",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+        }
+    }
+}
+
+/// Upper bucket bounds of the latency histogram, in milliseconds; an
+/// implicit overflow bucket catches everything beyond the last bound.
+pub const LATENCY_BOUNDS_MS: [f64; 10] =
+    [0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 1000.0];
+
+/// Lock-free request/latency/connection counters; see the module docs.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    accepted: AtomicUsize,
+    active: AtomicUsize,
+    by_endpoint: [AtomicUsize; Endpoint::ALL.len()],
+    not_found: AtomicUsize,
+    errors: AtomicUsize,
+    buckets: [AtomicUsize; LATENCY_BOUNDS_MS.len() + 1],
+    latency_count: AtomicUsize,
+    latency_total_ns: AtomicU64,
+    latency_max_ns: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Zeroed counters, uptime starting now.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            accepted: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            by_endpoint: Default::default(),
+            not_found: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+            buckets: Default::default(),
+            latency_count: AtomicUsize::new(0),
+            latency_total_ns: AtomicU64::new(0),
+            latency_max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record an accepted connection.
+    pub fn connection_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark a connection as being handled; the returned guard decrements
+    /// the active gauge when dropped.
+    pub fn connection_active(&self) -> ActiveConnection<'_> {
+        self.active.fetch_add(1, Ordering::Relaxed);
+        ActiveConnection { metrics: self }
+    }
+
+    /// Record one routed (or unrouted) request and its handling latency.
+    pub fn record(&self, endpoint: Option<Endpoint>, status: u16, elapsed: Duration) {
+        match endpoint {
+            Some(e) => {
+                let index = Endpoint::ALL.iter().position(|x| *x == e).expect("listed endpoint");
+                self.by_endpoint[index].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.not_found.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let ms = elapsed.as_secs_f64() * 1e3;
+        let bucket = LATENCY_BOUNDS_MS
+            .iter()
+            .position(|bound| ms <= *bound)
+            .unwrap_or(LATENCY_BOUNDS_MS.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.latency_total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.latency_max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded (routed plus unrouted).
+    pub fn requests_total(&self) -> usize {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since the metrics (≈ the server) started.
+    pub fn uptime_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// The `connections`/`requests`/`latency_ms` blocks of the metrics
+    /// payload (the cache blocks are appended by the API layer, which owns
+    /// the `Session`).
+    pub fn to_json(&self) -> Vec<(String, Value)> {
+        let mut requests: Vec<(String, Value)> =
+            vec![("total".into(), Value::Int(self.requests_total() as i64))];
+        for (endpoint, count) in Endpoint::ALL.iter().zip(&self.by_endpoint) {
+            requests
+                .push((endpoint.name().into(), Value::Int(count.load(Ordering::Relaxed) as i64)));
+        }
+        requests
+            .push(("not_found".into(), Value::Int(self.not_found.load(Ordering::Relaxed) as i64)));
+        requests.push(("errors".into(), Value::Int(self.errors.load(Ordering::Relaxed) as i64)));
+
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        for (i, count) in self.buckets.iter().enumerate() {
+            buckets.push(Value::Obj(vec![
+                (
+                    "le".into(),
+                    // The overflow bucket has no upper bound.
+                    LATENCY_BOUNDS_MS.get(i).map_or(Value::Null, |b| Value::Float(*b)),
+                ),
+                ("count".into(), Value::Int(count.load(Ordering::Relaxed) as i64)),
+            ]));
+        }
+        let total_ns = self.latency_total_ns.load(Ordering::Relaxed);
+        let max_ns = self.latency_max_ns.load(Ordering::Relaxed);
+        let latency = Value::Obj(vec![
+            ("count".into(), Value::Int(self.latency_count.load(Ordering::Relaxed) as i64)),
+            ("total".into(), Value::Float(round_ms(total_ns))),
+            ("max".into(), Value::Float(round_ms(max_ns))),
+            ("buckets".into(), Value::Arr(buckets)),
+        ]);
+        vec![
+            ("uptime_ms".into(), Value::Float(round3(self.uptime_ms()))),
+            (
+                "connections".into(),
+                Value::Obj(vec![
+                    ("accepted".into(), Value::Int(self.accepted.load(Ordering::Relaxed) as i64)),
+                    ("active".into(), Value::Int(self.active.load(Ordering::Relaxed) as i64)),
+                ]),
+            ),
+            ("requests".into(), Value::Obj(requests)),
+            ("latency_ms".into(), latency),
+        ]
+    }
+}
+
+/// Round milliseconds to 3 decimals — the one precision every emitted
+/// `*_ms` field of this crate uses (metrics, healthz, the bench datum).
+pub(crate) fn round3(ms: f64) -> f64 {
+    (ms * 1e3).round() / 1e3
+}
+
+fn round_ms(ns: u64) -> f64 {
+    round3(ns as f64 / 1e6)
+}
+
+/// Guard returned by [`Metrics::connection_active`].
+#[derive(Debug)]
+pub struct ActiveConnection<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for ActiveConnection<'_> {
+    fn drop(&mut self) {
+        self.metrics.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_serialize() {
+        let m = Metrics::new();
+        m.connection_accepted();
+        {
+            let _active = m.connection_active();
+            m.record(Some(Endpoint::Check), 200, Duration::from_micros(300));
+            m.record(Some(Endpoint::Check), 422, Duration::from_millis(3));
+            m.record(None, 404, Duration::from_millis(30));
+        }
+        assert_eq!(m.requests_total(), 3);
+        let fields = Value::Obj(m.to_json());
+        let requests = fields.get("requests").unwrap();
+        assert_eq!(requests.get_usize("total"), Some(3));
+        assert_eq!(requests.get_usize("check"), Some(2));
+        assert_eq!(requests.get_usize("sweep"), Some(0));
+        assert_eq!(requests.get_usize("not_found"), Some(1));
+        assert_eq!(requests.get_usize("errors"), Some(2));
+        let connections = fields.get("connections").unwrap();
+        assert_eq!(connections.get_usize("accepted"), Some(1));
+        assert_eq!(connections.get_usize("active"), Some(0), "guard must decrement");
+        let latency = fields.get("latency_ms").unwrap();
+        assert_eq!(latency.get_usize("count"), Some(3));
+        let Some(Value::Arr(buckets)) = latency.get("buckets") else {
+            panic!("buckets must be an array");
+        };
+        assert_eq!(buckets.len(), LATENCY_BOUNDS_MS.len() + 1);
+        let counted: usize = buckets.iter().map(|b| b.get_usize("count").unwrap()).sum();
+        assert_eq!(counted, 3, "every request lands in exactly one bucket");
+        // 0.3 ms → the 0.5 bucket; 3 ms → the 5.0 bucket; 30 ms → 50.0.
+        assert_eq!(buckets[1].get_usize("count"), Some(1));
+        assert_eq!(buckets[4].get_usize("count"), Some(1));
+        assert_eq!(buckets[7].get_usize("count"), Some(1));
+    }
+}
