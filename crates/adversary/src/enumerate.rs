@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use consensus_obs::trace::tracer;
 use dyngraph::{Digraph, GraphSeq};
 use ptgraph::{all_inputs, Inputs, LocalViews, PrefixRun, ShardTable, Value, ViewTable};
 
@@ -237,6 +238,9 @@ where
     let slots: Vec<ChunkSlot> = (0..chunk_count).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let base: &ViewTable = table;
+    // Workers run on their own threads, so shard spans parent to the
+    // caller's innermost span (`expand`) explicitly.
+    let span_parent = tracer().current_id();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(chunk_count) {
             scope.spawn(|| loop {
@@ -244,10 +248,13 @@ where
                 if c >= chunk_count {
                     break;
                 }
+                let mut span = tracer().span_under("shard", span_parent);
                 let lo = c * total / chunk_count;
                 let hi = (c + 1) * total / chunk_count;
                 let mut shard = ShardTable::new(base);
                 let runs = compute(lo..hi, &mut shard);
+                span.set_attr("chunk", c);
+                span.set_attr("runs", runs.len());
                 *slots[c].lock().expect("shard slot poisoned") = Some((runs, shard.into_local()));
             });
         }
@@ -255,16 +262,19 @@ where
 
     let merge_start = Instant::now();
     let mut all = Vec::with_capacity(total);
-    for slot in slots {
-        let (mut runs, local) = slot
-            .into_inner()
-            .expect("shard slot poisoned")
-            .expect("every chunk was claimed by a worker");
-        let remap = table.absorb(&local);
-        for run in &mut runs {
-            run.remap_views(local.base_len(), &remap);
+    {
+        let _span = tracer().span_under("absorb", span_parent).with_attr("shards", chunk_count);
+        for slot in slots {
+            let (mut runs, local) = slot
+                .into_inner()
+                .expect("shard slot poisoned")
+                .expect("every chunk was claimed by a worker");
+            let remap = table.absorb(&local);
+            for run in &mut runs {
+                run.remap_views(local.base_len(), &remap);
+            }
+            all.append(&mut runs);
         }
-        all.append(&mut runs);
     }
     let merge_ms = merge_start.elapsed().as_secs_f64() * 1e3;
     (all, chunk_count, merge_ms)

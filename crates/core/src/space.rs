@@ -9,14 +9,32 @@
 //! which solvability is decided (Theorem 6.6).
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use adversary::{enumerate, MessageAdversary};
+use consensus_obs::metrics::{registry, Histogram};
+use consensus_obs::trace::tracer;
 use dyngraph::Pid;
 use ptgraph::{PrefixRun, Value, ViewId};
 use topology::{components_by_dense_buckets, separation, Components};
 
 use crate::config::ExpandConfig;
 use crate::error::Error;
+
+/// Registry histogram of expansion wall time (nanoseconds), shared by
+/// the build and extension paths. The handle is cached so hot rebuild
+/// loops don't pay a registry lock per space.
+fn stage_expand() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| registry().histogram("stage.expand"))
+}
+
+/// Registry histogram of component-decomposition wall time (nanoseconds).
+fn stage_components() -> &'static Arc<Histogram> {
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| registry().histogram("stage.components"))
+}
 
 /// The expanded and component-decomposed prefix space at one depth.
 ///
@@ -149,7 +167,19 @@ impl PrefixSpace {
         max_runs: usize,
         threads: usize,
     ) -> Result<Self, enumerate::BudgetExceeded> {
-        let expansion = enumerate::expand_with(ma, values, depth, max_runs, threads)?;
+        let expansion = {
+            let mut span = tracer()
+                .span("expand")
+                .with_attr("mode", "build")
+                .with_attr("depth", depth)
+                .with_attr("threads", threads);
+            let start = Instant::now();
+            let expansion = enumerate::expand_with(ma, values, depth, max_runs, threads)?;
+            stage_expand().record_duration(start.elapsed());
+            span.set_attr("runs", expansion.runs.len());
+            span.set_attr("views", expansion.table.len());
+            expansion
+        };
         Ok(Self::from_expansion(expansion))
     }
 
@@ -161,7 +191,21 @@ impl PrefixSpace {
         threads: usize,
     ) -> Result<Self, (Self, enumerate::BudgetExceeded)> {
         let mut expansion = self.expansion;
-        match expansion.extend_with(ma, max_runs, threads) {
+        let result = {
+            let mut span = tracer()
+                .span("expand")
+                .with_attr("mode", "extend")
+                .with_attr("depth", expansion.depth + 1)
+                .with_attr("threads", threads);
+            let start = Instant::now();
+            let result = expansion.extend_with(ma, max_runs, threads);
+            if result.is_ok() {
+                stage_expand().record_duration(start.elapsed());
+                span.set_attr("runs", expansion.runs.len());
+            }
+            result
+        };
+        match result {
             Ok(()) => Ok(Self::from_expansion(expansion)),
             Err(e) => Err((Self::from_expansion(expansion), e)),
         }
@@ -174,7 +218,17 @@ impl PrefixSpace {
         threads: usize,
     ) -> Result<Self, enumerate::BudgetExceeded> {
         let mut expansion = self.expansion.clone();
-        expansion.extend_with(ma, max_runs, threads)?;
+        {
+            let mut span = tracer()
+                .span("expand")
+                .with_attr("mode", "extend")
+                .with_attr("depth", expansion.depth + 1)
+                .with_attr("threads", threads);
+            let start = Instant::now();
+            expansion.extend_with(ma, max_runs, threads)?;
+            stage_expand().record_duration(start.elapsed());
+            span.set_attr("runs", expansion.runs.len());
+        }
         Ok(Self::from_expansion(expansion))
     }
 
@@ -297,6 +351,8 @@ impl PrefixSpace {
     /// bucket key is the dense view id itself — one flat sweep over the run
     /// views, no hashing (see [`components_by_dense_buckets`]).
     pub fn from_expansion(expansion: enumerate::Expansion) -> Self {
+        let mut span = tracer().span("components");
+        let start = Instant::now();
         let depth = expansion.depth;
         let buckets = expansion
             .runs
@@ -305,6 +361,9 @@ impl PrefixSpace {
             .flat_map(|(i, run)| run.views_at(depth).iter().map(move |v| (v.index(), i)));
         let components =
             components_by_dense_buckets(expansion.runs.len(), expansion.table.len(), buckets);
+        stage_components().record_duration(start.elapsed());
+        span.set_attr("runs", expansion.runs.len());
+        span.set_attr("components", components.count());
         PrefixSpace { expansion, components }
     }
 

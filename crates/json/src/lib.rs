@@ -70,6 +70,15 @@ impl Value {
         usize::try_from(self.get(key)?.as_i64()?).ok()
     }
 
+    /// The numeric payload as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
     /// The boolean payload.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

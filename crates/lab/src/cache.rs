@@ -13,13 +13,56 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use adversary::{enumerate, MessageAdversary};
 use consensus_core::config::ExpandConfig;
 use consensus_core::solvability::SpaceSource;
 use consensus_core::PrefixSpace;
+use consensus_obs::metrics::{registry, Counter, Gauge};
+use consensus_obs::trace::tracer;
 use ptgraph::Value;
+
+/// Process-global registry mirrors of the cache counters: every
+/// [`SpaceCache`] instance (sessions build fresh ones per batch) feeds
+/// the same named series, so `/v1/stats` and Prometheus expose lifetime
+/// cache effectiveness without holding any particular cache alive.
+struct CacheCounters {
+    hits: Arc<Counter>,
+    builds: Arc<Counter>,
+    ladder_hits: Arc<Counter>,
+    budget_misses: Arc<Counter>,
+    hit_rate_pct: Arc<Gauge>,
+}
+
+fn cache_counters() -> &'static CacheCounters {
+    static COUNTERS: OnceLock<CacheCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| CacheCounters {
+        hits: registry().counter("cache.hits"),
+        builds: registry().counter("cache.builds"),
+        ladder_hits: registry().counter("cache.ladder_hits"),
+        budget_misses: registry().counter("cache.budget_misses"),
+        hit_rate_pct: registry().gauge("cache.hit_rate_pct"),
+    })
+}
+
+impl CacheCounters {
+    /// Bump the counter for one lookup outcome and refresh the hit-rate
+    /// gauge (hits + ladder climbs, as a percentage of all requests).
+    fn note(&self, outcome: &'static str) {
+        match outcome {
+            "hit" => self.hits.inc(),
+            "build" => self.builds.inc(),
+            "ladder" => self.ladder_hits.inc(),
+            _ => self.budget_misses.inc(),
+        }
+        let avoided = self.hits.get() + self.ladder_hits.get();
+        let total = avoided + self.builds.get() + self.budget_misses.get();
+        if let Some(pct) = (avoided * 100).checked_div(total) {
+            self.hit_rate_pct.set(pct);
+        }
+    }
+}
 
 /// Cache key: structural adversary fingerprint × input domain × depth.
 type Key = (u64, Vec<Value>, usize);
@@ -182,17 +225,22 @@ impl SpaceCache {
         depth: usize,
         max_runs: usize,
     ) -> Result<(Arc<PrefixSpace>, bool), enumerate::BudgetExceeded> {
+        let mut span = tracer().span("cache.lookup").with_attr("depth", depth);
         let key: Key = (ma.fingerprint(), values.to_vec(), depth);
         if let Some(space) = self.spaces.lock().expect("cache lock poisoned").get(&key) {
             // A hit may carry a space built under a *larger* budget than
             // this request's; that is fine — budgets bound work, not
             // results, and the cached space is exact.
             self.hits.fetch_add(1, Ordering::Relaxed);
+            span.set_attr("outcome", "hit");
+            cache_counters().note("hit");
             return Ok((Arc::clone(space), true));
         }
         let fail_key = (key.0, key.1.clone(), key.2, max_runs);
         if let Some(err) = self.failures.lock().expect("cache lock poisoned").get(&fail_key) {
             self.budget_misses.fetch_add(1, Ordering::Relaxed);
+            span.set_attr("outcome", "budget-miss");
+            cache_counters().note("budget-miss");
             return Err(err.clone());
         }
         // Depth ladder: the deepest cached space for the same
@@ -225,12 +273,16 @@ impl SpaceCache {
         match laddered {
             Some(space) => {
                 self.ladder_hits.fetch_add(1, Ordering::Relaxed);
+                span.set_attr("outcome", "ladder");
+                cache_counters().note("ladder");
                 Ok((space, false))
             }
             None => {
                 match PrefixSpace::expand_budgeted(ma, values, depth, &self.expand_cfg(max_runs)) {
                     Ok(space) => {
                         self.builds.fetch_add(1, Ordering::Relaxed);
+                        span.set_attr("outcome", "build");
+                        cache_counters().note("build");
                         self.record_expand(space.expand_stats());
                         let space = Arc::new(space);
                         let mut cached = self.spaces.lock().expect("cache lock poisoned");
@@ -239,6 +291,8 @@ impl SpaceCache {
                     }
                     Err(err) => {
                         self.budget_misses.fetch_add(1, Ordering::Relaxed);
+                        span.set_attr("outcome", "budget-miss");
+                        cache_counters().note("budget-miss");
                         self.failures
                             .lock()
                             .expect("cache lock poisoned")

@@ -76,6 +76,7 @@ pub mod runner;
 pub mod scenario;
 pub mod session;
 pub mod store;
+pub mod trace;
 
 pub use cache::SpaceCache;
 pub use consensus_core::config::{AnalysisConfig, CacheConfig, ExpandConfig};

@@ -38,16 +38,52 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use consensus_core::config::CacheConfig;
 use consensus_core::error::Error;
 use consensus_core::space::SpaceStats;
+use consensus_obs::metrics::{registry, Counter, Gauge};
+use consensus_obs::trace::tracer;
 use ptgraph::Value as InputValue;
 
 use crate::json::{self, Value};
 use crate::scenario::AnalysisKind;
 use crate::store::{Outcome, ScenarioRecord};
+
+/// Process-global registry mirrors of journal effectiveness, fed by
+/// every [`DiskCache`] instance (see the equivalent note in
+/// [`crate::cache`]).
+struct JournalCounters {
+    lookups: Arc<Counter>,
+    hits: Arc<Counter>,
+    stores: Arc<Counter>,
+    loaded: Arc<Gauge>,
+    hit_rate_pct: Arc<Gauge>,
+}
+
+fn journal_counters() -> &'static JournalCounters {
+    static COUNTERS: OnceLock<JournalCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| JournalCounters {
+        lookups: registry().counter("journal.lookups"),
+        hits: registry().counter("journal.hits"),
+        stores: registry().counter("journal.stores"),
+        loaded: registry().gauge("journal.loaded"),
+        hit_rate_pct: registry().gauge("journal.hit_rate_pct"),
+    })
+}
+
+impl JournalCounters {
+    fn note_lookup(&self, hit: bool) {
+        self.lookups.inc();
+        if hit {
+            self.hits.inc();
+        }
+        if let Some(pct) = (self.hits.get() * 100).checked_div(self.lookups.get()) {
+            self.hit_rate_pct.set(pct);
+        }
+    }
+}
 
 /// Journal file name inside the cache directory.
 pub const JOURNAL_FILE: &str = "verdicts.jsonl";
@@ -177,6 +213,7 @@ impl DiskCache {
     /// # Errors
     /// Propagates filesystem errors.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
+        let mut span = tracer().span("journal.load");
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let meta_path = dir.join(META_FILE);
@@ -225,6 +262,9 @@ impl DiskCache {
         }
         let journal = fs::OpenOptions::new().create(true).append(true).open(&journal_path)?;
         let loaded = entries.len();
+        span.set_attr("loaded", loaded);
+        span.set_attr("fresh", fresh);
+        journal_counters().loaded.set(loaded as u64);
         Ok(DiskCache {
             dir,
             entries: Mutex::new(entries),
@@ -298,6 +338,7 @@ impl DiskCache {
         if entry.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
+        journal_counters().note_lookup(entry.is_some());
         entry
     }
 
@@ -335,6 +376,7 @@ impl DiskCache {
         }
         entries.insert(key, entry);
         self.stores.fetch_add(1, Ordering::Relaxed);
+        journal_counters().stores.inc();
         Ok(())
     }
 }

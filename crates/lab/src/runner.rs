@@ -20,6 +20,8 @@ use std::time::{Duration, Instant};
 use consensus_core::config::{AnalysisConfig, ExpandConfig};
 use consensus_core::solvability::{SolvabilityChecker, Verdict};
 use consensus_core::{analysis, broadcast, fair, UniversalAlgorithm};
+use consensus_obs::metrics::registry;
+use consensus_obs::trace::tracer;
 use ptgraph::Value;
 use simulator::algorithms::FloodMin;
 use simulator::checker;
@@ -166,6 +168,9 @@ impl SweepRunner {
         let slots: Vec<Mutex<Option<ScenarioRecord>>> =
             entries.iter().map(|_| Mutex::new(None)).collect();
 
+        // Workers run on their own threads: parent their analysis spans
+        // to the caller's innermost span (the session's `sweep`).
+        let span_parent = tracer().current_id();
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(entries.len().max(1)) {
                 scope.spawn(|| loop {
@@ -173,6 +178,8 @@ impl SweepRunner {
                     let Some((index, scenario)) = entries.get(i) else {
                         break;
                     };
+                    let mut span =
+                        tracer().span_under(analysis_span_name(scenario.analysis), span_parent);
                     let record = execute_scenario_cfg(
                         *index,
                         scenario,
@@ -182,6 +189,10 @@ impl SweepRunner {
                         self.time_limit,
                         &self.analysis,
                     );
+                    span.set_attr("index", *index);
+                    span.set_attr("adversary", record.adversary.as_str());
+                    span.set_attr("depth", scenario.depth);
+                    span.set_attr("verdict", record.outcome.verdict.as_str());
                     *slots[i].lock().expect("slot lock poisoned") = Some(record);
                 });
             }
@@ -247,6 +258,18 @@ pub fn solvability_matches(
         (None, "solvable" | "unsolvable") => Some(false),
         // Not a solvability verdict tag: nothing to compare.
         _ => None,
+    }
+}
+
+/// The static span name for one analysis kind (span names are `&'static
+/// str` so the disabled tracer path stays allocation-free).
+fn analysis_span_name(kind: AnalysisKind) -> &'static str {
+    match kind {
+        AnalysisKind::Solvability => "analysis.solvability",
+        AnalysisKind::Bivalence => "analysis.bivalence",
+        AnalysisKind::Broadcastability => "analysis.broadcastability",
+        AnalysisKind::ComponentStats => "analysis.component-stats",
+        AnalysisKind::SimCheck => "analysis.sim-check",
     }
 }
 
@@ -404,6 +427,7 @@ pub(crate) fn execute_scenario_cfg(
     }
 
     let elapsed = start.elapsed();
+    registry().histogram("stage.analysis").record_duration(elapsed);
     if let Some(limit) = time_limit {
         if elapsed > limit {
             record.outcome.details.push(("timed_out".into(), Json::Bool(true)));

@@ -283,6 +283,9 @@ impl Session {
     }
 
     fn run_scenarios(&self, scenarios: Vec<(usize, Scenario)>) -> SweepReport {
+        let mut span = consensus_obs::trace::tracer()
+            .span("sweep")
+            .with_attr("scenarios", scenarios.len());
         let mut runner = SweepRunner { analysis: self.analysis, ..SweepRunner::new() };
         if self.workers > 0 {
             runner = runner.workers(self.workers);
@@ -301,7 +304,10 @@ impl Session {
             fresh = SpaceCache::with_config(&self.expand);
             &fresh
         };
-        runner.run_indexed(&scenarios, spaces, self.disk.as_ref())
+        let report = runner.run_indexed(&scenarios, spaces, self.disk.as_ref());
+        span.set_attr("builds", report.cache.builds);
+        span.set_attr("cache_hits", report.cache.hits);
+        report
     }
 }
 

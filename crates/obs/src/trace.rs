@@ -1,0 +1,558 @@
+//! The tracer: hierarchical spans with monotonic timings and typed
+//! attributes, recorded into a bounded ring buffer.
+//!
+//! One process-global [`Tracer`] (see [`tracer`]) is shared by every
+//! layer. It is **disabled by default** and the disabled fast path is a
+//! single relaxed atomic load plus a branch — no allocation, no lock, no
+//! clock read — so instrumentation can live in hot loops permanently.
+//!
+//! A [`SpanGuard`] measures from creation to drop. Same-thread nesting is
+//! automatic (a thread-local span stack); cross-thread nesting is explicit
+//! via [`Tracer::current_id`] + [`Tracer::span_under`]. Finished spans are
+//! pushed into a bounded ring (oldest records are overwritten under
+//! pressure, counted by [`Tracer::dropped`]) and harvested with
+//! [`Tracer::drain`], e.g. for `--trace-out` JSONL export.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Spans the ring holds before overwriting the oldest; generous enough
+/// for a full catalog sweep, small enough to bound memory (~100 B/span).
+const RING_CAPACITY: usize = 65_536;
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (counts, sizes).
+    Uint(u64),
+    /// A float (ratios, rates). Non-finite values serialize as `null`.
+    Float(f64),
+    /// A string (names, outcomes).
+    Str(String),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Uint(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Uint(v as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// A finished span: what the ring buffer stores and [`Tracer::drain`]
+/// returns, in **completion order** (children before their parents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The span name (`expand`, `cache.lookup`, `http.request`, …).
+    pub name: &'static str,
+    /// Process-unique span id (monotonically assigned, starts at 1).
+    pub id: u64,
+    /// The enclosing span's id, if any.
+    pub parent: Option<u64>,
+    /// Microseconds from the process trace epoch to span open.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Typed attributes, in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Render the record as one JSONL line (no trailing newline):
+    /// `{"span":NAME,"id":N,"parent":N|null,"start_us":N,"dur_us":N,"attrs":{...}}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"span\":\"");
+        escape_into(&mut out, self.name);
+        out.push_str("\",\"id\":");
+        out.push_str(&self.id.to_string());
+        out.push_str(",\"parent\":");
+        match self.parent {
+            Some(p) => out.push_str(&p.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"start_us\":");
+        out.push_str(&self.start_us.to_string());
+        out.push_str(",\"dur_us\":");
+        out.push_str(&self.dur_us.to_string());
+        out.push_str(",\"attrs\":{");
+        for (i, (key, value)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, key);
+            out.push_str("\":");
+            match value {
+                AttrValue::Int(v) => out.push_str(&v.to_string()),
+                AttrValue::Uint(v) => out.push_str(&v.to_string()),
+                AttrValue::Float(v) if v.is_finite() => out.push_str(&v.to_string()),
+                AttrValue::Float(_) => out.push_str("null"),
+                AttrValue::Str(v) => {
+                    out.push('"');
+                    escape_into(&mut out, v);
+                    out.push('"');
+                }
+                AttrValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Fixed-capacity overwrite-oldest ring of finished spans.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<SpanRecord>,
+    /// Next slot to overwrite once `buf` has reached capacity.
+    head: usize,
+}
+
+impl Ring {
+    const fn new() -> Ring {
+        Ring { buf: Vec::new(), head: 0 }
+    }
+
+    /// Push a record; returns `true` when an old record was overwritten.
+    fn push(&mut self, record: SpanRecord) -> bool {
+        if self.buf.len() < RING_CAPACITY {
+            self.buf.push(record);
+            false
+        } else {
+            self.buf[self.head] = record;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            true
+        }
+    }
+
+    /// Take every record, oldest first, leaving the ring empty.
+    fn drain(&mut self) -> Vec<SpanRecord> {
+        let head = std::mem::take(&mut self.head);
+        let mut buf = std::mem::take(&mut self.buf);
+        let len = buf.len().max(1);
+        buf.rotate_left(head % len);
+        buf
+    }
+}
+
+thread_local! {
+    /// Open span ids on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The process-global span recorder. See the [module docs](self).
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    started: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+/// The process-global tracer instance.
+static TRACER: Tracer = Tracer::new();
+
+/// The process trace epoch: all span `start_us` offsets are relative to
+/// the first clock read after the tracer is first touched.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The process-global [`Tracer`].
+pub fn tracer() -> &'static Tracer {
+    &TRACER
+}
+
+impl Tracer {
+    const fn new() -> Tracer {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            started: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(Ring::new()),
+        }
+    }
+
+    /// Turn span recording on.
+    pub fn enable(&self) {
+        epoch(); // pin the epoch before the first span opens
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Turn span recording off. Already-recorded spans stay in the ring;
+    /// guards still open when tracing is disabled record on drop.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether spans are being recorded (one relaxed atomic load — the
+    /// whole cost of a disabled [`span`](Self::span) call is this load
+    /// plus a branch).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a span parented to the innermost open span on this thread
+    /// (none ⇒ a root span). Returns an inert no-allocation guard when
+    /// tracing is disabled.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard { inner: None, _not_send: PhantomData };
+        }
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
+        self.open(name, parent)
+    }
+
+    /// Open a span under an explicit parent — the cross-thread seam: the
+    /// spawning thread captures [`current_id`](Self::current_id), workers
+    /// open their spans under it. The new span still joins the worker
+    /// thread's own stack, so spans it opens nest beneath it.
+    #[inline]
+    pub fn span_under(&self, name: &'static str, parent: Option<u64>) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard { inner: None, _not_send: PhantomData };
+        }
+        self.open(name, parent)
+    }
+
+    fn open(&self, name: &'static str, parent: Option<u64>) -> SpanGuard {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.started.fetch_add(1, Ordering::Relaxed);
+        let start_us = us_since_epoch();
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        SpanGuard {
+            inner: Some(Box::new(ActiveSpan { name, id, parent, start_us, attrs: Vec::new() })),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The innermost open span id on this thread, if any.
+    pub fn current_id(&self) -> Option<u64> {
+        if !self.is_enabled() {
+            return None;
+        }
+        SPAN_STACK.with(|s| s.borrow().last().copied())
+    }
+
+    /// Take every finished span, oldest first, leaving the ring empty.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.ring.lock().expect("tracer ring poisoned").drain()
+    }
+
+    /// Total spans ever opened while enabled — the tracer's only
+    /// allocation site, so a zero delta proves the disabled path
+    /// allocated nothing.
+    pub fn spans_started(&self) -> u64 {
+        self.started.load(Ordering::Relaxed)
+    }
+
+    /// Finished spans overwritten by ring-buffer pressure before being
+    /// drained.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, record: SpanRecord) {
+        let overwrote = self.ring.lock().expect("tracer ring poisoned").push(record);
+        if overwrote {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn us_since_epoch() -> u64 {
+    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start_us: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// An open span; measures from creation to drop and records itself into
+/// the tracer's ring on drop. Inert (and allocation-free) when tracing
+/// was disabled at creation.
+///
+/// Guards must be dropped on the thread that opened them, innermost
+/// first — the natural shape of scope-based use. The type is `!Send` so
+/// the compiler enforces the thread half.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<Box<ActiveSpan>>,
+    /// Guards pop a thread-local stack on drop, so they must stay on
+    /// their opening thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Attach (or overwrite) a typed attribute. No-op on an inert guard.
+    pub fn set_attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(span) = self.inner.as_deref_mut() {
+            let value = value.into();
+            match span.attrs.iter_mut().find(|(k, _)| *k == key) {
+                Some(slot) => slot.1 = value,
+                None => span.attrs.push((key, value)),
+            }
+        }
+    }
+
+    /// Builder-style [`set_attr`](Self::set_attr).
+    #[must_use]
+    pub fn with_attr(mut self, key: &'static str, value: impl Into<AttrValue>) -> Self {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// The span id, or `None` on an inert guard.
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_deref().map(|s| s.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.inner.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            debug_assert_eq!(stack.last(), Some(&span.id), "span guards must drop innermost-first");
+            if let Some(pos) = stack.iter().rposition(|&id| id == span.id) {
+                stack.remove(pos);
+            }
+        });
+        let end_us = us_since_epoch();
+        TRACER.record(SpanRecord {
+            name: span.name,
+            id: span.id,
+            parent: span.parent,
+            start_us: span.start_us,
+            dur_us: end_us.saturating_sub(span.start_us),
+            attrs: span.attrs,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock as StdOnceLock};
+
+    /// The tracer is process-global; tests that enable it must not
+    /// interleave. (Cargo runs tests in one process.)
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: StdOnceLock<StdMutex<()>> = StdOnceLock::new();
+        match LOCK.get_or_init(StdMutex::default).lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_path_records_nothing_and_allocates_nothing() {
+        let _serial = serial();
+        tracer().disable();
+        let _ = tracer().drain();
+        let started_before = tracer().spans_started();
+        for _ in 0..1000 {
+            let mut guard = tracer().span("expand");
+            guard.set_attr("runs", 1u64); // must be a no-op
+            assert!(guard.id().is_none());
+        }
+        // `spans_started` counts the tracer's only allocation site: a zero
+        // delta means the loop above allocated nothing and recorded
+        // nothing.
+        assert_eq!(tracer().spans_started(), started_before);
+        assert!(tracer().drain().is_empty());
+    }
+
+    #[test]
+    fn same_thread_spans_nest_via_the_stack() {
+        let _serial = serial();
+        tracer().disable();
+        let _ = tracer().drain();
+        tracer().enable();
+        {
+            let outer = tracer().span("expand");
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = tracer().span("shard");
+                assert_eq!(tracer().current_id(), inner.id());
+            }
+            assert_eq!(tracer().current_id(), Some(outer_id));
+        }
+        tracer().disable();
+        let spans = tracer().drain();
+        assert_eq!(spans.len(), 2);
+        let (inner, outer) = (&spans[0], &spans[1]);
+        assert_eq!(inner.name, "shard");
+        assert_eq!(outer.name, "expand");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        // Temporal containment: the child lives inside the parent.
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
+    }
+
+    #[test]
+    fn cross_thread_parenting_via_span_under() {
+        let _serial = serial();
+        tracer().disable();
+        let _ = tracer().drain();
+        tracer().enable();
+        {
+            let root = tracer().span("expand");
+            let parent = tracer().current_id();
+            assert_eq!(parent, root.id());
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(move || {
+                        let shard = tracer().span_under("shard", parent);
+                        // The worker's own children nest under the shard.
+                        assert_eq!(tracer().current_id(), shard.id());
+                        let _inner = tracer().span("absorb");
+                    });
+                }
+            });
+        }
+        tracer().disable();
+        let spans = tracer().drain();
+        let root_id = spans.iter().find(|s| s.name == "expand").unwrap().id;
+        let shards: Vec<_> = spans.iter().filter(|s| s.name == "shard").collect();
+        assert_eq!(shards.len(), 2);
+        for shard in &shards {
+            assert_eq!(shard.parent, Some(root_id));
+        }
+        for absorb in spans.iter().filter(|s| s.name == "absorb") {
+            assert!(shards.iter().any(|s| Some(s.id) == absorb.parent));
+        }
+    }
+
+    #[test]
+    fn jsonl_rendering_escapes_and_types_attrs() {
+        let record = SpanRecord {
+            name: "cache.lookup",
+            id: 7,
+            parent: Some(3),
+            start_us: 10,
+            dur_us: 2,
+            attrs: vec![
+                ("outcome", AttrValue::Str("hit \"quoted\"\n".into())),
+                ("runs", AttrValue::Uint(36)),
+                ("delta", AttrValue::Int(-2)),
+                ("ratio", AttrValue::Float(0.5)),
+                ("bad", AttrValue::Float(f64::NAN)),
+                ("warm", AttrValue::Bool(true)),
+            ],
+        };
+        assert_eq!(
+            record.to_jsonl(),
+            "{\"span\":\"cache.lookup\",\"id\":7,\"parent\":3,\"start_us\":10,\"dur_us\":2,\
+             \"attrs\":{\"outcome\":\"hit \\\"quoted\\\"\\n\",\"runs\":36,\"delta\":-2,\
+             \"ratio\":0.5,\"bad\":null,\"warm\":true}}"
+        );
+        let root = SpanRecord { parent: None, attrs: Vec::new(), ..record };
+        assert!(root.to_jsonl().contains("\"parent\":null"));
+        assert!(root.to_jsonl().ends_with("\"attrs\":{}}"));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut ring = Ring::new();
+        let record = |id: u64| SpanRecord {
+            name: "x",
+            id,
+            parent: None,
+            start_us: 0,
+            dur_us: 0,
+            attrs: Vec::new(),
+        };
+        for id in 0..RING_CAPACITY as u64 {
+            assert!(!ring.push(record(id)));
+        }
+        assert!(ring.push(record(RING_CAPACITY as u64)));
+        let drained = ring.drain();
+        assert_eq!(drained.len(), RING_CAPACITY);
+        // Oldest first, record 0 was overwritten.
+        assert_eq!(drained[0].id, 1);
+        assert_eq!(drained.last().unwrap().id, RING_CAPACITY as u64);
+    }
+
+    #[test]
+    fn attrs_overwrite_by_key() {
+        let _serial = serial();
+        tracer().disable();
+        let _ = tracer().drain();
+        tracer().enable();
+        {
+            let mut span = tracer().span("cache.lookup");
+            span.set_attr("outcome", "miss");
+            span.set_attr("outcome", "build");
+        }
+        tracer().disable();
+        let spans = tracer().drain();
+        assert_eq!(spans[0].attrs, vec![("outcome", AttrValue::Str("build".into()))]);
+    }
+}

@@ -13,12 +13,20 @@
 //! | POST   | `/v1/check`   | one query object                       | the [`ScenarioRecord`] JSON |
 //! | POST   | `/v1/sweep`   | a grid (`catalog`+`max_depth` or `queries`) | `records` + `meta` |
 //! | GET    | `/v1/catalog` | —                                      | the built-in adversary registry |
+//! | GET    | `/v1/stats`   | —                                      | structured [`consensus_obs`] registry snapshot |
 //! | GET    | `/healthz`    | —                                      | liveness |
-//! | GET    | `/metrics`    | —                                      | request/latency/cache counters |
+//! | GET    | `/metrics`    | —                                      | request/latency/cache counters (JSON) |
+//! | GET    | `/metrics?format=prometheus` | —                       | the same counters as Prometheus text |
+//!
+//! Every request gets a process-unique id, carried as the `id` attribute
+//! of its `http.request` trace span and (when request logging is enabled,
+//! as the `serve` subcommand does) echoed in one structured completion
+//! line on stderr.
 //!
 //! Failures are structured: `{"error":{"status":…,"kind":…,"message":…}}`,
 //! with the status class decided by [`Error::status_code`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use consensus_core::error::Error;
@@ -26,6 +34,9 @@ use consensus_lab::report::SweepMeta;
 use consensus_lab::scenario::{AdversarySpec, AnalysisKind};
 use consensus_lab::session::{Query, Session};
 use consensus_lab::store::ScenarioRecord;
+use consensus_obs::metrics::registry;
+use consensus_obs::prom;
+use consensus_obs::trace::tracer;
 use json::Value;
 
 use crate::http::Request;
@@ -36,19 +47,30 @@ use crate::metrics::{Endpoint, Metrics};
 /// requests, exactly as the CLI shards them across processes).
 pub const MAX_SWEEP_SCENARIOS: usize = 65_536;
 
-/// One HTTP answer: a status and a JSON body.
+/// One HTTP answer: a status, a body, and its content type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
+    /// The `Content-Type` of the body (`application/json` for every
+    /// route except the Prometheus exposition).
+    pub content_type: &'static str,
 }
+
+/// The default body content type.
+const JSON_CONTENT_TYPE: &str = "application/json";
 
 impl Response {
     /// A `200` with the given JSON body.
     pub fn ok(body: String) -> Self {
-        Response { status: 200, body }
+        Response { status: 200, body, content_type: JSON_CONTENT_TYPE }
+    }
+
+    /// A `200` with a plain-text body of the given content type.
+    pub fn text(body: String, content_type: &'static str) -> Self {
+        Response { status: 200, body, content_type }
     }
 
     /// A structured error payload; see the module docs.
@@ -61,7 +83,7 @@ impl Response {
                 ("message".into(), Value::Str(message.to_string())),
             ]),
         )]);
-        Response { status, body: body.to_string() }
+        Response { status, body: body.to_string(), content_type: JSON_CONTENT_TYPE }
     }
 
     /// The structured form of a typed facade [`Error`], via its
@@ -80,12 +102,31 @@ pub struct App {
     /// for the process lifetime, so requests must not rebuild every
     /// adversary just to re-serialize an identical body.
     catalog_body: String,
+    /// The next request id — process-unique, monotone, shared by the
+    /// `http.request` span and the request log line.
+    next_request_id: AtomicU64,
+    /// Emit one structured completion line per request on stderr (the
+    /// `serve` subcommand turns this on; tests and benches stay quiet).
+    log_requests: bool,
 }
 
 impl App {
     /// An app answering from `session`.
     pub fn new(session: Session) -> Self {
-        App { session, metrics: Metrics::new(), catalog_body: render_catalog() }
+        App {
+            session,
+            metrics: Metrics::new(),
+            catalog_body: render_catalog(),
+            next_request_id: AtomicU64::new(1),
+            log_requests: false,
+        }
+    }
+
+    /// Enable (or disable) the per-request completion log line.
+    #[must_use]
+    pub fn log_requests(mut self, enabled: bool) -> Self {
+        self.log_requests = enabled;
+        self
     }
 
     /// The shared session.
@@ -98,17 +139,48 @@ impl App {
         &self.metrics
     }
 
-    /// Route and answer one request, recording telemetry.
+    /// Route and answer one request, recording telemetry: the latency
+    /// histograms, an `http.request` span carrying the request id (which
+    /// parents any session spans the handler opens on this thread), and
+    /// optionally one structured completion line.
     pub fn handle(&self, request: &Request) -> Response {
         let start = Instant::now();
+        let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let mut span = tracer()
+            .span("http.request")
+            .with_attr("id", request_id)
+            .with_attr("method", request.method.as_str())
+            .with_attr("target", request.target.as_str());
         let (endpoint, response) = self.route(request);
-        self.metrics.record(endpoint, response.status, start.elapsed());
+        let elapsed = start.elapsed();
+        span.set_attr("endpoint", endpoint.map_or("-", Endpoint::name));
+        span.set_attr("status", u64::from(response.status));
+        drop(span);
+        self.metrics.record(endpoint, response.status, elapsed);
+        if self.log_requests {
+            let line = Value::Obj(vec![
+                ("event".into(), Value::Str("http.request".into())),
+                ("id".into(), Value::Int(request_id as i64)),
+                ("method".into(), Value::Str(request.method.clone())),
+                ("target".into(), Value::Str(request.target.clone())),
+                ("endpoint".into(), Value::Str(endpoint.map_or("-", Endpoint::name).to_string())),
+                ("status".into(), Value::Int(i64::from(response.status))),
+                ("dur_us".into(), Value::Int(elapsed.as_micros().min(i64::MAX as u128) as i64)),
+            ]);
+            eprintln!("{line}");
+        }
         response
     }
 
     fn route(&self, request: &Request) -> (Option<Endpoint>, Response) {
         let method = request.method.as_str();
-        match request.target.as_str() {
+        // Split the origin-form target into path and query (`/metrics` is
+        // the only route that reads its query string today).
+        let (path, query) = request
+            .target
+            .split_once('?')
+            .map_or((request.target.as_str(), ""), |(p, q)| (p, q));
+        match path {
             "/v1/check" => {
                 (Some(Endpoint::Check), self.expect_post(method, request, |body| self.check(body)))
             }
@@ -116,7 +188,11 @@ impl App {
                 (Some(Endpoint::Sweep), self.expect_post(method, request, |body| self.sweep(body)))
             }
             "/v1/catalog" => (Some(Endpoint::Catalog), self.expect_get(method, Self::catalog)),
+            "/v1/stats" => (Some(Endpoint::Stats), self.expect_get(method, Self::stats_body)),
             "/healthz" => (Some(Endpoint::Healthz), self.expect_get(method, Self::healthz)),
+            "/metrics" if query.split('&').any(|kv| kv == "format=prometheus") => {
+                (Some(Endpoint::Metrics), self.expect_get(method, Self::metrics_prometheus))
+            }
             "/metrics" => (Some(Endpoint::Metrics), self.expect_get(method, Self::metrics_body)),
             other => (None, Response::error(404, "not-found", &format!("no route for {other:?}"))),
         }
@@ -202,15 +278,20 @@ impl App {
         )
     }
 
-    fn metrics_body(&self) -> Response {
-        let mut fields = self.metrics.to_json();
-        // The cache hierarchy, exactly as a SweepReport accounts it: space
-        // counters from the shared SpaceCache, scenario-level disk hits
-        // from the journal.
+    /// The cache hierarchy, exactly as a SweepReport accounts it: space
+    /// counters from the shared SpaceCache, scenario-level disk hits from
+    /// the journal.
+    fn cache_stats(&self) -> consensus_lab::cache::CacheStats {
         let mut stats = self.session.space_cache().stats();
         if let Some(disk) = self.session.disk_cache() {
             stats.disk_hits = disk.hits();
         }
+        stats
+    }
+
+    fn metrics_body(&self) -> Response {
+        let mut fields = self.metrics.to_json();
+        let stats = self.cache_stats();
         fields.push((
             "cache".into(),
             Value::Obj(vec![
@@ -232,6 +313,115 @@ impl App {
         };
         fields.push(("disk".into(), disk));
         Response::ok(Value::Obj(fields).to_string())
+    }
+
+    /// `GET /v1/stats`: the structured [`consensus_obs`] registry
+    /// snapshot (stage histograms in nanoseconds, cache/journal counters)
+    /// plus the per-endpoint latency blocks and tracer counters — the
+    /// machine-readable twin of the Prometheus page.
+    fn stats_body(&self) -> Response {
+        let snap = registry().snapshot();
+        let counters: Vec<(String, Value)> =
+            snap.counters.iter().map(|(n, v)| (n.clone(), Value::Int(*v as i64))).collect();
+        let gauges: Vec<(String, Value)> =
+            snap.gauges.iter().map(|(n, v)| (n.clone(), Value::Int(*v as i64))).collect();
+        let histograms: Vec<(String, Value)> = snap
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.clone(),
+                    Value::Obj(vec![
+                        ("count".into(), Value::Int(h.count as i64)),
+                        ("sum".into(), Value::Int(h.sum as i64)),
+                        ("max".into(), Value::Int(h.max as i64)),
+                        ("p50".into(), Value::Int(h.quantile(0.5) as i64)),
+                        ("p90".into(), Value::Int(h.quantile(0.9) as i64)),
+                        ("p99".into(), Value::Int(h.quantile(0.99) as i64)),
+                    ]),
+                )
+            })
+            .collect();
+        let t = tracer();
+        Response::ok(
+            Value::Obj(vec![
+                (
+                    "uptime_ms".into(),
+                    Value::Float(crate::metrics::round3(self.metrics.uptime_ms())),
+                ),
+                (
+                    "registry".into(),
+                    Value::Obj(vec![
+                        ("counters".into(), Value::Obj(counters)),
+                        ("gauges".into(), Value::Obj(gauges)),
+                        ("histograms_ns".into(), Value::Obj(histograms)),
+                    ]),
+                ),
+                ("endpoints".into(), Value::Obj(self.metrics.endpoints_json())),
+                (
+                    "trace".into(),
+                    Value::Obj(vec![
+                        ("enabled".into(), Value::Bool(t.is_enabled())),
+                        ("spans_started".into(), Value::Int(t.spans_started() as i64)),
+                        ("dropped".into(), Value::Int(t.dropped() as i64)),
+                    ]),
+                ),
+            ])
+            .to_string(),
+        )
+    }
+
+    /// `GET /metrics?format=prometheus`: the same counters as the JSON
+    /// page, rendered as Prometheus text exposition (version 0.0.4) —
+    /// request counters and per-endpoint latency summaries from
+    /// [`Metrics`], cache counters from the shared session, and the full
+    /// [`consensus_obs`] registry (name-sorted, so the page layout is
+    /// deterministic).
+    fn metrics_prometheus(&self) -> Response {
+        let mut out = String::new();
+        self.metrics.render_prometheus(&mut out);
+        let stats = self.cache_stats();
+        prom::write_type(&mut out, "consensus_cache_events_total", "counter");
+        for (kind, value) in [
+            ("hits", stats.hits),
+            ("builds", stats.builds),
+            ("ladder_hits", stats.ladder_hits),
+            ("disk_hits", stats.disk_hits),
+            ("budget_misses", stats.budget_misses),
+        ] {
+            prom::write_sample(
+                &mut out,
+                "consensus_cache_events_total",
+                &[("kind", kind)],
+                value as f64,
+            );
+        }
+        let snap = registry().snapshot();
+        for (name, value) in &snap.counters {
+            let name = format!("consensus_{}_total", prom::metric_name(name));
+            prom::write_type(&mut out, &name, "counter");
+            prom::write_sample(&mut out, &name, &[], *value as f64);
+        }
+        for (name, value) in &snap.gauges {
+            let name = format!("consensus_{}", prom::metric_name(name));
+            prom::write_type(&mut out, &name, "gauge");
+            prom::write_sample(&mut out, &name, &[], *value as f64);
+        }
+        for (name, hist) in &snap.histograms {
+            let name = format!("consensus_{}_ns", prom::metric_name(name));
+            prom::write_type(&mut out, &name, "summary");
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                prom::write_sample(
+                    &mut out,
+                    &name,
+                    &[("quantile", label)],
+                    hist.quantile(q) as f64,
+                );
+            }
+            prom::write_sample(&mut out, &format!("{name}_sum"), &[], hist.sum as f64);
+            prom::write_sample(&mut out, &format!("{name}_count"), &[], hist.count as f64);
+        }
+        Response::text(out, prom::CONTENT_TYPE)
     }
 }
 
@@ -562,9 +752,73 @@ mod tests {
         assert_eq!(requests.get_usize("catalog"), Some(1));
         assert_eq!(requests.get_usize("healthz"), Some(1));
         assert_eq!(requests.get_usize("not_found"), Some(1));
+        // All three failures (404 + 405 + 405) are client errors.
         assert_eq!(requests.get_usize("errors"), Some(3));
+        assert_eq!(requests.get_usize("errors_4xx"), Some(3));
+        assert_eq!(requests.get_usize("errors_5xx"), Some(0));
+        let endpoints = metrics.get("endpoints").unwrap();
+        assert_eq!(endpoints.get("catalog").unwrap().get_usize("count"), Some(1));
+        assert!(endpoints
+            .get("healthz")
+            .unwrap()
+            .get("p99_ms")
+            .and_then(Value::as_f64)
+            .is_some());
         assert_eq!(metrics.get("cache").unwrap().get_usize("builds"), Some(0));
         let disk = metrics.get("disk").unwrap();
         assert_eq!(disk.get("enabled").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn stats_returns_the_registry_snapshot() {
+        let app = app();
+        // One answered query populates the obs registry stage histograms.
+        let response = app.handle(&request(
+            "POST",
+            "/v1/check",
+            r#"{"adversary":"cgp-reduced-lossy-link","depth":2}"#,
+        ));
+        assert_eq!(response.status, 200, "{}", response.body);
+        let response = app.handle(&request("GET", "/v1/stats", ""));
+        assert_eq!(response.status, 200);
+        assert_eq!(response.content_type, "application/json");
+        let stats = json::parse(&response.body).unwrap();
+        let registry = stats.get("registry").unwrap();
+        for block in ["counters", "gauges", "histograms_ns"] {
+            assert!(registry.get(block).is_some(), "missing {block}");
+        }
+        // The check above went through the cache, so its counters exist
+        // (the registry is process-global — only presence is asserted).
+        assert!(registry.get("counters").unwrap().get("cache.builds").is_some());
+        let expand = registry.get("histograms_ns").unwrap().get("stage.expand").unwrap();
+        assert!(expand.get_usize("count").unwrap() >= 1);
+        assert!(expand.get_usize("p99").unwrap() >= expand.get_usize("p50").unwrap());
+        let endpoints = stats.get("endpoints").unwrap();
+        assert_eq!(endpoints.get("check").unwrap().get_usize("count"), Some(1));
+        let trace = stats.get("trace").unwrap();
+        assert!(trace.get("enabled").and_then(Value::as_bool).is_some());
+    }
+
+    #[test]
+    fn metrics_renders_prometheus_on_request() {
+        let app = app();
+        assert_eq!(app.handle(&request("GET", "/healthz", "")).status, 200);
+        let response = app.handle(&request("GET", "/metrics?format=prometheus", ""));
+        assert_eq!(response.status, 200);
+        assert_eq!(response.content_type, consensus_obs::prom::CONTENT_TYPE);
+        let page = &response.body;
+        assert!(page.contains("# TYPE consensus_http_requests_total counter\n"), "{page}");
+        assert!(page.contains("consensus_http_requests_total{endpoint=\"healthz\"} 1\n"), "{page}");
+        assert!(
+            page.contains(
+                "consensus_http_request_duration_ms{endpoint=\"healthz\",quantile=\"0.99\"}"
+            ),
+            "{page}"
+        );
+        assert!(page.contains("consensus_cache_events_total{kind=\"builds\"}"), "{page}");
+        // An unknown format falls back to the JSON page.
+        let response = app.handle(&request("GET", "/metrics?format=json", ""));
+        assert_eq!(response.content_type, "application/json");
+        assert!(json::parse(&response.body).is_ok());
     }
 }

@@ -256,18 +256,21 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write one `Content-Length`-framed JSON response.
+/// Write one `Content-Length`-framed response with the given
+/// `Content-Type` (`application/json` everywhere except the Prometheus
+/// exposition).
 ///
 /// # Errors
 /// Propagates stream write failures.
 pub fn write_response(
     writer: &mut impl Write,
     status: u16,
+    content_type: &str,
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {len}\r\nConnection: {conn}\r\n\r\n",
         reason = reason(status),
         len = body.len(),
@@ -363,16 +366,22 @@ mod tests {
     #[test]
     fn response_is_length_framed() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, b"{\"ok\":true}", true).unwrap();
+        write_response(&mut out, 200, "application/json", b"{\"ok\":true}", true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
         let mut out = Vec::new();
-        write_response(&mut out, 422, b"{}", false).unwrap();
+        write_response(&mut out, 422, "application/json", b"{}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 422 Unprocessable Entity\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+        // The content type is caller-chosen — the Prometheus page is text.
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain; version=0.0.4", b"x 1\n", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"), "{text}");
     }
 }

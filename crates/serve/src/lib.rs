@@ -15,10 +15,12 @@
 //! * [`server`] — acceptor + bounded worker-thread pool, keep-alive,
 //!   graceful shutdown;
 //! * [`api`] — the endpoints (`POST /v1/check`, `POST /v1/sweep`,
-//!   `GET /v1/catalog`, `GET /healthz`, `GET /metrics`) and the typed
-//!   [`Error`](consensus_core::error::Error) → structured `4xx`/`5xx`
-//!   mapping;
-//! * [`metrics`] — lock-free request counters and a latency histogram;
+//!   `GET /v1/catalog`, `GET /v1/stats`, `GET /healthz`, `GET /metrics`
+//!   with an optional `?format=prometheus`), per-request ids + tracing
+//!   spans, and the typed [`Error`](consensus_core::error::Error) →
+//!   structured `4xx`/`5xx` mapping;
+//! * [`metrics`] — lock-free request counters split 4xx/5xx, per-endpoint
+//!   latency histograms (p50/p90/p99), and Prometheus text rendering;
 //! * [`client`] — a minimal keep-alive client;
 //! * [`loadgen`] — the `serve-bench` load generator emitting
 //!   `BENCH_serve.json`.

@@ -22,6 +22,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use consensus_obs::metrics::Histogram;
+
 use consensus_lab::scenario::{AdversarySpec, AnalysisKind};
 use consensus_lab::session::{Query, Session};
 use json::Value;
@@ -105,6 +107,11 @@ fn scrape(client: &mut Client) -> Result<CacheSnapshot, String> {
             .ok_or("metrics payload lacks \"requests\".\"total\"")?,
     };
     Ok(snapshot)
+}
+
+/// A latency quantile of `hist` (nanosecond samples) in rounded ms.
+fn quantile_ms(hist: &Histogram, q: f64) -> f64 {
+    crate::metrics::round3(hist.quantile(q) as f64 / 1e6)
 }
 
 fn check_body(query: &Query) -> Value {
@@ -236,25 +243,32 @@ fn drive(cfg: &LoadGenConfig, addr: &str, connections: usize) -> Result<LoadGenR
     } else {
         bodies.len()
     };
+    // Each connection buckets its own request latencies; the per-worker
+    // histograms merge afterwards (the merge is associative, so the
+    // combined quantiles see every request without any locking mid-pass).
+    let warm_latency = Histogram::new();
     let t2 = Instant::now();
     std::thread::scope(|scope| -> Result<(), String> {
         let mut handles = Vec::with_capacity(connections);
         for connection in 0..connections {
             let bodies = &bodies;
-            handles.push(scope.spawn(move || -> Result<(), String> {
+            handles.push(scope.spawn(move || -> Result<Histogram, String> {
+                let latency = Histogram::new();
                 let mut client =
                     Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
                 for k in 0..per_connection {
                     // Offset per connection so concurrent requests spread
                     // over the grid instead of marching in lockstep.
                     let body = &bodies[(connection + k) % bodies.len()];
+                    let t = Instant::now();
                     expect_ok("POST /v1/check", client.post_json("/v1/check", body))?;
+                    latency.record_duration(t.elapsed());
                 }
-                Ok(())
+                Ok(latency)
             }));
         }
         for handle in handles {
-            handle.join().expect("warm-pass client panicked")?;
+            warm_latency.merge_from(&handle.join().expect("warm-pass client panicked")?);
         }
         Ok(())
     })?;
@@ -285,6 +299,9 @@ fn drive(cfg: &LoadGenConfig, addr: &str, connections: usize) -> Result<LoadGenR
         ("cold_ms".into(), Value::Float(ms(cold_wall))),
         ("sweep_ms".into(), Value::Float(ms(sweep_wall))),
         ("warm_ms".into(), Value::Float(ms(warm_wall))),
+        ("warm_p50_ms".into(), Value::Float(quantile_ms(&warm_latency, 0.5))),
+        ("warm_p90_ms".into(), Value::Float(quantile_ms(&warm_latency, 0.9))),
+        ("warm_p99_ms".into(), Value::Float(quantile_ms(&warm_latency, 0.99))),
         ("warm_rps".into(), Value::Float(crate::metrics::round3(warm_rps))),
     ]);
     let summary = format!(
@@ -329,5 +346,10 @@ mod tests {
         assert!(report.datum.get_usize("builds_cold").unwrap() > 0);
         assert_eq!(report.datum.get_usize("sweep_new_builds"), Some(0));
         assert_eq!(report.datum.get_usize("warm_new_builds"), Some(0));
+        // The merged per-connection histograms yield ordered percentiles.
+        let q = |key: &str| report.datum.get(key).and_then(Value::as_f64).unwrap();
+        assert!(q("warm_p50_ms") > 0.0);
+        assert!(q("warm_p50_ms") <= q("warm_p90_ms"));
+        assert!(q("warm_p90_ms") <= q("warm_p99_ms"));
     }
 }

@@ -25,6 +25,7 @@ use consensus_lab::store::{
     parse_jsonl, parse_records, ResultStore, ScenarioRecord, TIMING_FIELDS,
 };
 use consensus_lab::{AnalysisConfig, CacheConfig, Error, ExpandConfig};
+use consensus_obs::trace::tracer;
 use consensus_serve::api::App;
 use consensus_serve::loadgen::{self, LoadGenConfig};
 use consensus_serve::server::{ServeConfig, Server};
@@ -38,12 +39,16 @@ USAGE:
 
     consensus-lab check (--adversary NAME | --pool \"-> <- <->\" [--eventually G [--by R]])
                         [--depth D] [--analysis KIND] [--budget RUNS] [--expand-threads N]
+                        [--trace-out FILE]
         Run one scenario and print the record.
+          --trace-out FILE write the run's spans (expand, cache lookups,
+                           analyses, …) to FILE as JSONL; verdicts and
+                           results are byte-identical with or without it
 
     consensus-lab sweep --catalog [--max-depth D] [--analyses K1,K2] [--budget RUNS]
                         [--threads N] [--expand-threads N] [--out DIR] [--repeat N]
                         [--time-limit-ms MS] [--shard I/N] [--resume DIR]
-                        [--cache-dir DIR] [--strict] [--assert-warm]
+                        [--cache-dir DIR] [--strict] [--assert-warm] [--trace-out FILE]
         Run the scenario grid over the catalog in parallel; write
         DIR/results.jsonl, DIR/summary.csv, and DIR/sweep-meta.json
         (default DIR: lab-results).
@@ -62,6 +67,9 @@ USAGE:
                            shard each prefix-space expansion over N scoped
                            workers (0 = all available cores, 1 = serial;
                            results are byte-identical either way)
+          --trace-out FILE write the sweep's spans to FILE as JSONL;
+                           results.jsonl stays byte-identical with or
+                           without tracing
 
     consensus-lab merge --inputs A.jsonl,B.jsonl[,...] --out DIR
         Merge shard result files (by global grid index) into
@@ -75,6 +83,16 @@ USAGE:
         Aggregate a stored result file (plus its sweep-meta sidecar's
         cache counters and expansion-engine telemetry, when present).
 
+    consensus-lab report --timings --trace TRACE.jsonl
+        Render a per-stage time tree (calls, total ms, share of root
+        time) from a --trace-out file; combinable with --input.
+
+    consensus-lab trace-check --input TRACE.jsonl
+        Validate a --trace-out file against the span schema: known span
+        names, unique ids, resolvable parents, child intervals nested
+        within their parents. Prints {\"spans\":N,\"roots\":M,\"ok\":true};
+        exit 1 on the first violation.
+
     consensus-lab bench-gate --baseline BENCH.json --fresh BENCH.json
                              [--max-regression PCT] [--keys K1,K2] [--exact K1,K2]
         Compare a freshly measured bench datum against the committed
@@ -83,13 +101,18 @@ USAGE:
         Exit 1 on any regression.
 
     consensus-lab serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR]
-                        [--expand-threads N] [--budget RUNS]
+                        [--expand-threads N] [--budget RUNS] [--trace-out FILE]
         Serve the solvability query API over HTTP/1.1: POST /v1/check,
-        POST /v1/sweep, GET /v1/catalog, GET /healthz, GET /metrics.
+        POST /v1/sweep, GET /v1/catalog, GET /v1/stats, GET /healthz,
+        GET /metrics (JSON; ?format=prometheus for text exposition).
         One long-lived Session (shared space cache + optional persistent
         verdict journal under --cache-dir) answers every request, so the
-        server warms up once and stays warm. Default address
-        127.0.0.1:7171; --threads 0 (default) = all available cores.
+        server warms up once and stays warm. Every request logs one
+        structured completion line (request id, endpoint, status, µs) on
+        stderr. Default address 127.0.0.1:7171; --threads 0 (default) =
+        all available cores. --trace-out appends completed spans
+        (http.request and the session spans under it) to FILE as JSONL,
+        flushed every 500 ms.
 
     consensus-lab serve-bench [--addr HOST:PORT] [--connections N] [--requests M]
                               [--max-depth D] [--analyses K1,K2] [--threads N]
@@ -114,6 +137,7 @@ fn main() -> ExitCode {
         Some("merge") => cmd_merge(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("bench-gate") => cmd_bench_gate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
@@ -197,6 +221,52 @@ impl Flags {
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
     ExitCode::FAILURE
+}
+
+/// Resolve `--trace-out` and, when present, switch the process-global
+/// tracer on (the disabled path must stay free for untraced runs).
+fn trace_out(flags: &Flags) -> Result<Option<PathBuf>, String> {
+    match flags.get("trace-out") {
+        None if flags.has("trace-out") => Err("--trace-out expects a file path".into()),
+        None => Ok(None),
+        Some(path) => {
+            tracer().enable();
+            Ok(Some(PathBuf::from(path)))
+        }
+    }
+}
+
+/// Drain the tracer's completed spans and append them to `path` as JSONL.
+/// Returns how many spans were written.
+fn append_trace(path: &Path) -> Result<usize, String> {
+    use std::io::Write;
+    let spans = tracer().drain();
+    if spans.is_empty() {
+        return Ok(0);
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("opening {}: {e}", path.display()))?;
+    for span in &spans {
+        writeln!(file, "{}", span.to_jsonl())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(spans.len())
+}
+
+/// Finish a `--trace-out` run: truncate `path` (one file per run), drain
+/// everything recorded, and report the tally on stderr.
+fn finish_trace(path: &Path) -> Result<(), String> {
+    std::fs::write(path, "").map_err(|e| format!("creating {}: {e}", path.display()))?;
+    let written = append_trace(path)?;
+    let dropped = tracer().dropped();
+    if dropped > 0 {
+        eprintln!("[trace] ring overflow: {dropped} span(s) overwritten before the drain");
+    }
+    eprintln!("[trace] {written} span(s) → {}", path.display());
+    Ok(())
 }
 
 /// `println!` that tolerates a closed stdout (`consensus-lab ... | head`):
@@ -287,9 +357,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
         "analysis",
         "budget",
         "expand-threads",
+        "trace-out",
     ]) {
         return fail(&e);
     }
+    let trace_path = match trace_out(&flags) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
     let spec = match parse_spec(&flags) {
         Ok(s) => s,
         Err(e) => return fail(&e),
@@ -339,6 +414,11 @@ fn cmd_check(args: &[String]) -> ExitCode {
         "[cache] constructions: {}, hits: {}, ladder extensions: {}, budget misses: {}",
         stats.builds, stats.hits, stats.ladder_hits, stats.budget_misses
     );
+    if let Some(path) = &trace_path {
+        if let Err(e) = finish_trace(path) {
+            return fail(&e);
+        }
+    }
     if errored {
         ExitCode::FAILURE
     } else {
@@ -366,9 +446,14 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         "cache-dir",
         "strict",
         "assert-warm",
+        "trace-out",
     ]) {
         return fail(&e);
     }
+    let trace_path = match trace_out(&flags) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
     if !flags.has("catalog") {
         return fail("sweep currently requires --catalog (the built-in adversary registry)");
     }
@@ -558,6 +643,11 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         last = Some(report);
     }
     let report = last.expect("repeat >= 1");
+    if let Some(path) = &trace_path {
+        if let Err(e) = finish_trace(path) {
+            return fail(&e);
+        }
+    }
 
     // Final record set: resumed records (re-anchored to current grid
     // indices) plus this run's, in global grid order. Resumed records are
@@ -859,11 +949,20 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
-    if let Err(e) =
-        flags.reject_unknown(&["addr", "threads", "cache-dir", "expand-threads", "budget"])
-    {
+    if let Err(e) = flags.reject_unknown(&[
+        "addr",
+        "threads",
+        "cache-dir",
+        "expand-threads",
+        "budget",
+        "trace-out",
+    ]) {
         return fail(&e);
     }
+    let trace_path = match trace_out(&flags) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
     if flags.has("addr") && flags.get("addr").is_none() {
         return fail("--addr expects HOST:PORT");
     }
@@ -897,19 +996,36 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e.to_string()),
     };
     let cfg = ServeConfig { addr, threads, ..ServeConfig::default() };
-    let server = match Server::bind(Arc::new(App::new(session)), &cfg) {
+    let server = match Server::bind(Arc::new(App::new(session).log_requests(true)), &cfg) {
         Ok(server) => server,
         Err(e) => return fail(&e.to_string()),
     };
     emit(format_args!(
         "serving on http://{} ({} worker threads); endpoints: POST /v1/check, \
-         POST /v1/sweep, GET /v1/catalog, GET /healthz, GET /metrics",
+         POST /v1/sweep, GET /v1/catalog, GET /v1/stats, GET /healthz, \
+         GET /metrics[?format=prometheus]",
         server.local_addr(),
         cfg.effective_threads(),
     ));
     match journal {
         Some(dir) => emit(format_args!("verdict journal: {}", dir.display())),
         None => emit(format_args!("verdict journal: disabled (memory-only session)")),
+    }
+    if let Some(path) = trace_path {
+        // A detached flusher: the server runs until the process dies, so
+        // spans stream to disk instead of waiting for an exit that never
+        // comes. One file per server run.
+        if let Err(e) = std::fs::write(&path, "") {
+            return fail(&format!("creating {}: {e}", path.display()));
+        }
+        emit(format_args!("tracing spans to {} (flushed every 500 ms)", path.display()));
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(500));
+            if let Err(e) = append_trace(&path) {
+                eprintln!("[trace] {e}");
+                return;
+            }
+        });
     }
     server.wait();
     ExitCode::SUCCESS
@@ -989,27 +1105,85 @@ fn cmd_report(args: &[String]) -> ExitCode {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
+    if let Err(e) = flags.reject_unknown(&["input", "timings", "trace"]) {
+        return fail(&e);
+    }
+    if flags.has("trace") && !flags.has("timings") {
+        return fail("--trace only applies with --timings");
+    }
+    if flags.has("input") {
+        let Some(input) = flags.get("input") else {
+            return fail("--input expects a result file");
+        };
+        let text = match std::fs::read_to_string(input) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("reading {input}: {e}")),
+        };
+        match parse_jsonl(&text) {
+            Ok(records) => {
+                emit(format_args!("{}", Aggregate::from_records(&records)));
+                // Engine telemetry rides in the sweep-meta sidecar: surface
+                // the cache counters (ladder/disk hits, budget misses) that
+                // the per-record JSONL cannot carry.
+                if let Some(meta) = read_sweep_meta(Path::new(input)) {
+                    emit(format_args!("{meta}"));
+                }
+            }
+            Err((line, e)) => return fail(&format!("{input}:{line}: {e}")),
+        }
+    }
+    if flags.has("timings") {
+        let Some(trace) = flags.get("trace") else {
+            return fail("--timings needs --trace TRACE.jsonl (a --trace-out file)");
+        };
+        let text = match std::fs::read_to_string(trace) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("reading {trace}: {e}")),
+        };
+        // Validate before rendering: a malformed trace fails loudly
+        // instead of producing a quietly wrong tree.
+        if let Err(e) = consensus_lab::trace::validate(&text) {
+            return fail(&format!("{trace}: {e}"));
+        }
+        let spans: Vec<consensus_lab::trace::TraceSpan> = match text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(consensus_lab::trace::TraceSpan::parse)
+            .collect()
+        {
+            Ok(spans) => spans,
+            Err(e) => return fail(&format!("{trace}: {e}")),
+        };
+        emit(format_args!("{}", consensus_lab::trace::render_timings(&spans)));
+    } else if !flags.has("input") {
+        return fail("report needs --input FILE.jsonl and/or --timings --trace TRACE.jsonl");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace_check(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
     if let Err(e) = flags.reject_unknown(&["input"]) {
         return fail(&e);
     }
     let Some(input) = flags.get("input") else {
-        return fail("report needs --input FILE.jsonl");
+        return fail("trace-check needs --input TRACE.jsonl");
     };
     let text = match std::fs::read_to_string(input) {
         Ok(t) => t,
         Err(e) => return fail(&format!("reading {input}: {e}")),
     };
-    match parse_jsonl(&text) {
-        Ok(records) => {
-            emit(format_args!("{}", Aggregate::from_records(&records)));
-            // Engine telemetry rides in the sweep-meta sidecar: surface the
-            // cache counters (ladder/disk hits, budget misses) that the
-            // per-record JSONL cannot carry.
-            if let Some(meta) = read_sweep_meta(Path::new(input)) {
-                emit(format_args!("{meta}"));
-            }
+    match consensus_lab::trace::validate(&text) {
+        Ok(summary) => {
+            emit(format_args!(
+                "{{\"spans\":{},\"roots\":{},\"ok\":true}}",
+                summary.spans, summary.roots
+            ));
             ExitCode::SUCCESS
         }
-        Err((line, e)) => fail(&format!("{input}:{line}: {e}")),
+        Err(e) => fail(&format!("{input}: {e}")),
     }
 }

@@ -268,7 +268,13 @@ fn handle_connection(app: &App, stream: TcpStream, read_timeout: Duration, shutd
 }
 
 fn write(writer: &mut impl Write, response: &Response, keep_alive: bool) -> std::io::Result<()> {
-    http::write_response(writer, response.status, response.body.as_bytes(), keep_alive)
+    http::write_response(
+        writer,
+        response.status,
+        response.content_type,
+        response.body.as_bytes(),
+        keep_alive,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,65 @@
+//! Tracing must be a pure observer: a sweep run with the tracer enabled
+//! produces **byte-identical** records, modulo timing fields, to the same
+//! sweep untraced — and the trace it leaves behind validates against the
+//! span schema with well-formed parent/child nesting.
+//!
+//! The tracer is process-global, so the traced and untraced passes run
+//! sequentially inside one test (not as separate `#[test]`s, which cargo
+//! would run on concurrent threads against the same global tracer).
+
+use consensus_lab::scenario::AnalysisKind;
+use consensus_lab::session::{Query, Session};
+use consensus_lab::store::TIMING_FIELDS;
+use consensus_lab::trace::{validate, TraceSpan};
+use consensus_obs::trace::tracer;
+
+const DEPTH: usize = 3;
+
+fn sweep_rows() -> Vec<String> {
+    let queries = Query::catalog_grid(DEPTH, &AnalysisKind::ALL);
+    let report = Session::new().workers(2).check_many(&queries);
+    report
+        .store
+        .records()
+        .iter()
+        .map(|r| r.to_json().without_keys(TIMING_FIELDS).to_string())
+        .collect()
+}
+
+#[test]
+fn traced_sweep_is_byte_identical_and_schema_valid() {
+    tracer().disable();
+    let _ = tracer().drain();
+    let untraced = sweep_rows();
+
+    tracer().enable();
+    let traced = sweep_rows();
+    let spans = tracer().drain();
+    tracer().disable();
+
+    assert_eq!(untraced, traced, "tracing changed the sweep's records");
+    assert!(!untraced.is_empty());
+
+    // The emitted trace round-trips through the JSONL schema validator.
+    let jsonl: String = spans.iter().map(|s| format!("{}\n", s.to_jsonl())).collect();
+    let summary = validate(&jsonl).unwrap_or_else(|e| panic!("trace failed validation: {e}"));
+    assert_eq!(summary.spans, spans.len());
+    assert!(summary.roots >= 1, "the sweep span is a root");
+
+    // The span inventory covers the whole stack: the sweep root, the
+    // analysis workers under it, and the cache/expansion spans they open.
+    let parsed: Vec<TraceSpan> = jsonl.lines().map(|l| TraceSpan::parse(l).unwrap()).collect();
+    let count = |name: &str| parsed.iter().filter(|s| s.name == name).count();
+    assert_eq!(count("sweep"), 1);
+    assert!(count("analysis.solvability") > 0);
+    assert!(count("cache.lookup") > 0);
+    assert!(count("expand") > 0);
+    assert!(count("components") > 0);
+
+    // Cross-thread parenting: every analysis span hangs off the sweep
+    // root, not off whatever worker thread happened to run it.
+    let sweep_id = parsed.iter().find(|s| s.name == "sweep").unwrap().id;
+    for span in parsed.iter().filter(|s| s.name.starts_with("analysis.")) {
+        assert_eq!(span.parent, Some(sweep_id), "{} not parented to sweep", span.name);
+    }
+}
