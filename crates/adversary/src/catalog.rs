@@ -100,6 +100,11 @@ pub struct CatalogEntry {
     /// Ground-truth finite-depth checker outcome, where the literature
     /// pins one.
     pub expected: ExpectedOutcome,
+    /// The entry's canonical [`crate::spec`] string: parsing it yields an
+    /// adversary with the **same fingerprint** as [`build`](Self::build)
+    /// (entries whose structure the string grammar cannot express — e.g.
+    /// `n > 2` pools — fall back to `catalog(name)`).
+    pub spec: &'static str,
     build: fn() -> DynMA,
 }
 
@@ -127,72 +132,84 @@ pub fn entries() -> Vec<CatalogEntry> {
             name: "sw-lossy-link",
             summary: "Santoro–Widmayer {←, ↔, →}; unsolvable (limit-only)",
             expected: None,
+            spec: "pool(<- -> <->)",
             build: || Box::new(santoro_widmayer_lossy_link()),
         },
         CatalogEntry {
             name: "cgp-reduced-lossy-link",
             summary: "Coulouma–Godard–Peters {←, →}; solvable at depth 1",
             expected: Some(true),
+            spec: "pool(<- ->)",
             build: || Box::new(cgp_reduced_lossy_link()),
         },
         CatalogEntry {
             name: "message-loss-2-0",
             summary: "n = 2, no losses (complete graph each round); solvable",
             expected: Some(true),
+            spec: "pool(<->)",
             build: || Box::new(message_loss(2, 0)),
         },
         CatalogEntry {
             name: "message-loss-2-1",
             summary: "n = 2, ≤ 1 loss per round; unsolvable (limit-only)",
             expected: None,
+            spec: "pool(<- -> <->)",
             build: || Box::new(message_loss(2, 1)),
         },
         CatalogEntry {
             name: "message-loss-2-2",
             summary: "n = 2, ≤ 2 losses (empty graph possible); exact chain",
             expected: Some(false),
+            spec: "pool(. <- -> <->)",
             build: || Box::new(message_loss(2, 2)),
         },
         CatalogEntry {
             name: "rotating-star-3",
             summary: "n = 3 out-stars; solvable (round-1 center broadcast)",
             expected: Some(true),
+            spec: "catalog(rotating-star-3)",
             build: || Box::new(rotating_star(3)),
         },
         CatalogEntry {
             name: "all-rooted-2",
             summary: "all rooted graphs, n = 2 (≡ sw-lossy-link); unsolvable",
             expected: None,
+            spec: "pool(<- -> <->)",
             build: || Box::new(all_rooted(2)),
         },
         CatalogEntry {
             name: "vssc-2-2-by-3",
             summary: "stable window 2 by round 3 (compact VSSC); solvable",
             expected: Some(true),
+            spec: "window(<- -> <->, 2, by=3)",
             build: || Box::new(vssc(2, 2, Some(3))),
         },
         CatalogEntry {
             name: "vssc-2-1-by-2",
             summary: "stable window 1 by round 2; window too short — mixed",
             expected: None,
+            spec: "window(<- -> <->, 1, by=2)",
             build: || Box::new(vssc(2, 1, Some(2))),
         },
         CatalogEntry {
             name: "eventually-bidirectional",
             summary: "◇↔ over {←, ↔, →}, no deadline; non-compact",
             expected: None,
+            spec: "eventually(<- -> <->, <->)",
             build: || Box::new(eventually_bidirectional()),
         },
         CatalogEntry {
             name: "eventually-bidirectional-by-2",
             summary: "↔ within 2 rounds; compact approximation, solvable",
             expected: Some(true),
+            spec: "eventually(<- -> <->, <->, by=2)",
             build: || Box::new(eventually_bidirectional().with_deadline(2)),
         },
         CatalogEntry {
             name: "forever-directional",
             summary: "constant → ∪ constant ← (union); solvable at round 1",
             expected: Some(true),
+            spec: "union(pool(->), pool(<-))",
             build: || Box::new(forever_directional()),
         },
     ]
@@ -221,6 +238,21 @@ mod tests {
             assert!(!ma.describe().is_empty());
             // Fingerprints must be reproducible across builds.
             assert_eq!(ma.fingerprint(), e.build().fingerprint(), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn every_entry_spec_string_matches_its_build() {
+        for e in entries() {
+            let term =
+                crate::SpecTerm::parse(e.spec).unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            // The published string is already canonical.
+            assert_eq!(term.to_string(), e.spec, "{}", e.name);
+            // ... and lowers to the very same fingerprint as build().
+            let lowered = term.lower().unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            assert_eq!(lowered.fingerprint(), e.build().fingerprint(), "{}", e.name);
+            assert_eq!(lowered.n(), e.build().n(), "{}", e.name);
+            assert_eq!(lowered.is_compact(), e.build().is_compact(), "{}", e.name);
         }
     }
 

@@ -44,16 +44,20 @@
 
 pub mod arena;
 pub mod catalog;
+pub mod concat;
 pub mod enumerate;
 pub mod fingerprint;
 mod general;
 pub mod limit;
 pub mod predicate;
 pub mod sample;
+pub mod spec;
 mod union;
 
+pub use concat::ConcatMA;
 pub use general::{GeneralMA, Liveness};
 pub use predicate::{IntersectMA, PredicateMA};
+pub use spec::SpecTerm;
 pub use union::UnionMA;
 
 use dyngraph::{Digraph, GraphSeq, Lasso};

@@ -1,0 +1,802 @@
+//! The compositional adversary-spec language (ROADMAP item 3).
+//!
+//! A [`SpecTerm`] is an AST over adversary combinators with one shared
+//! parser/printer: [`SpecTerm::parse`] and the [`Display`](std::fmt::Display)
+//! impl round-trip through a canonical normal form, so every surface of the
+//! stack (the `Query` facade, the CLI, the HTTP API) speaks the *same*
+//! string language and two spellings of one adversary normalize to one
+//! term — and, via [`SpecTerm::lower`], to structurally fingerprinted
+//! combinators that share cache slots.
+//!
+//! # Grammar (EBNF)
+//!
+//! ```text
+//! term     = word                              (* bare pool literal *)
+//!          | "catalog" "(" name ")"
+//!          | "pool" "(" word ")"
+//!          | "union" "(" term { "," term } ")"
+//!          | "intersect" "(" term { "," term } ")"
+//!          | "eventually" "(" word [ "," word ] [ "," by ] ")"
+//!          | "window" "(" word "," number [ "," by ] ")"
+//!          | "prefix" "(" word "," term ")" ;
+//! word     = item { item } ;
+//! item     = graph | "repeat" "(" word "," number ")" ;
+//! graph    = "->" | "<-" | "<->" | "." | "→" | "←" | "↔" | "·" ;
+//! by       = "by" "=" number ;
+//! name     = ( letter | digit | "_" | "-" ) { letter | digit | "_" | "-" } ;
+//! ```
+//!
+//! `eventually(g)` abbreviates "over the full lossy link ∪ {g}, a `g` round
+//! eventually occurs"; `eventually(word, g [, by=R])` names the pool
+//! explicitly. `window(word, w [, by=R])` is the VSSC-style stable-window
+//! liveness of [`GeneralMA::stabilizing`]. `prefix(word, term)` forces the
+//! first rounds ([`ConcatMA`]); `repeat(word, k)` is word-level sugar,
+//! expanded at parse time.
+//!
+//! ```
+//! use adversary::spec::SpecTerm;
+//!
+//! let term = SpecTerm::parse("union(eventually(<->), pool(repeat(-> <-, 2)))").unwrap();
+//! // Canonical form: pools sorted, members sorted, repeat expanded.
+//! assert_eq!(term.to_string(), "union(eventually(<- -> <->, <->), pool(<- ->))");
+//! // parse ∘ Display is the identity on normalized terms.
+//! assert_eq!(SpecTerm::parse(&term.to_string()).unwrap(), term);
+//! let ma = term.lower().unwrap();
+//! assert_eq!(ma.n(), 2);
+//! ```
+
+use std::fmt;
+
+use dyngraph::{generators, Digraph, GraphSeq};
+
+use crate::{catalog, concat::ConcatMA, DynMA, GeneralMA, IntersectMA, MessageAdversary, UnionMA};
+
+/// Nesting bound for parsed terms — keeps the recursive-descent parser (and
+/// everything downstream of it) stack-safe on adversarial input.
+const MAX_NESTING: usize = 64;
+/// Bound on `repeat(word, k)` counts and expanded word lengths.
+const MAX_WORD: usize = 4096;
+/// Bound on plain numbers (`by=R`, window lengths).
+const MAX_NUMBER: usize = 1_000_000;
+
+/// A malformed or unbuildable spec term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TermError {
+    /// The spec string failed to parse.
+    Parse {
+        /// Byte offset of the failure in the input.
+        offset: usize,
+        /// What the parser expected there.
+        expected: String,
+    },
+    /// `catalog(name)` names no registry entry.
+    UnknownCatalog {
+        /// The unknown name.
+        name: String,
+    },
+    /// The term parsed but lowers to no valid adversary (empty pool,
+    /// mismatched process counts, unreachable liveness, …).
+    Invalid {
+        /// What is wrong with the term.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermError::Parse { offset, expected } => {
+                write!(f, "parse error at byte {offset}: expected {expected}")
+            }
+            TermError::UnknownCatalog { name } => write!(f, "unknown catalog entry {name:?}"),
+            TermError::Invalid { reason } => f.write_str(reason),
+        }
+    }
+}
+
+impl std::error::Error for TermError {}
+
+fn invalid(reason: impl Into<String>) -> TermError {
+    TermError::Invalid { reason: reason.into() }
+}
+
+/// A term of the adversary-combinator algebra; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SpecTerm {
+    /// A named entry of [`catalog::entries`].
+    Catalog(String),
+    /// The oblivious adversary over a graph pool.
+    Pool(Vec<Digraph>),
+    /// "`target` occurs (within `by`, if given)" over a pool.
+    Eventually {
+        /// The per-round graph pool.
+        pool: Vec<Digraph>,
+        /// The graph that must eventually occur.
+        target: Digraph,
+        /// Deadline: compact approximation when `Some`.
+        by: Option<usize>,
+    },
+    /// The VSSC-style stable-window liveness over a pool.
+    Window {
+        /// The per-round graph pool.
+        pool: Vec<Digraph>,
+        /// The required stable-window length.
+        window: usize,
+        /// Deadline: compact approximation when `Some`.
+        by: Option<usize>,
+    },
+    /// Union: admissible under **some** member.
+    Union(Vec<SpecTerm>),
+    /// Intersection: admissible under **every** member.
+    Intersect(Vec<SpecTerm>),
+    /// Round-concatenation: a forced word, then the tail term.
+    Prefix {
+        /// The forced per-round word (order matters).
+        word: Vec<Digraph>,
+        /// The adversary governing the rounds after the word.
+        tail: Box<SpecTerm>,
+    },
+}
+
+impl SpecTerm {
+    /// Parse a spec string into its canonical normal form.
+    ///
+    /// # Errors
+    /// Returns [`TermError::Parse`] with the byte offset of the first
+    /// malformed construct. Never panics, for any input.
+    pub fn parse(input: &str) -> Result<SpecTerm, TermError> {
+        let mut p = Parser { src: input, pos: 0 };
+        let term = p.term(0)?;
+        p.skip_ws();
+        if p.pos < p.src.len() {
+            return Err(p.err("end of input"));
+        }
+        Ok(term.normalize())
+    }
+
+    /// The canonical normal form: pools normalized/sorted/deduped, nested
+    /// unions and intersections flattened, members sorted by canonical
+    /// string and deduped, singleton wrappers and empty prefix words
+    /// collapsed. [`parse`](Self::parse) ∘ [`Display`](fmt::Display) is the
+    /// identity on normalized 2-process terms.
+    pub fn normalize(self) -> SpecTerm {
+        match self {
+            SpecTerm::Catalog(name) => SpecTerm::Catalog(name),
+            SpecTerm::Pool(pool) => SpecTerm::Pool(normalize_pool(pool)),
+            SpecTerm::Eventually { pool, target, by } => {
+                SpecTerm::Eventually { pool: normalize_pool(pool), target: target.normalized(), by }
+            }
+            SpecTerm::Window { pool, window, by } => {
+                SpecTerm::Window { pool: normalize_pool(pool), window, by }
+            }
+            SpecTerm::Union(members) => normalize_members(members, true),
+            SpecTerm::Intersect(members) => normalize_members(members, false),
+            SpecTerm::Prefix { word, tail } => {
+                let mut word: Vec<Digraph> = word.iter().map(Digraph::normalized).collect();
+                let tail = tail.normalize();
+                if word.is_empty() {
+                    return tail;
+                }
+                // prefix(a, prefix(b, t)) = prefix(a·b, t).
+                if let SpecTerm::Prefix { word: inner, tail } = tail {
+                    word.extend(inner);
+                    SpecTerm::Prefix { word, tail }
+                } else {
+                    SpecTerm::Prefix { word, tail: Box::new(tail) }
+                }
+            }
+        }
+    }
+
+    /// Lower the term to a boxed adversary via the combinator types
+    /// ([`GeneralMA`], [`UnionMA`], [`IntersectMA`], [`ConcatMA`]).
+    ///
+    /// All construction preconditions are checked here and reported as
+    /// [`TermError`]s — lowering a parsed term never panics.
+    ///
+    /// # Errors
+    /// [`TermError::UnknownCatalog`] for unregistered names,
+    /// [`TermError::Invalid`] for structurally impossible terms.
+    pub fn lower(&self) -> Result<DynMA, TermError> {
+        match self {
+            SpecTerm::Catalog(name) => catalog::by_name(name)
+                .map(|e| e.build())
+                .ok_or_else(|| TermError::UnknownCatalog { name: name.clone() }),
+            SpecTerm::Pool(pool) => {
+                validate_pool(pool)?;
+                Ok(Box::new(GeneralMA::oblivious(pool.clone())))
+            }
+            SpecTerm::Eventually { pool, target, by } => {
+                validate_pool(pool)?;
+                let target = target.normalized();
+                if !pool.iter().any(|g| g.normalized() == target) {
+                    return Err(invalid(format!(
+                        "eventually target {target} is not in the pool, so no sequence \
+                         satisfies the liveness"
+                    )));
+                }
+                if *by == Some(0) {
+                    return Err(invalid("eventually deadline must be at least 1 round"));
+                }
+                Ok(Box::new(GeneralMA::eventually_graph(pool.clone(), target, *by)))
+            }
+            SpecTerm::Window { pool, window, by } => {
+                validate_pool(pool)?;
+                if let Some(r) = by {
+                    if r < window {
+                        return Err(invalid(format!(
+                            "window deadline {r} is shorter than the stability window {window}"
+                        )));
+                    }
+                }
+                if *window > 0 && !pool.iter().any(Digraph::is_rooted) {
+                    return Err(invalid(
+                        "window pool contains no rooted graph, so no stable window can form",
+                    ));
+                }
+                Ok(Box::new(GeneralMA::stabilizing(pool.clone(), *window, *by)))
+            }
+            SpecTerm::Union(members) => {
+                Ok(Box::new(UnionMA::new(lower_members(members, "union")?)))
+            }
+            SpecTerm::Intersect(members) => {
+                Ok(Box::new(IntersectMA::new(lower_members(members, "intersect")?)))
+            }
+            SpecTerm::Prefix { word, tail } => {
+                let tail = tail.lower()?;
+                if let Some(g) = word.iter().find(|g| g.n() != tail.n()) {
+                    return Err(invalid(format!(
+                        "prefix word graph has {} processes but the tail adversary has {}",
+                        g.n(),
+                        tail.n()
+                    )));
+                }
+                let word: GraphSeq = word.iter().map(Digraph::normalized).collect();
+                Ok(Box::new(ConcatMA::new(word, tail)))
+            }
+        }
+    }
+
+    /// The stable structural fingerprint of the lowered adversary — the
+    /// key under which the lab's space cache and on-disk verdict journal
+    /// file this term. Structurally equal terms (however spelled) share it.
+    ///
+    /// # Errors
+    /// Whatever [`lower`](Self::lower) returns.
+    pub fn fingerprint(&self) -> Result<u64, TermError> {
+        Ok(self.lower()?.fingerprint())
+    }
+}
+
+fn normalize_pool(pool: Vec<Digraph>) -> Vec<Digraph> {
+    let mut pool: Vec<Digraph> = pool.iter().map(Digraph::normalized).collect();
+    pool.sort();
+    pool.dedup();
+    pool
+}
+
+fn normalize_members(members: Vec<SpecTerm>, is_union: bool) -> SpecTerm {
+    let mut flat = Vec::with_capacity(members.len());
+    for m in members {
+        match (m.normalize(), is_union) {
+            (SpecTerm::Union(inner), true) | (SpecTerm::Intersect(inner), false) => {
+                flat.extend(inner);
+            }
+            (other, _) => flat.push(other),
+        }
+    }
+    let mut keyed: Vec<(String, SpecTerm)> = flat.into_iter().map(|t| (t.to_string(), t)).collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed.dedup_by(|a, b| a.0 == b.0);
+    let mut flat: Vec<SpecTerm> = keyed.into_iter().map(|(_, t)| t).collect();
+    if flat.len() == 1 {
+        return flat.pop().expect("one member");
+    }
+    if is_union {
+        SpecTerm::Union(flat)
+    } else {
+        SpecTerm::Intersect(flat)
+    }
+}
+
+fn validate_pool(pool: &[Digraph]) -> Result<(), TermError> {
+    let Some(first) = pool.first() else {
+        return Err(invalid("empty pool"));
+    };
+    if pool.iter().any(|g| g.n() != first.n()) {
+        return Err(invalid("pool graphs must agree on the process count"));
+    }
+    Ok(())
+}
+
+fn lower_members(members: &[SpecTerm], what: &str) -> Result<Vec<DynMA>, TermError> {
+    if members.is_empty() {
+        return Err(invalid(format!("{what} needs at least one member")));
+    }
+    let lowered: Vec<DynMA> = members.iter().map(SpecTerm::lower).collect::<Result<_, _>>()?;
+    let n = lowered[0].n();
+    if let Some(m) = lowered.iter().find(|m| m.n() != n) {
+        return Err(invalid(format!(
+            "{what} members disagree on the process count ({n} vs {})",
+            m.n()
+        )));
+    }
+    Ok(lowered)
+}
+
+fn fmt_word(f: &mut fmt::Formatter<'_>, word: &[Digraph]) -> fmt::Result {
+    for (i, g) in word.iter().enumerate() {
+        if i > 0 {
+            f.write_str(" ")?;
+        }
+        write!(f, "{g}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for SpecTerm {
+    /// The canonical spec string. Parseable (round-trips through
+    /// [`SpecTerm::parse`]) whenever every pool graph is a 2-process graph;
+    /// larger graphs print as edge lists, which the string grammar does not
+    /// cover — name those via `catalog(...)` instead.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecTerm::Catalog(name) => write!(f, "catalog({name})"),
+            SpecTerm::Pool(pool) => {
+                f.write_str("pool(")?;
+                fmt_word(f, pool)?;
+                f.write_str(")")
+            }
+            SpecTerm::Eventually { pool, target, by } => {
+                f.write_str("eventually(")?;
+                fmt_word(f, pool)?;
+                write!(f, ", {target}")?;
+                if let Some(r) = by {
+                    write!(f, ", by={r}")?;
+                }
+                f.write_str(")")
+            }
+            SpecTerm::Window { pool, window, by } => {
+                f.write_str("window(")?;
+                fmt_word(f, pool)?;
+                write!(f, ", {window}")?;
+                if let Some(r) = by {
+                    write!(f, ", by={r}")?;
+                }
+                f.write_str(")")
+            }
+            SpecTerm::Union(members) | SpecTerm::Intersect(members) => {
+                f.write_str(if matches!(self, SpecTerm::Union(_)) {
+                    "union("
+                } else {
+                    "intersect("
+                })?;
+                for (i, m) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{m}")?;
+                }
+                f.write_str(")")
+            }
+            SpecTerm::Prefix { word, tail } => {
+                f.write_str("prefix(")?;
+                fmt_word(f, word)?;
+                write!(f, ", {tail})")
+            }
+        }
+    }
+}
+
+/// The recursive-descent parser over raw bytes (offsets are byte offsets).
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+/// The 2-process graph tokens, longest first (maximal munch).
+const GRAPH_TOKENS: [(&str, &str); 8] = [
+    ("<->", "<->"),
+    ("<-", "<-"),
+    ("->", "->"),
+    (".", "."),
+    ("↔", "<->"),
+    ("←", "<-"),
+    ("→", "->"),
+    ("·", "."),
+];
+
+impl<'a> Parser<'a> {
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        self.pos += self.rest().len() - self.rest().trim_start().len();
+    }
+
+    fn err(&self, expected: impl Into<String>) -> TermError {
+        TermError::Parse { offset: self.pos, expected: expected.into() }
+    }
+
+    fn expect(&mut self, token: char) -> Result<(), TermError> {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(format!("`{token}`")))
+        }
+    }
+
+    /// The graph token at the cursor, if any (not consumed).
+    fn peek_graph(&self) -> Option<(Digraph, usize)> {
+        let rest = self.rest();
+        for (tok, canonical) in GRAPH_TOKENS {
+            if rest.starts_with(tok) {
+                let g = Digraph::parse2(canonical).expect("static token");
+                return Some((g, tok.len()));
+            }
+        }
+        None
+    }
+
+    /// Whether the cursor sits on a `repeat( ... )` word item.
+    fn at_repeat(&self) -> bool {
+        let rest = self.rest();
+        rest.strip_prefix("repeat")
+            .is_some_and(|after| after.trim_start().starts_with('('))
+    }
+
+    fn number(&mut self, what: &str, max: usize) -> Result<usize, TermError> {
+        self.skip_ws();
+        let digits: &str =
+            &self.rest()[..self.rest().bytes().take_while(u8::is_ascii_digit).count()];
+        if digits.is_empty() {
+            return Err(self.err(what));
+        }
+        let mut value: usize = 0;
+        for d in digits.bytes() {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(usize::from(d - b'0')))
+                .filter(|v| *v <= max)
+                .ok_or_else(|| self.err(format!("a number ≤ {max}")))?;
+        }
+        self.pos += digits.len();
+        Ok(value)
+    }
+
+    /// A nonempty graph word; `repeat(word, k)` items are expanded inline.
+    fn word(&mut self) -> Result<Vec<Digraph>, TermError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if let Some((g, len)) = self.peek_graph() {
+                self.pos += len;
+                out.push(g);
+            } else if self.at_repeat() {
+                self.pos += "repeat".len();
+                self.expect('(')?;
+                let inner = self.word()?;
+                self.expect(',')?;
+                let count = self.number("a repeat count", MAX_WORD)?;
+                self.expect(')')?;
+                for _ in 0..count {
+                    out.extend(inner.iter().cloned());
+                }
+            } else {
+                break;
+            }
+            if out.len() > MAX_WORD {
+                return Err(self.err(format!("a word of at most {MAX_WORD} rounds")));
+            }
+        }
+        if out.is_empty() {
+            return Err(self.err("a graph word (`->`, `<-`, `<->`, `.`)"));
+        }
+        Ok(out)
+    }
+
+    /// A word that must be exactly one graph (liveness targets).
+    fn single(&mut self, word: Vec<Digraph>, start: usize) -> Result<Digraph, TermError> {
+        let mut word = word;
+        if word.len() != 1 {
+            return Err(TermError::Parse {
+                offset: start,
+                expected: "a single target graph".into(),
+            });
+        }
+        Ok(word.pop().expect("one graph"))
+    }
+
+    /// `by=R`, if the cursor sits on one.
+    fn try_by(&mut self) -> Result<Option<usize>, TermError> {
+        self.skip_ws();
+        if !self.rest().starts_with("by") {
+            return Ok(None);
+        }
+        self.pos += 2;
+        self.expect('=')?;
+        Ok(Some(self.number("a round number", MAX_NUMBER)?))
+    }
+
+    fn catalog_name(&mut self) -> Result<String, TermError> {
+        self.skip_ws();
+        let len = self
+            .rest()
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_' || *b == b'-')
+            .count();
+        if len == 0 {
+            return Err(self.err("a catalog entry name"));
+        }
+        let name = self.rest()[..len].to_string();
+        self.pos += len;
+        Ok(name)
+    }
+
+    fn term(&mut self, depth: usize) -> Result<SpecTerm, TermError> {
+        if depth >= MAX_NESTING {
+            return Err(self.err(format!("a term nested at most {MAX_NESTING} deep")));
+        }
+        self.skip_ws();
+        // Bare word literal ⇒ oblivious pool.
+        if self.peek_graph().is_some() || self.at_repeat() {
+            return Ok(SpecTerm::Pool(self.word()?));
+        }
+        let kw_start = self.pos;
+        let len = self.rest().bytes().take_while(u8::is_ascii_alphabetic).count();
+        let keyword = &self.rest()[..len];
+        let term = match keyword {
+            "catalog" => {
+                self.pos += len;
+                self.expect('(')?;
+                let name = self.catalog_name()?;
+                self.expect(')')?;
+                SpecTerm::Catalog(name)
+            }
+            "pool" => {
+                self.pos += len;
+                self.expect('(')?;
+                let pool = self.word()?;
+                self.expect(')')?;
+                SpecTerm::Pool(pool)
+            }
+            "union" | "intersect" => {
+                self.pos += len;
+                self.expect('(')?;
+                let mut members = vec![self.term(depth + 1)?];
+                loop {
+                    self.skip_ws();
+                    if self.rest().starts_with(',') {
+                        self.pos += 1;
+                        members.push(self.term(depth + 1)?);
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(')')?;
+                if keyword == "union" {
+                    SpecTerm::Union(members)
+                } else {
+                    SpecTerm::Intersect(members)
+                }
+            }
+            "eventually" => {
+                self.pos += len;
+                self.expect('(')?;
+                self.skip_ws();
+                let first_start = self.pos;
+                let first = self.word()?;
+                self.skip_ws();
+                let (pool, target, by) = if self.rest().starts_with(',') {
+                    self.pos += 1;
+                    if let Some(by) = self.try_by()? {
+                        // eventually(target, by=R): default pool.
+                        (None, self.single(first, first_start)?, Some(by))
+                    } else {
+                        self.skip_ws();
+                        let target_start = self.pos;
+                        let target_word = self.word()?;
+                        let target = self.single(target_word, target_start)?;
+                        self.skip_ws();
+                        let by = if self.rest().starts_with(',') {
+                            self.pos += 1;
+                            match self.try_by()? {
+                                Some(by) => Some(by),
+                                None => return Err(self.err("`by=R`")),
+                            }
+                        } else {
+                            None
+                        };
+                        (Some(first), target, by)
+                    }
+                } else {
+                    (None, self.single(first, first_start)?, None)
+                };
+                self.expect(')')?;
+                let pool = pool.unwrap_or_else(|| {
+                    // The default pool: the full lossy link, plus the target
+                    // itself so the liveness is always achievable.
+                    let mut pool = generators::lossy_link_full();
+                    pool.push(target.clone());
+                    pool
+                });
+                SpecTerm::Eventually { pool, target, by }
+            }
+            "window" => {
+                self.pos += len;
+                self.expect('(')?;
+                let pool = self.word()?;
+                self.expect(',')?;
+                let window = self.number("a window length", MAX_NUMBER)?;
+                self.skip_ws();
+                let by = if self.rest().starts_with(',') {
+                    self.pos += 1;
+                    match self.try_by()? {
+                        Some(by) => Some(by),
+                        None => return Err(self.err("`by=R`")),
+                    }
+                } else {
+                    None
+                };
+                self.expect(')')?;
+                SpecTerm::Window { pool, window, by }
+            }
+            "prefix" => {
+                self.pos += len;
+                self.expect('(')?;
+                let word = self.word()?;
+                self.expect(',')?;
+                let tail = Box::new(self.term(depth + 1)?);
+                self.expect(')')?;
+                SpecTerm::Prefix { word, tail }
+            }
+            _ => {
+                return Err(TermError::Parse {
+                    offset: kw_start,
+                    expected: "a graph word or a combinator (catalog, pool, union, \
+                               intersect, eventually, window, prefix)"
+                        .into(),
+                });
+            }
+        };
+        Ok(term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> SpecTerm {
+        SpecTerm::parse(s).unwrap_or_else(|e| panic!("{s:?}: {e}"))
+    }
+
+    #[test]
+    fn roundtrip_canonical_forms() {
+        // display(parse(s)) is canonical; parse(display(t)) == t.
+        for (input, canonical) in [
+            ("-> <- <->", "pool(<- -> <->)"),
+            ("pool( ->   <- )", "pool(<- ->)"),
+            ("pool(-> -> ->)", "pool(->)"),
+            ("catalog(sw-lossy-link)", "catalog(sw-lossy-link)"),
+            ("eventually(<->)", "eventually(<- -> <->, <->)"),
+            ("eventually(.)", "eventually(. <- -> <->, .)"),
+            ("eventually(-> <- <->, <->, by=2)", "eventually(<- -> <->, <->, by=2)"),
+            ("eventually(<->, by=3)", "eventually(<- -> <->, <->, by=3)"),
+            ("window(-> <- <->, 2, by=3)", "window(<- -> <->, 2, by=3)"),
+            ("window(<-> , 1)", "window(<->, 1)"),
+            ("union(pool(<-), pool(->))", "union(pool(->), pool(<-))"),
+            ("union(pool(->), union(pool(<-), pool(<->)))", "union(pool(->), pool(<-), pool(<->))"),
+            ("union(pool(->), pool(->))", "pool(->)"),
+            (
+                "intersect(-> <-, eventually(<->))",
+                "intersect(eventually(<- -> <->, <->), pool(<- ->))",
+            ),
+            (
+                "prefix(<-> ->, catalog(cgp-reduced-lossy-link))",
+                "prefix(<-> ->, catalog(cgp-reduced-lossy-link))",
+            ),
+            ("prefix(<->, prefix(->, pool(<-)))", "prefix(<-> ->, pool(<-))"),
+            ("repeat(-> <-, 2) <->", "pool(<- -> <->)"),
+            ("prefix(repeat(->, 3), pool(<-))", "prefix(-> -> ->, pool(<-))"),
+            ("→ ← ↔ ·", "pool(. <- -> <->)"),
+        ] {
+            let term = parse(input);
+            assert_eq!(term.to_string(), canonical, "{input:?}");
+            assert_eq!(parse(canonical), term, "{input:?} reparse");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        for (input, offset_hint) in [
+            ("", 0),
+            ("   ", 3),
+            ("bogus(->)", 0),
+            ("pool()", 5),
+            ("pool(-> xx)", 8),
+            ("pool(->", 7),
+            ("union(pool(->)", 14),
+            ("union()", 6),
+            ("eventually(-> <-)", 11), // two graphs where one target expected
+            ("eventually(<->, by=)", 19),
+            ("window(->, )", 11),
+            ("window(->, 2, 3)", 14), // third arg must be by=R
+            ("pool(->) trailing", 9),
+            ("catalog()", 8),
+            ("prefix(->)", 9),
+            ("repeat(->, 999999)", 11), // repeat count over the cap
+        ] {
+            let err = SpecTerm::parse(input).expect_err(input);
+            match err {
+                TermError::Parse { offset, ref expected } => {
+                    assert_eq!(offset, offset_hint, "{input:?}: expected {expected}");
+                    assert!(!expected.is_empty());
+                }
+                other => panic!("{input:?}: wanted a parse error, got {other}"),
+            }
+            // The Display mentions the offset for CLI/HTTP surfacing.
+            assert!(err.to_string().contains("at byte"), "{err}");
+        }
+    }
+
+    #[test]
+    fn nesting_is_bounded() {
+        let deep = format!("{}pool(->){}", "union(".repeat(100), ")".repeat(100));
+        let err = SpecTerm::parse(&deep).unwrap_err();
+        assert!(matches!(err, TermError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn lower_validates_instead_of_panicking() {
+        for (input, fragment) in [
+            ("catalog(no-such-entry)", "unknown catalog entry"),
+            ("eventually(-> <-, <->)", "not in the pool"),
+            ("eventually(<->, by=0)", "at least 1"),
+            ("window(-> <-, 3, by=2)", "shorter than the stability window"),
+            ("window(., 1)", "no rooted graph"),
+            ("union(pool(->), catalog(rotating-star-3))", "disagree on the process count"),
+            ("prefix(->, catalog(rotating-star-3))", "processes"),
+        ] {
+            let term = parse(input);
+            let err = match term.lower() {
+                Err(e) => e,
+                Ok(_) => panic!("{input:?}: lowered without error"),
+            };
+            assert!(err.to_string().contains(fragment), "{input:?} → {err}");
+        }
+        // Programmatic-only invalid shapes (unreachable from the parser).
+        assert!(SpecTerm::Pool(vec![]).lower().is_err());
+        assert!(SpecTerm::Union(vec![]).lower().is_err());
+    }
+
+    #[test]
+    fn lowered_semantics_match_direct_construction() {
+        use dyngraph::Lasso;
+        let ma = parse("prefix(<->, eventually(<- -> <->, <->))").lower().unwrap();
+        assert!(!ma.is_compact());
+        assert!(ma.admits_prefix(&GraphSeq::parse2("<-> -> ->").unwrap()));
+        assert!(!ma.admits_prefix(&GraphSeq::parse2("-> ->").unwrap()));
+        assert_eq!(ma.admits_lasso(&Lasso::parse2("<-> | ->").unwrap()), Some(false));
+        assert_eq!(ma.admits_lasso(&Lasso::parse2("<-> | -> <->").unwrap()), Some(true));
+    }
+
+    #[test]
+    fn fingerprints_are_structural_across_spellings() {
+        // The same adversary through the catalog, a bare word, and pool().
+        let by_catalog = parse("catalog(sw-lossy-link)").fingerprint().unwrap();
+        let by_word = parse("<-> <- ->").fingerprint().unwrap();
+        let by_pool = parse("pool(-> <- <->)").fingerprint().unwrap();
+        assert_eq!(by_catalog, by_word);
+        assert_eq!(by_word, by_pool);
+        // Union member order cannot matter.
+        let ab = parse("union(pool(->), pool(<-))").fingerprint().unwrap();
+        let ba = parse("union(pool(<-), pool(->))").fingerprint().unwrap();
+        assert_eq!(ab, ba);
+        assert_eq!(ab, parse("catalog(forever-directional)").fingerprint().unwrap());
+    }
+}

@@ -1,0 +1,164 @@
+//! Seeded, deterministic spec-language fuzzing (CI fast lane).
+//!
+//! Two properties, each over a fixed xorshift64* stream so failures
+//! reproduce bit-for-bit on every machine:
+//!
+//! 1. **Round-trip**: for random 2-process terms `t` of nesting depth ≤ 3,
+//!    `parse(display(t)) == normalize(t)`.
+//! 2. **Totality**: `SpecTerm::parse` never panics — neither on random
+//!    garbage strings nor on mutated canonical spec strings; malformed
+//!    inputs surface as `TermError::Parse` with an in-bounds offset.
+
+use adversary::spec::TermError;
+use adversary::SpecTerm;
+use dyngraph::Digraph;
+
+/// xorshift64* — tiny, seedable, and stable across toolchains, unlike
+/// `StdRng` whose stream may change between `rand` releases.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn graph(rng: &mut Rng) -> Digraph {
+    let arrows = [".", "<-", "->", "<->"];
+    Digraph::parse2(arrows[rng.below(arrows.len())]).unwrap()
+}
+
+fn pool(rng: &mut Rng) -> Vec<Digraph> {
+    (0..1 + rng.below(4)).map(|_| graph(rng)).collect()
+}
+
+/// A random 2-process term of nesting depth ≤ `depth`. Leaves are always
+/// displayable (non-empty pools, registered catalog names); invalid
+/// *lowerings* (e.g. a liveness target outside the pool) are fair game —
+/// the round-trip property is about the grammar, not about semantics.
+fn term(rng: &mut Rng, depth: usize) -> SpecTerm {
+    let leaf_only = depth == 0;
+    match if leaf_only {
+        rng.below(4)
+    } else {
+        rng.below(7)
+    } {
+        0 => SpecTerm::Pool(pool(rng)),
+        1 => {
+            let names = ["sw-lossy-link", "forever-directional", "vssc-2-2-by-3"];
+            SpecTerm::Catalog(names[rng.below(names.len())].to_string())
+        }
+        2 => SpecTerm::Eventually {
+            pool: pool(rng),
+            target: graph(rng),
+            by: (rng.below(2) == 0).then(|| 1 + rng.below(4)),
+        },
+        3 => {
+            let window = 1 + rng.below(3);
+            SpecTerm::Window {
+                pool: pool(rng),
+                window,
+                by: (rng.below(2) == 0).then(|| window + rng.below(3)),
+            }
+        }
+        4 => SpecTerm::Union((0..2 + rng.below(2)).map(|_| term(rng, depth - 1)).collect()),
+        5 => SpecTerm::Intersect((0..2 + rng.below(2)).map(|_| term(rng, depth - 1)).collect()),
+        _ => SpecTerm::Prefix {
+            word: (0..1 + rng.below(3)).map(|_| graph(rng)).collect(),
+            tail: Box::new(term(rng, depth - 1)),
+        },
+    }
+}
+
+#[test]
+fn random_terms_round_trip_through_display() {
+    let mut rng = Rng(0x5eed_c0de_0000_0001);
+    for i in 0..2_000 {
+        let t = term(&mut rng, 3);
+        let printed = t.to_string();
+        let reparsed = SpecTerm::parse(&printed)
+            .unwrap_or_else(|e| panic!("#{i}: display output must reparse: {printed:?}: {e}"));
+        assert_eq!(
+            reparsed,
+            t.clone().normalize(),
+            "#{i}: parse(display(t)) must be normalize(t) for {printed:?}"
+        );
+        // Canonical forms are fixed points: printing the normal form and
+        // parsing it back changes nothing.
+        let canonical = reparsed.to_string();
+        assert_eq!(SpecTerm::parse(&canonical).unwrap().to_string(), canonical, "#{i}");
+    }
+}
+
+#[test]
+fn random_strings_error_with_offsets_and_never_panic() {
+    // Weighted toward the grammar's own alphabet so the parser gets past
+    // the first byte often enough to stress the deeper states.
+    const ALPHABET: &[u8] = b"<->.()=,0123456789 abcdefghijklmnopqrstuvwxyz\xc2\xb7";
+    let mut rng = Rng(0x5eed_c0de_0000_0002);
+    let mut errored = 0usize;
+    for _ in 0..2_000 {
+        let len = rng.below(40);
+        let bytes: Vec<u8> = (0..len).map(|_| ALPHABET[rng.below(ALPHABET.len())]).collect();
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        match SpecTerm::parse(&input) {
+            Ok(term) => {
+                // The rare accidental hit must still round-trip.
+                assert_eq!(SpecTerm::parse(&term.to_string()).unwrap(), term, "{input:?}");
+            }
+            Err(TermError::Parse { offset, .. }) => {
+                assert!(offset <= input.len(), "offset out of bounds for {input:?}");
+                errored += 1;
+            }
+            Err(other) => {
+                panic!("parse must only fail with Parse errors, got {other} for {input:?}")
+            }
+        }
+    }
+    assert!(errored > 1_500, "the garbage stream should mostly fail to parse ({errored})");
+}
+
+#[test]
+fn mutated_canonical_strings_never_panic() {
+    let seeds = [
+        "pool(<- -> <->)",
+        "union(pool(->), pool(<-))",
+        "eventually(<- -> <->, <->, by=2)",
+        "window(<- -> <->, 2, by=3)",
+        "prefix(<-> ->, catalog(sw-lossy-link))",
+        "intersect(pool(<- ->), eventually(<- -> <->, <->))",
+    ];
+    let mut rng = Rng(0x5eed_c0de_0000_0003);
+    for _ in 0..2_000 {
+        let mut s = seeds[rng.below(seeds.len())].as_bytes().to_vec();
+        for _ in 0..1 + rng.below(3) {
+            match rng.below(3) {
+                // Truncate, duplicate a byte, or overwrite one.
+                0 => s.truncate(rng.below(s.len() + 1)),
+                1 if !s.is_empty() => {
+                    let at = rng.below(s.len());
+                    s.insert(at, s[at]);
+                }
+                _ if !s.is_empty() => {
+                    let at = rng.below(s.len());
+                    s[at] = b"<->.(),=x9"[rng.below(10)];
+                }
+                _ => {}
+            }
+        }
+        let input = String::from_utf8_lossy(&s).into_owned();
+        if let Err(e) = SpecTerm::parse(&input) {
+            // Every error Displays without panicking, too.
+            let _ = e.to_string();
+        }
+    }
+}

@@ -39,6 +39,19 @@ pub enum SpecError {
     },
     /// A pool spec contained no graphs.
     EmptyPool,
+    /// A spec string failed to parse ([`adversary::spec::SpecTerm::parse`]).
+    Parse {
+        /// Byte offset of the failure in the spec string.
+        offset: usize,
+        /// What the parser expected there.
+        expected: String,
+    },
+    /// A spec term parsed but lowers to no valid adversary (empty pool,
+    /// mismatched process counts, unreachable liveness, …).
+    Invalid {
+        /// What is wrong with the term.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -49,11 +62,35 @@ impl fmt::Display for SpecError {
                 write!(f, "unparsable 2-process graph token {token:?}: {reason}")
             }
             SpecError::EmptyPool => f.write_str("empty pool"),
+            SpecError::Parse { offset, expected } => {
+                write!(f, "parse error at byte {offset}: expected {expected}")
+            }
+            SpecError::Invalid { reason } => f.write_str(reason),
         }
     }
 }
 
 impl std::error::Error for SpecError {}
+
+impl From<adversary::spec::TermError> for SpecError {
+    fn from(err: adversary::spec::TermError) -> Self {
+        use adversary::spec::TermError;
+        match err {
+            TermError::Parse { offset, expected } => SpecError::Parse { offset, expected },
+            TermError::UnknownCatalog { name } => SpecError::UnknownCatalog { name },
+            TermError::Invalid { reason } => SpecError::Invalid { reason },
+            // `TermError` is non_exhaustive; future variants surface as
+            // their rendered message rather than a crash.
+            other => SpecError::Invalid { reason: other.to_string() },
+        }
+    }
+}
+
+impl From<adversary::spec::TermError> for Error {
+    fn from(err: adversary::spec::TermError) -> Self {
+        Error::Spec(SpecError::from(err))
+    }
+}
 
 /// The unified error of the `Session`/`Query` facade; see the module docs.
 ///
@@ -205,10 +242,30 @@ mod tests {
             "bad adversary spec: unparsable 2-process graph token \"zz\": nope"
         );
         assert_eq!(Error::from(SpecError::EmptyPool).to_string(), "bad adversary spec: empty pool");
+        let parse = Error::from(SpecError::Parse { offset: 7, expected: "`)`".into() });
+        assert_eq!(parse.to_string(), "bad adversary spec: parse error at byte 7: expected `)`");
+        let invalid = Error::from(SpecError::Invalid { reason: "union needs a member".into() });
+        assert_eq!(invalid.to_string(), "bad adversary spec: union needs a member");
         let shard = Error::BadShard { spec: "3/2".into(), reason: "index out of range".into() };
         assert_eq!(shard.to_string(), "index out of range");
         let analysis = Error::UnknownAnalysis { name: "nope".into(), valid: &["a", "b"] };
         assert_eq!(analysis.to_string(), "unknown analysis \"nope\" (expected one of: a, b)");
+    }
+
+    #[test]
+    fn term_errors_convert_losslessly() {
+        use adversary::spec::TermError;
+        // The conversions carry the structured payload through, so the
+        // serve layer can keep mapping every spec failure to a 400 whose
+        // message locates the problem.
+        let err = Error::from(TermError::Parse { offset: 3, expected: "a graph".into() });
+        assert_eq!(err.kind(), "spec");
+        assert_eq!(err.status_code(), 400);
+        assert_eq!(err.to_string(), "bad adversary spec: parse error at byte 3: expected a graph");
+        let err = Error::from(TermError::UnknownCatalog { name: "ghost".into() });
+        assert_eq!(err.to_string(), "bad adversary spec: unknown catalog entry \"ghost\"");
+        let err = Error::from(TermError::Invalid { reason: "empty pool".into() });
+        assert_eq!(err.to_string(), "bad adversary spec: empty pool");
     }
 
     #[test]

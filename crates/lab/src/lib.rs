@@ -49,7 +49,7 @@
 //!
 //! // Solvability × bivalence over one adversary at depths 1..=2.
 //! let queries = Query::grid(
-//!     &[AdversarySpec::Catalog("cgp-reduced-lossy-link".into())],
+//!     &[AdversarySpec::catalog("cgp-reduced-lossy-link")],
 //!     2,
 //!     &[AnalysisKind::Solvability, AnalysisKind::Bivalence],
 //! );

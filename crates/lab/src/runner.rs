@@ -578,12 +578,7 @@ mod tests {
     use crate::scenario::{AdversarySpec, GridBuilder};
 
     fn catalog_scenario(name: &str, depth: usize, analysis: AnalysisKind) -> Scenario {
-        Scenario {
-            spec: AdversarySpec::Catalog(name.to_string()),
-            depth,
-            analysis,
-            max_runs: 2_000_000,
-        }
+        Scenario { spec: AdversarySpec::catalog(name), depth, analysis, max_runs: 2_000_000 }
     }
 
     #[test]
@@ -653,8 +648,8 @@ mod tests {
     #[test]
     fn sweep_results_in_grid_order_any_thread_count() {
         let grid = GridBuilder::new(2, 2_000_000).over_specs(&[
-            AdversarySpec::Catalog("cgp-reduced-lossy-link".into()),
-            AdversarySpec::Catalog("sw-lossy-link".into()),
+            AdversarySpec::catalog("cgp-reduced-lossy-link"),
+            AdversarySpec::catalog("sw-lossy-link"),
         ]);
         let single = SweepRunner::new().workers(1).run(&grid, &SpaceCache::new());
         let multi = SweepRunner::new().workers(8).run(&grid, &SpaceCache::new());
@@ -701,7 +696,7 @@ mod tests {
         let rec = execute_scenario(
             7,
             &Scenario {
-                spec: AdversarySpec::Catalog("no-such-entry".into()),
+                spec: AdversarySpec::catalog("no-such-entry"),
                 depth: 2,
                 analysis: AnalysisKind::Solvability,
                 max_runs: 1000,

@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use adversary::{catalog, DynMA, GeneralMA};
+use adversary::{catalog, spec::SpecTerm, DynMA, GeneralMA};
 use consensus_core::error::{Error, SpecError};
 use dyngraph::Digraph;
 
@@ -74,12 +74,28 @@ impl fmt::Display for AnalysisKind {
 }
 
 /// How the scenario's adversary is obtained.
+///
+/// Since the spec-language redesign this is a thin wrapper around
+/// [`SpecTerm`]: construct via [`AdversarySpec::parse`] (the shared string
+/// language used by the CLI's `--spec`, the HTTP API's `"spec"` field, and
+/// `/v1/catalog`'s canonical strings), or [`AdversarySpec::catalog`] /
+/// [`AdversarySpec::pool`] for the two historical shapes. The `Catalog` and
+/// `Pool` enum variants survive as deprecated shims for pre-redesign
+/// callers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AdversarySpec {
     /// A named entry of [`adversary::catalog::entries`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use AdversarySpec::parse or AdversarySpec::catalog"
+    )]
     Catalog(String),
     /// An oblivious `n = 2` adversary over parsed arrow tokens
     /// (`"-> <- <->"`), optionally with an eventually-occurs liveness.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use AdversarySpec::parse or AdversarySpec::pool"
+    )]
     Pool {
         /// Whitespace-separated 2-process graph tokens.
         word: String,
@@ -87,19 +103,78 @@ pub enum AdversarySpec {
         /// (within `deadline`)".
         eventually: Option<(String, Option<usize>)>,
     },
+    /// A term of the compositional spec language ([`adversary::spec`]).
+    Term(SpecTerm),
 }
 
 impl AdversarySpec {
+    /// Parse a spec string (`"catalog(sw-lossy-link)"`,
+    /// `"union(pool(->), eventually(<->))"`, …) into its canonical term.
+    ///
+    /// # Errors
+    /// Returns [`Error::Spec`] with [`SpecError::Parse`] locating the
+    /// first malformed byte.
+    pub fn parse(input: &str) -> Result<Self, Error> {
+        Ok(AdversarySpec::Term(SpecTerm::parse(input)?))
+    }
+
+    /// The spec selecting catalog entry `name` (checked at
+    /// [`build`](Self::build) time, like every other term).
+    pub fn catalog(name: impl Into<String>) -> Self {
+        AdversarySpec::Term(SpecTerm::Catalog(name.into()))
+    }
+
+    /// The historical pool shape as a term: an oblivious adversary over
+    /// whitespace-separated arrow tokens, optionally with an
+    /// eventually-occurs liveness — the lowering shared by the CLI's
+    /// `--pool/--eventually/--by` flags and the HTTP API's compat aliases.
+    ///
+    /// # Errors
+    /// Returns [`Error::Spec`] for unparsable tokens or an empty word
+    /// (the legacy `BadGraph`/`EmptyPool` shapes).
+    pub fn pool(word: &str, eventually: Option<(&str, Option<usize>)>) -> Result<Self, Error> {
+        let pool = parse_pool(word)?;
+        let term = match eventually {
+            None => SpecTerm::Pool(pool),
+            Some((target, by)) => SpecTerm::Eventually { pool, target: parse_graph(target)?, by },
+        };
+        Ok(AdversarySpec::Term(term.normalize()))
+    }
+
+    /// The spec as a term of the shared language (legacy variants lower on
+    /// the fly).
+    ///
+    /// # Errors
+    /// Returns [`Error::Spec`] when a legacy `Pool` variant's tokens do not
+    /// parse.
+    #[allow(deprecated)]
+    pub fn term(&self) -> Result<SpecTerm, Error> {
+        match self {
+            AdversarySpec::Catalog(name) => Ok(SpecTerm::Catalog(name.clone())),
+            AdversarySpec::Pool { word, eventually } => {
+                let pool = parse_pool(word)?;
+                Ok(match eventually {
+                    None => SpecTerm::Pool(pool),
+                    Some((target, by)) => {
+                        SpecTerm::Eventually { pool, target: parse_graph(target)?, by: *by }
+                    }
+                }
+                .normalize())
+            }
+            AdversarySpec::Term(term) => Ok(term.clone()),
+        }
+    }
+
     /// Construct the adversary.
     ///
     /// # Errors
-    /// Returns [`Error::Spec`] for unknown catalog names or unparsable
-    /// pools.
+    /// Returns [`Error::Spec`] for unknown catalog names, unparsable
+    /// pools, and terms that lower to no valid adversary.
+    #[allow(deprecated)]
     pub fn build(&self) -> Result<DynMA, Error> {
         match self {
-            AdversarySpec::Catalog(name) => catalog::by_name(name)
-                .map(|e| e.build())
-                .ok_or_else(|| Error::Spec(SpecError::UnknownCatalog { name: name.clone() })),
+            // The legacy Pool path keeps its historical semantics (the
+            // liveness target is not required to sit in the pool).
             AdversarySpec::Pool { word, eventually } => {
                 let pool = parse_pool(word)?;
                 match eventually {
@@ -110,10 +185,15 @@ impl AdversarySpec {
                     }
                 }
             }
+            _ => Ok(self.term()?.lower()?),
         }
     }
 
-    /// The display label used in result records.
+    /// The display label used in result records: the catalog name for
+    /// catalog specs (so sweep resume and report grouping stay stable),
+    /// otherwise the canonical spec string. Legacy variants keep their
+    /// historical labels.
+    #[allow(deprecated)]
     pub fn label(&self) -> String {
         match self {
             AdversarySpec::Catalog(name) => name.clone(),
@@ -124,14 +204,19 @@ impl AdversarySpec {
             AdversarySpec::Pool { word, eventually: Some((t, Some(r))) } => {
                 format!("pool({word}) {t} by {r}")
             }
+            AdversarySpec::Term(SpecTerm::Catalog(name)) => name.clone(),
+            AdversarySpec::Term(term) => term.to_string(),
         }
     }
 
     /// The ground-truth checker outcome, where known (catalog entries only).
+    #[allow(deprecated)]
     pub fn expected(&self) -> Option<catalog::ExpectedOutcome> {
         match self {
-            AdversarySpec::Catalog(name) => catalog::by_name(name).map(|e| e.expected),
-            AdversarySpec::Pool { .. } => None,
+            AdversarySpec::Catalog(name) | AdversarySpec::Term(SpecTerm::Catalog(name)) => {
+                catalog::by_name(name).map(|e| e.expected)
+            }
+            _ => None,
         }
     }
 }
@@ -252,10 +337,8 @@ impl GridBuilder {
     /// The grid over the whole built-in catalog, in catalog × depth ×
     /// analysis order.
     pub fn over_catalog(&self) -> Vec<Scenario> {
-        let specs: Vec<AdversarySpec> = catalog::entries()
-            .iter()
-            .map(|e| AdversarySpec::Catalog(e.name.to_string()))
-            .collect();
+        let specs: Vec<AdversarySpec> =
+            catalog::entries().iter().map(|e| AdversarySpec::catalog(e.name)).collect();
         self.over_specs(&specs)
     }
 
@@ -296,37 +379,69 @@ mod tests {
 
     #[test]
     fn catalog_spec_builds() {
-        let spec = AdversarySpec::Catalog("sw-lossy-link".to_string());
+        let spec = AdversarySpec::catalog("sw-lossy-link");
         let ma = spec.build().unwrap();
         assert_eq!(ma.n(), 2);
         assert_eq!(spec.expected(), Some(None));
-        assert!(AdversarySpec::Catalog("missing".into()).build().is_err());
+        assert_eq!(spec.label(), "sw-lossy-link");
+        assert!(AdversarySpec::catalog("missing").build().is_err());
     }
 
     #[test]
     fn pool_spec_builds() {
-        let spec = AdversarySpec::Pool { word: "-> <-".to_string(), eventually: None };
+        let spec = AdversarySpec::pool("-> <-", None).unwrap();
         let ma = spec.build().unwrap();
         assert!(ma.is_compact());
         assert_eq!(ma.pool_hint().unwrap().len(), 2);
+        // The label is the canonical (sorted) spec string.
+        assert_eq!(spec.label(), "pool(<- ->)");
 
-        let live = AdversarySpec::Pool {
-            word: "-> <- <->".to_string(),
-            eventually: Some(("<->".to_string(), Some(2))),
-        };
+        let live = AdversarySpec::pool("-> <- <->", Some(("<->", Some(2)))).unwrap();
         assert!(live.build().unwrap().is_compact());
-        let nc = AdversarySpec::Pool {
-            word: "-> <- <->".to_string(),
-            eventually: Some(("<->".to_string(), None)),
-        };
+        let nc = AdversarySpec::pool("-> <- <->", Some(("<->", None))).unwrap();
         assert!(!nc.build().unwrap().is_compact());
+        assert_eq!(nc.label(), "eventually(<- -> <->, <->)");
     }
 
     #[test]
+    fn parse_is_the_shared_front_door() {
+        let spec = AdversarySpec::parse("union(pool(->), pool(<-))").unwrap();
+        assert_eq!(spec.label(), "union(pool(->), pool(<-))");
+        assert!(spec.build().unwrap().is_compact());
+        // Spellings converge on the same term, hence the same label.
+        assert_eq!(AdversarySpec::parse("union(pool(<-), pool( -> ))").unwrap(), spec);
+        // Parse errors surface as typed spec errors with an offset.
+        let err = AdversarySpec::parse("pool(").unwrap_err();
+        assert!(matches!(err, Error::Spec(SpecError::Parse { .. })), "{err}");
+        assert!(err.to_string().contains("at byte"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_variants_keep_their_behavior() {
+        // Pre-redesign construction sites compile (with a warning) and
+        // produce the historical labels and adversaries.
+        let spec = AdversarySpec::Catalog("sw-lossy-link".to_string());
+        assert_eq!(spec.label(), "sw-lossy-link");
+        assert_eq!(spec.expected(), Some(None));
+        let spec = AdversarySpec::Pool {
+            word: "-> <- <->".to_string(),
+            eventually: Some(("<->".to_string(), None)),
+        };
+        assert_eq!(spec.label(), "pool(-> <- <->) ◇<->");
+        // ... and share fingerprints with the term path.
+        let legacy = spec.build().unwrap();
+        let term = AdversarySpec::parse("eventually(-> <- <->, <->)").unwrap().build().unwrap();
+        assert_eq!(legacy.fingerprint(), term.fingerprint());
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn bad_pool_rejected() {
         for word in ["", "xx", "-> zz"] {
             let spec = AdversarySpec::Pool { word: word.to_string(), eventually: None };
             assert!(spec.build().is_err(), "{word:?} should fail");
+            assert!(AdversarySpec::pool(word, None).is_err(), "{word:?} should fail");
         }
     }
 
@@ -370,7 +485,7 @@ mod tests {
     fn grid_analysis_filter() {
         let grid = GridBuilder::new(2, 1000)
             .analyses(&[AnalysisKind::SimCheck, AnalysisKind::Solvability])
-            .over_specs(&[AdversarySpec::Catalog("cgp-reduced-lossy-link".into())]);
+            .over_specs(&[AdversarySpec::catalog("cgp-reduced-lossy-link")]);
         assert_eq!(grid.len(), 4);
         // Canonical order, not the caller's order.
         assert_eq!(grid[0].analysis, AnalysisKind::Solvability);

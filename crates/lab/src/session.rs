@@ -73,7 +73,17 @@ impl Query {
 
     /// A query over a named catalog entry.
     pub fn catalog(name: &str, depth: usize, analysis: AnalysisKind) -> Self {
-        Query::new(AdversarySpec::Catalog(name.to_string()), depth, analysis)
+        Query::new(AdversarySpec::catalog(name), depth, analysis)
+    }
+
+    /// A query over a spec-language string (the shared parser of
+    /// [`adversary::spec`]): `Query::spec("union(pool(->), pool(<-))", 3,
+    /// AnalysisKind::Solvability)`.
+    ///
+    /// # Errors
+    /// Returns [`Error::Spec`] locating the first malformed byte.
+    pub fn spec(spec: &str, depth: usize, analysis: AnalysisKind) -> Result<Self, Error> {
+        Ok(Query::new(AdversarySpec::parse(spec)?, depth, analysis))
     }
 
     /// The spec × depth × analysis grid over explicit specs, in the
@@ -98,7 +108,7 @@ impl Query {
     pub fn catalog_grid(max_depth: usize, analyses: &[AnalysisKind]) -> Vec<Query> {
         let specs: Vec<AdversarySpec> = adversary::catalog::entries()
             .iter()
-            .map(|e| AdversarySpec::Catalog(e.name.to_string()))
+            .map(|e| AdversarySpec::catalog(e.name))
             .collect();
         Self::grid(&specs, max_depth, analyses)
     }

@@ -446,6 +446,7 @@ fn render_catalog() -> String {
                     ),
                 ),
                 ("summary".into(), Value::Str(entry.summary.to_string())),
+                ("spec".into(), Value::Str(entry.spec.to_string())),
             ])
         })
         .collect();
@@ -471,25 +472,45 @@ fn object_keys<'a>(value: &'a Value, allowed: &[&str]) -> Result<&'a [(String, V
     Ok(fields)
 }
 
-/// Parse one query object: `{"adversary": name | "pool": word, depth,
-/// [analysis], [eventually], [by]}` — the same vocabulary as
-/// `consensus-lab check`.
+/// Parse one query object: `{"spec": term, depth, [analysis]}` — the
+/// shared spec language ([`adversary::spec`]) used by `consensus-lab check
+/// --spec`. The pre-redesign vocabulary (`"adversary"` for catalog names,
+/// `"pool"`/`"eventually"`/`"by"` for 2-process pools) is kept as compat
+/// aliases lowering to the same terms, so alias and `"spec"` requests for
+/// one adversary produce byte-identical records.
 fn parse_query(value: &Value) -> Result<Query, Response> {
-    object_keys(value, &["adversary", "pool", "eventually", "by", "depth", "analysis"])?;
-    let spec = match (value.get("adversary"), value.get("pool")) {
-        (Some(_), Some(_)) => {
+    object_keys(value, &["spec", "adversary", "pool", "eventually", "by", "depth", "analysis"])?;
+    let spec = match (value.get("spec"), value.get("adversary"), value.get("pool")) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) => {
+            return Err(bad_request(
+                "\"spec\" and the \"adversary\"/\"pool\" compat aliases are mutually exclusive",
+            ));
+        }
+        (Some(spec), None, None) => {
+            if value.get("eventually").is_some() || value.get("by").is_some() {
+                return Err(bad_request(
+                    "\"eventually\"/\"by\" only apply to \"pool\" queries — spell the liveness \
+                     inside \"spec\" (e.g. \"eventually(<->, by=2)\")",
+                ));
+            }
+            let Some(spec) = spec.as_str() else {
+                return Err(bad_request("\"spec\" must be a spec-language string"));
+            };
+            AdversarySpec::parse(spec).map_err(|e| Response::from_error(&e))?
+        }
+        (None, Some(_), Some(_)) => {
             return Err(bad_request("\"adversary\" and \"pool\" are mutually exclusive"));
         }
-        (Some(name), None) => {
+        (None, Some(name), None) => {
             if value.get("eventually").is_some() || value.get("by").is_some() {
                 return Err(bad_request("\"eventually\"/\"by\" only apply to \"pool\" queries"));
             }
             match name.as_str() {
-                Some(name) => AdversarySpec::Catalog(name.to_string()),
+                Some(name) => AdversarySpec::catalog(name),
                 None => return Err(bad_request("\"adversary\" must be a catalog name string")),
             }
         }
-        (None, Some(word)) => {
+        (None, None, Some(word)) => {
             let Some(word) = word.as_str() else {
                 return Err(bad_request("\"pool\" must be a graph-word string"));
             };
@@ -513,10 +534,13 @@ fn parse_query(value: &Value) -> Result<Query, Response> {
                     Some((target.to_string(), deadline))
                 }
             };
-            AdversarySpec::Pool { word: word.to_string(), eventually }
+            AdversarySpec::pool(word, eventually.as_ref().map(|(t, by)| (t.as_str(), *by)))
+                .map_err(|e| Response::from_error(&e))?
         }
-        (None, None) => {
-            return Err(bad_request("query needs \"adversary\" (catalog name) or \"pool\""));
+        (None, None, None) => {
+            return Err(bad_request(
+                "query needs \"spec\", \"adversary\" (catalog name), or \"pool\"",
+            ));
         }
     };
     let depth = value
@@ -629,7 +653,75 @@ mod tests {
         assert_eq!(response.status, 200, "{}", response.body);
         let record = json::parse(&response.body).unwrap();
         assert_eq!(record.get("analysis").unwrap().as_str(), Some("solvability"));
-        assert_eq!(record.get("adversary").unwrap().as_str(), Some("pool(-> <- <->)"));
+        // The label is the canonical (sorted) spec string.
+        assert_eq!(record.get("adversary").unwrap().as_str(), Some("pool(<- -> <->)"));
+    }
+
+    #[test]
+    fn spec_field_and_compat_aliases_answer_identical_records() {
+        use consensus_lab::store::TIMING_FIELDS;
+        let app = app();
+        // Each alias body and its spec-language spelling must produce
+        // byte-identical records (modulo timing fields).
+        for (alias_body, spec_body) in [
+            (
+                r#"{"adversary":"cgp-reduced-lossy-link","depth":2}"#,
+                r#"{"spec":"catalog(cgp-reduced-lossy-link)","depth":2}"#,
+            ),
+            (r#"{"pool":"-> <- <->","depth":2}"#, r#"{"spec":"pool(<-> <- ->)","depth":2}"#),
+            (
+                r#"{"pool":"-> <- <->","eventually":"<->","by":2,"depth":2}"#,
+                r#"{"spec":"eventually(-> <- <->, <->, by=2)","depth":2}"#,
+            ),
+        ] {
+            let alias = app.handle(&request("POST", "/v1/check", alias_body));
+            assert_eq!(alias.status, 200, "{alias_body} → {}", alias.body);
+            let spec = app.handle(&request("POST", "/v1/check", spec_body));
+            assert_eq!(spec.status, 200, "{spec_body} → {}", spec.body);
+            assert_eq!(
+                json::parse(&alias.body).unwrap().without_keys(TIMING_FIELDS),
+                json::parse(&spec.body).unwrap().without_keys(TIMING_FIELDS),
+                "{alias_body} vs {spec_body}"
+            );
+        }
+    }
+
+    #[test]
+    fn composed_specs_check_end_to_end() {
+        let app = app();
+        let response = app.handle(&request(
+            "POST",
+            "/v1/check",
+            r#"{"spec":"union(pool(->), pool(<-))","depth":2}"#,
+        ));
+        assert_eq!(response.status, 200, "{}", response.body);
+        let record = json::parse(&response.body).unwrap();
+        assert_eq!(record.get("adversary").unwrap().as_str(), Some("union(pool(->), pool(<-))"));
+        assert_eq!(record.get("verdict").unwrap().as_str(), Some("solvable"));
+    }
+
+    #[test]
+    fn malformed_specs_are_400_with_an_offset() {
+        let app = app();
+        let response =
+            app.handle(&request("POST", "/v1/check", r#"{"spec":"union(pool(->)","depth":2}"#));
+        assert_eq!(response.status, 400, "{}", response.body);
+        let err = json::parse(&response.body).unwrap();
+        let err = err.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("spec"));
+        assert!(
+            err.get("message").unwrap().as_str().unwrap().contains("at byte 14"),
+            "{}",
+            response.body
+        );
+        // "spec" excludes the compat aliases.
+        let response = app.handle(&request(
+            "POST",
+            "/v1/check",
+            r#"{"spec":"pool(->)","adversary":"sw-lossy-link","depth":2}"#,
+        ));
+        assert_eq!(response.status, 400);
+        assert!(response.body.contains("mutually exclusive"), "{}", response.body);
     }
 
     #[test]
@@ -738,6 +830,11 @@ mod tests {
             panic!("entries must be an array");
         };
         assert_eq!(entries.len(), adversary::catalog::entries().len());
+        // Every entry publishes its canonical spec string.
+        for entry in entries {
+            let spec = entry.get("spec").unwrap().as_str().unwrap();
+            assert!(adversary::SpecTerm::parse(spec).is_ok(), "{spec}");
+        }
 
         assert_eq!(app.handle(&request("GET", "/healthz", "")).status, 200);
         assert_eq!(app.handle(&request("GET", "/nope", "")).status, 404);

@@ -115,11 +115,16 @@ fn quantile_ms(hist: &Histogram, q: f64) -> f64 {
 }
 
 fn check_body(query: &Query) -> Value {
-    let AdversarySpec::Catalog(name) = &query.spec else {
-        unreachable!("catalog_grid yields catalog specs only");
+    // Catalog terms go through the "adversary" alias (the hot production
+    // shape); anything else is sent as its canonical spec string.
+    let spec_field = match &query.spec {
+        AdversarySpec::Term(adversary::SpecTerm::Catalog(name)) => {
+            ("adversary".to_string(), Value::Str(name.clone()))
+        }
+        other => ("spec".to_string(), Value::Str(other.label())),
     };
     Value::Obj(vec![
-        ("adversary".into(), Value::Str(name.clone())),
+        spec_field,
         ("depth".into(), Value::Int(query.depth as i64)),
         ("analysis".into(), Value::Str(query.analysis.name().into())),
     ])

@@ -37,21 +37,29 @@ USAGE:
     consensus-lab catalog
         List the built-in adversary catalog.
 
-    consensus-lab check (--adversary NAME | --pool \"-> <- <->\" [--eventually G [--by R]])
+    consensus-lab check (--spec TERM | --adversary NAME | --pool \"-> <- <->\"
+                        [--eventually G [--by R]])
                         [--depth D] [--analysis KIND] [--budget RUNS] [--expand-threads N]
                         [--trace-out FILE]
         Run one scenario and print the record.
+          --spec TERM      an adversary-combinator term of the shared spec
+                           language, e.g. 'union(pool(->), pool(<-))',
+                           'eventually(<->, by=2)', 'window(<- -> <->, 2)',
+                           'prefix(<-> ->, catalog(sw-lossy-link))';
+                           --adversary/--pool/--eventually/--by are compat
+                           aliases lowering to the same terms
           --trace-out FILE write the run's spans (expand, cache lookups,
                            analyses, …) to FILE as JSONL; verdicts and
                            results are byte-identical with or without it
 
-    consensus-lab sweep --catalog [--max-depth D] [--analyses K1,K2] [--budget RUNS]
+    consensus-lab sweep (--catalog | --spec TERM)
+                        [--max-depth D] [--analyses K1,K2] [--budget RUNS]
                         [--threads N] [--expand-threads N] [--out DIR] [--repeat N]
                         [--time-limit-ms MS] [--shard I/N] [--resume DIR]
                         [--cache-dir DIR] [--strict] [--assert-warm] [--trace-out FILE]
-        Run the scenario grid over the catalog in parallel; write
-        DIR/results.jsonl, DIR/summary.csv, and DIR/sweep-meta.json
-        (default DIR: lab-results).
+        Run the scenario grid over the catalog (or one --spec adversary)
+        in parallel; write DIR/results.jsonl, DIR/summary.csv, and
+        DIR/sweep-meta.json (default DIR: lab-results).
           --shard I/N      run only this deterministic slice of the grid
                            (records keep their global indices for `merge`)
           --resume DIR     skip scenarios already in DIR/results.jsonl and
@@ -303,12 +311,24 @@ fn cmd_catalog(args: &[String]) -> ExitCode {
 }
 
 fn parse_spec(flags: &Flags) -> Result<AdversarySpec, String> {
+    if flags.has("spec") {
+        if flags.has("adversary") || flags.has("pool") || flags.has("eventually") || flags.has("by")
+        {
+            return Err(
+                "--spec and the --adversary/--pool compat flags are mutually exclusive".into()
+            );
+        }
+        let Some(spec) = flags.get("spec") else {
+            return Err("--spec expects a spec string (e.g. \"union(pool(->), pool(<-))\")".into());
+        };
+        return AdversarySpec::parse(spec).map_err(|e| e.to_string());
+    }
     match (flags.get("adversary"), flags.get("pool")) {
         (Some(name), None) => {
             if flags.has("eventually") || flags.has("by") {
                 return Err("--eventually/--by only apply to --pool adversaries".into());
             }
-            Ok(AdversarySpec::Catalog(name.to_string()))
+            Ok(AdversarySpec::catalog(name))
         }
         (None, Some(word)) => {
             let eventually = match flags.get("eventually") {
@@ -325,13 +345,13 @@ fn parse_spec(flags: &Flags) -> Result<AdversarySpec, String> {
                                 .map_err(|_| format!("--by expects a round number, got {r:?}"))?,
                         ),
                     };
-                    Some((target.to_string(), deadline))
+                    Some((target, deadline))
                 }
             };
-            Ok(AdversarySpec::Pool { word: word.to_string(), eventually })
+            AdversarySpec::pool(word, eventually).map_err(|e| e.to_string())
         }
         (Some(_), Some(_)) => Err("--adversary and --pool are mutually exclusive".into()),
-        (None, None) => Err("check needs --adversary NAME or --pool \"...\"".into()),
+        (None, None) => Err("check needs --spec, --adversary NAME, or --pool \"...\"".into()),
     }
 }
 
@@ -349,6 +369,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     };
     if let Err(e) = flags.reject_unknown(&[
+        "spec",
         "adversary",
         "pool",
         "eventually",
@@ -433,6 +454,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     };
     if let Err(e) = flags.reject_unknown(&[
         "catalog",
+        "spec",
         "max-depth",
         "analyses",
         "budget",
@@ -454,9 +476,23 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
-    if !flags.has("catalog") {
-        return fail("sweep currently requires --catalog (the built-in adversary registry)");
+    if flags.has("catalog") && flags.has("spec") {
+        return fail("--catalog and --spec are mutually exclusive");
     }
+    if !flags.has("catalog") && !flags.has("spec") {
+        return fail(
+            "sweep requires --catalog (the built-in adversary registry) or --spec \"...\" \
+             (one spec-language adversary)",
+        );
+    }
+    let spec_grid = match flags.get("spec") {
+        None if flags.has("spec") => return fail("--spec expects a spec string"),
+        None => None,
+        Some(spec) => match AdversarySpec::parse(spec) {
+            Ok(spec) => Some(spec),
+            Err(e) => return fail(&e.to_string()),
+        },
+    };
     let max_depth = match flags.get_usize("max-depth", 4) {
         Ok(d) => d,
         Err(e) => return fail(&e),
@@ -504,7 +540,10 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         Ok(kinds) => kinds,
         Err(e) => return fail(&e),
     };
-    let grid = Query::catalog_grid(max_depth, &kinds);
+    let grid = match spec_grid {
+        Some(spec) => Query::grid(std::slice::from_ref(&spec), max_depth, &kinds),
+        None => Query::catalog_grid(max_depth, &kinds),
+    };
     let indexed: Vec<(usize, Query)> = grid.into_iter().enumerate().collect();
     let selected = match shard {
         Some(shard) => {

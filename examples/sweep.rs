@@ -13,9 +13,9 @@ use examples_support::section;
 fn main() {
     section("A small catalog sweep (3 adversaries × depths 1..=3 × 3 analyses)");
     let specs = [
-        AdversarySpec::Catalog("sw-lossy-link".into()),
-        AdversarySpec::Catalog("cgp-reduced-lossy-link".into()),
-        AdversarySpec::Catalog("forever-directional".into()),
+        AdversarySpec::catalog("sw-lossy-link"),
+        AdversarySpec::catalog("cgp-reduced-lossy-link"),
+        AdversarySpec::catalog("forever-directional"),
     ];
     let queries = Query::grid(
         &specs,

@@ -77,10 +77,7 @@ fn cached_and_uncached_sweeps_agree_on_every_verdict() {
 fn structural_aliases_share_results_and_cache_slots() {
     use consensus_lab::scenario::AdversarySpec;
     let queries = Query::grid(
-        &[
-            AdversarySpec::Catalog("sw-lossy-link".into()),
-            AdversarySpec::Catalog("all-rooted-2".into()),
-        ],
+        &[AdversarySpec::catalog("sw-lossy-link"), AdversarySpec::catalog("all-rooted-2")],
         2,
         &[AnalysisKind::Bivalence, AnalysisKind::ComponentStats],
     );

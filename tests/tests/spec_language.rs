@@ -1,0 +1,214 @@
+//! Spec-language acceptance (ISSUE 7): lowered combinator terms are
+//! *algebraically identical* to direct `UnionMA`/`IntersectMA` construction,
+//! every catalog entry is expressible as a spec string with the same
+//! verdict as its named path, the canonical spec strings are pinned so the
+//! grammar cannot drift silently, and a composed spec survives a warm
+//! disk-journal restart with zero re-expansions.
+
+use std::fs;
+use std::path::PathBuf;
+
+use adversary::{catalog, IntersectMA, MessageAdversary, SpecTerm, UnionMA};
+use consensus_lab::scenario::AnalysisKind;
+use consensus_lab::session::{Query, Session};
+use consensus_lab::store::TIMING_FIELDS;
+use consensus_lab::{AnalysisConfig, CacheConfig, ExpandConfig};
+use dyngraph::generators::all_graphs;
+use dyngraph::{GraphSeq, Lasso};
+
+const MAX_DEPTH: usize = 3;
+const BUDGET: usize = 2_000_000;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("consensus-spec-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn session(cache: CacheConfig) -> Session {
+    Session::with_configs(ExpandConfig::with_budget(BUDGET), AnalysisConfig::default(), cache)
+        .expect("cache dir must open")
+        .workers(2)
+}
+
+/// Every graph word over `n` processes with `0..=depth` rounds, in a
+/// deterministic order (the expansion engine probes exactly these).
+fn words_up_to(n: usize, depth: usize) -> Vec<GraphSeq> {
+    let graphs: Vec<_> = all_graphs(n).collect();
+    let mut words = vec![GraphSeq::new()];
+    let mut frontier = vec![GraphSeq::new()];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * graphs.len());
+        for word in &frontier {
+            for g in &graphs {
+                let extended = word.extended(g.clone());
+                words.push(extended.clone());
+                next.push(extended);
+            }
+        }
+        frontier = next;
+    }
+    words
+}
+
+/// `union(a, b)` lowers to something observationally equal to
+/// `UnionMA::new([a, b])`: same extensions, same prefix admissions, same
+/// lasso verdicts, over every word up to depth 3.
+#[test]
+fn union_spec_is_identical_to_direct_union_construction() {
+    let composed = SpecTerm::parse("union(pool(->), eventually(<- -> <->, <->, by=2))")
+        .unwrap()
+        .lower()
+        .unwrap();
+    let direct = UnionMA::new(vec![
+        SpecTerm::parse("pool(->)").unwrap().lower().unwrap(),
+        SpecTerm::parse("eventually(<- -> <->, <->, by=2)").unwrap().lower().unwrap(),
+    ]);
+    assert_eq!(composed.n(), direct.n());
+    assert_eq!(composed.is_compact(), direct.is_compact());
+    assert_eq!(composed.fingerprint(), direct.fingerprint());
+    for word in words_up_to(2, MAX_DEPTH) {
+        assert_eq!(
+            composed.extensions(&word),
+            direct.extensions(&word),
+            "extensions diverge after {word:?}"
+        );
+        assert_eq!(
+            composed.admits_prefix(&word),
+            direct.admits_prefix(&word),
+            "admits_prefix diverges on {word:?}"
+        );
+    }
+    for lasso in ["<-> | ->", "| <->", "-> | <- ->", "| . "] {
+        let lasso = Lasso::parse2(lasso).unwrap();
+        assert_eq!(composed.admits_lasso(&lasso), direct.admits_lasso(&lasso));
+    }
+}
+
+/// Same identity for `intersect(a, b)` against `IntersectMA::new`.
+#[test]
+fn intersect_spec_is_identical_to_direct_intersect_construction() {
+    let composed = SpecTerm::parse("intersect(pool(<- -> <->), eventually(<- -> <->, <->))")
+        .unwrap()
+        .lower()
+        .unwrap();
+    let direct = IntersectMA::new(vec![
+        SpecTerm::parse("pool(<- -> <->)").unwrap().lower().unwrap(),
+        SpecTerm::parse("eventually(<- -> <->, <->)").unwrap().lower().unwrap(),
+    ]);
+    assert_eq!(composed.n(), direct.n());
+    assert_eq!(composed.is_compact(), direct.is_compact());
+    assert_eq!(composed.fingerprint(), direct.fingerprint());
+    for word in words_up_to(2, MAX_DEPTH) {
+        assert_eq!(
+            composed.extensions(&word),
+            direct.extensions(&word),
+            "extensions diverge after {word:?}"
+        );
+        assert_eq!(
+            composed.admits_prefix(&word),
+            direct.admits_prefix(&word),
+            "admits_prefix diverges on {word:?}"
+        );
+    }
+    for lasso in ["<-> | <->", "| ->", "<- | <-> <-"] {
+        let lasso = Lasso::parse2(lasso).unwrap();
+        assert_eq!(composed.admits_lasso(&lasso), direct.admits_lasso(&lasso));
+    }
+}
+
+/// The canonical spec string of every catalog entry is pinned. A change
+/// here means the printed grammar (or a pool's canonical sort) drifted —
+/// which silently invalidates saved spec strings in the wild.
+#[test]
+fn catalog_spec_strings_are_pinned() {
+    let pinned = [
+        ("sw-lossy-link", "pool(<- -> <->)"),
+        ("cgp-reduced-lossy-link", "pool(<- ->)"),
+        ("message-loss-2-0", "pool(<->)"),
+        ("message-loss-2-1", "pool(<- -> <->)"),
+        ("message-loss-2-2", "pool(. <- -> <->)"),
+        ("rotating-star-3", "catalog(rotating-star-3)"),
+        ("all-rooted-2", "pool(<- -> <->)"),
+        ("vssc-2-2-by-3", "window(<- -> <->, 2, by=3)"),
+        ("vssc-2-1-by-2", "window(<- -> <->, 1, by=2)"),
+        ("eventually-bidirectional", "eventually(<- -> <->, <->)"),
+        ("eventually-bidirectional-by-2", "eventually(<- -> <->, <->, by=2)"),
+        ("forever-directional", "union(pool(->), pool(<-))"),
+    ];
+    let entries = catalog::entries();
+    assert_eq!(entries.len(), pinned.len(), "pin new catalog entries here");
+    for (entry, (name, spec)) in entries.iter().zip(pinned) {
+        assert_eq!(entry.name, name);
+        assert_eq!(entry.spec, spec, "canonical spec for {name} drifted");
+        let term = SpecTerm::parse(spec).expect(name);
+        assert_eq!(term.to_string(), spec, "{name}: pinned spec must be canonical");
+        assert_eq!(
+            term.fingerprint().expect(name),
+            entry.build().fingerprint(),
+            "{name}: spec string and build() must share one fingerprint"
+        );
+    }
+}
+
+/// Checking a catalog entry through its spec string answers the same
+/// record as the named path — byte-identical modulo timing, the adversary
+/// label (the spec path labels with the canonical term), and the catalog's
+/// ground-truth annotation (only a *named* query knows the literature's
+/// expected verdict; a structural spec cannot).
+#[test]
+fn catalog_spec_strings_answer_the_named_verdicts() {
+    const LABEL_FIELDS: &[&str] = &["adversary", "expected", "matches_expected"];
+    let session = session(CacheConfig::default());
+    for entry in catalog::entries() {
+        let named = session
+            .check(&Query::catalog(entry.name, MAX_DEPTH, AnalysisKind::Solvability))
+            .expect(entry.name);
+        let via_spec = session
+            .check(
+                &Query::spec(entry.spec, MAX_DEPTH, AnalysisKind::Solvability).expect(entry.name),
+            )
+            .expect(entry.name);
+        assert_eq!(
+            named.to_json().without_keys(TIMING_FIELDS).without_keys(LABEL_FIELDS),
+            via_spec.to_json().without_keys(TIMING_FIELDS).without_keys(LABEL_FIELDS),
+            "{}: spec path and named path disagree",
+            entry.name
+        );
+    }
+}
+
+/// The restart acceptance criterion: a composed (non-catalog) spec checked
+/// against a disk journal is answered from disk by a fresh process — zero
+/// expansions, identical records.
+#[test]
+fn composed_spec_survives_a_warm_restart_with_zero_expansions() {
+    let dir = tmp_dir("warm-spec");
+    let queries: Vec<Query> = [
+        "union(pool(->), pool(<-))",
+        "intersect(pool(<- -> <->), eventually(<- -> <->, <->))",
+        "prefix(<->, catalog(sw-lossy-link))",
+        "window(<- -> <->, 1, by=2)",
+    ]
+    .iter()
+    .map(|spec| Query::spec(spec, MAX_DEPTH, AnalysisKind::Solvability).expect(spec))
+    .collect();
+
+    let cold_session = session(CacheConfig::new().disk_dir(&dir));
+    let cold = cold_session.check_many(&queries);
+    assert!(cold.cache.builds > 0, "cold pass must expand something");
+    drop(cold_session);
+
+    let warm_session = session(CacheConfig::new().disk_dir(&dir));
+    let warm = warm_session.check_many(&queries);
+    assert_eq!(warm.cache.builds, 0, "warm restart must re-expand nothing: {:?}", warm.cache);
+    assert_eq!(warm.cache.disk_hits, queries.len(), "every spec answered from disk");
+    let rows = |records: &[consensus_lab::store::ScenarioRecord]| -> Vec<String> {
+        records
+            .iter()
+            .map(|r| r.to_json().without_keys(TIMING_FIELDS).to_string())
+            .collect()
+    };
+    assert_eq!(rows(cold.store.records()), rows(warm.store.records()));
+    let _ = fs::remove_dir_all(&dir);
+}
