@@ -469,7 +469,13 @@ impl<'a> Parser<'a> {
     }
 
     /// A nonempty graph word; `repeat(word, k)` items are expanded inline.
-    fn word(&mut self) -> Result<Vec<Digraph>, TermError> {
+    ///
+    /// `depth` shares the [`MAX_NESTING`] budget with [`Parser::term`] so
+    /// nested `repeat(` items cannot recurse unboundedly, and the expanded
+    /// size of each `repeat` is validated against [`MAX_WORD`] *before* the
+    /// expansion runs, so `repeat(repeat(.., k), k)` cannot amplify CPU or
+    /// memory past the word cap.
+    fn word(&mut self, depth: usize) -> Result<Vec<Digraph>, TermError> {
         let mut out = Vec::new();
         loop {
             self.skip_ws();
@@ -477,12 +483,21 @@ impl<'a> Parser<'a> {
                 self.pos += len;
                 out.push(g);
             } else if self.at_repeat() {
+                if depth >= MAX_NESTING {
+                    return Err(self.err(format!("a repeat nested at most {MAX_NESTING} deep")));
+                }
                 self.pos += "repeat".len();
                 self.expect('(')?;
-                let inner = self.word()?;
+                let inner = self.word(depth + 1)?;
                 self.expect(',')?;
                 let count = self.number("a repeat count", MAX_WORD)?;
                 self.expect(')')?;
+                let total = count
+                    .checked_mul(inner.len())
+                    .and_then(|n| n.checked_add(out.len()))
+                    .filter(|n| *n <= MAX_WORD)
+                    .ok_or_else(|| self.err(format!("a word of at most {MAX_WORD} rounds")))?;
+                out.reserve(total - out.len());
                 for _ in 0..count {
                     out.extend(inner.iter().cloned());
                 }
@@ -544,7 +559,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         // Bare word literal ⇒ oblivious pool.
         if self.peek_graph().is_some() || self.at_repeat() {
-            return Ok(SpecTerm::Pool(self.word()?));
+            return Ok(SpecTerm::Pool(self.word(depth)?));
         }
         let kw_start = self.pos;
         let len = self.rest().bytes().take_while(u8::is_ascii_alphabetic).count();
@@ -560,7 +575,7 @@ impl<'a> Parser<'a> {
             "pool" => {
                 self.pos += len;
                 self.expect('(')?;
-                let pool = self.word()?;
+                let pool = self.word(depth)?;
                 self.expect(')')?;
                 SpecTerm::Pool(pool)
             }
@@ -589,7 +604,7 @@ impl<'a> Parser<'a> {
                 self.expect('(')?;
                 self.skip_ws();
                 let first_start = self.pos;
-                let first = self.word()?;
+                let first = self.word(depth)?;
                 self.skip_ws();
                 let (pool, target, by) = if self.rest().starts_with(',') {
                     self.pos += 1;
@@ -599,7 +614,7 @@ impl<'a> Parser<'a> {
                     } else {
                         self.skip_ws();
                         let target_start = self.pos;
-                        let target_word = self.word()?;
+                        let target_word = self.word(depth)?;
                         let target = self.single(target_word, target_start)?;
                         self.skip_ws();
                         let by = if self.rest().starts_with(',') {
@@ -629,7 +644,7 @@ impl<'a> Parser<'a> {
             "window" => {
                 self.pos += len;
                 self.expect('(')?;
-                let pool = self.word()?;
+                let pool = self.word(depth)?;
                 self.expect(',')?;
                 let window = self.number("a window length", MAX_NUMBER)?;
                 self.skip_ws();
@@ -648,7 +663,7 @@ impl<'a> Parser<'a> {
             "prefix" => {
                 self.pos += len;
                 self.expect('(')?;
-                let word = self.word()?;
+                let word = self.word(depth)?;
                 self.expect(',')?;
                 let tail = Box::new(self.term(depth + 1)?);
                 self.expect(')')?;
@@ -749,6 +764,32 @@ mod tests {
         let deep = format!("{}pool(->){}", "union(".repeat(100), ")".repeat(100));
         let err = SpecTerm::parse(&deep).unwrap_err();
         assert!(matches!(err, TermError::Parse { .. }), "{err}");
+
+        // Nested `repeat(` shares the same budget: an unclosed cascade of
+        // repeats must error out, not recurse until the stack overflows.
+        let deep_repeat = "repeat(".repeat(100_000);
+        let err = SpecTerm::parse(&deep_repeat).unwrap_err();
+        assert!(matches!(err, TermError::Parse { .. }), "{err}");
+        let closed_repeat = format!("{}->{}", "repeat(".repeat(100_000), ", 1)".repeat(100_000));
+        let err = SpecTerm::parse(&closed_repeat).unwrap_err();
+        assert!(matches!(err, TermError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn repeat_expansion_is_bounded_before_it_runs() {
+        // The k × |word| product is rejected up front: this 36-byte input
+        // would otherwise materialize ~16.7M graphs before the length check.
+        let start = std::time::Instant::now();
+        let err = SpecTerm::parse("pool(repeat(repeat(->, 4096), 4096))").unwrap_err();
+        assert!(matches!(err, TermError::Parse { .. }), "{err}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "rejecting an oversized repeat took {:?}",
+            start.elapsed()
+        );
+        // Right at the cap still works.
+        let word = parse("pool(repeat(repeat(->, 64), 64))");
+        assert_eq!(word, parse("pool(->)"));
     }
 
     #[test]

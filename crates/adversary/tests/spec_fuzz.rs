@@ -128,6 +128,32 @@ fn random_strings_error_with_offsets_and_never_panic() {
 }
 
 #[test]
+fn pathological_nesting_and_amplification_never_panic() {
+    // Unbounded `repeat(` recursion (stack safety) and the k × |word|
+    // expansion product (CPU/memory amplification) must both be rejected
+    // cheaply with a Parse error, never a panic or abort.
+    let cases = [
+        "repeat(".repeat(500_000),
+        format!("{}->{}", "repeat(".repeat(500_000), ", 2)".repeat(500_000)),
+        format!("{}pool(->){}", "union(".repeat(500_000), ")".repeat(500_000)),
+        "pool(repeat(repeat(repeat(->, 4096), 4096), 4096))".to_string(),
+    ];
+    for input in cases {
+        let start = std::time::Instant::now();
+        match SpecTerm::parse(&input) {
+            Err(TermError::Parse { offset, .. }) => assert!(offset <= input.len()),
+            other => panic!("pathological input must fail to parse, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "rejection took {:?} for a {}-byte input",
+            start.elapsed(),
+            input.len()
+        );
+    }
+}
+
+#[test]
 fn mutated_canonical_strings_never_panic() {
     let seeds = [
         "pool(<- -> <->)",

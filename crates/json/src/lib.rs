@@ -331,14 +331,30 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Multi-byte UTF-8 is passed through; find the char at this
-                // byte offset.
-                let rest =
-                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid UTF-8"))?;
-                let c = rest.chars().next().expect("nonempty");
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Multi-byte UTF-8 is passed through. Decode only this one
+                // character (length from the lead byte) — validating the
+                // whole remaining input per character is quadratic, which
+                // untrusted megabyte-scale strings turn into a CPU sink.
+                let len = match b {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return Err(err(*pos, "invalid UTF-8")),
+                };
+                let chunk =
+                    bytes.get(*pos..*pos + len).ok_or_else(|| err(*pos, "invalid UTF-8"))?;
+                let c = std::str::from_utf8(chunk)
+                    .map_err(|_| err(*pos, "invalid UTF-8"))?
+                    .chars()
+                    .next()
+                    .expect("nonempty");
                 out.push(c);
-                *pos += c.len_utf8();
+                *pos += len;
             }
         }
     }
@@ -400,6 +416,25 @@ mod tests {
     fn escapes_roundtrip() {
         let v = Value::Str("a\"b\\c\nd\te\u{1}ü".into());
         assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn megabyte_strings_parse_in_linear_time() {
+        // Strings decode one character at a time; re-validating the whole
+        // remaining input per character is quadratic, which a single
+        // megabyte-scale string in an untrusted 4 MiB HTTP body turns
+        // into minutes of CPU. Multi-byte chars keep the same fast path.
+        let body = format!("{{\"spec\":\"{}\"}}", "repeat(↔ ".repeat(150_000));
+        let start = std::time::Instant::now();
+        let v = parse(&body).unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "parsing a {} byte string took {:?}",
+            body.len(),
+            start.elapsed()
+        );
+        // 11 bytes per repetition: "repeat(" + 3-byte ↔ + space.
+        assert_eq!(v.get("spec").unwrap().as_str().unwrap().len(), 11 * 150_000);
     }
 
     #[test]

@@ -129,6 +129,14 @@ impl AdversarySpec {
     /// eventually-occurs liveness — the lowering shared by the CLI's
     /// `--pool/--eventually/--by` flags and the HTTP API's compat aliases.
     ///
+    /// One **intentional tightening** over the deprecated
+    /// [`AdversarySpec::Pool`] variant: a liveness target absent from the
+    /// pool is rejected at [`build`](Self::build) time (the shared
+    /// `eventually(pool, target)` rule), where the legacy variant silently
+    /// produced a *vacuous* adversary admitting no sequence at all, so its
+    /// verdicts were degenerate. Alias callers hitting this edge now get a
+    /// typed [`Error::Spec`] (HTTP 400) instead of a misleading answer.
+    ///
     /// # Errors
     /// Returns [`Error::Spec`] for unparsable tokens or an empty word
     /// (the legacy `BadGraph`/`EmptyPool` shapes).
@@ -433,6 +441,28 @@ mod tests {
         let legacy = spec.build().unwrap();
         let term = AdversarySpec::parse("eventually(-> <- <->, <->)").unwrap().build().unwrap();
         assert_eq!(legacy.fingerprint(), term.fingerprint());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn pool_rejects_liveness_target_outside_the_pool() {
+        // The documented tightening over the legacy Pool variant: the
+        // shared lowering refuses a target the pool can never produce,
+        // where the deprecated path built a vacuous adversary that admits
+        // no sequence at all.
+        let spec = AdversarySpec::pool("-> <-", Some(("<->", None))).unwrap();
+        let err = match spec.build() {
+            Err(e) => e,
+            Ok(_) => panic!("a target outside the pool must not build"),
+        };
+        assert!(err.to_string().contains("not in the pool"), "{err}");
+        use adversary::MessageAdversary;
+        let legacy = AdversarySpec::Pool {
+            word: "-> <-".to_string(),
+            eventually: Some(("<->".to_string(), None)),
+        };
+        let ma = legacy.build().unwrap();
+        assert!(ma.extensions(&dyngraph::GraphSeq::new()).is_empty());
     }
 
     #[test]

@@ -477,7 +477,11 @@ fn object_keys<'a>(value: &'a Value, allowed: &[&str]) -> Result<&'a [(String, V
 /// --spec`. The pre-redesign vocabulary (`"adversary"` for catalog names,
 /// `"pool"`/`"eventually"`/`"by"` for 2-process pools) is kept as compat
 /// aliases lowering to the same terms, so alias and `"spec"` requests for
-/// one adversary produce byte-identical records.
+/// one adversary produce byte-identical records — with one intentional
+/// tightening: an `"eventually"` target absent from the `"pool"` word is
+/// now a 400 (the shared `eventually(pool, target)` rule), where the
+/// pre-redesign path silently checked a vacuous adversary admitting no
+/// sequence at all (see [`AdversarySpec::pool`]).
 fn parse_query(value: &Value) -> Result<Query, Response> {
     object_keys(value, &["spec", "adversary", "pool", "eventually", "by", "depth", "analysis"])?;
     let spec = match (value.get("spec"), value.get("adversary"), value.get("pool")) {
@@ -684,6 +688,29 @@ mod tests {
                 "{alias_body} vs {spec_body}"
             );
         }
+    }
+
+    #[test]
+    fn alias_liveness_target_outside_pool_is_a_400() {
+        // Intentional tightening of the alias surface (see parse_query):
+        // the pre-redesign path accepted this shape and checked a vacuous
+        // adversary; the shared lowering rejects it like eventually(..)
+        // does, with a typed spec error.
+        let app = app();
+        let response = app.handle(&request(
+            "POST",
+            "/v1/check",
+            r#"{"pool":"-> <-","eventually":"<->","depth":2}"#,
+        ));
+        assert_eq!(response.status, 400, "{}", response.body);
+        let err = json::parse(&response.body).unwrap();
+        let err = err.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("spec"));
+        assert!(
+            err.get("message").unwrap().as_str().unwrap().contains("not in the pool"),
+            "{}",
+            response.body
+        );
     }
 
     #[test]
