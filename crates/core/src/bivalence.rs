@@ -1,18 +1,32 @@
 //! Bivalence analysis (paper §6.1).
 //!
+//! # What the bivalence witness *is*, in the paper's terms
+//!
 //! The paper explains the classic bivalence technique [10, 21] topologically:
 //! the forever bivalent run constructed in impossibility proofs is the
 //! common limit of two sequences of executions from different decision sets
-//! (Definition 5.16). This module reconstructs the combinatorial side: for a
-//! *given* algorithm and adversary, it computes the valence of prefixes (the
-//! set of consensus outcomes reachable by admissible extensions within a
-//! horizon) and builds bivalent runs round by round.
+//! (Definition 5.16) — a *fair* or *unfair limit* sitting in the closure of
+//! both `PS(0)` and `PS(1)`, which is exactly what a continuous decision
+//! function cannot tolerate. This module reconstructs the combinatorial
+//! side: for a *given* algorithm and adversary, it computes the valence of
+//! prefixes (the set of consensus outcomes reachable by admissible
+//! extensions within a horizon) and builds bivalent runs round by round.
 //!
-//! For an adversary where consensus is unsolvable, **every** algorithm that
+//! A [`BivalentRun`] is therefore a finite prefix of that limit object: an
+//! input assignment plus a graph-word along which every prefix stays
+//! obstructed (bivalent, or owning a disagreeing/undecided extension). For
+//! an adversary where consensus is unsolvable, **every** algorithm that
 //! always decides has either a disagreeing execution outright or a bivalent
 //! prefix extensible forever; for a solvable adversary, the synthesized
 //! universal algorithm's prefixes all become univalent by the decision
 //! depth.
+//!
+//! The algorithm-independent form of this evidence — the broken ε-chain of
+//! [`ZeroChain`](crate::fair::ZeroChain), two fair executions with distinct
+//! valences linked by forever-silent processes — is what an unsolvable
+//! [`certificate`](crate::certificate) exports: it condemns every algorithm
+//! at once and re-verifies in milliseconds, where a `BivalentRun` indicts
+//! only the one algorithm it was constructed against.
 
 use std::collections::BTreeSet;
 

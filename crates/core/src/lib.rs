@@ -26,6 +26,10 @@
 //!   bivalent runs);
 //! * [`bivalence`] — the classic bivalence analysis of §6.1, reconstructed
 //!   on top of the topological machinery;
+//! * [`certificate`] — portable, independently checkable certificates for
+//!   definitive verdicts: the synthesized decision table (solvable) or the
+//!   broken ε-chain (unsolvable), re-verifiable in milliseconds without
+//!   re-expanding the prefix space;
 //! * [`baselines`] — the kernel-based criterion for `n = 2` oblivious
 //!   adversaries (\[8\]) and simple sufficient conditions, used as ground
 //!   truth in cross-validation;
@@ -58,6 +62,7 @@ pub mod analysis;
 pub mod baselines;
 pub mod bivalence;
 pub mod broadcast;
+pub mod certificate;
 pub mod compactness;
 pub mod config;
 pub mod error;
@@ -66,6 +71,7 @@ pub mod solvability;
 pub mod space;
 pub mod universal;
 
+pub use certificate::{CertError, Certificate};
 pub use config::{AnalysisConfig, CacheConfig, ExpandConfig};
 pub use error::{Error, SpecError};
 pub use solvability::{SolvabilityChecker, Verdict};

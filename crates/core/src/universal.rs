@@ -1,17 +1,33 @@
 //! The universal consensus algorithm of Theorem 5.5, synthesized from a
 //! separated prefix space.
 //!
-//! The paper's construction: each process records its view of the
-//! process-time graph; process `p` decides `v` in round `t` as soon as the
-//! ball `{b ∈ PS : π_{p}(b^t) = V}` of sequences compatible with its
-//! recorded view `V` is contained in the decision set `PS(v)`.
+//! # What the synthesized strategy *is*, in the paper's terms
 //!
-//! Synthesis precomputes exactly that test on the finite prefix space: for
-//! every time `s ≤ depth` and every `(process, view at s)` bucket, if all
-//! runs compatible with the bucket lie in components assigned the same value
-//! `v`, the bucket decides `v`. At `s = depth` every bucket decides (buckets
-//! refine components), so the algorithm terminates by round `depth` on every
-//! admissible run.
+//! Nowak–Schmid–Winkler's universal algorithm is not a clever protocol — it
+//! is the topology made executable. Every process keeps a full-information
+//! view of the process-time graph (who it heard from, carrying what, in
+//! which round: [`ptgraph::ViewTable`]). Process `p` decides value `v` at
+//! time `t` as soon as the **ball** of admissible executions compatible
+//! with its recorded view `V` — `{b ∈ PS : π_p(b^t) = V}` in the paper's
+//! notation — is contained in the decision set `PS(v)`. Agreement follows
+//! because the decision sets partition the connected components of the
+//! space (Corollary 5.6: a solvable adversary admits no component whose
+//! runs require different decisions), and validity because each component's
+//! assigned value is one of its runs' inputs.
+//!
+//! Synthesis precomputes exactly that ball test on the finite prefix space:
+//! for every time `s ≤ depth` and every `(process, view at s)` bucket, if
+//! all runs compatible with the bucket lie in components assigned the same
+//! value `v`, the bucket decides `v`. At `s = depth` every bucket decides
+//! (buckets refine components), so the algorithm terminates by round
+//! `depth` on every admissible run.
+//!
+//! The resulting decision table — the `(process, view) → value` map plus
+//! its depth — is a complete, self-contained description of the strategy.
+//! That is what a solvable [`certificate`](crate::certificate) exports:
+//! [`UniversalAlgorithm::decision_table`] snapshots the map, and the
+//! certificate verifier replays witness executions against it without
+//! re-expanding the prefix space.
 
 use std::collections::HashMap;
 
@@ -105,6 +121,30 @@ impl UniversalAlgorithm {
     /// The decision for a bucket, if the ball around the view is decided.
     pub fn bucket_decision(&self, p: Pid, view: ViewId) -> Option<Value> {
         self.decisions.get(&(p, view)).copied()
+    }
+
+    /// The full decision table as a sorted `(process, view, value)` list —
+    /// the strategy itself, in exportable form.
+    ///
+    /// This is the payload a solvable [`certificate`](crate::certificate)
+    /// carries: together with [`decision_depth`](Self::decision_depth) it
+    /// determines the algorithm completely, and a verifier can check
+    /// agreement/validity/termination against it by replaying executions,
+    /// without access to the prefix space the table was synthesized from.
+    pub fn decision_table(&self) -> Vec<(Pid, ViewId, Value)> {
+        let mut table: Vec<(Pid, ViewId, Value)> =
+            self.decisions.iter().map(|(&(p, view), &v)| (p, view, v)).collect();
+        table.sort_unstable();
+        table
+    }
+
+    /// Run `f` against the synthesis-time view interner.
+    ///
+    /// The [`ViewId`]s in the decision table are indices into this table;
+    /// certificate extraction uses the structural data behind them (process,
+    /// round, received views) to compute interner-independent view digests.
+    pub fn with_view_table<R>(&self, f: impl FnOnce(&ViewTable) -> R) -> R {
+        f(&self.table.lock().expect("interner lock poisoned"))
     }
 }
 

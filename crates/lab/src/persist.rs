@@ -95,7 +95,11 @@ pub const META_FILE: &str = "cache-meta.json";
 /// `r2`: journal keys gained the analysis-params component (the
 /// `Session`-level `AnalysisConfig` can now change solvability verdicts,
 /// so differently configured sessions must not share entries).
-const SALT_REVISION: &str = "r2";
+/// `r3`: entries gained the `certificate` payload (the checkable
+/// `consensus-cert/v1` object journaled with definitive solvability
+/// verdicts); pre-certificate journals would answer certificate-requesting
+/// scenarios with nothing attached, so they are invalidated wholesale.
+const SALT_REVISION: &str = "r3";
 
 /// The cache-invalidation salt: crate version × salt revision. Journals
 /// written under a different salt are discarded on open.
@@ -126,6 +130,10 @@ pub struct DiskEntry {
     /// Compact digest of the space the analysis ran on (absent for
     /// solvability records, which never expose one).
     pub space: Option<SpaceStats>,
+    /// The checkable certificate extracted with a definitive solvability
+    /// verdict (the `consensus-cert/v1` JSON object), journaled so a warm
+    /// process can hand it out with **zero** re-expansions.
+    pub certificate: Option<Value>,
 }
 
 impl DiskEntry {
@@ -155,6 +163,9 @@ impl DiskEntry {
                 ]),
             ));
         }
+        if let Some(cert) = &self.certificate {
+            fields.push(("certificate".into(), cert.clone()));
+        }
         Value::Obj(fields)
     }
 
@@ -179,7 +190,11 @@ impl DiskEntry {
         };
         Some((
             (fingerprint, domain, depth, analysis, params),
-            DiskEntry { outcome: Outcome { verdict, details: detail_fields.clone() }, space },
+            DiskEntry {
+                outcome: Outcome { verdict, details: detail_fields.clone() },
+                space,
+                certificate: v.get("certificate").cloned(),
+            },
         ))
     }
 }
@@ -399,6 +414,7 @@ mod tests {
                 .with("mixed_components", Json::Int(0))
                 .with("chain_found", Json::Bool(false)),
             space: Some(SpaceStats { depth: 2, runs: 36, views: 40, components: 3 }),
+            certificate: None,
         }
     }
 
@@ -476,6 +492,7 @@ mod tests {
             outcome: Outcome::tag("solvable"),
             expected: None,
             matches_expected: None,
+            certificate: None,
             space: None,
             cached_space: None,
             budget_hit: false,
@@ -505,7 +522,8 @@ mod tests {
         assert!(cache.lookup(9, &[0, 1], 1, AnalysisKind::Solvability, "wc0").is_none());
         assert!(cache.lookup(9, &[0, 1], 1, AnalysisKind::Solvability, "wc3").is_some());
         // Both configurations coexist in one journal.
-        let other = DiskEntry { outcome: Outcome::tag("undecided"), space: None };
+        let other =
+            DiskEntry { outcome: Outcome::tag("undecided"), space: None, certificate: None };
         cache.store(9, &[0, 1], 1, AnalysisKind::Solvability, "sc3", other).unwrap();
         assert_eq!(cache.stores(), 2);
         let reopened = DiskCache::open(&dir).unwrap();
@@ -533,7 +551,7 @@ mod tests {
         let dir = tmp_dir("dup");
         let cache = DiskCache::open(&dir).unwrap();
         cache.store(5, &[0, 1], 1, AnalysisKind::Bivalence, "", entry()).unwrap();
-        let other = DiskEntry { outcome: Outcome::tag("mixed"), space: None };
+        let other = DiskEntry { outcome: Outcome::tag("mixed"), space: None, certificate: None };
         cache.store(5, &[0, 1], 1, AnalysisKind::Bivalence, "", other).unwrap();
         assert_eq!(cache.stores(), 1);
         assert_eq!(

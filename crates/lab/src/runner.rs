@@ -18,8 +18,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use consensus_core::config::{AnalysisConfig, ExpandConfig};
-use consensus_core::solvability::{SolvabilityChecker, Verdict};
-use consensus_core::{analysis, broadcast, fair, UniversalAlgorithm};
+use consensus_core::solvability::{SolvabilityChecker, UnsolvableCert, Verdict};
+use consensus_core::{analysis, broadcast, fair, Certificate, UniversalAlgorithm};
 use consensus_obs::metrics::registry;
 use consensus_obs::trace::tracer;
 use ptgraph::Value;
@@ -340,6 +340,7 @@ pub(crate) fn execute_scenario_cfg(
                 outcome: Outcome::tag("error").with("error", Json::Str(e.to_string())),
                 expected: None,
                 matches_expected: None,
+                certificate: None,
                 space: None,
                 cached_space: None,
                 budget_hit: false,
@@ -360,6 +361,7 @@ pub(crate) fn execute_scenario_cfg(
         outcome: Outcome::tag("error"),
         expected: scenario.spec.expected(),
         matches_expected: None,
+        certificate: None,
         space: None,
         cached_space: None,
         budget_hit: false,
@@ -378,6 +380,11 @@ pub(crate) fn execute_scenario_cfg(
             record.outcome = entry.outcome;
             record.space = entry.space;
             record.cached_space = entry.space.map(|_| true);
+            if scenario.certificate {
+                // The journaled certificate is handed out as-is: a warm
+                // process serves checkable answers with zero re-expansions.
+                record.certificate = entry.certificate;
+            }
             if scenario.analysis == AnalysisKind::Solvability {
                 if let Some(expected) = record.expected {
                     // Journaled entries are never budget-contingent.
@@ -389,6 +396,9 @@ pub(crate) fn execute_scenario_cfg(
         }
     }
 
+    // Extracted alongside every definitive solvability verdict (and always
+    // journaled); attached to the record only when the scenario opted in.
+    let mut extracted_cert: Option<Json> = None;
     match scenario.analysis {
         AnalysisKind::Solvability => {
             let checker = SolvabilityChecker::with_config(
@@ -397,6 +407,38 @@ pub(crate) fn execute_scenario_cfg(
                 ExpandConfig::with_budget(scenario.max_runs),
             );
             let verdict = checker.check_via(cache);
+            extracted_cert = match &verdict {
+                // The decision space at the certified depth is already in
+                // the shared cache (the checker just expanded it), so this
+                // lookup is a pure hit — extraction never re-expands.
+                Verdict::Solvable(cert) => cache
+                    .space_with_meta(
+                        checker.adversary(),
+                        SWEEP_VALUES,
+                        cert.depth,
+                        scenario.max_runs,
+                    )
+                    .ok()
+                    .and_then(|(space, _)| {
+                        Certificate::from_solvable(
+                            cert,
+                            &space,
+                            &record.adversary,
+                            record.fingerprint,
+                        )
+                    }),
+                Verdict::Unsolvable(UnsolvableCert::ZeroChain(chain)) => {
+                    Certificate::from_unsolvable(
+                        chain,
+                        &record.adversary,
+                        record.fingerprint,
+                        record.n,
+                        SWEEP_VALUES,
+                    )
+                }
+                Verdict::Undecided(_) => None,
+            }
+            .map(|c| c.to_json());
             record.outcome = solvability_outcome(&verdict);
             record.budget_hit = matches!(&verdict, Verdict::Undecided(rep) if rep.budget_hit);
             if let Some(expected) = record.expected {
@@ -434,6 +476,9 @@ pub(crate) fn execute_scenario_cfg(
         }
     }
     record.wall_ms = ms(elapsed);
+    if scenario.certificate {
+        record.certificate = extracted_cert.clone();
+    }
     if let Some(disk) = disk {
         if persistable(&record) {
             // Best-effort: a full cache disk or permission error degrades
@@ -444,7 +489,11 @@ pub(crate) fn execute_scenario_cfg(
                 scenario.depth,
                 scenario.analysis,
                 &params,
-                DiskEntry { outcome: record.outcome.clone(), space: record.space },
+                DiskEntry {
+                    outcome: record.outcome.clone(),
+                    space: record.space,
+                    certificate: extracted_cert,
+                },
             );
         }
     }
@@ -578,7 +627,13 @@ mod tests {
     use crate::scenario::{AdversarySpec, GridBuilder};
 
     fn catalog_scenario(name: &str, depth: usize, analysis: AnalysisKind) -> Scenario {
-        Scenario { spec: AdversarySpec::catalog(name), depth, analysis, max_runs: 2_000_000 }
+        Scenario {
+            spec: AdversarySpec::catalog(name),
+            depth,
+            analysis,
+            max_runs: 2_000_000,
+            certificate: false,
+        }
     }
 
     #[test]
@@ -700,6 +755,7 @@ mod tests {
                 depth: 2,
                 analysis: AnalysisKind::Solvability,
                 max_runs: 1000,
+                certificate: false,
             },
             &cache,
             None,

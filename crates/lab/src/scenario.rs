@@ -255,6 +255,9 @@ pub struct Scenario {
     pub analysis: AnalysisKind,
     /// Step budget: maximum admissible runs per expansion.
     pub max_runs: usize,
+    /// Attach the checkable certificate to the record's JSON when the
+    /// verdict is definitive (see [`crate::session::Query::with_certificate`]).
+    pub certificate: bool,
 }
 
 impl Scenario {
@@ -361,6 +364,7 @@ impl GridBuilder {
                         depth,
                         analysis,
                         max_runs: self.max_runs,
+                        certificate: false,
                     });
                 }
             }

@@ -41,6 +41,7 @@ use std::time::Duration;
 use adversary::enumerate::BudgetExceeded;
 use consensus_core::config::{AnalysisConfig, CacheConfig, ExpandConfig};
 use consensus_core::error::Error;
+use consensus_core::{CertError, Certificate};
 
 use crate::cache::SpaceCache;
 use crate::persist::DiskCache;
@@ -59,6 +60,11 @@ pub struct Query {
     pub depth: usize,
     /// The analysis to run on the `(adversary, depth)` cell.
     pub analysis: AnalysisKind,
+    /// Attach the checkable [`Certificate`] to the record's JSON, when the
+    /// verdict is definitive (see [`Query::with_certificate`]). Off by
+    /// default: certificates are opt-in payload, not part of the byte-stable
+    /// baseline record.
+    pub certificate: bool,
 }
 
 /// The answer to one [`Query`]: the full scenario record (verdict, detail
@@ -68,7 +74,18 @@ pub type QueryResult = ScenarioRecord;
 impl Query {
     /// A query over an explicit spec.
     pub fn new(spec: AdversarySpec, depth: usize, analysis: AnalysisKind) -> Self {
-        Query { spec, depth, analysis }
+        Query { spec, depth, analysis, certificate: false }
+    }
+
+    /// Request the checkable certificate: the record's JSON gains a
+    /// `certificate` field carrying the [`Certificate`] artifact whenever
+    /// the verdict is definitive (solvable/unsolvable under
+    /// [`AnalysisKind::Solvability`]). Verify it offline with
+    /// [`verify_certificate`] or `consensus-lab verify-cert`.
+    #[must_use]
+    pub fn with_certificate(mut self) -> Self {
+        self.certificate = true;
+        self
     }
 
     /// A query over a named catalog entry.
@@ -100,7 +117,12 @@ impl Query {
             .analyses(analyses)
             .over_specs(specs)
             .into_iter()
-            .map(|s| Query { spec: s.spec, depth: s.depth, analysis: s.analysis })
+            .map(|s| Query {
+                spec: s.spec,
+                depth: s.depth,
+                analysis: s.analysis,
+                certificate: false,
+            })
             .collect()
     }
 
@@ -119,8 +141,40 @@ impl Query {
     }
 
     fn to_scenario(&self, max_runs: usize) -> Scenario {
-        Scenario { spec: self.spec.clone(), depth: self.depth, analysis: self.analysis, max_runs }
+        Scenario {
+            spec: self.spec.clone(),
+            depth: self.depth,
+            analysis: self.analysis,
+            max_runs,
+            certificate: self.certificate,
+        }
     }
+}
+
+/// Re-check a certificate against the adversary a [`Query`] denotes,
+/// without expanding any prefix space — the offline trust anchor behind
+/// `consensus-lab verify-cert` and the `/v1/check` `"certificate"` flag.
+///
+/// # Errors
+/// Returns the typed [`CertError`] explaining the rejection;
+/// [`CertError::Adversary`] when the query's spec itself cannot be built.
+pub fn verify_certificate(cert: &Certificate, query: &Query) -> Result<(), CertError> {
+    let ma = query.spec.build().map_err(|e| CertError::Adversary { reason: e.to_string() })?;
+    consensus_core::certificate::verify(cert, ma.as_ref())
+}
+
+/// Build the adversary a certificate's `adversary` label denotes: a bare
+/// catalog name, or a term of the shared spec language.
+///
+/// # Errors
+/// Returns [`CertError::Adversary`] if the label is neither.
+pub fn certificate_adversary(label: &str) -> Result<adversary::DynMA, CertError> {
+    let spec = if adversary::catalog::by_name(label).is_some() {
+        AdversarySpec::catalog(label)
+    } else {
+        AdversarySpec::parse(label).map_err(|e| CertError::Adversary { reason: e.to_string() })?
+    };
+    spec.build().map_err(|e| CertError::Adversary { reason: e.to_string() })
 }
 
 /// The batch-first facade over the expansion engine, caches, and sweep

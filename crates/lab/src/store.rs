@@ -74,6 +74,10 @@ pub struct ScenarioRecord {
     /// Whether the solvability verdict matched `expected` (solvability
     /// scenarios on catalog entries only).
     pub matches_expected: Option<bool>,
+    /// The checkable certificate (the `consensus-cert/v1` JSON object of
+    /// [`consensus_core::certificate`]), attached when the scenario opted
+    /// in and the verdict is definitive.
+    pub certificate: Option<Value>,
     /// State-space telemetry of the deepest space this scenario touched.
     pub space: Option<SpaceStats>,
     /// Whether that space came out of the shared cache.
@@ -112,6 +116,12 @@ impl ScenarioRecord {
         ));
         if let Some(m) = self.matches_expected {
             fields.push(("matches_expected".into(), Value::Bool(m)));
+        }
+        // After `expected`, the positional-details anchor: everything
+        // between `verdict` and `expected` is outcome detail, so the
+        // certificate object must land strictly after.
+        if let Some(cert) = &self.certificate {
+            fields.push(("certificate".into(), cert.clone()));
         }
         if let Some(stats) = self.space {
             fields.push((
@@ -212,6 +222,7 @@ impl ScenarioRecord {
             outcome: Outcome { verdict: str_field("verdict")?, details },
             expected,
             matches_expected: v.get("matches_expected").and_then(Value::as_bool),
+            certificate: v.get("certificate").cloned(),
             space,
             cached_space: v.get("cached_space").and_then(Value::as_bool),
             budget_hit: bool_field("budget_hit")?,
@@ -382,6 +393,7 @@ mod tests {
                 .with("chain_found", Value::Bool(true)),
             expected: Some(None),
             matches_expected: Some(true),
+            certificate: None,
             space: Some(SpaceStats { depth: 2, runs: 36, views: 40, components: 3 }),
             cached_space: Some(false),
             budget_hit: false,

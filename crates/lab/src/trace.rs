@@ -22,6 +22,8 @@ pub const KNOWN_SPANS: &[&str] = &[
     "analysis.component-stats",
     "analysis.sim-check",
     "cache.lookup",
+    "cert.extract",
+    "cert.verify",
     "journal.load",
     "expand",
     "shard",

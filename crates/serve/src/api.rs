@@ -472,7 +472,8 @@ fn object_keys<'a>(value: &'a Value, allowed: &[&str]) -> Result<&'a [(String, V
     Ok(fields)
 }
 
-/// Parse one query object: `{"spec": term, depth, [analysis]}` — the
+/// Parse one query object: `{"spec": term, depth, [analysis],
+/// [certificate]}` — the
 /// shared spec language ([`adversary::spec`]) used by `consensus-lab check
 /// --spec`. The pre-redesign vocabulary (`"adversary"` for catalog names,
 /// `"pool"`/`"eventually"`/`"by"` for 2-process pools) is kept as compat
@@ -483,7 +484,19 @@ fn object_keys<'a>(value: &'a Value, allowed: &[&str]) -> Result<&'a [(String, V
 /// pre-redesign path silently checked a vacuous adversary admitting no
 /// sequence at all (see [`AdversarySpec::pool`]).
 fn parse_query(value: &Value) -> Result<Query, Response> {
-    object_keys(value, &["spec", "adversary", "pool", "eventually", "by", "depth", "analysis"])?;
+    object_keys(
+        value,
+        &[
+            "spec",
+            "adversary",
+            "pool",
+            "eventually",
+            "by",
+            "depth",
+            "analysis",
+            "certificate",
+        ],
+    )?;
     let spec = match (value.get("spec"), value.get("adversary"), value.get("pool")) {
         (Some(_), Some(_), _) | (Some(_), _, Some(_)) => {
             return Err(bad_request(
@@ -559,7 +572,17 @@ fn parse_query(value: &Value) -> Result<Query, Response> {
             AnalysisKind::parse(name).map_err(|e| Response::from_error(&e))?
         }
     };
-    Ok(Query::new(spec, depth, analysis))
+    let certificate = match value.get("certificate") {
+        None => false,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return Err(bad_request("\"certificate\" must be a boolean")),
+    };
+    let query = Query::new(spec, depth, analysis);
+    Ok(if certificate {
+        query.with_certificate()
+    } else {
+        query
+    })
 }
 
 /// Parse a sweep body into globally indexed queries: either an explicit

@@ -4,6 +4,8 @@
 //! consensus-lab catalog
 //! consensus-lab check --adversary sw-lossy-link --depth 4 [--analysis solvability]
 //! consensus-lab check --pool "-> <- <->" --depth 3
+//! consensus-lab check --adversary message-loss-2-2 --analysis solvability --certificate
+//! consensus-lab verify-cert cert.json
 //! consensus-lab sweep --catalog --max-depth 4 [--out lab-results] [--threads 8]
 //!                     [--analyses solvability,bivalence] [--budget 2000000] [--repeat 2]
 //! consensus-lab report --input lab-results/results.jsonl
@@ -40,7 +42,7 @@ USAGE:
     consensus-lab check (--spec TERM | --adversary NAME | --pool \"-> <- <->\"
                         [--eventually G [--by R]])
                         [--depth D] [--analysis KIND] [--budget RUNS] [--expand-threads N]
-                        [--trace-out FILE]
+                        [--certificate] [--trace-out FILE]
         Run one scenario and print the record.
           --spec TERM      an adversary-combinator term of the shared spec
                            language, e.g. 'union(pool(->), pool(<-))',
@@ -48,9 +50,22 @@ USAGE:
                            'prefix(<-> ->, catalog(sw-lossy-link))';
                            --adversary/--pool/--eventually/--by are compat
                            aliases lowering to the same terms
+          --certificate    attach the checkable `consensus-cert/v1` object
+                           to definitive solvability records (see
+                           docs/certificates.md); re-check it offline with
+                           `verify-cert`
           --trace-out FILE write the run's spans (expand, cache lookups,
                            analyses, …) to FILE as JSONL; verdicts and
                            results are byte-identical with or without it
+
+    consensus-lab verify-cert FILE
+        Re-check a certificate against the adversary it names, without
+        expanding any prefix space. FILE is a bare `consensus-cert/v1`
+        object, or any record/response carrying one in a \"certificate\"
+        field (`check --certificate` output, a /v1/check response body);
+        `-` reads stdin, so a server response pipes straight through.
+        Prints {\"ok\":true,\"verdict\":...,\"verify_ms\":...}; on rejection
+        prints the typed error and exits 1.
 
     consensus-lab sweep (--catalog | --spec TERM)
                         [--max-depth D] [--analyses K1,K2] [--budget RUNS]
@@ -141,6 +156,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("catalog") => cmd_catalog(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("verify-cert") => cmd_verify_cert(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
@@ -378,6 +394,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
         "analysis",
         "budget",
         "expand-threads",
+        "certificate",
         "trace-out",
     ]) {
         return fail(&e);
@@ -424,7 +441,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
     for analysis in analyses {
         // One single-query batch per analysis: records stream as each
         // analysis completes, each with index 0 (the `check` contract).
-        let query = Query::new(spec.clone(), depth, analysis);
+        let mut query = Query::new(spec.clone(), depth, analysis);
+        if flags.has("certificate") {
+            query = query.with_certificate();
+        }
         for record in session.check_many(std::slice::from_ref(&query)).store.records() {
             errored |= record.outcome.verdict == "error";
             emit(format_args!("{}", record.to_json()));
@@ -444,6 +464,98 @@ fn cmd_check(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn cmd_verify_cert(args: &[String]) -> ExitCode {
+    // `verify-cert FILE` (one positional) or `verify-cert --input FILE`;
+    // `-` reads stdin so a /v1/check response pipes straight in.
+    let (positional, rest): (Vec<&String>, Vec<&String>) =
+        args.iter().partition(|a| !a.starts_with("--"));
+    let rest: Vec<String> = rest.into_iter().cloned().collect();
+    let flags = match Flags::parse(&rest) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = flags.reject_unknown(&["input"]) {
+        return fail(&e);
+    }
+    let input = match (positional.as_slice(), flags.get("input")) {
+        ([file], None) => file.as_str(),
+        ([], Some(file)) => file,
+        ([], None) => return fail("verify-cert needs FILE (or --input FILE; - reads stdin)"),
+        _ => return fail("verify-cert takes exactly one certificate file"),
+    };
+    let text = if input == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => return fail(&format!("reading stdin: {e}")),
+        }
+    } else {
+        match std::fs::read_to_string(input) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("reading {input}: {e}")),
+        }
+    };
+    let value = match consensus_lab::json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{input}: {e}")),
+    };
+    // Accept a bare certificate object (its "certificate" field is the
+    // version *string*) or any record/response wrapping one (its
+    // "certificate" field is the certificate *object*).
+    let cert_value = match value.get("certificate") {
+        Some(consensus_lab::json::Value::Str(_)) => &value,
+        Some(obj @ consensus_lab::json::Value::Obj(_)) => obj,
+        Some(_) => {
+            return fail(&format!(
+                "{input}: \"certificate\" is neither a version string nor a certificate object"
+            ))
+        }
+        None => {
+            return fail(&format!(
+                "{input}: no certificate found (run `check --certificate` or POST /v1/check \
+                 with \"certificate\": true to obtain one)"
+            ))
+        }
+    };
+    let cert = match consensus_core::Certificate::from_json(cert_value) {
+        Ok(cert) => cert,
+        Err(e) => return fail(&format!("{input}: malformed certificate [{}]: {e}", e.kind())),
+    };
+    let ma = match consensus_lab::session::certificate_adversary(cert.adversary()) {
+        Ok(ma) => ma,
+        Err(e) => return fail(&format!("{input}: [{}] {e}", e.kind())),
+    };
+    let start = std::time::Instant::now();
+    let result = consensus_core::certificate::verify(&cert, ma.as_ref());
+    let verify_ms = (start.elapsed().as_secs_f64() * 1e9).round() / 1e6;
+    match result {
+        Ok(()) => {
+            emit(format_args!(
+                "{}",
+                consensus_lab::json::Value::Obj(vec![
+                    ("ok".into(), consensus_lab::json::Value::Bool(true)),
+                    ("verdict".into(), consensus_lab::json::Value::Str(cert.verdict().into())),
+                    ("adversary".into(), consensus_lab::json::Value::Str(cert.adversary().into())),
+                    ("verify_ms".into(), consensus_lab::json::Value::Float(verify_ms)),
+                ])
+            ));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            emit(format_args!(
+                "{}",
+                consensus_lab::json::Value::Obj(vec![
+                    ("ok".into(), consensus_lab::json::Value::Bool(false)),
+                    ("kind".into(), consensus_lab::json::Value::Str(e.kind().into())),
+                    ("error".into(), consensus_lab::json::Value::Str(e.to_string())),
+                ])
+            ));
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -6,8 +6,9 @@
 //! cargo run -p examples-support --example session
 //! ```
 
+use consensus_core::Certificate;
 use consensus_lab::scenario::AnalysisKind;
-use consensus_lab::session::{Query, Session};
+use consensus_lab::session::{verify_certificate, Query, Session};
 use consensus_lab::{AnalysisConfig, CacheConfig, Error, ExpandConfig};
 use examples_support::section;
 
@@ -69,4 +70,29 @@ fn main() {
     let again = session.check_many(&queries);
     println!("{}", again.summary());
     assert_eq!(session.space_cache().stats().builds, before, "zero new expansions");
+
+    section("Certificates: checkable answers, re-verified offline");
+    // Opt in with `with_certificate()`: a definitive solvability verdict
+    // then carries the evidence behind it (docs/certificates.md) as a
+    // portable JSON object on the record.
+    let certified =
+        Query::catalog("message-loss-2-2", 2, AnalysisKind::Solvability).with_certificate();
+    let record = session.check(&certified).expect("catalog entry builds");
+    let exported = record.certificate.expect("definitive verdict carries a certificate");
+    println!("exported: {} bytes of consensus-cert/v1 JSON", exported.to_string().len());
+
+    // A skeptical client round-trips the JSON and re-checks the evidence
+    // against the adversary — milliseconds, and no prefix-space expansion
+    // (the session's build counter does not move).
+    let cert = Certificate::from_json(&exported).expect("served certificate decodes");
+    let builds = session.space_cache().stats().builds;
+    verify_certificate(&cert, &certified).expect("certificate re-verifies");
+    assert_eq!(session.space_cache().stats().builds, builds, "verification expands nothing");
+    println!("{} → {} certificate re-verified offline", certified.label(), cert.verdict());
+
+    // Tampering is caught with typed errors: this certificate was issued
+    // for a different adversary than the one we verify against.
+    let other = Query::catalog("cgp-reduced-lossy-link", 2, AnalysisKind::Solvability);
+    let err = verify_certificate(&cert, &other).expect_err("mismatched adversary");
+    println!("tampering detected ({}): {err}", err.kind());
 }
