@@ -1,0 +1,151 @@
+//! The `cluster-bench` harness: serial vs 2-worker wall clock, plus the
+//! robustness/audit counters, as one `BENCH_cluster.json` datum.
+//!
+//! Two in-process workers (ephemeral ports, throwaway cache
+//! directories) serve a coordinator sweep of the catalog grid; the same
+//! grid runs serially in one `Session` as the reference. The datum
+//! records both wall clocks and — more importantly for CI — the *exact*
+//! counters: scenario/shard counts, retries and rebalances (zero on a
+//! healthy fleet), spot-check tallies, the peer warm-start segment
+//! size, and a record-identity bit, all gated by `bench-gate --exact`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use consensus_lab::json::Value;
+use consensus_lab::scenario::AnalysisKind;
+use consensus_lab::session::{Query, Session};
+use consensus_lab::store::TIMING_FIELDS;
+use consensus_lab::{AnalysisConfig, CacheConfig, ExpandConfig};
+use consensus_serve::api::App;
+use consensus_serve::server::{ServeConfig, Server};
+
+use crate::coordinator::{self, ClusterConfig};
+use crate::warm;
+
+/// `cluster-bench` knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterBenchConfig {
+    /// Sweep the catalog up to this depth…
+    pub max_depth: usize,
+    /// …across these analyses.
+    pub analyses: Vec<AnalysisKind>,
+    /// Percentage of verdicts to audit (see [`crate::spotcheck`]).
+    pub spot_check_pct: usize,
+    /// Worker threads per in-process server.
+    pub server_threads: usize,
+}
+
+impl Default for ClusterBenchConfig {
+    fn default() -> Self {
+        ClusterBenchConfig {
+            max_depth: 3,
+            analyses: AnalysisKind::ALL.to_vec(),
+            spot_check_pct: 10,
+            server_threads: 2,
+        }
+    }
+}
+
+/// One bench run's outcome.
+#[derive(Debug)]
+pub struct ClusterBenchReport {
+    /// The `BENCH_cluster.json` datum.
+    pub datum: Value,
+    /// A one-line human summary.
+    pub summary: String,
+}
+
+fn ms(elapsed: Duration) -> f64 {
+    (elapsed.as_secs_f64() * 1e6).round() / 1e3
+}
+
+/// Run the bench: boot 2 journaled in-process workers, sweep the grid
+/// serially and through the coordinator, check record identity modulo
+/// timing fields, and measure a cold peer warm-start from worker A.
+///
+/// # Errors
+/// A message when a server cannot bind, the cluster run fails, or the
+/// warm-start pull fails.
+pub fn run(cfg: &ClusterBenchConfig) -> Result<ClusterBenchReport, String> {
+    let root = std::env::temp_dir().join(format!("consensus-cluster-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let journaled_session = |dir: &str| -> Result<Session, String> {
+        Session::with_configs(
+            ExpandConfig::default(),
+            AnalysisConfig::default(),
+            CacheConfig::default().disk_dir(root.join(dir)),
+        )
+        .map_err(|e| e.to_string())
+    };
+
+    let mut servers = Vec::new();
+    for dir in ["worker-a", "worker-b"] {
+        let app = Arc::new(App::new(journaled_session(dir)?));
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: cfg.server_threads,
+            ..ServeConfig::default()
+        };
+        servers.push(Server::bind(app, &config).map_err(|e| e.to_string())?);
+    }
+    let workers: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+
+    // Serial reference: the same grid, one session, one process.
+    let grid = Query::catalog_grid(cfg.max_depth, &cfg.analyses);
+    let serial_start = Instant::now();
+    let serial = Session::new().check_many(&grid);
+    let serial_ms = ms(serial_start.elapsed());
+
+    let cluster_cfg = ClusterConfig {
+        workers: workers.clone(),
+        max_depth: cfg.max_depth,
+        analyses: cfg.analyses.clone(),
+        spot_check_pct: cfg.spot_check_pct,
+        ..ClusterConfig::default()
+    };
+    let cluster_start = Instant::now();
+    let outcome = coordinator::run(&cluster_cfg)?;
+    let cluster_ms = ms(cluster_start.elapsed());
+
+    let serial_records = serial.store.records();
+    let identical = serial_records.len() == outcome.records.len()
+        && serial_records.iter().zip(&outcome.records).all(|(a, b)| {
+            a.to_json().without_keys(TIMING_FIELDS) == b.to_json().without_keys(TIMING_FIELDS)
+        });
+
+    // Peer warm-start: a cold third journal pulls worker A's segment.
+    let warm_session = journaled_session("warm")?;
+    let warm_entries = warm::warm_from(&warm_session, &workers[0], Duration::from_secs(30))?;
+
+    for server in servers {
+        server.stop();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    let stats = &outcome.stats;
+    let datum = Value::Obj(vec![
+        ("scenarios".into(), Value::Int(stats.scenarios as i64)),
+        ("workers".into(), Value::Int(stats.workers as i64)),
+        ("shards".into(), Value::Int(stats.shards as i64)),
+        ("serial_ms".into(), Value::Float(serial_ms)),
+        ("cluster_ms".into(), Value::Float(cluster_ms)),
+        ("retries".into(), Value::Int(stats.retries as i64)),
+        ("rebalances".into(), Value::Int(stats.rebalances as i64)),
+        ("spot_checks".into(), Value::Int(stats.spot_checks as i64)),
+        ("spot_check_failures".into(), Value::Int(stats.spot_check_failures as i64)),
+        ("warm_segment_entries".into(), Value::Int(warm_entries as i64)),
+        ("identical".into(), Value::Int(i64::from(identical))),
+    ]);
+    let summary = format!(
+        "{} scenarios over {} workers × {} shards: serial {serial_ms} ms, cluster {cluster_ms} \
+         ms; {} spot-check(s), {} warm segment entr{} absorbed, identical={identical}",
+        stats.scenarios,
+        stats.workers,
+        stats.shards,
+        stats.spot_checks,
+        warm_entries,
+        if warm_entries == 1 { "y" } else { "ies" },
+    );
+    Ok(ClusterBenchReport { datum, summary })
+}

@@ -1,0 +1,422 @@
+//! Shard planning, dispatch, rebalancing, and merge.
+//!
+//! The coordinator plans `workers × shards_per_worker` deterministic
+//! slices of the scenario grid (the CLI `--shard i/n` grammar), then
+//! drives rounds: every pending shard is assigned round-robin over the
+//! live workers, one dispatch thread per worker POSTs its shards to
+//! `/v1/sweep` under a per-request deadline with bounded retry and
+//! backoff, and a worker that exhausts its retries is marked dead — its
+//! unfinished shards requeue onto the survivors in the next round
+//! (*rebalancing*). Records carry their global grid indices across the
+//! wire, so the merge is a by-index splice validated for grid
+//! completeness, and the merged output is byte-identical (modulo timing
+//! fields) to a single-node sweep.
+//!
+//! Finishing a run does not mean trusting it: [`run`] ends by auditing
+//! a configurable fraction of merged verdicts through
+//! [`crate::spotcheck`].
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+use consensus_lab::json::Value;
+use consensus_lab::report::SweepMeta;
+use consensus_lab::scenario::{AdversarySpec, AnalysisKind, Shard};
+use consensus_lab::session::Query;
+use consensus_lab::store::ScenarioRecord;
+use consensus_obs::metrics::registry;
+use consensus_obs::trace::tracer;
+use consensus_serve::client::Client;
+
+use crate::spotcheck::{self, SpotCheckSummary};
+
+/// One cluster sweep's knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker addresses (`host:port`), each a running `consensus-lab
+    /// serve` node.
+    pub workers: Vec<String>,
+    /// Shards planned per worker. More than one gives the rebalancer
+    /// useful granularity: a dead worker's loss redistributes in
+    /// shard-sized pieces instead of halving the fleet's progress.
+    pub shards_per_worker: usize,
+    /// Sweep the built-in catalog up to this depth…
+    pub max_depth: usize,
+    /// …across these analyses.
+    pub analyses: Vec<AnalysisKind>,
+    /// Sweep one spec-language adversary instead of the catalog.
+    pub spec: Option<String>,
+    /// Percentage of definitive solvability verdicts to audit via
+    /// certificate replay (0 disables the audit).
+    pub spot_check_pct: usize,
+    /// Retries per shard request before a worker is declared dead.
+    pub retries: usize,
+    /// Backoff between retries (linear: `attempt × backoff`).
+    pub backoff: Duration,
+    /// Per-request deadline (dial + write + read of one exchange).
+    pub deadline: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: Vec::new(),
+            shards_per_worker: 2,
+            max_depth: 3,
+            analyses: AnalysisKind::ALL.to_vec(),
+            spec: None,
+            spot_check_pct: 10,
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Robustness and audit counters for one cluster run (mirrored into the
+/// process-global obs registry under `cluster.*`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Fleet size at launch.
+    pub workers: usize,
+    /// Workers declared dead during the run.
+    pub workers_dead: usize,
+    /// Shards the grid was split into.
+    pub shards: usize,
+    /// Scenarios in the merged result set.
+    pub scenarios: usize,
+    /// Shard requests dispatched (first attempts; retries counted apart).
+    pub dispatches: usize,
+    /// Shard request retries after a timeout or transport failure.
+    pub retries: usize,
+    /// Shards requeued onto surviving workers after a death.
+    pub rebalances: usize,
+    /// Verdicts audited by certificate replay.
+    pub spot_checks: usize,
+    /// Audited verdicts that failed the replay.
+    pub spot_check_failures: usize,
+}
+
+/// One completed cluster sweep.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// The merged records, in global grid order — byte-identical
+    /// (modulo timing fields) to a single-node sweep of the same grid.
+    pub records: Vec<ScenarioRecord>,
+    /// Summed sweep-meta counters, when every shard response carried one.
+    pub meta: Option<SweepMeta>,
+    /// Robustness and audit counters.
+    pub stats: ClusterStats,
+    /// Spot-check rejections, one message per failed audit. A caller
+    /// that trusts the output must check this is empty (the CLI exits
+    /// nonzero on any entry).
+    pub spot_check_failures: Vec<String>,
+}
+
+/// Why a shard dispatch gave up.
+enum ShardFailure {
+    /// The worker is unreachable, stalled past the deadline, or
+    /// answering 5xx — mark it dead and rebalance its shards.
+    Worker(String),
+    /// The worker *rejected* the request (4xx) or answered garbage — a
+    /// coordinator-side protocol bug; abort the whole run loudly
+    /// instead of burning the fleet on retries.
+    Fatal(String),
+}
+
+/// One worker's dispatch-round outcome.
+struct WorkerRun {
+    worker: usize,
+    completed: Vec<(usize, Vec<ScenarioRecord>, Option<SweepMeta>)>,
+    retries: usize,
+    /// `Some((unfinished shards, error))` when the worker died mid-round.
+    died: Option<(Vec<usize>, String)>,
+    fatal: Option<String>,
+}
+
+/// Run one cluster sweep: plan shards, dispatch with retry and
+/// rebalancing, merge by global index, validate grid completeness, and
+/// spot-check the merged verdicts.
+///
+/// # Errors
+/// A message when the grid is empty, every worker is dead with shards
+/// still pending, a worker rejects the protocol, the merged set is not
+/// the whole grid, or no live worker is left to audit against.
+pub fn run(cfg: &ClusterConfig) -> Result<ClusterOutcome, String> {
+    if cfg.workers.is_empty() {
+        return Err("cluster needs at least one worker address".into());
+    }
+    let grid = match &cfg.spec {
+        None => Query::catalog_grid(cfg.max_depth, &cfg.analyses),
+        Some(spec) => {
+            let spec = AdversarySpec::parse(spec).map_err(|e| e.to_string())?;
+            Query::grid(std::slice::from_ref(&spec), cfg.max_depth, &cfg.analyses)
+        }
+    };
+    if grid.is_empty() {
+        return Err("cluster grid is empty".into());
+    }
+    let shard_count = (cfg.workers.len() * cfg.shards_per_worker.max(1)).clamp(1, grid.len());
+    let bodies: Vec<String> = (0..shard_count)
+        .map(|index| shard_body(cfg, &grid, index, shard_count))
+        .collect();
+
+    let mut span = tracer()
+        .span("cluster.sweep")
+        .with_attr("workers", cfg.workers.len())
+        .with_attr("shards", shard_count)
+        .with_attr("scenarios", grid.len());
+
+    let mut stats = ClusterStats {
+        workers: cfg.workers.len(),
+        shards: shard_count,
+        scenarios: grid.len(),
+        ..ClusterStats::default()
+    };
+    let mut alive: Vec<bool> = vec![true; cfg.workers.len()];
+    let mut pending: VecDeque<usize> = (0..shard_count).collect();
+    let mut merged: BTreeMap<usize, ScenarioRecord> = BTreeMap::new();
+    let mut metas: Vec<SweepMeta> = Vec::new();
+    let mut metas_complete = true;
+
+    while !pending.is_empty() {
+        let live: Vec<usize> = (0..alive.len()).filter(|&w| alive[w]).collect();
+        if live.is_empty() {
+            return Err(format!(
+                "all {} worker(s) are dead with {} shard(s) unfinished",
+                cfg.workers.len(),
+                pending.len()
+            ));
+        }
+        // Assign every pending shard round-robin over the live workers.
+        let mut assignments: Vec<(usize, Vec<usize>)> =
+            live.iter().map(|&w| (w, Vec::new())).collect();
+        let lanes = assignments.len();
+        for (at, shard) in pending.drain(..).enumerate() {
+            assignments[at % lanes].1.push(shard);
+        }
+        assignments.retain(|(_, shards)| !shards.is_empty());
+        let dispatched: usize = assignments.iter().map(|(_, s)| s.len()).sum();
+        stats.dispatches += dispatched;
+        registry().counter("cluster.dispatches").add(dispatched as u64);
+
+        let runs: Vec<WorkerRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|(worker, shards)| {
+                    let addr = cfg.workers[*worker].as_str();
+                    let bodies = &bodies;
+                    scope.spawn(move || run_worker(*worker, addr, shards, bodies, cfg))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("dispatch thread panicked"))
+                .collect()
+        });
+
+        for run in runs {
+            stats.retries += run.retries;
+            if let Some(fatal) = run.fatal {
+                return Err(fatal);
+            }
+            for (_, records, meta) in run.completed {
+                match meta {
+                    Some(meta) => metas.push(meta),
+                    None => metas_complete = false,
+                }
+                for record in records {
+                    merged.insert(record.index, record);
+                }
+            }
+            if let Some((unfinished, error)) = run.died {
+                alive[run.worker] = false;
+                stats.workers_dead += 1;
+                stats.rebalances += unfinished.len();
+                registry().counter("cluster.workers_dead").inc();
+                registry().counter("cluster.rebalances").add(unfinished.len() as u64);
+                eprintln!(
+                    "[cluster] worker {} is dead ({error}); rebalancing {} shard(s)",
+                    cfg.workers[run.worker],
+                    unfinished.len()
+                );
+                pending.extend(unfinished);
+            }
+        }
+    }
+    registry().counter("cluster.retries").add(stats.retries as u64);
+
+    // The merge must be the whole grid: a by-index splice tolerates any
+    // dispatch order, but a duplicate or missing cell is a bug, exactly
+    // as `consensus-lab merge` refuses a partial shard union.
+    let records: Vec<ScenarioRecord> = merged.into_values().collect();
+    for (position, record) in records.iter().enumerate() {
+        if record.index != position {
+            return Err(format!(
+                "merged shard union is not the whole grid: index {} at sorted position \
+                 {position} (worker returned a wrong slice?)",
+                record.index
+            ));
+        }
+    }
+    if records.len() != grid.len() {
+        return Err(format!(
+            "merged shard union has {} record(s), grid has {}",
+            records.len(),
+            grid.len()
+        ));
+    }
+
+    let live: Vec<String> =
+        (0..alive.len()).filter(|&w| alive[w]).map(|w| cfg.workers[w].clone()).collect();
+    let audit: SpotCheckSummary =
+        spotcheck::spot_check(&records, &live, cfg.spot_check_pct, cfg.deadline)?;
+    stats.spot_checks = audit.checked;
+    stats.spot_check_failures = audit.failures.len();
+
+    span.set_attr("rebalances", stats.rebalances);
+    span.set_attr("spot_checks", stats.spot_checks);
+    let meta = (metas_complete && !metas.is_empty()).then(|| SweepMeta::merged(&metas));
+    Ok(ClusterOutcome { records, meta, stats, spot_check_failures: audit.failures })
+}
+
+/// The `/v1/sweep` body for one shard: the catalog grid (or the
+/// explicit query list for a `--spec` sweep, preserving the serial
+/// sweep's grid order) plus the `"shard": "i/n"` slice. Workers keep
+/// global indices, so responses merge without re-indexing.
+fn shard_body(cfg: &ClusterConfig, grid: &[Query], index: usize, count: usize) -> String {
+    let shard = Value::Str(format!("{}", Shard { index, count }));
+    let body = match &cfg.spec {
+        None => Value::Obj(vec![
+            ("catalog".into(), Value::Bool(true)),
+            ("max_depth".into(), Value::Int(cfg.max_depth as i64)),
+            (
+                "analyses".into(),
+                Value::Arr(cfg.analyses.iter().map(|k| Value::Str(k.name().to_string())).collect()),
+            ),
+            ("shard".into(), shard),
+        ]),
+        Some(spec) => Value::Obj(vec![
+            (
+                "queries".into(),
+                Value::Arr(
+                    grid.iter()
+                        .map(|q| {
+                            Value::Obj(vec![
+                                ("spec".into(), Value::Str(spec.clone())),
+                                ("depth".into(), Value::Int(q.depth as i64)),
+                                ("analysis".into(), Value::Str(q.analysis.name().to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("shard".into(), shard),
+        ]),
+    };
+    body.to_string()
+}
+
+/// Dispatch one worker's shard list sequentially over one keep-alive
+/// connection, stopping at the first shard the worker cannot complete.
+fn run_worker(
+    worker: usize,
+    addr: &str,
+    shards: &[usize],
+    bodies: &[String],
+    cfg: &ClusterConfig,
+) -> WorkerRun {
+    let mut run = WorkerRun { worker, completed: Vec::new(), retries: 0, died: None, fatal: None };
+    let mut client: Option<Client> = None;
+    for (at, &shard) in shards.iter().enumerate() {
+        let mut span = tracer()
+            .span("cluster.shard")
+            .with_attr("shard", shard)
+            .with_attr("worker", addr.to_string());
+        match dispatch_shard(&mut client, addr, &bodies[shard], cfg, &mut run.retries) {
+            Ok((records, meta)) => {
+                span.set_attr("records", records.len());
+                run.completed.push((shard, records, meta));
+            }
+            Err(ShardFailure::Fatal(error)) => {
+                run.fatal = Some(error);
+                return run;
+            }
+            Err(ShardFailure::Worker(error)) => {
+                run.died = Some((shards[at..].to_vec(), error));
+                return run;
+            }
+        }
+    }
+    run
+}
+
+/// POST one shard body to one worker under the configured deadline,
+/// with bounded linear-backoff retry on transport failures and 5xx.
+fn dispatch_shard(
+    client: &mut Option<Client>,
+    addr: &str,
+    body: &str,
+    cfg: &ClusterConfig,
+    retries: &mut usize,
+) -> Result<(Vec<ScenarioRecord>, Option<SweepMeta>), ShardFailure> {
+    let mut last_error = String::new();
+    for attempt in 0..=cfg.retries {
+        if attempt > 0 {
+            *retries += 1;
+            std::thread::sleep(cfg.backoff * attempt as u32);
+        }
+        if client.is_none() {
+            match Client::connect_with_deadline(addr, cfg.deadline) {
+                Ok(connected) => *client = Some(connected),
+                Err(e) => {
+                    last_error = format!("connecting to {addr}: {e}");
+                    continue;
+                }
+            }
+        }
+        let connected = client.as_mut().expect("connected above");
+        match connected.post_json("/v1/sweep", body) {
+            Err(e) => {
+                // Timeout, refused, or torn mid-response: the connection
+                // state is unknown, so the retry re-dials.
+                *client = None;
+                last_error = format!("{addr}: {e}");
+            }
+            Ok(answer) if answer.status == 200 => {
+                return parse_shard_response(&answer.body)
+                    .map_err(|e| ShardFailure::Fatal(format!("{addr}: {e}")));
+            }
+            Ok(answer) if (500..600).contains(&answer.status) => {
+                // Overload shed (503) or a server-side failure: worth a
+                // bounded retry, then the worker counts as dead.
+                *client = None;
+                last_error = format!("{addr}: HTTP {}: {}", answer.status, answer.body);
+            }
+            Ok(answer) => {
+                return Err(ShardFailure::Fatal(format!(
+                    "{addr} rejected the shard request (HTTP {}): {}",
+                    answer.status, answer.body
+                )));
+            }
+        }
+    }
+    Err(ShardFailure::Worker(last_error))
+}
+
+fn parse_shard_response(body: &str) -> Result<(Vec<ScenarioRecord>, Option<SweepMeta>), String> {
+    let value =
+        consensus_lab::json::parse(body).map_err(|e| format!("unparseable sweep response: {e}"))?;
+    let Some(Value::Arr(items)) = value.get("records") else {
+        return Err("sweep response has no records array".into());
+    };
+    let mut records = Vec::with_capacity(items.len());
+    for item in items {
+        records.push(
+            ScenarioRecord::from_json(item)
+                .map_err(|e| format!("malformed record in sweep response: {e}"))?,
+        );
+    }
+    let meta = value.get("meta").and_then(SweepMeta::from_json);
+    Ok((records, meta))
+}

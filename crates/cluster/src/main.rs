@@ -11,6 +11,8 @@
 //! consensus-lab report --input lab-results/results.jsonl
 //! consensus-lab serve --addr 127.0.0.1:7171 [--threads 8] [--cache-dir DIR]
 //! consensus-lab serve-bench --connections 4 --out BENCH_serve.json
+//! consensus-lab cluster --workers 127.0.0.1:7181,127.0.0.1:7182 --max-depth 3 --out cluster-results
+//! consensus-lab cluster-bench --out BENCH_cluster.json
 //! ```
 
 use std::collections::{BTreeMap, HashMap};
@@ -19,6 +21,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+use consensus_cluster::bench::{self as cluster_bench, ClusterBenchConfig};
+use consensus_cluster::coordinator::{self, ClusterConfig};
 use consensus_lab::report::{Aggregate, SweepMeta, SWEEP_META_FILE};
 use consensus_lab::runner::solvability_matches;
 use consensus_lab::scenario::{AdversarySpec, AnalysisKind, Shard};
@@ -124,9 +128,11 @@ USAGE:
         Exit 1 on any regression.
 
     consensus-lab serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR]
-                        [--expand-threads N] [--budget RUNS] [--trace-out FILE]
+                        [--expand-threads N] [--budget RUNS] [--warm-from HOST:PORT]
+                        [--trace-out FILE]
         Serve the solvability query API over HTTP/1.1: POST /v1/check,
-        POST /v1/sweep, GET /v1/catalog, GET /v1/stats, GET /healthz,
+        POST /v1/sweep (optional \"shard\":\"i/n\" slice), GET /v1/catalog,
+        GET /v1/journal/segment, GET /v1/stats, GET /healthz,
         GET /metrics (JSON; ?format=prometheus for text exposition).
         One long-lived Session (shared space cache + optional persistent
         verdict journal under --cache-dir) answers every request, so the
@@ -136,6 +142,12 @@ USAGE:
         all available cores. --trace-out appends completed spans
         (http.request and the session spans under it) to FILE as JSONL,
         flushed every 500 ms.
+          --warm-from HOST:PORT
+                           before serving, pull a live peer's verdict
+                           journal (GET /v1/journal/segment) and absorb
+                           it into this worker's --cache-dir journal
+                           (required), through the same salt check that
+                           guards a local journal
 
     consensus-lab serve-bench [--addr HOST:PORT] [--connections N] [--requests M]
                               [--max-depth D] [--analyses K1,K2] [--threads N]
@@ -147,6 +159,32 @@ USAGE:
         (BENCH_serve.json), --records DIR writes the swept records as
         DIR/results.jsonl for diffing against `consensus-lab sweep`,
         --assert-warm exits nonzero if the warm pass expanded anything.
+
+    consensus-lab cluster --workers HOST:PORT[,HOST:PORT...]
+                          [--spec TERM] [--max-depth D] [--analyses K1,K2]
+                          [--out DIR] [--shards-per-worker N] [--spot-check PCT]
+                          [--retries N] [--backoff-ms MS] [--deadline-ms MS]
+                          [--trace-out FILE]
+        Coordinate a distributed sweep over a fleet of `serve` workers:
+        split the catalog grid (or one --spec adversary's grid) into
+        workers × --shards-per-worker (default 2) deterministic shards,
+        dispatch them as sharded POST /v1/sweep requests under a
+        per-request deadline with bounded retry (+ linear backoff), and
+        rebalance a dead worker's unfinished shards onto the survivors.
+        Writes DIR/results.jsonl + DIR/summary.csv (default DIR:
+        cluster-results), byte-identical to the single-node sweep modulo
+        timing fields. --spot-check PCT (default 10) audits that
+        fraction of definitive solvability verdicts by requesting
+        certificates from the fleet and replaying the verification
+        locally; any rejected audit fails the run.
+
+    consensus-lab cluster-bench [--max-depth D] [--analyses K1,K2]
+                                [--spot-check PCT] [--threads N] [--out FILE]
+        Benchmark the coordinator against 2 self-spawned in-process
+        workers: serial vs cluster wall clock, retry/rebalance/audit
+        counters, peer warm-start segment size, and a record-identity
+        bit. Prints the bench datum; --out writes it
+        (BENCH_cluster.json).
 
 ANALYSES: solvability, bivalence, broadcastability, component-stats, sim-check
 ";
@@ -165,6 +203,8 @@ fn main() -> ExitCode {
         Some("bench-gate") => cmd_bench_gate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
+        Some("cluster-bench") => cmd_cluster_bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -1106,6 +1146,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         "cache-dir",
         "expand-threads",
         "budget",
+        "warm-from",
         "trace-out",
     ]) {
         return fail(&e);
@@ -1146,6 +1187,23 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Ok(session) => session,
         Err(e) => return fail(&e.to_string()),
     };
+    if flags.has("warm-from") {
+        let Some(peer) = flags.get("warm-from") else {
+            return fail("--warm-from expects HOST:PORT (a live peer worker)");
+        };
+        if journal.is_none() {
+            return fail(
+                "--warm-from requires --cache-dir (the absorbed peer segment persists into \
+                 the local journal)",
+            );
+        }
+        match consensus_cluster::warm::warm_from(&session, peer, Duration::from_secs(30)) {
+            Ok(absorbed) => {
+                emit(format_args!("[warm-from] absorbed {absorbed} journal entries from {peer}"));
+            }
+            Err(e) => return fail(&e),
+        }
+    }
     let cfg = ServeConfig { addr, threads, ..ServeConfig::default() };
     let server = match Server::bind(Arc::new(App::new(session).log_requests(true)), &cfg) {
         Ok(server) => server,
@@ -1153,8 +1211,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     };
     emit(format_args!(
         "serving on http://{} ({} worker threads); endpoints: POST /v1/check, \
-         POST /v1/sweep, GET /v1/catalog, GET /v1/stats, GET /healthz, \
-         GET /metrics[?format=prometheus]",
+         POST /v1/sweep, GET /v1/journal/segment, GET /v1/catalog, GET /v1/stats, \
+         GET /healthz, GET /metrics[?format=prometheus]",
         server.local_addr(),
         cfg.effective_threads(),
     ));
@@ -1308,6 +1366,168 @@ fn cmd_report(args: &[String]) -> ExitCode {
         emit(format_args!("{}", consensus_lab::trace::render_timings(&spans)));
     } else if !flags.has("input") {
         return fail("report needs --input FILE.jsonl and/or --timings --trace TRACE.jsonl");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_cluster(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = flags.reject_unknown(&[
+        "workers",
+        "spec",
+        "max-depth",
+        "analyses",
+        "out",
+        "shards-per-worker",
+        "spot-check",
+        "retries",
+        "backoff-ms",
+        "deadline-ms",
+        "trace-out",
+    ]) {
+        return fail(&e);
+    }
+    let trace_path = match trace_out(&flags) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let Some(workers) = flags.get("workers") else {
+        return fail("cluster needs --workers HOST:PORT[,HOST:PORT...]");
+    };
+    let workers: Vec<String> = workers
+        .split(',')
+        .map(str::trim)
+        .filter(|w| !w.is_empty())
+        .map(String::from)
+        .collect();
+    if workers.is_empty() {
+        return fail("--workers lists no addresses");
+    }
+    for needs_value in ["spec", "out"] {
+        if flags.has(needs_value) && flags.get(needs_value).is_none() {
+            return fail(&format!("--{needs_value} expects a value"));
+        }
+    }
+    let mut cfg = ClusterConfig {
+        workers,
+        spec: flags.get("spec").map(String::from),
+        ..ClusterConfig::default()
+    };
+    for (flag, slot) in [
+        ("max-depth", &mut cfg.max_depth as &mut usize),
+        ("shards-per-worker", &mut cfg.shards_per_worker),
+        ("spot-check", &mut cfg.spot_check_pct),
+        ("retries", &mut cfg.retries),
+    ] {
+        match flags.get_usize(flag, *slot) {
+            Ok(value) => *slot = value,
+            Err(e) => return fail(&e),
+        }
+    }
+    match flags.get_usize("backoff-ms", cfg.backoff.as_millis() as usize) {
+        Ok(ms) => cfg.backoff = Duration::from_millis(ms as u64),
+        Err(e) => return fail(&e),
+    }
+    match flags.get_usize("deadline-ms", cfg.deadline.as_millis() as usize) {
+        Ok(ms) => cfg.deadline = Duration::from_millis(ms.max(1) as u64),
+        Err(e) => return fail(&e),
+    }
+    match parse_analyses(&flags) {
+        Ok(kinds) => cfg.analyses = kinds,
+        Err(e) => return fail(&e),
+    }
+    let out = PathBuf::from(flags.get("out").unwrap_or("cluster-results"));
+    let outcome = match coordinator::run(&cfg) {
+        Ok(outcome) => outcome,
+        Err(e) => return fail(&e),
+    };
+    let stats = &outcome.stats;
+    emit(format_args!(
+        "[cluster] {} scenarios over {} worker(s) × {} shard(s): {} dispatch(es), \
+         {} retr(ies), {} rebalance(s), {} worker(s) died, {} spot-check(s)",
+        stats.scenarios,
+        stats.workers,
+        stats.shards,
+        stats.dispatches,
+        stats.retries,
+        stats.rebalances,
+        stats.workers_dead,
+        stats.spot_checks,
+    ));
+    if let Some(path) = &trace_path {
+        if let Err(e) = finish_trace(path) {
+            return fail(&e);
+        }
+    }
+    let meta = outcome.meta;
+    match ResultStore::new(outcome.records).write_files(&out) {
+        Ok((jsonl, csv)) => {
+            emit(format_args!("wrote {} and {}", jsonl.display(), csv.display()));
+            if let Some(meta) = meta {
+                let meta_path = out.join(SWEEP_META_FILE);
+                if let Err(e) = std::fs::write(&meta_path, format!("{}\n", meta.to_json())) {
+                    return fail(&format!("writing {}: {e}", meta_path.display()));
+                }
+                emit(format_args!("wrote {}", meta_path.display()));
+            }
+        }
+        Err(e) => return fail(&format!("writing results to {}: {e}", out.display())),
+    }
+    if !outcome.spot_check_failures.is_empty() {
+        for failure in &outcome.spot_check_failures {
+            eprintln!("spot-check rejected: {failure}");
+        }
+        return fail(&format!(
+            "{} of {} spot-checked verdict(s) failed certificate replay — do not trust \
+             this result set",
+            outcome.spot_check_failures.len(),
+            stats.spot_checks
+        ));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_cluster_bench(args: &[String]) -> ExitCode {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = flags.reject_unknown(&["max-depth", "analyses", "spot-check", "threads", "out"])
+    {
+        return fail(&e);
+    }
+    if flags.has("out") && flags.get("out").is_none() {
+        return fail("--out expects a file path");
+    }
+    let mut cfg = ClusterBenchConfig::default();
+    for (flag, slot) in [
+        ("max-depth", &mut cfg.max_depth as &mut usize),
+        ("spot-check", &mut cfg.spot_check_pct),
+        ("threads", &mut cfg.server_threads),
+    ] {
+        match flags.get_usize(flag, *slot) {
+            Ok(value) => *slot = value,
+            Err(e) => return fail(&e),
+        }
+    }
+    match parse_analyses(&flags) {
+        Ok(kinds) => cfg.analyses = kinds,
+        Err(e) => return fail(&e),
+    }
+    let report = match cluster_bench::run(&cfg) {
+        Ok(report) => report,
+        Err(e) => return fail(&e),
+    };
+    emit(format_args!("[cluster-bench] {}", report.summary));
+    emit(format_args!("{}", report.datum));
+    if let Some(out) = flags.get("out") {
+        if let Err(e) = std::fs::write(out, format!("{}\n", report.datum)) {
+            return fail(&format!("writing {out}: {e}"));
+        }
+        emit(format_args!("wrote {out}"));
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,184 @@
+//! Certificate spot-checks: the coordinator's accountability layer.
+//!
+//! A coordinator merges verdicts it did not compute. PR 8's checkable
+//! certificates make those verdicts auditable across the wire: for a
+//! deterministic sample of the merged definitive solvability records,
+//! the auditor asks a live worker for a certificate
+//! (`POST /v1/check` with `"certificate": true`), replays
+//! [`consensus_core::certificate::verify`] **locally** against the
+//! adversary it rebuilds itself, and cross-checks the certified verdict
+//! against the merged record. A worker that returned a wrong verdict —
+//! tampered, bit-flipped, or miscomputed — cannot survive the audit:
+//! either its certificate fails local replay, or the certified verdict
+//! contradicts the record it shipped.
+//!
+//! The sample is a deterministic stride over the candidates, so a given
+//! grid and percentage audit the same cells on every run (reproducible
+//! CI), and audits round-robin over the live workers, so the auditor
+//! does not have to trust the worker that produced the answer.
+
+use std::time::Duration;
+
+use consensus_core::certificate;
+use consensus_core::Certificate;
+use consensus_lab::json::Value;
+use consensus_lab::scenario::AnalysisKind;
+use consensus_lab::session::certificate_adversary;
+use consensus_lab::store::ScenarioRecord;
+use consensus_obs::metrics::registry;
+use consensus_obs::trace::tracer;
+use consensus_serve::client::Client;
+
+/// One audit pass's tally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpotCheckSummary {
+    /// Records eligible for audit (definitive solvability verdicts).
+    pub candidates: usize,
+    /// Records actually audited.
+    pub checked: usize,
+    /// One message per rejected audit; empty means the sample held up.
+    pub failures: Vec<String>,
+}
+
+/// Whether `record` carries a certificate-auditable verdict.
+fn auditable(record: &ScenarioRecord) -> bool {
+    record.analysis == AnalysisKind::Solvability
+        && matches!(record.outcome.verdict.as_str(), "solvable" | "unsolvable")
+}
+
+/// Audit `pct` percent of the auditable records against the live
+/// `workers`, rounding the sample size up (a nonzero percentage always
+/// audits at least one record).
+///
+/// # Errors
+/// A message when a sample is requested but no worker is reachable —
+/// an audit that cannot run must not pass silently.
+pub fn spot_check(
+    records: &[ScenarioRecord],
+    workers: &[String],
+    pct: usize,
+    deadline: Duration,
+) -> Result<SpotCheckSummary, String> {
+    let candidates: Vec<&ScenarioRecord> = records.iter().filter(|r| auditable(r)).collect();
+    let mut summary =
+        SpotCheckSummary { candidates: candidates.len(), ..SpotCheckSummary::default() };
+    if pct == 0 || candidates.is_empty() {
+        return Ok(summary);
+    }
+    if workers.is_empty() {
+        return Err("no live worker left to spot-check against".into());
+    }
+    let sample = (candidates.len() * pct).div_ceil(100).clamp(1, candidates.len());
+    let mut clients: Vec<Option<Client>> = workers.iter().map(|_| None).collect();
+    for at in 0..sample {
+        // Deterministic stride over the candidate list, round-robin over
+        // the live workers.
+        let record = candidates[at * candidates.len() / sample];
+        let mut span = tracer()
+            .span("cluster.spotcheck")
+            .with_attr("adversary", record.adversary.clone())
+            .with_attr("depth", record.depth);
+        let verdict = audit(record, workers, &mut clients, at % workers.len(), deadline)?;
+        summary.checked += 1;
+        registry().counter("cluster.spot_checks").inc();
+        span.set_attr("ok", verdict.is_ok());
+        if let Err(failure) = verdict {
+            registry().counter("cluster.spot_check_failures").inc();
+            summary.failures.push(failure);
+        }
+    }
+    Ok(summary)
+}
+
+/// Audit one record, failing over across workers on transport errors.
+/// `Ok(Ok(()))` = verdict confirmed; `Ok(Err(msg))` = audit *rejected*
+/// the verdict; `Err(msg)` = no worker could be asked at all.
+fn audit(
+    record: &ScenarioRecord,
+    workers: &[String],
+    clients: &mut [Option<Client>],
+    first: usize,
+    deadline: Duration,
+) -> Result<Result<(), String>, String> {
+    let body = audit_body(record);
+    let mut last_error = String::new();
+    for offset in 0..workers.len() {
+        let at = (first + offset) % workers.len();
+        let addr = &workers[at];
+        if clients[at].is_none() {
+            match Client::connect_with_deadline(addr, deadline) {
+                Ok(client) => clients[at] = Some(client),
+                Err(e) => {
+                    last_error = format!("connecting to {addr}: {e}");
+                    continue;
+                }
+            }
+        }
+        match clients[at].as_mut().expect("connected above").post_json("/v1/check", &body) {
+            Err(e) => {
+                clients[at] = None;
+                last_error = format!("{addr}: {e}");
+            }
+            Ok(answer) => return Ok(replay(record, addr, answer.status, &answer.body)),
+        }
+    }
+    Err(format!(
+        "spot-check of {}@{} could not reach any worker: {last_error}",
+        record.adversary, record.depth
+    ))
+}
+
+fn audit_body(record: &ScenarioRecord) -> String {
+    // The record's adversary label is a catalog name or a term of the
+    // shared spec language — the same name-first resolution
+    // `certificate_adversary` applies when replaying the certificate.
+    let key = if adversary::catalog::by_name(&record.adversary).is_some() {
+        "adversary"
+    } else {
+        "spec"
+    };
+    Value::Obj(vec![
+        (key.into(), Value::Str(record.adversary.clone())),
+        ("depth".into(), Value::Int(record.depth as i64)),
+        ("analysis".into(), Value::Str("solvability".into())),
+        ("certificate".into(), Value::Bool(true)),
+    ])
+    .to_string()
+}
+
+/// Replay one audit answer locally: parse the certificate, rebuild the
+/// adversary it names, verify it, and cross-check verdicts.
+fn replay(record: &ScenarioRecord, addr: &str, status: u16, body: &str) -> Result<(), String> {
+    let subject = format!("{}@{}", record.adversary, record.depth);
+    if status != 200 {
+        return Err(format!("{subject}: audit request to {addr} answered HTTP {status}: {body}"));
+    }
+    let value = consensus_lab::json::parse(body)
+        .map_err(|e| format!("{subject}: unparseable audit answer from {addr}: {e}"))?;
+    let Some(cert_value @ Value::Obj(_)) = value.get("certificate") else {
+        return Err(format!(
+            "{subject}: {addr} returned no certificate for a definitive solvability verdict"
+        ));
+    };
+    let cert = Certificate::from_json(cert_value)
+        .map_err(|e| format!("{subject}: malformed certificate from {addr} [{}]: {e}", e.kind()))?;
+    if cert.adversary() != record.adversary {
+        return Err(format!(
+            "{subject}: certificate from {addr} names adversary {:?}",
+            cert.adversary()
+        ));
+    }
+    let ma = certificate_adversary(cert.adversary())
+        .map_err(|e| format!("{subject}: cannot rebuild audited adversary [{}]: {e}", e.kind()))?;
+    certificate::verify(&cert, ma.as_ref()).map_err(|e| {
+        format!("{subject}: certificate from {addr} fails replay [{}]: {e}", e.kind())
+    })?;
+    if cert.verdict() != record.outcome.verdict {
+        return Err(format!(
+            "{subject}: merged record says {:?} but the audited certificate proves {:?}",
+            record.outcome.verdict,
+            cert.verdict()
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Peer warm-start: the third tier of the verdict-cache ladder.
+//!
+//! A cold worker joining a fleet has an empty space cache and (at best)
+//! an empty local journal, so its first requests pay full expansions its
+//! peers already paid. This module pulls a live peer's verdict journal
+//! over `GET /v1/journal/segment` and absorbs it into the local
+//! [`DiskCache`](consensus_lab::persist::DiskCache) — through the same
+//! salt check that guards a local journal, so a peer running a
+//! different code version is refused wholesale rather than trusted.
+//! Memory → local disk → peer, each tier consulted in that order and
+//! each absorbed entry persisted locally, so the warm start survives
+//! the worker's own restarts.
+
+use std::time::Duration;
+
+use consensus_lab::json::Value;
+use consensus_lab::session::Session;
+use consensus_serve::client::Client;
+
+/// Pull `peer`'s journal segment and absorb it into `session`'s disk
+/// cache. Returns how many entries were newly journaled locally
+/// (entries already present, and a peer running without a journal,
+/// absorb as zero).
+///
+/// # Errors
+/// A message when the session has no disk cache (peer warm-start needs
+/// `--cache-dir`), the peer is unreachable, the segment is malformed,
+/// or the peer's journal salt does not match this binary's.
+pub fn warm_from(session: &Session, peer: &str, deadline: Duration) -> Result<usize, String> {
+    let Some(disk) = session.disk_cache() else {
+        return Err("peer warm-start needs a persistent journal (run with --cache-dir DIR)".into());
+    };
+    let mut client = Client::connect_with_deadline(peer, deadline)
+        .map_err(|e| format!("connecting to {peer}: {e}"))?;
+    let answer = client.get("/v1/journal/segment").map_err(|e| format!("{peer}: {e}"))?;
+    if answer.status != 200 {
+        return Err(format!(
+            "{peer}: /v1/journal/segment answered HTTP {}: {}",
+            answer.status, answer.body
+        ));
+    }
+    let value = consensus_lab::json::parse(&answer.body)
+        .map_err(|e| format!("{peer}: unparseable journal segment: {e}"))?;
+    if value.get("enabled").and_then(Value::as_bool) != Some(true) {
+        // The peer serves without a journal: nothing to absorb.
+        return Ok(0);
+    }
+    let Some(salt) = value.get("salt").and_then(Value::as_str) else {
+        return Err(format!("{peer}: journal segment carries no salt"));
+    };
+    let Some(Value::Arr(entries)) = value.get("entries") else {
+        return Err(format!("{peer}: journal segment carries no entries array"));
+    };
+    disk.absorb(salt, entries).map_err(|e| format!("{peer}: {e}"))
+}

@@ -374,6 +374,12 @@ impl DiskCache {
     ) -> io::Result<()> {
         let key: Key =
             (fingerprint, domain_code(values), depth, analysis.name().to_string(), params.into());
+        self.store_entry(key, entry).map(|_| ())
+    }
+
+    /// Journal one keyed entry; `Ok(true)` when it was newly written,
+    /// `Ok(false)` when the key was already claimed (first writer wins).
+    fn store_entry(&self, key: Key, entry: DiskEntry) -> io::Result<bool> {
         // The entries lock is held across the journal append so two workers
         // finishing structurally aliased scenarios cannot both claim the
         // key: exactly one journal line per key, and reload order agrees
@@ -381,7 +387,7 @@ impl DiskCache {
         // (`lookup` takes only entries; no inversion exists).
         let mut entries = self.entries.lock().expect("disk cache lock poisoned");
         if entries.contains_key(&key) {
-            return Ok(());
+            return Ok(false);
         }
         let line = entry.to_json(&key).to_string();
         {
@@ -392,7 +398,59 @@ impl DiskCache {
         entries.insert(key, entry);
         self.stores.fetch_add(1, Ordering::Relaxed);
         journal_counters().stores.inc();
-        Ok(())
+        Ok(true)
+    }
+
+    /// Every journaled entry as its journal-line JSON object, in
+    /// deterministic (key-sorted) order — the `/v1/journal/segment`
+    /// payload, and exactly the shape [`absorb`](Self::absorb) accepts on
+    /// the receiving side.
+    pub fn export_entries(&self) -> Vec<Value> {
+        let entries = self.entries.lock().expect("disk cache lock poisoned");
+        let mut keyed: Vec<(&Key, &DiskEntry)> = entries.iter().collect();
+        keyed.sort_by(|a, b| a.0.cmp(b.0));
+        keyed.into_iter().map(|(key, entry)| entry.to_json(key)).collect()
+    }
+
+    /// Absorb a peer's exported journal segment — the warm-start tier
+    /// below memory and local disk. `salt` must equal this binary's
+    /// [`cache_salt`] (verdicts journaled under another code version are
+    /// refused wholesale, exactly like a stale local journal), and every
+    /// entry must parse as a journal line; keys already present keep
+    /// their local value (first writer wins). Returns how many entries
+    /// were newly journaled.
+    ///
+    /// # Errors
+    /// [`Error::CacheConflict`] on a salt mismatch or a malformed entry;
+    /// [`Error::Io`] if the local journal append fails.
+    pub fn absorb(&self, salt: &str, entries: &[Value]) -> Result<usize, Error> {
+        let expected = cache_salt();
+        if salt != expected {
+            return Err(Error::CacheConflict {
+                reason: format!(
+                    "peer journal salt {salt:?} does not match this binary's {expected:?}; \
+                     refusing to absorb verdicts from a different code version"
+                ),
+            });
+        }
+        let mut span = tracer().span("absorb");
+        let mut absorbed = 0usize;
+        for (i, value) in entries.iter().enumerate() {
+            let Some((key, entry)) = DiskEntry::from_json(value) else {
+                return Err(Error::CacheConflict {
+                    reason: format!("peer journal entry {i} is malformed"),
+                });
+            };
+            if self
+                .store_entry(key, entry)
+                .map_err(|e| Error::io("appending absorbed journal entries".to_string(), e))?
+            {
+                absorbed += 1;
+            }
+        }
+        span.set_attr("entries", entries.len());
+        span.set_attr("absorbed", absorbed);
+        Ok(absorbed)
     }
 }
 

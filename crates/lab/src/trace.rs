@@ -30,6 +30,9 @@ pub const KNOWN_SPANS: &[&str] = &[
     "absorb",
     "components",
     "http.request",
+    "cluster.sweep",
+    "cluster.shard",
+    "cluster.spotcheck",
 ];
 
 /// One parsed trace line.

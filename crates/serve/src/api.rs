@@ -11,7 +11,8 @@
 //! | Method | Path          | Body                                   | Answer |
 //! |--------|---------------|----------------------------------------|--------|
 //! | POST   | `/v1/check`   | one query object                       | the [`ScenarioRecord`] JSON |
-//! | POST   | `/v1/sweep`   | a grid (`catalog`+`max_depth` or `queries`) | `records` + `meta` |
+//! | POST   | `/v1/sweep`   | a grid (`catalog`+`max_depth` or `queries`), optional `"shard":"i/n"` | `records` + `meta` |
+//! | GET    | `/v1/journal/segment` | —                              | the verdict journal as an absorbable warm-start segment |
 //! | GET    | `/v1/catalog` | —                                      | the built-in adversary registry |
 //! | GET    | `/v1/stats`   | —                                      | structured [`consensus_obs`] registry snapshot |
 //! | GET    | `/healthz`    | —                                      | liveness |
@@ -31,7 +32,7 @@ use std::time::Instant;
 
 use consensus_core::error::Error;
 use consensus_lab::report::SweepMeta;
-use consensus_lab::scenario::{AdversarySpec, AnalysisKind};
+use consensus_lab::scenario::{AdversarySpec, AnalysisKind, Shard};
 use consensus_lab::session::{Query, Session};
 use consensus_lab::store::ScenarioRecord;
 use consensus_obs::metrics::registry;
@@ -187,6 +188,9 @@ impl App {
             "/v1/sweep" => {
                 (Some(Endpoint::Sweep), self.expect_post(method, request, |body| self.sweep(body)))
             }
+            "/v1/journal/segment" => {
+                (Some(Endpoint::Segment), self.expect_get(method, Self::journal_segment))
+            }
             "/v1/catalog" => (Some(Endpoint::Catalog), self.expect_get(method, Self::catalog)),
             "/v1/stats" => (Some(Endpoint::Stats), self.expect_get(method, Self::stats_body)),
             "/healthz" => (Some(Endpoint::Healthz), self.expect_get(method, Self::healthz)),
@@ -236,10 +240,13 @@ impl App {
     }
 
     fn sweep(&self, body: &Value) -> Response {
-        let entries = match parse_sweep(body) {
-            Ok(entries) => entries,
+        let (entries, shard) = match parse_sweep(body) {
+            Ok(parsed) => parsed,
             Err(response) => return response,
         };
+        if shard.is_some() {
+            registry().counter("sweep.shard_requests").inc();
+        }
         let report = self.session.check_many_indexed(&entries);
         // The same counters a CLI sweep writes to sweep-meta.json — note
         // the cache block (disk hits included, filled in by the runner) is
@@ -263,6 +270,31 @@ impl App {
 
     fn catalog(&self) -> Response {
         Response::ok(self.catalog_body.clone())
+    }
+
+    /// `GET /v1/journal/segment`: this worker's verdict journal as one
+    /// absorbable segment — the peer tier of the memory → disk → peer
+    /// warm-start ladder (`serve --warm-from` on the receiving side). The
+    /// payload carries the journal [`cache_salt`](consensus_lab::persist::cache_salt)
+    /// so the receiver can refuse segments from a different code version,
+    /// exactly as it refuses a stale local journal. A worker running
+    /// without a cache directory answers `{"enabled": false}` and no
+    /// entries.
+    fn journal_segment(&self) -> Response {
+        registry().counter("journal.segments_served").inc();
+        let (enabled, entries) = match self.session.disk_cache() {
+            None => (false, Vec::new()),
+            Some(disk) => (true, disk.export_entries()),
+        };
+        Response::ok(
+            Value::Obj(vec![
+                ("enabled".into(), Value::Bool(enabled)),
+                ("salt".into(), Value::Str(consensus_lab::persist::cache_salt())),
+                ("count".into(), Value::Int(entries.len() as i64)),
+                ("entries".into(), Value::Arr(entries)),
+            ])
+            .to_string(),
+        )
     }
 
     fn healthz(&self) -> Response {
@@ -585,15 +617,33 @@ fn parse_query(value: &Value) -> Result<Query, Response> {
     })
 }
 
+/// A parsed sweep body: the globally indexed queries to run (already
+/// restricted to the requested shard, when one was given) plus that
+/// shard.
+type SweepRequest = (Vec<(usize, Query)>, Option<Shard>);
+
 /// Parse a sweep body into globally indexed queries: either an explicit
 /// `"queries"` array (indices are array positions) or the catalog grid
 /// (`"catalog": true` + `"max_depth"` + optional `"analyses"`), whose
 /// indices — and therefore whose records — match `consensus-lab sweep`
-/// exactly.
-fn parse_sweep(value: &Value) -> Result<Vec<(usize, Query)>, Response> {
-    let fields = object_keys(value, &["queries", "catalog", "max_depth", "analyses"])?;
+/// exactly. An optional `"shard": "i/n"` field (the CLI `--shard`
+/// grammar, via [`Shard::parse`]) restricts the computed slice while
+/// keeping the *global* indices, so shard responses from different
+/// workers merge byte-stably.
+fn parse_sweep(value: &Value) -> Result<SweepRequest, Response> {
+    let fields = object_keys(value, &["queries", "catalog", "max_depth", "analyses", "shard"])?;
+    let shard = match value.get("shard") {
+        None => None,
+        Some(spec) => {
+            let Some(spec) = spec.as_str() else {
+                return Err(bad_request("\"shard\" must be an \"i/n\" string"));
+            };
+            Some(Shard::parse(spec).map_err(|e| Response::from_error(&e))?)
+        }
+    };
+    let grid_fields = fields.len() - usize::from(shard.is_some());
     let queries = if let Some(list) = value.get("queries") {
-        if fields.len() > 1 {
+        if grid_fields > 1 {
             return Err(bad_request("\"queries\" excludes the catalog-grid fields"));
         }
         let Value::Arr(items) = list else {
@@ -637,7 +687,19 @@ fn parse_sweep(value: &Value) -> Result<Vec<(usize, Query)>, Response> {
             queries.len()
         )));
     }
-    Ok(queries.into_iter().enumerate().collect())
+    let grid_len = queries.len();
+    let entries: Vec<(usize, Query)> = queries
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| shard.as_ref().is_none_or(|shard| shard.selects(*i)))
+        .collect();
+    if entries.is_empty() {
+        return Err(bad_request(&format!(
+            "shard {} selects no scenarios from a grid of {grid_len}",
+            shard.expect("only a shard can empty a non-empty grid")
+        )));
+    }
+    Ok((entries, shard))
 }
 
 #[cfg(test)]
@@ -868,6 +930,78 @@ mod tests {
             assert_eq!(response.status, 400, "{body} → {}", response.body);
             assert!(response.body.contains(fragment), "{body} → {}", response.body);
         }
+    }
+
+    #[test]
+    fn sharded_sweeps_union_to_the_full_grid() {
+        use consensus_lab::store::TIMING_FIELDS;
+        let app = app();
+        let full = app.handle(&request(
+            "POST",
+            "/v1/sweep",
+            r#"{"catalog":true,"max_depth":1,"analyses":["solvability"]}"#,
+        ));
+        assert_eq!(full.status, 200, "{}", full.body);
+        let full = json::parse(&full.body).unwrap();
+        let Some(Value::Arr(full_records)) = full.get("records") else {
+            panic!("records must be an array");
+        };
+        // The two shard slices carry global indices and union to the full
+        // grid, record for record.
+        let mut sharded: Vec<(usize, Value)> = Vec::new();
+        for shard in ["0/2", "1/2"] {
+            let body = format!(
+                r#"{{"catalog":true,"max_depth":1,"analyses":["solvability"],"shard":"{shard}"}}"#
+            );
+            let slice = app.handle(&request("POST", "/v1/sweep", &body));
+            assert_eq!(slice.status, 200, "{}", slice.body);
+            let slice = json::parse(&slice.body).unwrap();
+            let Some(Value::Arr(records)) = slice.get("records") else {
+                panic!("records must be an array");
+            };
+            for record in records {
+                sharded.push((record.get_usize("index").unwrap(), record.clone()));
+            }
+        }
+        sharded.sort_by_key(|(index, _)| *index);
+        assert_eq!(sharded.len(), full_records.len());
+        for ((index, shard_record), full_record) in sharded.iter().zip(full_records) {
+            assert_eq!(*index, full_record.get_usize("index").unwrap());
+            assert_eq!(
+                shard_record.without_keys(TIMING_FIELDS),
+                full_record.without_keys(TIMING_FIELDS)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_shards_are_typed_400s() {
+        let app = app();
+        for (body, fragment) in [
+            (r#"{"catalog":true,"max_depth":1,"shard":"2/2"}"#, "bad-shard"),
+            (r#"{"catalog":true,"max_depth":1,"shard":"nope"}"#, "bad-shard"),
+            (r#"{"catalog":true,"max_depth":1,"shard":"0/0"}"#, "bad-shard"),
+            (r#"{"catalog":true,"max_depth":1,"shard":3}"#, "i/n"),
+        ] {
+            let response = app.handle(&request("POST", "/v1/sweep", body));
+            assert_eq!(response.status, 400, "{body} → {}", response.body);
+            assert!(response.body.contains(fragment), "{body} → {}", response.body);
+        }
+    }
+
+    #[test]
+    fn journal_segment_without_a_cache_is_disabled() {
+        let app = app();
+        let response = app.handle(&request("GET", "/v1/journal/segment", ""));
+        assert_eq!(response.status, 200, "{}", response.body);
+        let segment = json::parse(&response.body).unwrap();
+        assert_eq!(segment.get("enabled").and_then(Value::as_bool), Some(false));
+        assert_eq!(segment.get_usize("count"), Some(0));
+        assert_eq!(
+            segment.get("salt").unwrap().as_str(),
+            Some(consensus_lab::persist::cache_salt().as_str())
+        );
+        assert_eq!(app.handle(&request("POST", "/v1/journal/segment", "")).status, 405);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //!   environment is registry-less; no tokio/hyper);
 //! * [`server`] — acceptor + bounded worker-thread pool, keep-alive,
 //!   graceful shutdown;
-//! * [`api`] — the endpoints (`POST /v1/check`, `POST /v1/sweep`,
+//! * [`api`] — the endpoints (`POST /v1/check`, `POST /v1/sweep` with an
+//!   optional `"shard":"i/n"` slice, `GET /v1/journal/segment`,
 //!   `GET /v1/catalog`, `GET /v1/stats`, `GET /healthz`, `GET /metrics`
 //!   with an optional `?format=prometheus`), per-request ids + tracing
 //!   spans, and the typed [`Error`](consensus_core::error::Error) →
@@ -25,9 +26,10 @@
 //! * [`loadgen`] — the `serve-bench` load generator emitting
 //!   `BENCH_serve.json`.
 //!
-//! The `consensus-lab` binary (this crate's `src/main.rs` — moved here
-//! from `crates/lab` when it gained the service subcommands) exposes all
-//! of this as `consensus-lab serve` and `consensus-lab serve-bench`.
+//! The `consensus-lab` binary (grown in `crates/lab`, moved here when it
+//! gained the service subcommands, and now living in `crates/cluster`
+//! above the coordinator) exposes all of this as `consensus-lab serve`
+//! and `consensus-lab serve-bench`.
 //!
 //! # Quickstart
 //!

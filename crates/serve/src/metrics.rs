@@ -22,6 +22,8 @@ pub enum Endpoint {
     Check,
     /// `POST /v1/sweep`.
     Sweep,
+    /// `GET /v1/journal/segment`.
+    Segment,
     /// `GET /v1/catalog`.
     Catalog,
     /// `GET /v1/stats`.
@@ -34,9 +36,10 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in reporting order.
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Check,
         Endpoint::Sweep,
+        Endpoint::Segment,
         Endpoint::Catalog,
         Endpoint::Stats,
         Endpoint::Healthz,
@@ -48,6 +51,7 @@ impl Endpoint {
         match self {
             Endpoint::Check => "check",
             Endpoint::Sweep => "sweep",
+            Endpoint::Segment => "segment",
             Endpoint::Catalog => "catalog",
             Endpoint::Stats => "stats",
             Endpoint::Healthz => "healthz",

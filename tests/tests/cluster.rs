@@ -1,0 +1,154 @@
+//! End-to-end tests of the distributed sweep cluster: a coordinator
+//! driving real `TcpListener`-backed worker servers through the real
+//! HTTP client, covering the three cluster acceptance criteria:
+//!
+//! * a 2-worker cluster sweep merges to records **byte-identical**
+//!   (modulo the scheduling-dependent [`TIMING_FIELDS`]) to a serial
+//!   `Session` sweep of the same grid,
+//! * killing a worker still completes the sweep with the identical
+//!   merged output — its shards rebalance onto the survivors,
+//! * a tampered worker verdict is caught by the certificate spot-check.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use consensus_cluster::coordinator::{self, ClusterConfig};
+use consensus_cluster::spotcheck;
+use consensus_lab::scenario::AnalysisKind;
+use consensus_lab::session::{Query, Session};
+use consensus_lab::store::{ScenarioRecord, TIMING_FIELDS};
+use consensus_serve::api::App;
+use consensus_serve::server::{ServeConfig, Server};
+
+fn start_worker() -> Server {
+    let cfg = ServeConfig { addr: "127.0.0.1:0".into(), threads: 2, ..ServeConfig::default() };
+    Server::bind(Arc::new(App::new(Session::new())), &cfg).expect("bind ephemeral worker")
+}
+
+fn cluster_config(workers: Vec<String>) -> ClusterConfig {
+    ClusterConfig {
+        workers,
+        max_depth: 2,
+        analyses: vec![AnalysisKind::Solvability, AnalysisKind::ComponentStats],
+        // Fail fast in tests: a dead worker should cost milliseconds.
+        retries: 1,
+        backoff: Duration::from_millis(5),
+        deadline: Duration::from_secs(10),
+        ..ClusterConfig::default()
+    }
+}
+
+/// The serial reference for the same grid a config sweeps.
+fn serial_records(cfg: &ClusterConfig) -> Vec<ScenarioRecord> {
+    let grid = Query::catalog_grid(cfg.max_depth, &cfg.analyses);
+    Session::new().check_many(&grid).store.records().to_vec()
+}
+
+fn assert_identical(merged: &[ScenarioRecord], serial: &[ScenarioRecord]) {
+    assert_eq!(merged.len(), serial.len(), "merged grid must be complete");
+    for (cluster, serial) in merged.iter().zip(serial) {
+        assert_eq!(
+            cluster.to_json().without_keys(TIMING_FIELDS),
+            serial.to_json().without_keys(TIMING_FIELDS),
+            "cluster and serial records must be byte-identical modulo timing"
+        );
+    }
+}
+
+#[test]
+fn two_worker_cluster_matches_serial_sweep() {
+    let servers = [start_worker(), start_worker()];
+    let cfg = cluster_config(servers.iter().map(|s| s.local_addr().to_string()).collect());
+
+    let outcome = coordinator::run(&cfg).expect("cluster sweep over a healthy fleet");
+    assert_identical(&outcome.records, &serial_records(&cfg));
+
+    assert_eq!(outcome.stats.workers, 2);
+    assert_eq!(outcome.stats.workers_dead, 0);
+    assert_eq!(outcome.stats.rebalances, 0);
+    assert_eq!(outcome.stats.scenarios, outcome.records.len());
+    assert!(outcome.stats.shards >= 2, "two workers plan at least two shards");
+    assert!(outcome.stats.spot_checks > 0, "a default run audits at least one verdict");
+    assert!(outcome.spot_check_failures.is_empty(), "{:?}", outcome.spot_check_failures);
+    for server in servers {
+        server.stop();
+    }
+}
+
+#[test]
+fn killing_a_worker_mid_sweep_still_completes_identically() {
+    // Three workers; the victim is killed as the coordinator launches,
+    // so its shards were planned for it but every dispatch to it fails
+    // — the deterministic worst case of a mid-sweep death. The
+    // coordinator must burn its retries, declare the worker dead,
+    // rebalance the orphaned shards onto the survivors, and still merge
+    // the complete grid.
+    let survivors = [start_worker(), start_worker()];
+    let victim = start_worker();
+    let mut workers: Vec<String> = survivors.iter().map(|s| s.local_addr().to_string()).collect();
+    workers.push(victim.local_addr().to_string());
+    victim.stop();
+
+    let cfg = cluster_config(workers);
+    let outcome = coordinator::run(&cfg).expect("survivors must absorb the dead worker's shards");
+    assert_identical(&outcome.records, &serial_records(&cfg));
+
+    assert_eq!(outcome.stats.workers, 3);
+    assert_eq!(outcome.stats.workers_dead, 1, "exactly the victim dies");
+    assert!(outcome.stats.retries > 0, "the victim's shards retry before it is declared dead");
+    assert!(outcome.stats.rebalances > 0, "the victim's shards rebalance onto survivors");
+    assert!(outcome.spot_check_failures.is_empty(), "{:?}", outcome.spot_check_failures);
+    for server in survivors {
+        server.stop();
+    }
+}
+
+#[test]
+fn a_dead_fleet_fails_loudly_instead_of_merging_partial_results() {
+    let victim = start_worker();
+    let addr = victim.local_addr().to_string();
+    victim.stop();
+
+    let error = coordinator::run(&cluster_config(vec![addr]))
+        .expect_err("a fleet with no live worker cannot complete");
+    assert!(error.contains("dead"), "the error must name the dead fleet: {error}");
+}
+
+#[test]
+fn tampered_worker_verdict_is_caught_by_the_certificate_spot_check() {
+    let server = start_worker();
+    let workers = vec![server.local_addr().to_string()];
+
+    // A small serial sweep stands in for honestly merged records…
+    let grid = Query::catalog_grid(2, &[AnalysisKind::Solvability]);
+    let mut records = Session::new().check_many(&grid).store.records().to_vec();
+
+    // …which a 100% audit against an honest worker confirms in full.
+    let clean = spotcheck::spot_check(&records, &workers, 100, Duration::from_secs(10))
+        .expect("audit against a live worker");
+    assert!(clean.candidates > 0, "the solvability grid has auditable verdicts");
+    assert_eq!(clean.checked, clean.candidates, "a 100% audit checks every candidate");
+    assert!(clean.failures.is_empty(), "{:?}", clean.failures);
+
+    // Tamper with one definitive verdict, as a lying worker would.
+    let target = records
+        .iter()
+        .position(|r| matches!(r.outcome.verdict.as_str(), "solvable" | "unsolvable"))
+        .expect("at least one definitive solvability verdict");
+    let honest = records[target].outcome.verdict.clone();
+    records[target].outcome.verdict = if honest == "solvable" {
+        "unsolvable".into()
+    } else {
+        "solvable".into()
+    };
+
+    let audited = spotcheck::spot_check(&records, &workers, 100, Duration::from_secs(10))
+        .expect("audit against a live worker");
+    assert_eq!(audited.failures.len(), 1, "exactly the tampered verdict fails: {audited:?}");
+    let failure = &audited.failures[0];
+    assert!(
+        failure.contains(&records[target].adversary) && failure.contains(&honest),
+        "the rejection names the scenario and the certified verdict: {failure}"
+    );
+    server.stop();
+}
