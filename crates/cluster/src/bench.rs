@@ -8,6 +8,14 @@
 //! counters: scenario/shard counts, retries and rebalances (zero on a
 //! healthy fleet), spot-check tallies, the peer warm-start segment
 //! size, and a record-identity bit, all gated by `bench-gate --exact`.
+//!
+//! A second, *traced* coordinator pass measures the observability tax
+//! (`cluster_traced_ms` vs `cluster_ms`) and pins the structural
+//! counters: `events_emitted` (dispatched + completed + audited on a
+//! healthy fleet — deterministic) and `spans_stitched` (zero here by
+//! design: in-process workers share the coordinator's tracer, so their
+//! spans are already local and the stitcher must leave them alone; a
+//! nonzero value would mean spans got duplicated).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -108,11 +116,29 @@ pub fn run(cfg: &ClusterBenchConfig) -> Result<ClusterBenchReport, String> {
     let outcome = coordinator::run(&cluster_cfg)?;
     let cluster_ms = ms(cluster_start.elapsed());
 
+    // Traced re-run: same grid, tracer on, lifecycle events counted
+    // through a discarding sink. Records must stay byte-identical —
+    // observability that changes answers is not observability.
+    let tracer = consensus_obs::trace::tracer();
+    tracer.disable();
+    let _ = tracer.drain();
+    tracer.enable();
+    let events = crate::events::EventSink::new(Box::new(std::io::sink()));
+    let traced_start = Instant::now();
+    let traced = coordinator::run_with(&cluster_cfg, Some(&events));
+    let cluster_traced_ms = ms(traced_start.elapsed());
+    tracer.disable();
+    let _ = tracer.drain();
+    let traced = traced?;
+
     let serial_records = serial.store.records();
-    let identical = serial_records.len() == outcome.records.len()
-        && serial_records.iter().zip(&outcome.records).all(|(a, b)| {
-            a.to_json().without_keys(TIMING_FIELDS) == b.to_json().without_keys(TIMING_FIELDS)
-        });
+    let matches_serial = |records: &[consensus_lab::store::ScenarioRecord]| {
+        serial_records.len() == records.len()
+            && serial_records.iter().zip(records).all(|(a, b)| {
+                a.to_json().without_keys(TIMING_FIELDS) == b.to_json().without_keys(TIMING_FIELDS)
+            })
+    };
+    let identical = matches_serial(&outcome.records) && matches_serial(&traced.records);
 
     // Peer warm-start: a cold third journal pulls worker A's segment.
     let warm_session = journaled_session("warm")?;
@@ -130,19 +156,24 @@ pub fn run(cfg: &ClusterBenchConfig) -> Result<ClusterBenchReport, String> {
         ("shards".into(), Value::Int(stats.shards as i64)),
         ("serial_ms".into(), Value::Float(serial_ms)),
         ("cluster_ms".into(), Value::Float(cluster_ms)),
+        ("cluster_traced_ms".into(), Value::Float(cluster_traced_ms)),
         ("retries".into(), Value::Int(stats.retries as i64)),
         ("rebalances".into(), Value::Int(stats.rebalances as i64)),
         ("spot_checks".into(), Value::Int(stats.spot_checks as i64)),
         ("spot_check_failures".into(), Value::Int(stats.spot_check_failures as i64)),
+        ("spans_stitched".into(), Value::Int(traced.stats.spans_stitched as i64)),
+        ("events_emitted".into(), Value::Int(traced.stats.events_emitted as i64)),
         ("warm_segment_entries".into(), Value::Int(warm_entries as i64)),
         ("identical".into(), Value::Int(i64::from(identical))),
     ]);
     let summary = format!(
         "{} scenarios over {} workers × {} shards: serial {serial_ms} ms, cluster {cluster_ms} \
-         ms; {} spot-check(s), {} warm segment entr{} absorbed, identical={identical}",
+         ms (traced {cluster_traced_ms} ms, {} event(s)); {} spot-check(s), {} warm segment \
+         entr{} absorbed, identical={identical}",
         stats.scenarios,
         stats.workers,
         stats.shards,
+        traced.stats.events_emitted,
         stats.spot_checks,
         warm_entries,
         if warm_entries == 1 { "y" } else { "ies" },

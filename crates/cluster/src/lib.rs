@@ -17,6 +17,11 @@
 //!   of merged verdicts is audited by requesting certificates from the
 //!   fleet and replaying [`consensus_core::certificate::verify`]
 //!   locally, so a worker cannot silently return wrong answers;
+//! * [`events`] — live shard-lifecycle events (`dispatched` /
+//!   `completed` / `retried` / `rebalanced` / `audited`) as JSONL on
+//!   `--events-out`, plus the coordinator's trace stitching and fleet
+//!   `/v1/stats` fold (see [`coordinator`]) — the fleet-wide
+//!   observability story on top of `consensus_obs`;
 //! * [`warm`] — peer warm-start: a cold worker pulls a live peer's
 //!   verdict journal via `GET /v1/journal/segment` and absorbs it
 //!   through the persist layer's salt check (memory → disk → peer
@@ -35,8 +40,10 @@
 
 pub mod bench;
 pub mod coordinator;
+pub mod events;
 pub mod spotcheck;
 pub mod warm;
 
 pub use coordinator::{ClusterConfig, ClusterOutcome, ClusterStats};
+pub use events::EventSink;
 pub use spotcheck::SpotCheckSummary;

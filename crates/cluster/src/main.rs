@@ -23,6 +23,7 @@ use std::time::Duration;
 
 use consensus_cluster::bench::{self as cluster_bench, ClusterBenchConfig};
 use consensus_cluster::coordinator::{self, ClusterConfig};
+use consensus_cluster::events::EventSink;
 use consensus_lab::report::{Aggregate, SweepMeta, SWEEP_META_FILE};
 use consensus_lab::runner::solvability_matches;
 use consensus_lab::scenario::{AdversarySpec, AnalysisKind, Shard};
@@ -129,11 +130,16 @@ USAGE:
 
     consensus-lab serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR]
                         [--expand-threads N] [--budget RUNS] [--warm-from HOST:PORT]
-                        [--trace-out FILE]
+                        [--trace-out FILE | --trace]
         Serve the solvability query API over HTTP/1.1: POST /v1/check,
         POST /v1/sweep (optional \"shard\":\"i/n\" slice), GET /v1/catalog,
-        GET /v1/journal/segment, GET /v1/stats, GET /healthz,
-        GET /metrics (JSON; ?format=prometheus for text exposition).
+        GET /v1/journal/segment, GET /v1/stats, GET /v1/trace?since=ID
+        (non-destructive span-ring cursor for fleet trace stitching),
+        GET /healthz, GET /metrics (JSON; ?format=prometheus for text
+        exposition). Every response echoes an x-request-id header
+        (generated when the request carries none), and a request bearing
+        an x-consensus-trace context parents its spans under the remote
+        caller (see docs/observability.md).
         One long-lived Session (shared space cache + optional persistent
         verdict journal under --cache-dir) answers every request, so the
         server warms up once and stays warm. Every request logs one
@@ -141,7 +147,11 @@ USAGE:
         stderr. Default address 127.0.0.1:7171; --threads 0 (default) =
         all available cores. --trace-out appends completed spans
         (http.request and the session spans under it) to FILE as JSONL,
-        flushed every 500 ms.
+        flushed every 500 ms. --trace instead enables the tracer with
+        *no* local flusher — fleet-worker mode, where the span ring is
+        left intact for a cluster coordinator to harvest via
+        GET /v1/trace (the two flags are mutually exclusive: a local
+        drain would swallow spans the harvester has not read yet).
           --warm-from HOST:PORT
                            before serving, pull a live peer's verdict
                            journal (GET /v1/journal/segment) and absorb
@@ -164,7 +174,7 @@ USAGE:
                           [--spec TERM] [--max-depth D] [--analyses K1,K2]
                           [--out DIR] [--shards-per-worker N] [--spot-check PCT]
                           [--retries N] [--backoff-ms MS] [--deadline-ms MS]
-                          [--trace-out FILE]
+                          [--trace-out FILE] [--events-out FILE]
         Coordinate a distributed sweep over a fleet of `serve` workers:
         split the catalog grid (or one --spec adversary's grid) into
         workers × --shards-per-worker (default 2) deterministic shards,
@@ -177,12 +187,27 @@ USAGE:
         fraction of definitive solvability verdicts by requesting
         certificates from the fleet and replaying the verification
         locally; any rejected audit fails the run.
+          --trace-out FILE stamp every dispatch with an x-consensus-trace
+                           context, drain each worker's span ring
+                           (GET /v1/trace) after every round, and write
+                           one stitched cross-node trace: worker spans
+                           carry a \"node\" label and parent under the
+                           cluster.shard span that dispatched them
+          --events-out FILE
+                           append live shard-lifecycle events as JSONL
+                           (cluster.dispatched / completed / retried /
+                           rebalanced / audited; see
+                           docs/observability.md)
+        Also writes DIR/cluster-stats.json: the fleet /v1/stats fold —
+        per-worker request totals plus the workers' counters summed and
+        their latency histograms merged bucket-wise.
 
     consensus-lab cluster-bench [--max-depth D] [--analyses K1,K2]
                                 [--spot-check PCT] [--threads N] [--out FILE]
         Benchmark the coordinator against 2 self-spawned in-process
-        workers: serial vs cluster wall clock, retry/rebalance/audit
-        counters, peer warm-start segment size, and a record-identity
+        workers: serial vs cluster wall clock (untraced and traced),
+        retry/rebalance/audit counters, lifecycle-event and stitched-span
+        tallies, peer warm-start segment size, and a record-identity
         bit. Prints the bench datum; --out writes it
         (BENCH_cluster.json).
 
@@ -1148,6 +1173,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         "budget",
         "warm-from",
         "trace-out",
+        "trace",
     ]) {
         return fail(&e);
     }
@@ -1155,6 +1181,19 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
+    // Fleet-worker mode: `--trace` switches the tracer on *without* a
+    // local flusher, keeping finished spans in the ring for a
+    // coordinator to harvest via `GET /v1/trace` (a local `--trace-out`
+    // drain would race the harvest and swallow spans).
+    if flags.has("trace") {
+        if trace_path.is_some() {
+            return fail(
+                "--trace and --trace-out are mutually exclusive (the --trace-out \
+                         flusher drains the span ring a /v1/trace harvester reads)",
+            );
+        }
+        tracer().enable();
+    }
     if flags.has("addr") && flags.get("addr").is_none() {
         return fail("--addr expects HOST:PORT");
     }
@@ -1212,13 +1251,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     emit(format_args!(
         "serving on http://{} ({} worker threads); endpoints: POST /v1/check, \
          POST /v1/sweep, GET /v1/journal/segment, GET /v1/catalog, GET /v1/stats, \
-         GET /healthz, GET /metrics[?format=prometheus]",
+         GET /v1/trace, GET /healthz, GET /metrics[?format=prometheus]",
         server.local_addr(),
         cfg.effective_threads(),
     ));
     match journal {
         Some(dir) => emit(format_args!("verdict journal: {}", dir.display())),
         None => emit(format_args!("verdict journal: disabled (memory-only session)")),
+    }
+    if flags.has("trace") {
+        emit(format_args!("tracing to the span ring (harvest with GET /v1/trace?since=ID)"));
     }
     if let Some(path) = trace_path {
         // A detached flusher: the server runs until the process dies, so
@@ -1363,6 +1405,23 @@ fn cmd_report(args: &[String]) -> ExitCode {
             Ok(spans) => spans,
             Err(e) => return fail(&format!("{trace}: {e}")),
         };
+        // A stitched cluster trace marks spans whose worker-side parent
+        // was overwritten by ring pressure before the coordinator could
+        // drain it. The tree still renders (orphans hang off the sweep
+        // root), but it is not the whole story — say so loudly.
+        let orphaned = spans
+            .iter()
+            .filter(|s| {
+                s.attrs.get("orphaned").and_then(consensus_lab::json::Value::as_bool) == Some(true)
+            })
+            .count();
+        if orphaned > 0 {
+            eprintln!(
+                "WARNING: {trace} is an INCOMPLETE stitched trace: {orphaned} span(s) lost \
+                 their parent to worker-side ring overwrite (re-parented under the sweep \
+                 root); raise the drain cadence or lower the sweep size for a full trace"
+            );
+        }
         emit(format_args!("{}", consensus_lab::trace::render_timings(&spans)));
     } else if !flags.has("input") {
         return fail("report needs --input FILE.jsonl and/or --timings --trace TRACE.jsonl");
@@ -1387,12 +1446,21 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
         "backoff-ms",
         "deadline-ms",
         "trace-out",
+        "events-out",
     ]) {
         return fail(&e);
     }
     let trace_path = match trace_out(&flags) {
         Ok(p) => p,
         Err(e) => return fail(&e),
+    };
+    let events = match flags.get("events-out") {
+        None if flags.has("events-out") => return fail("--events-out expects a file path"),
+        None => None,
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some(EventSink::new(Box::new(file))),
+            Err(e) => return fail(&format!("creating {path}: {e}")),
+        },
     };
     let Some(workers) = flags.get("workers") else {
         return fail("cluster needs --workers HOST:PORT[,HOST:PORT...]");
@@ -1440,14 +1508,15 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     }
     let out = PathBuf::from(flags.get("out").unwrap_or("cluster-results"));
-    let outcome = match coordinator::run(&cfg) {
+    let outcome = match coordinator::run_with(&cfg, events.as_ref()) {
         Ok(outcome) => outcome,
         Err(e) => return fail(&e),
     };
     let stats = &outcome.stats;
     emit(format_args!(
         "[cluster] {} scenarios over {} worker(s) × {} shard(s): {} dispatch(es), \
-         {} retr(ies), {} rebalance(s), {} worker(s) died, {} spot-check(s)",
+         {} retr(ies), {} rebalance(s), {} worker(s) died, {} spot-check(s), \
+         {} event(s) emitted",
         stats.scenarios,
         stats.workers,
         stats.shards,
@@ -1456,10 +1525,30 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
         stats.rebalances,
         stats.workers_dead,
         stats.spot_checks,
+        stats.events_emitted,
     ));
     if let Some(path) = &trace_path {
+        // Local spans first (drained by finish_trace), then the stitched
+        // worker fragments: one file, one cross-node trace.
         if let Err(e) = finish_trace(path) {
             return fail(&e);
+        }
+        if !outcome.stitched_spans.is_empty() {
+            use std::io::Write;
+            let appended = std::fs::OpenOptions::new().append(true).open(path).and_then(|mut f| {
+                for line in &outcome.stitched_spans {
+                    writeln!(f, "{line}")?;
+                }
+                Ok(())
+            });
+            if let Err(e) = appended {
+                return fail(&format!("appending stitched spans to {}: {e}", path.display()));
+            }
+            eprintln!(
+                "[trace] stitched {} worker span(s) into {}",
+                outcome.stitched_spans.len(),
+                path.display()
+            );
         }
     }
     let meta = outcome.meta;
@@ -1472,6 +1561,13 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
                     return fail(&format!("writing {}: {e}", meta_path.display()));
                 }
                 emit(format_args!("wrote {}", meta_path.display()));
+            }
+            if let Some(fleet) = &outcome.fleet {
+                let stats_path = out.join("cluster-stats.json");
+                if let Err(e) = std::fs::write(&stats_path, format!("{fleet}\n")) {
+                    return fail(&format!("writing {}: {e}", stats_path.display()));
+                }
+                emit(format_args!("wrote {}", stats_path.display()));
             }
         }
         Err(e) => return fail(&format!("writing results to {}: {e}", out.display())),

@@ -26,8 +26,10 @@ use consensus_lab::scenario::AnalysisKind;
 use consensus_lab::session::certificate_adversary;
 use consensus_lab::store::ScenarioRecord;
 use consensus_obs::metrics::registry;
-use consensus_obs::trace::tracer;
+use consensus_obs::trace::{tracer, TraceContext, TRACE_HEADER};
 use consensus_serve::client::Client;
+
+use crate::events::EventSink;
 
 /// One audit pass's tally.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -59,6 +61,21 @@ pub fn spot_check(
     pct: usize,
     deadline: Duration,
 ) -> Result<SpotCheckSummary, String> {
+    spot_check_with(records, workers, pct, deadline, None)
+}
+
+/// [`spot_check`], with an optional live event sink: one `audited`
+/// event per replayed verdict.
+///
+/// # Errors
+/// As [`spot_check`].
+pub fn spot_check_with(
+    records: &[ScenarioRecord],
+    workers: &[String],
+    pct: usize,
+    deadline: Duration,
+    events: Option<&EventSink>,
+) -> Result<SpotCheckSummary, String> {
     let candidates: Vec<&ScenarioRecord> = records.iter().filter(|r| auditable(r)).collect();
     let mut summary =
         SpotCheckSummary { candidates: candidates.len(), ..SpotCheckSummary::default() };
@@ -78,10 +95,25 @@ pub fn spot_check(
             .span("cluster.spotcheck")
             .with_attr("adversary", record.adversary.clone())
             .with_attr("depth", record.depth);
-        let verdict = audit(record, workers, &mut clients, at % workers.len(), deadline)?;
+        // The audit request carries this span's trace context, so a
+        // worker-side `http.request` span stitches under the audit that
+        // caused it, exactly like a shard dispatch.
+        let trace = span.id().map(|id| TraceContext::local(id).to_header());
+        let verdict =
+            audit(record, workers, &mut clients, at % workers.len(), deadline, trace.as_deref())?;
         summary.checked += 1;
         registry().counter("cluster.spot_checks").inc();
         span.set_attr("ok", verdict.is_ok());
+        if let Some(sink) = events {
+            sink.emit(
+                "audited",
+                vec![
+                    ("adversary".into(), Value::Str(record.adversary.clone())),
+                    ("depth".into(), Value::Int(record.depth as i64)),
+                    ("ok".into(), Value::Bool(verdict.is_ok())),
+                ],
+            );
+        }
         if let Err(failure) = verdict {
             registry().counter("cluster.spot_check_failures").inc();
             summary.failures.push(failure);
@@ -99,7 +131,9 @@ fn audit(
     clients: &mut [Option<Client>],
     first: usize,
     deadline: Duration,
+    trace: Option<&str>,
 ) -> Result<Result<(), String>, String> {
+    let headers: Vec<(&str, &str)> = trace.map(|value| (TRACE_HEADER, value)).into_iter().collect();
     let body = audit_body(record);
     let mut last_error = String::new();
     for offset in 0..workers.len() {
@@ -114,7 +148,11 @@ fn audit(
                 }
             }
         }
-        match clients[at].as_mut().expect("connected above").post_json("/v1/check", &body) {
+        match clients[at].as_mut().expect("connected above").post_json_with(
+            "/v1/check",
+            &body,
+            &headers,
+        ) {
             Err(e) => {
                 clients[at] = None;
                 last_error = format!("{addr}: {e}");

@@ -146,14 +146,23 @@ pub fn validate(text: &str) -> Result<TraceSummary, String> {
                 if pid == span.id {
                     return Err(format!("line {lineno}: span {} is its own parent", span.id));
                 }
-                let child_end = span.start_us + span.dur_us;
-                let parent_end = parent.start_us + parent.dur_us;
-                if span.start_us < parent.start_us || child_end > parent_end {
-                    return Err(format!(
-                        "line {lineno}: span {} [{}, {child_end}]us escapes parent {} \
-                         [{}, {parent_end}]us",
-                        span.id, span.start_us, pid, parent.start_us,
-                    ));
+                // Containment only holds within one process: `start_us`
+                // counts from each process's own trace epoch, so a
+                // stitched cross-node edge (the child and parent carry
+                // different `node` labels, or only one side carries one)
+                // compares incommensurable clocks and is exempt.
+                let child_node = span.attrs.get("node").and_then(Value::as_str);
+                let parent_node = parent.attrs.get("node").and_then(Value::as_str);
+                if child_node == parent_node {
+                    let child_end = span.start_us + span.dur_us;
+                    let parent_end = parent.start_us + parent.dur_us;
+                    if span.start_us < parent.start_us || child_end > parent_end {
+                        return Err(format!(
+                            "line {lineno}: span {} [{}, {child_end}]us escapes parent {} \
+                             [{}, {parent_end}]us",
+                            span.id, span.start_us, pid, parent.start_us,
+                        ));
+                    }
                 }
             }
         }
@@ -296,6 +305,24 @@ mod tests {
         assert!(validate(&escapes).unwrap_err().contains("escapes parent"));
         let self_parent = line("expand", 1, Some(1), 0, 1);
         assert!(validate(&self_parent).unwrap_err().contains("its own parent"));
+    }
+
+    #[test]
+    fn cross_node_edges_are_exempt_from_containment() {
+        // A stitched worker span's clock counts from its own process
+        // epoch, so in raw micros it may "escape" its coordinator-side
+        // parent; the differing `node` labelling exempts the edge.
+        let parent = line("cluster.shard", 1, None, 1000, 50);
+        let child = "{\"span\":\"http.request\",\"id\":4294967297,\"parent\":1,\
+                     \"start_us\":5,\"dur_us\":3,\"attrs\":{\"node\":\"127.0.0.1:9\"}}";
+        let summary = validate(&format!("{parent}\n{child}")).unwrap();
+        assert_eq!(summary, TraceSummary { spans: 2, roots: 1 });
+        // Two spans on the *same* node share a clock: still enforced.
+        let a = "{\"span\":\"http.request\",\"id\":10,\"parent\":null,\
+                 \"start_us\":10,\"dur_us\":5,\"attrs\":{\"node\":\"w\"}}";
+        let b = "{\"span\":\"expand\",\"id\":11,\"parent\":10,\
+                 \"start_us\":2,\"dur_us\":3,\"attrs\":{\"node\":\"w\"}}";
+        assert!(validate(&format!("{a}\n{b}")).unwrap_err().contains("escapes parent"));
     }
 
     #[test]

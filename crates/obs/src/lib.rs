@@ -52,4 +52,4 @@ pub mod prom;
 pub mod trace;
 
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
-pub use trace::{tracer, SpanGuard, SpanRecord, Tracer};
+pub use trace::{trace_id, tracer, SpanGuard, SpanRecord, TraceContext, Tracer, TRACE_HEADER};

@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Spans the ring holds before overwriting the oldest; generous enough
 /// for a full catalog sweep, small enough to bound memory (~100 B/span).
@@ -218,6 +218,72 @@ pub fn tracer() -> &'static Tracer {
     &TRACER
 }
 
+/// The process-scoped 128-bit trace id, lazily minted on first use from
+/// the wall clock and the process id. Every span this process records
+/// belongs to this one trace; a remote caller's context whose trace id
+/// differs marks a cross-process edge (see [`TraceContext`]).
+static TRACE_ID: OnceLock<u128> = OnceLock::new();
+
+/// The process-scoped 128-bit trace id (stable for the process lifetime).
+pub fn trace_id() -> u128 {
+    *TRACE_ID.get_or_init(|| {
+        let nanos = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos()).unwrap_or(0);
+        // XOR the pid into the low bits so two processes started within
+        // one clock tick (a coordinator forking its fleet) still differ.
+        nanos ^ u128::from(std::process::id())
+    })
+}
+
+/// The request header carrying a [`TraceContext`] across processes.
+pub const TRACE_HEADER: &str = "x-consensus-trace";
+
+/// A `traceparent`-style cross-process trace context: which trace a
+/// request belongs to and which span it should parent under.
+///
+/// Wire format (the value of [`TRACE_HEADER`]):
+/// `<trace_id as 32 lowercase hex digits>-<parent span id, decimal>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The caller's process-scoped 128-bit trace id.
+    pub trace_id: u128,
+    /// The caller-side span the receiver's work should parent under.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// The context for a span of the **local** trace — what a caller
+    /// stamps on an outgoing request.
+    pub fn local(parent_span: u64) -> TraceContext {
+        TraceContext { trace_id: trace_id(), parent_span }
+    }
+
+    /// Render the header value: `{trace_id:032x}-{parent_span}`.
+    pub fn to_header(&self) -> String {
+        format!("{:032x}-{}", self.trace_id, self.parent_span)
+    }
+
+    /// Parse a header value produced by [`to_header`](Self::to_header).
+    /// Returns `None` on any malformed input (wrong field count, bad hex,
+    /// bad decimal) — a bad header is ignored, never an error.
+    pub fn parse(value: &str) -> Option<TraceContext> {
+        let (hex, span) = value.trim().split_once('-')?;
+        if hex.len() != 32 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let trace_id = u128::from_str_radix(hex, 16).ok()?;
+        let parent_span = span.parse::<u64>().ok()?;
+        Some(TraceContext { trace_id, parent_span })
+    }
+
+    /// Whether this context belongs to the local process's trace — if so
+    /// the parent span id is directly meaningful and the receiver can
+    /// parent under it with [`Tracer::span_under`] (the in-process
+    /// cluster shape: coordinator and "workers" share one tracer).
+    pub fn is_local(&self) -> bool {
+        self.trace_id == trace_id()
+    }
+}
+
 impl Tracer {
     const fn new() -> Tracer {
         Tracer {
@@ -295,6 +361,26 @@ impl Tracer {
     /// Take every finished span, oldest first, leaving the ring empty.
     pub fn drain(&self) -> Vec<SpanRecord> {
         self.ring.lock().expect("tracer ring poisoned").drain()
+    }
+
+    /// Every finished span with `id > since_id`, oldest first, **without**
+    /// emptying the ring — the cursor read behind `GET /v1/trace?since=ID`.
+    /// Non-destructive so it coexists with a concurrent `--trace-out`
+    /// flusher calling [`drain`](Self::drain); callers resume from the
+    /// max id they have seen. Spans overwritten by ring pressure before
+    /// the read are gone (count them via [`dropped`](Self::dropped)).
+    pub fn spans_since(&self, since_id: u64) -> Vec<SpanRecord> {
+        let ring = self.ring.lock().expect("tracer ring poisoned");
+        let len = ring.buf.len().max(1);
+        let mut out: Vec<SpanRecord> = Vec::new();
+        // Walk oldest → newest without disturbing the ring.
+        for offset in 0..ring.buf.len() {
+            let record = &ring.buf[(ring.head + offset) % len];
+            if record.id > since_id {
+                out.push(record.clone());
+            }
+        }
+        out
     }
 
     /// Total spans ever opened while enabled — the tracer's only
@@ -538,6 +624,54 @@ mod tests {
         // Oldest first, record 0 was overwritten.
         assert_eq!(drained[0].id, 1);
         assert_eq!(drained.last().unwrap().id, RING_CAPACITY as u64);
+    }
+
+    #[test]
+    fn trace_context_round_trips_and_rejects_garbage() {
+        let ctx =
+            TraceContext { trace_id: 0xdead_beef_0123_4567_89ab_cdef_0011_2233, parent_span: 42 };
+        let header = ctx.to_header();
+        assert_eq!(header, "deadbeef0123456789abcdef00112233-42");
+        assert_eq!(TraceContext::parse(&header), Some(ctx));
+        // The local constructor uses the process trace id, which is stable.
+        let local = TraceContext::local(7);
+        assert!(local.is_local());
+        assert_eq!(TraceContext::parse(&local.to_header()), Some(local));
+        assert!(!ctx.is_local() || trace_id() == ctx.trace_id);
+
+        for bad in [
+            "",
+            "deadbeef",
+            "deadbeef0123456789abcdef00112233",     // no span
+            "deadbeef0123456789abcdef00112233-",    // empty span
+            "deadbeef0123456789abcdef00112233-x",   // non-decimal span
+            "deadbeef0123456789abcdef0011223-42",   // 31 hex digits
+            "zzadbeef0123456789abcdef00112233-42",  // non-hex
+            "deadbeef0123456789abcdef001122334-42", // 33 hex digits
+        ] {
+            assert_eq!(TraceContext::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn spans_since_is_a_nondestructive_cursor() {
+        let _serial = serial();
+        tracer().disable();
+        let _ = tracer().drain();
+        tracer().enable();
+        drop(tracer().span("expand"));
+        let first = tracer().spans_since(0);
+        assert_eq!(first.len(), 1);
+        let cursor = first[0].id;
+        drop(tracer().span("shard"));
+        tracer().disable();
+        // The cursor read returns only the new span, and the ring still
+        // holds both for the destructive drain.
+        let fresh = tracer().spans_since(cursor);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].name, "shard");
+        assert_eq!(tracer().spans_since(fresh[0].id).len(), 0);
+        assert_eq!(tracer().drain().len(), 2);
     }
 
     #[test]

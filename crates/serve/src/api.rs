@@ -13,6 +13,7 @@
 //! | POST   | `/v1/check`   | one query object                       | the [`ScenarioRecord`] JSON |
 //! | POST   | `/v1/sweep`   | a grid (`catalog`+`max_depth` or `queries`), optional `"shard":"i/n"` | `records` + `meta` |
 //! | GET    | `/v1/journal/segment` | —                              | the verdict journal as an absorbable warm-start segment |
+//! | GET    | `/v1/trace?since=ID` | —                               | this worker's span-ring fragment past the cursor (non-destructive) |
 //! | GET    | `/v1/catalog` | —                                      | the built-in adversary registry |
 //! | GET    | `/v1/stats`   | —                                      | structured [`consensus_obs`] registry snapshot |
 //! | GET    | `/healthz`    | —                                      | liveness |
@@ -22,7 +23,10 @@
 //! Every request gets a process-unique id, carried as the `id` attribute
 //! of its `http.request` trace span and (when request logging is enabled,
 //! as the `serve` subcommand does) echoed in one structured completion
-//! line on stderr.
+//! line on stderr. Every response also carries an `x-request-id` header
+//! (propagated from the request when supplied, generated otherwise), and
+//! an `x-consensus-trace` request header parents the request's span under
+//! the remote caller — see [`App::handle`].
 //!
 //! Failures are structured: `{"error":{"status":…,"kind":…,"message":…}}`,
 //! with the status class decided by [`Error::status_code`].
@@ -37,7 +41,7 @@ use consensus_lab::session::{Query, Session};
 use consensus_lab::store::ScenarioRecord;
 use consensus_obs::metrics::registry;
 use consensus_obs::prom;
-use consensus_obs::trace::tracer;
+use consensus_obs::trace::{trace_id, tracer, TraceContext, TRACE_HEADER};
 use json::Value;
 
 use crate::http::Request;
@@ -48,7 +52,8 @@ use crate::metrics::{Endpoint, Metrics};
 /// requests, exactly as the CLI shards them across processes).
 pub const MAX_SWEEP_SCENARIOS: usize = 65_536;
 
-/// One HTTP answer: a status, a body, and its content type.
+/// One HTTP answer: a status, a body, its content type, and any extra
+/// response headers (the `x-request-id` correlation echo).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
@@ -58,6 +63,10 @@ pub struct Response {
     /// The `Content-Type` of the body (`application/json` for every
     /// route except the Prometheus exposition).
     pub content_type: &'static str,
+    /// Extra response header fields, written verbatim after the framing
+    /// headers (today: the `x-request-id` echo stamped by
+    /// [`App::handle`]).
+    pub headers: Vec<(String, String)>,
 }
 
 /// The default body content type.
@@ -66,12 +75,12 @@ const JSON_CONTENT_TYPE: &str = "application/json";
 impl Response {
     /// A `200` with the given JSON body.
     pub fn ok(body: String) -> Self {
-        Response { status: 200, body, content_type: JSON_CONTENT_TYPE }
+        Response { status: 200, body, content_type: JSON_CONTENT_TYPE, headers: Vec::new() }
     }
 
     /// A `200` with a plain-text body of the given content type.
     pub fn text(body: String, content_type: &'static str) -> Self {
-        Response { status: 200, body, content_type }
+        Response { status: 200, body, content_type, headers: Vec::new() }
     }
 
     /// A structured error payload; see the module docs.
@@ -84,7 +93,12 @@ impl Response {
                 ("message".into(), Value::Str(message.to_string())),
             ]),
         )]);
-        Response { status, body: body.to_string(), content_type: JSON_CONTENT_TYPE }
+        Response {
+            status,
+            body: body.to_string(),
+            content_type: JSON_CONTENT_TYPE,
+            headers: Vec::new(),
+        }
     }
 
     /// The structured form of a typed facade [`Error`], via its
@@ -144,15 +158,43 @@ impl App {
     /// histograms, an `http.request` span carrying the request id (which
     /// parents any session spans the handler opens on this thread), and
     /// optionally one structured completion line.
+    ///
+    /// Distributed context: an `x-consensus-trace` request header (see
+    /// [`TraceContext`]) parents this request's span under the remote
+    /// caller — directly via [`consensus_obs::trace::Tracer::span_under`]
+    /// when the caller shares
+    /// this process's trace id (the in-process cluster shape), or as
+    /// `remote_trace`/`remote_parent` span attributes a coordinator uses
+    /// to re-parent the stitched fragment. An `x-request-id` header is
+    /// echoed on the response (generated when absent), so cluster retry
+    /// and rebalance log lines correlate with worker completion lines.
     pub fn handle(&self, request: &Request) -> Response {
         let start = Instant::now();
         let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
-        let mut span = tracer()
-            .span("http.request")
-            .with_attr("id", request_id)
-            .with_attr("method", request.method.as_str())
-            .with_attr("target", request.target.as_str());
-        let (endpoint, response) = self.route(request);
+        let remote = request.header(TRACE_HEADER).and_then(TraceContext::parse);
+        let mut span = match remote {
+            Some(ctx) if ctx.is_local() => {
+                tracer().span_under("http.request", Some(ctx.parent_span))
+            }
+            _ => tracer().span("http.request"),
+        };
+        span.set_attr("id", request_id);
+        span.set_attr("method", request.method.as_str());
+        span.set_attr("target", request.target.as_str());
+        if let Some(ctx) = remote.filter(|ctx| !ctx.is_local()) {
+            // A foreign caller: record its context so a coordinator can
+            // re-parent this fragment when stitching the cluster trace.
+            span.set_attr("remote_trace", format!("{:032x}", ctx.trace_id));
+            span.set_attr("remote_parent", ctx.parent_span);
+        }
+        let echo_id = match request.header("x-request-id") {
+            Some(supplied) => supplied.to_string(),
+            // Prefix the per-process counter with the trace id's top 32
+            // bits so ids stay unique across a fleet of workers.
+            None => format!("{:08x}-{request_id}", (trace_id() >> 96) as u32),
+        };
+        let (endpoint, mut response) = self.route(request);
+        response.headers.push(("x-request-id".into(), echo_id.clone()));
         let elapsed = start.elapsed();
         span.set_attr("endpoint", endpoint.map_or("-", Endpoint::name));
         span.set_attr("status", u64::from(response.status));
@@ -162,6 +204,7 @@ impl App {
             let line = Value::Obj(vec![
                 ("event".into(), Value::Str("http.request".into())),
                 ("id".into(), Value::Int(request_id as i64)),
+                ("request_id".into(), Value::Str(echo_id)),
                 ("method".into(), Value::Str(request.method.clone())),
                 ("target".into(), Value::Str(request.target.clone())),
                 ("endpoint".into(), Value::Str(endpoint.map_or("-", Endpoint::name).to_string())),
@@ -190,6 +233,14 @@ impl App {
             }
             "/v1/journal/segment" => {
                 (Some(Endpoint::Segment), self.expect_get(method, Self::journal_segment))
+            }
+            "/v1/trace" => {
+                let response = if method == "GET" {
+                    self.trace_body(query)
+                } else {
+                    Response::error(405, "method-not-allowed", "use GET")
+                };
+                (Some(Endpoint::Trace), response)
             }
             "/v1/catalog" => (Some(Endpoint::Catalog), self.expect_get(method, Self::catalog)),
             "/v1/stats" => (Some(Endpoint::Stats), self.expect_get(method, Self::stats_body)),
@@ -297,6 +348,53 @@ impl App {
         )
     }
 
+    /// `GET /v1/trace?since=ID`: this worker's span-ring fragment — every
+    /// finished span with id greater than `since` (default 0), oldest
+    /// first, **without** disturbing the ring (so it composes with a
+    /// concurrent `--trace-out` flusher). The payload carries the
+    /// process trace id (hex), the tracer's enabled flag, the `dropped`
+    /// overwrite counter, and a `cursor` (the max id returned, or the
+    /// request's `since` when nothing is new) the caller resumes from —
+    /// the drain half of cross-node trace stitching.
+    fn trace_body(&self, query: &str) -> Response {
+        let mut since = 0u64;
+        for kv in query.split('&').filter(|kv| !kv.is_empty()) {
+            let Some(("since", value)) = kv.split_once('=') else {
+                return Response::error(400, "bad-request", &format!("unknown query {kv:?}"));
+            };
+            since = match value.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    return Response::error(
+                        400,
+                        "bad-request",
+                        &format!("\"since\" must be a span id, got {value:?}"),
+                    );
+                }
+            };
+        }
+        let t = tracer();
+        let spans = t.spans_since(since);
+        let cursor = spans.iter().map(|s| s.id).max().unwrap_or(since);
+        // SpanRecord::to_jsonl already renders each span as one JSON
+        // object — splice them into the array verbatim.
+        let mut body = format!(
+            "{{\"trace_id\":\"{:032x}\",\"enabled\":{},\"dropped\":{},\"cursor\":{cursor},\
+             \"spans\":[",
+            trace_id(),
+            t.is_enabled(),
+            t.dropped(),
+        );
+        for (i, span) in spans.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&span.to_jsonl());
+        }
+        body.push_str("]}");
+        Response::ok(body)
+    }
+
     fn healthz(&self) -> Response {
         Response::ok(
             Value::Obj(vec![
@@ -361,6 +459,17 @@ impl App {
             .histograms
             .iter()
             .map(|(n, h)| {
+                // Raw (bound, count) bucket pairs ride along so a fleet
+                // coordinator can merge histograms exactly (bucket-wise
+                // addition is commutative/associative) instead of
+                // averaging quantiles.
+                let buckets: Vec<Value> = h
+                    .buckets
+                    .iter()
+                    .map(|(bound, count)| {
+                        Value::Arr(vec![Value::Int(*bound as i64), Value::Int(*count as i64)])
+                    })
+                    .collect();
                 (
                     n.clone(),
                     Value::Obj(vec![
@@ -370,6 +479,7 @@ impl App {
                         ("p50".into(), Value::Int(h.quantile(0.5) as i64)),
                         ("p90".into(), Value::Int(h.quantile(0.9) as i64)),
                         ("p99".into(), Value::Int(h.quantile(0.99) as i64)),
+                        ("buckets".into(), Value::Arr(buckets)),
                     ]),
                 )
             })
@@ -1078,6 +1188,113 @@ mod tests {
         assert_eq!(endpoints.get("check").unwrap().get_usize("count"), Some(1));
         let trace = stats.get("trace").unwrap();
         assert!(trace.get("enabled").and_then(Value::as_bool).is_some());
+    }
+
+    #[test]
+    fn request_id_is_echoed_or_generated() {
+        let app = app();
+        // Supplied: propagated verbatim.
+        let mut req = request("GET", "/healthz", "");
+        req.headers.push(("x-request-id".into(), "cluster-7-retry-2".into()));
+        let response = app.handle(&req);
+        let echo = response.headers.iter().find(|(k, _)| k == "x-request-id");
+        assert_eq!(echo.map(|(_, v)| v.as_str()), Some("cluster-7-retry-2"));
+        // Absent: generated, unique per request, prefixed by the process
+        // trace-id nibble so ids differ across a fleet.
+        let a = app.handle(&request("GET", "/healthz", ""));
+        let b = app.handle(&request("GET", "/healthz", ""));
+        let id = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(k, _)| k == "x-request-id")
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_ne!(id(&a), id(&b));
+        let prefix = format!("{:08x}-", (trace_id() >> 96) as u32);
+        assert!(id(&a).starts_with(&prefix), "{}", id(&a));
+        // Errors carry the echo too — correlation matters most there.
+        let not_found = app.handle(&request("GET", "/nope", ""));
+        assert!(not_found.headers.iter().any(|(k, _)| k == "x-request-id"));
+    }
+
+    #[test]
+    fn trace_endpoint_serves_a_nondestructive_cursor_fragment() {
+        let app = app();
+        // The tracer is process-global: serialize against other tests via
+        // the disable/drain preamble and a fresh read of our own spans.
+        tracer().disable();
+        let _ = tracer().drain();
+        tracer().enable();
+        let warm = app.handle(&request("GET", "/healthz", ""));
+        assert_eq!(warm.status, 200);
+        let response = app.handle(&request("GET", "/v1/trace", ""));
+        tracer().disable();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let payload = json::parse(&response.body).unwrap();
+        let hex = payload.get("trace_id").unwrap().as_str().unwrap().to_string();
+        assert_eq!(hex, format!("{:032x}", trace_id()));
+        assert_eq!(payload.get("enabled").and_then(Value::as_bool), Some(true));
+        let Some(Value::Arr(spans)) = payload.get("spans") else {
+            panic!("spans must be an array: {}", response.body);
+        };
+        // The healthz request span is in the fragment; the ring still
+        // holds it (non-destructive).
+        assert!(
+            spans.iter().any(|s| s.get("span").unwrap().as_str() == Some("http.request")),
+            "{}",
+            response.body
+        );
+        let cursor = payload.get_usize("cursor").unwrap();
+        assert!(cursor >= 1);
+        assert!(!tracer().spans_since(0).is_empty(), "/v1/trace must not drain the ring");
+        let _ = tracer().drain();
+        // Resuming from the cursor returns nothing new.
+        let empty = app.handle(&request("GET", &format!("/v1/trace?since={cursor}"), ""));
+        let empty = json::parse(&empty.body).unwrap();
+        let Some(Value::Arr(spans)) = empty.get("spans") else {
+            panic!("spans must be an array");
+        };
+        assert!(spans.is_empty());
+        assert_eq!(empty.get_usize("cursor"), Some(cursor));
+        // Bad queries are typed 400s; wrong method is 405.
+        assert_eq!(app.handle(&request("GET", "/v1/trace?since=x", "")).status, 400);
+        assert_eq!(app.handle(&request("GET", "/v1/trace?nope=1", "")).status, 400);
+        assert_eq!(app.handle(&request("POST", "/v1/trace", "")).status, 405);
+    }
+
+    #[test]
+    fn remote_trace_context_is_recorded_for_stitching() {
+        let app = app();
+        tracer().disable();
+        let _ = tracer().drain();
+        tracer().enable();
+        // A foreign trace id (not ours): the span records the remote
+        // context as attributes instead of parenting under a local id.
+        let foreign = TraceContext { trace_id: trace_id() ^ 1, parent_span: 99 };
+        let mut req = request("GET", "/healthz", "");
+        req.headers.push((TRACE_HEADER.into(), foreign.to_header()));
+        assert_eq!(app.handle(&req).status, 200);
+        // A local context parents directly under the given span id.
+        let mut req = request("GET", "/healthz", "");
+        req.headers.push((TRACE_HEADER.into(), TraceContext::local(12345).to_header()));
+        assert_eq!(app.handle(&req).status, 200);
+        tracer().disable();
+        let spans = tracer().drain();
+        let foreign_span = spans
+            .iter()
+            .find(|s| s.to_jsonl().contains("remote_parent"))
+            .expect("foreign context span");
+        assert!(foreign_span
+            .to_jsonl()
+            .contains(&format!("\"remote_trace\":\"{:032x}\"", foreign.trace_id)));
+        assert!(foreign_span.to_jsonl().contains("\"remote_parent\":99"));
+        assert_eq!(foreign_span.parent, None, "foreign context must not fake a local parent");
+        let local_span = spans
+            .iter()
+            .find(|s| s.parent == Some(12345))
+            .expect("local context parents under the caller's span id");
+        assert_eq!(local_span.name, "http.request");
     }
 
     #[test]

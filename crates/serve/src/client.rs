@@ -25,6 +25,8 @@ pub struct HttpResult {
     pub status: u16,
     /// The response body.
     pub body: String,
+    /// The server's `x-request-id` correlation echo, when present.
+    pub request_id: Option<String>,
 }
 
 impl HttpResult {
@@ -123,7 +125,16 @@ impl Client {
     /// # Errors
     /// Propagates connection and framing failures.
     pub fn get(&mut self, path: &str) -> io::Result<HttpResult> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
+    }
+
+    /// `GET path` with extra request headers (e.g. the
+    /// `x-consensus-trace` propagation context).
+    ///
+    /// # Errors
+    /// Propagates connection and framing failures.
+    pub fn get_with(&mut self, path: &str, headers: &[(&str, &str)]) -> io::Result<HttpResult> {
+        self.request("GET", path, None, headers)
     }
 
     /// `POST path` with a JSON body.
@@ -131,10 +142,31 @@ impl Client {
     /// # Errors
     /// Propagates connection and framing failures.
     pub fn post_json(&mut self, path: &str, body: &str) -> io::Result<HttpResult> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), &[])
     }
 
-    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<HttpResult> {
+    /// `POST path` with a JSON body and extra request headers (e.g. the
+    /// `x-consensus-trace` propagation context stamped by the cluster
+    /// coordinator on every dispatch).
+    ///
+    /// # Errors
+    /// Propagates connection and framing failures.
+    pub fn post_json_with(
+        &mut self,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<HttpResult> {
+        self.request("POST", path, Some(body), headers)
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> io::Result<HttpResult> {
         let started = Instant::now();
         for attempt in 0..2 {
             let remaining = match self.deadline.checked_sub(started.elapsed()) {
@@ -162,7 +194,7 @@ impl Client {
                     self.reconnects += 1;
                 }
             }
-            match self.try_request(method, path, body, started) {
+            match self.try_request(method, path, body, headers, started) {
                 Ok(result) => return Ok(result),
                 Err(e) => {
                     // The server may have closed an idle keep-alive
@@ -188,6 +220,7 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
+        headers: &[(&str, &str)],
         started: Instant,
     ) -> io::Result<HttpResult> {
         let deadline = self.deadline;
@@ -200,15 +233,22 @@ impl Client {
             .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "request deadline exhausted"))?;
         reader.get_ref().set_read_timeout(Some(remaining))?;
         reader.get_ref().set_write_timeout(Some(remaining))?;
-        let head = match body {
-            None => format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n\r\n", self.addr),
-            Some(body) => format!(
-                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
-                 Content-Length: {}\r\n\r\n{body}",
-                self.addr,
-                body.len()
-            ),
-        };
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        match body {
+            None => head.push_str("\r\n"),
+            Some(body) => {
+                head.push_str(&format!(
+                    "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                ));
+            }
+        }
         reader.get_mut().write_all(head.as_bytes())?;
 
         let mut status_line = String::new();
@@ -225,6 +265,7 @@ impl Client {
 
         let mut content_length = 0usize;
         let mut close = false;
+        let mut request_id = None;
         loop {
             let mut line = String::new();
             if reader.read_line(&mut line)? == 0 {
@@ -246,6 +287,7 @@ impl Client {
                         })?;
                     }
                     "connection" if value.eq_ignore_ascii_case("close") => close = true,
+                    "x-request-id" => request_id = Some(value.to_string()),
                     _ => {}
                 }
             }
@@ -257,7 +299,7 @@ impl Client {
         }
         let body = String::from_utf8(body)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-        Ok(HttpResult { status, body })
+        Ok(HttpResult { status, body, request_id })
     }
 }
 

@@ -269,13 +269,37 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
+    write_response_with(writer, status, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`] with extra response header fields (e.g. the
+/// `x-request-id` correlation echo) appended after the framing headers.
+/// Header names and values are written verbatim — callers own validity.
+///
+/// # Errors
+/// Propagates stream write failures.
+pub fn write_response_with(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {len}\r\nConnection: {conn}\r\n\r\n",
+         Content-Length: {len}\r\nConnection: {conn}\r\n",
         reason = reason(status),
         len = body.len(),
         conn = if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     writer.write_all(head.as_bytes())?;
     writer.write_all(body)?;
     writer.flush()
@@ -383,5 +407,15 @@ mod tests {
         write_response(&mut out, 200, "text/plain; version=0.0.4", b"x 1\n", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"), "{text}");
+    }
+
+    #[test]
+    fn extra_response_headers_ride_the_head() {
+        let mut out = Vec::new();
+        let extra = vec![("x-request-id".to_string(), "42".to_string())];
+        write_response_with(&mut out, 200, "application/json", &extra, b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nx-request-id: 42\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 }

@@ -24,6 +24,8 @@ pub enum Endpoint {
     Sweep,
     /// `GET /v1/journal/segment`.
     Segment,
+    /// `GET /v1/trace`.
+    Trace,
     /// `GET /v1/catalog`.
     Catalog,
     /// `GET /v1/stats`.
@@ -36,10 +38,11 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in reporting order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Check,
         Endpoint::Sweep,
         Endpoint::Segment,
+        Endpoint::Trace,
         Endpoint::Catalog,
         Endpoint::Stats,
         Endpoint::Healthz,
@@ -52,6 +55,7 @@ impl Endpoint {
             Endpoint::Check => "check",
             Endpoint::Sweep => "sweep",
             Endpoint::Segment => "segment",
+            Endpoint::Trace => "trace",
             Endpoint::Catalog => "catalog",
             Endpoint::Stats => "stats",
             Endpoint::Healthz => "healthz",

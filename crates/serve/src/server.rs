@@ -268,10 +268,11 @@ fn handle_connection(app: &App, stream: TcpStream, read_timeout: Duration, shutd
 }
 
 fn write(writer: &mut impl Write, response: &Response, keep_alive: bool) -> std::io::Result<()> {
-    http::write_response(
+    http::write_response_with(
         writer,
         response.status,
         response.content_type,
+        &response.headers,
         response.body.as_bytes(),
         keep_alive,
     )

@@ -7,13 +7,17 @@
 //!   `Session` sweep of the same grid,
 //! * killing a worker still completes the sweep with the identical
 //!   merged output — its shards rebalance onto the survivors,
-//! * a tampered worker verdict is caught by the certificate spot-check.
+//! * a tampered worker verdict is caught by the certificate spot-check,
+//! * the observability seam tells the truth: lifecycle events match the
+//!   run's counters one-for-one and the fleet snapshot folds every
+//!   worker's `/v1/stats`.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use consensus_cluster::coordinator::{self, ClusterConfig};
-use consensus_cluster::spotcheck;
+use consensus_cluster::{spotcheck, EventSink};
+use consensus_lab::json::Value;
 use consensus_lab::scenario::AnalysisKind;
 use consensus_lab::session::{Query, Session};
 use consensus_lab::store::{ScenarioRecord, TIMING_FIELDS};
@@ -70,6 +74,87 @@ fn two_worker_cluster_matches_serial_sweep() {
     assert!(outcome.stats.shards >= 2, "two workers plan at least two shards");
     assert!(outcome.stats.spot_checks > 0, "a default run audits at least one verdict");
     assert!(outcome.spot_check_failures.is_empty(), "{:?}", outcome.spot_check_failures);
+    for server in servers {
+        server.stop();
+    }
+}
+
+/// A `Write` the test can read back after the sink is done with it.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("event buffer").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn lifecycle_events_and_fleet_snapshot_cover_the_run() {
+    let servers = [start_worker(), start_worker()];
+    let cfg = cluster_config(servers.iter().map(|s| s.local_addr().to_string()).collect());
+
+    let buffer = SharedBuf::default();
+    let sink = EventSink::new(Box::new(buffer.clone()));
+    let outcome = coordinator::run_with(&cfg, Some(&sink)).expect("cluster sweep with events");
+    assert_identical(&outcome.records, &serial_records(&cfg));
+
+    // Every emitted line is whole JSON, and the stream reconciles
+    // one-for-one with the run's own counters: no phantom events, no
+    // silent drops.
+    let text = String::from_utf8(buffer.0.lock().expect("event buffer").clone()).expect("utf-8");
+    let events: Vec<Value> = text
+        .lines()
+        .map(|line| consensus_lab::json::parse(line).expect("whole JSON event line"))
+        .collect();
+    assert_eq!(events.len(), outcome.stats.events_emitted);
+    let count = |kind: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("event").and_then(Value::as_str) == Some(kind))
+            .count()
+    };
+    assert_eq!(count("cluster.dispatched"), outcome.stats.dispatches);
+    assert_eq!(count("cluster.completed"), outcome.stats.shards, "every shard completes once");
+    assert_eq!(count("cluster.audited"), outcome.stats.spot_checks);
+    assert_eq!(count("cluster.retried"), outcome.stats.retries);
+    assert_eq!(count("cluster.rebalanced"), 0, "a healthy fleet rebalances nothing");
+    for event in &events {
+        if event.get("event").and_then(Value::as_str) == Some("cluster.completed") {
+            let echoed = event.get("request_id").and_then(Value::as_str).unwrap_or_default();
+            assert!(!echoed.is_empty(), "completed events carry the worker's x-request-id echo");
+        }
+    }
+
+    // The fleet snapshot folds both workers' `/v1/stats`: per-worker
+    // request totals kept apart, their sum in the merged block.
+    let fleet = outcome.fleet.expect("a healthy fleet polls every worker");
+    assert_eq!(fleet.get("workers_dead").and_then(Value::as_i64), Some(0));
+    let Some(Value::Obj(per_worker)) = fleet.get("per_worker") else {
+        panic!("fleet snapshot has a per_worker object: {fleet}");
+    };
+    assert_eq!(per_worker.len(), 2);
+    let mut summed = 0;
+    for (addr, entry) in per_worker {
+        assert_eq!(
+            entry.get("reachable").and_then(Value::as_bool),
+            Some(true),
+            "worker {addr} is reachable"
+        );
+        let requests = entry.get("requests_total").and_then(Value::as_i64).unwrap_or(0);
+        assert!(requests > 0, "worker {addr} served at least one request");
+        summed += requests;
+    }
+    let merged = fleet.get("merged").expect("fleet snapshot has a merged block");
+    assert_eq!(merged.get("requests_total").and_then(Value::as_i64), Some(summed));
+    assert!(
+        matches!(merged.get("counters"), Some(Value::Obj(fields)) if !fields.is_empty()),
+        "merged counters fold the workers' registries: {merged}"
+    );
     for server in servers {
         server.stop();
     }

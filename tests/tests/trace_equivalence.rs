@@ -4,16 +4,29 @@
 //! span schema with well-formed parent/child nesting.
 //!
 //! The tracer is process-global, so the traced and untraced passes run
-//! sequentially inside one test (not as separate `#[test]`s, which cargo
-//! would run on concurrent threads against the same global tracer).
+//! sequentially inside one test, and the tests in this file serialize
+//! against each other through [`serial`] (cargo runs a binary's tests on
+//! concurrent threads against the same global tracer).
 
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use consensus_cluster::coordinator::{self, ClusterConfig};
 use consensus_lab::scenario::AnalysisKind;
 use consensus_lab::session::{Query, Session};
 use consensus_lab::store::TIMING_FIELDS;
 use consensus_lab::trace::{validate, TraceSpan};
 use consensus_obs::trace::tracer;
+use consensus_serve::api::App;
+use consensus_serve::server::{ServeConfig, Server};
 
 const DEPTH: usize = 3;
+
+/// One tracer owner at a time; a panicked holder must not wedge the rest.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 fn sweep_rows() -> Vec<String> {
     let queries = Query::catalog_grid(DEPTH, &AnalysisKind::ALL);
@@ -28,6 +41,7 @@ fn sweep_rows() -> Vec<String> {
 
 #[test]
 fn traced_sweep_is_byte_identical_and_schema_valid() {
+    let _guard = serial();
     tracer().disable();
     let _ = tracer().drain();
     let untraced = sweep_rows();
@@ -61,5 +75,84 @@ fn traced_sweep_is_byte_identical_and_schema_valid() {
     let sweep_id = parsed.iter().find(|s| s.name == "sweep").unwrap().id;
     for span in parsed.iter().filter(|s| s.name.starts_with("analysis.")) {
         assert_eq!(span.parent, Some(sweep_id), "{} not parented to sweep", span.name);
+    }
+}
+
+/// The cluster path under the same purity bar: a traced 2-worker
+/// coordinator sweep must merge records byte-identical (modulo timing)
+/// to the untraced run and the serial reference, and its merged trace
+/// must validate with every `cluster.shard` span parented under the
+/// `cluster.sweep` root and carrying the worker-side `http.request`
+/// span that served it (propagated through `x-consensus-trace`; the
+/// workers here share the process tracer, so the context resolves to a
+/// true local parent and nothing needs stitching).
+#[test]
+fn traced_cluster_sweep_is_byte_identical_and_parents_worker_spans() {
+    let _guard = serial();
+    let servers: Vec<Server> = (0..2)
+        .map(|_| {
+            let cfg =
+                ServeConfig { addr: "127.0.0.1:0".into(), threads: 2, ..ServeConfig::default() };
+            Server::bind(Arc::new(App::new(Session::new())), &cfg).expect("bind ephemeral worker")
+        })
+        .collect();
+    let cfg = ClusterConfig {
+        workers: servers.iter().map(|s| s.local_addr().to_string()).collect(),
+        max_depth: 2,
+        analyses: vec![AnalysisKind::Solvability, AnalysisKind::ComponentStats],
+        retries: 1,
+        backoff: Duration::from_millis(5),
+        deadline: Duration::from_secs(10),
+        ..ClusterConfig::default()
+    };
+    let rows = |records: &[consensus_lab::store::ScenarioRecord]| -> Vec<String> {
+        records
+            .iter()
+            .map(|r| r.to_json().without_keys(TIMING_FIELDS).to_string())
+            .collect()
+    };
+
+    tracer().disable();
+    let _ = tracer().drain();
+    let untraced = coordinator::run(&cfg).expect("untraced cluster sweep");
+
+    tracer().enable();
+    let traced = coordinator::run(&cfg).expect("traced cluster sweep");
+    let spans = tracer().drain();
+    tracer().disable();
+
+    let serial = Session::new().check_many(&Query::catalog_grid(cfg.max_depth, &cfg.analyses));
+    let serial_rows = rows(serial.store.records());
+    assert_eq!(rows(&traced.records), rows(&untraced.records), "tracing changed the merge");
+    assert_eq!(rows(&traced.records), serial_rows, "cluster diverged from the serial reference");
+
+    // In-process workers share this tracer: their spans are already
+    // home, so the stitcher must leave them alone (stitching them too
+    // would duplicate every worker span).
+    assert_eq!(traced.stats.spans_stitched, 0);
+    assert!(traced.stitched_spans.is_empty());
+
+    let jsonl: String = spans.iter().map(|s| format!("{}\n", s.to_jsonl())).collect();
+    let summary = validate(&jsonl).unwrap_or_else(|e| panic!("trace failed validation: {e}"));
+    assert_eq!(summary.spans, spans.len());
+
+    let parsed: Vec<TraceSpan> = jsonl.lines().map(|l| TraceSpan::parse(l).unwrap()).collect();
+    let sweep_id = parsed.iter().find(|s| s.name == "cluster.sweep").expect("sweep root").id;
+    let shards: Vec<&TraceSpan> = parsed.iter().filter(|s| s.name == "cluster.shard").collect();
+    assert_eq!(shards.len(), traced.stats.shards, "one shard span per planned shard");
+    for shard in &shards {
+        assert_eq!(shard.parent, Some(sweep_id), "shard spans hang off the sweep root");
+        let served = parsed
+            .iter()
+            .filter(|s| s.name == "http.request" && s.parent == Some(shard.id))
+            .count();
+        assert!(
+            served > 0,
+            "shard span {} carries the worker-side http.request that served it",
+            shard.id
+        );
+    }
+    for server in servers {
+        server.stop();
     }
 }
